@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks for the performance-critical building blocks:
+//! the gini split-point scan, the parallel sample sort, the all-to-all
+//! personalized exchange, the distributed node table, and end-to-end
+//! induction at small scale.
+//!
+//! These measure **host wall time of running the simulation** — how fast
+//! this library executes — not simulated parallel time. Simulating more
+//! virtual processors costs more host time (more threads, more collective
+//! bookkeeping) even though the *simulated* runtime shrinks; the figure
+//! harnesses (`--bin fig3a` etc.) are the ones that report simulated time.
+//!
+//! Run with `cargo bench -p scalparc-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use datagen::{generate, GenConfig};
+use dhash::DistTable;
+use dtree::cart::{self, CartConfig};
+use dtree::gini::ContinuousScan;
+use dtree::sprint::{self, SprintConfig};
+use mpsim::{run_simple, MachineCfg};
+use scalparc::{induce, ParConfig};
+
+fn bench_gini_scan(c: &mut Criterion) {
+    let n = 100_000u32;
+    let mut entries: Vec<(f32, u8)> = (0..n)
+        .map(|i| {
+            let v = (i.wrapping_mul(2654435761) % 1_000_003) as f32;
+            (v, (i % 2) as u8)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = vec![n as u64 / 2, n as u64 / 2];
+
+    let mut g = c.benchmark_group("gini_scan");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("continuous_scan_100k", |b| {
+        b.iter(|| {
+            let mut scan = ContinuousScan::fresh(total.clone());
+            for &(v, cl) in &entries {
+                scan.push(v, cl);
+            }
+            scan.best()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sample_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sample_sort");
+    g.sample_size(10);
+    for &p in &[1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("sort_100k_total", p), &p, |b, &p| {
+            b.iter(|| {
+                run_simple(p, |comm| {
+                    let n = 100_000 / comm.size();
+                    let local: Vec<u32> = (0..n)
+                        .map(|i| {
+                            ((i + comm.rank() * n) as u32).wrapping_mul(2654435761) % 1_000_003
+                        })
+                        .collect();
+                    sortp::sample_sort(comm, local, |a, b| a.cmp(b)).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    g.sample_size(10);
+    let p = 8usize;
+    let per_dest = 4_000usize;
+    g.throughput(Throughput::Elements((p * p * per_dest) as u64));
+    g.bench_function("8ranks_4k_each", |b| {
+        b.iter(|| {
+            let cfg = MachineCfg::new(p);
+            mpsim::run(&cfg, |comm| {
+                let bufs: Vec<Vec<u64>> =
+                    (0..p).map(|d| vec![d as u64; per_dest]).collect();
+                comm.alltoallv(bufs).len()
+            })
+            .outputs
+        })
+    });
+    g.finish();
+}
+
+fn bench_dist_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist_table");
+    g.sample_size(10);
+    let n = 50_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("update_inquire_50k_p4", |b| {
+        b.iter(|| {
+            run_simple(4, |comm| {
+                let mut t = DistTable::<u8>::new(comm, n);
+                let mine: Vec<(u64, u8)> = (0..n)
+                    .filter(|k| *k as usize % 4 == comm.rank())
+                    .map(|k| (k, (k % 3) as u8))
+                    .collect();
+                t.update(comm, &mine);
+                let keys: Vec<u64> = (comm.rank() as u64..n).step_by(4).collect();
+                t.inquire(comm, &keys).len()
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_induction(c: &mut Criterion) {
+    let data = generate(&GenConfig::paper(10_000, 42));
+    let mut g = c.benchmark_group("induction_10k");
+    g.sample_size(10);
+    g.bench_function("serial_sprint", |b| {
+        b.iter(|| sprint::induce(&data, &SprintConfig::default()).nodes.len())
+    });
+    g.bench_function("cart_resort", |b| {
+        b.iter(|| cart::induce(&data, &CartConfig::default()).nodes.len())
+    });
+    for &p in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("scalparc", p), &p, |b, &p| {
+            b.iter(|| induce(&data, &ParConfig::new(p)).tree.nodes.len())
+        });
+    }
+    g.bench_function("sprint_replicated_p4", |b| {
+        b.iter(|| {
+            induce(&data, &ParConfig::new(4).sprint_baseline())
+                .tree
+                .nodes
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gini_scan,
+    bench_sample_sort,
+    bench_alltoallv,
+    bench_dist_table,
+    bench_induction
+);
+criterion_main!(benches);

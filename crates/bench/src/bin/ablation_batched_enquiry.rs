@@ -1,0 +1,58 @@
+//! **ABL-BATCH** — per-attribute vs batched node-table enquiries.
+//!
+//! The paper performs PerformSplitII "one attribute at a time" (§4) and
+//! defers communication optimizations to its technical report. Batching all
+//! non-splitting attributes into a single two-step exchange per level is
+//! the obvious such optimization: identical results, `2` all-to-all steps
+//! per level instead of `2·n_attrs`. This ablation measures the latency
+//! saving as p grows (the all-to-all α·p term is paid per step).
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin ablation_batched_enquiry`
+
+use mpsim::{CostModel, TimingMode};
+use scalparc::{induce_measured, ParConfig};
+use scalparc_bench::{print_row, BenchOpts, T3D_CPU_FACTOR};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let n = opts.scale.dataset_sizes()[0];
+    let data = opts.dataset(n);
+
+    println!(
+        "# Per-attribute (paper §4) vs batched node-table enquiries, N = {}",
+        opts.scale.size_label(n)
+    );
+    print_row(&[
+        "p".into(),
+        "paper t(s)".into(),
+        "batch t(s)".into(),
+        "saving %".into(),
+        "msgs/rank".into(),
+        "batched".into(),
+    ]);
+
+    for &p in &opts.scale.procs() {
+        let mut cfg = ParConfig {
+            procs: p,
+            cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
+            timing: TimingMode::Measured,
+            induce: Default::default(),
+        };
+        let plain = induce_measured(&data, &cfg, 2);
+        cfg.induce.batched_enquiry = true;
+        let batched = induce_measured(&data, &cfg, 2);
+        assert_eq!(plain.tree, batched.tree, "batching must not change the tree");
+        let (tp, tb) = (plain.stats.time_s(), batched.stats.time_s());
+        print_row(&[
+            p.to_string(),
+            format!("{tp:.4}"),
+            format!("{tb:.4}"),
+            format!("{:.1}", (tp - tb) / tp * 100.0),
+            plain.stats.ranks[0].msgs_sent.to_string(),
+            batched.stats.ranks[0].msgs_sent.to_string(),
+        ]);
+    }
+    println!();
+    println!("# expected: identical trees, fewer collective rounds, and a latency");
+    println!("# saving that grows with p (each all-to-all costs α·p to start).");
+}

@@ -1,0 +1,70 @@
+//! **FIG3A** — reproduce Figure 3(a): ScalParC parallel runtime vs number
+//! of processors, one series per training-set size.
+//!
+//! The paper plots parallel runtime (seconds, Cray T3D) for training sets of
+//! 0.8M–6.4M records on 2–128 processors and highlights that 6.4M records
+//! classify in well under two minutes on 128 processors. Shapes to check:
+//!
+//! * runtime falls steadily with p for every N (runtime scalability);
+//! * relative speedups improve for larger N (computation/communication
+//!   ratio grows with problem size);
+//! * returns diminish at high p for small N (overheads dominate).
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin fig3a [--full|--quick]`
+
+use scalparc::Algorithm;
+use scalparc_bench::{fmt_mb, print_row, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = opts.scale.procs();
+    let sizes = opts.scale.dataset_sizes();
+
+    println!("# Figure 3(a): parallel runtime (simulated seconds) vs processors");
+    println!(
+        "# workload: Quest {:?}, 7 attributes, 2 classes, seed {}",
+        opts.func, opts.seed
+    );
+    let mut header = vec!["N \\ p".to_string()];
+    header.extend(procs.iter().map(|p| p.to_string()));
+    print_row(&header);
+
+    let mut tables = Vec::new();
+    for &n in &sizes {
+        let data = opts.dataset(n);
+        let cells = scalparc_bench::sweep(&data, &procs, Algorithm::ScalParc);
+        let mut row = vec![opts.scale.size_label(n)];
+        row.extend(cells.iter().map(|c| format!("{:.3}", c.time_s)));
+        print_row(&row);
+        tables.push((n, cells));
+    }
+
+    println!();
+    println!("# Speedup relative to p=1 (same-size serial run)");
+    let mut header = vec!["N \\ p".to_string()];
+    header.extend(procs.iter().map(|p| p.to_string()));
+    print_row(&header);
+    for (n, cells) in &tables {
+        let t1 = cells[0].time_s;
+        let mut row = vec![opts.scale.size_label(*n)];
+        row.extend(cells.iter().map(|c| format!("{:.2}", t1 / c.time_s)));
+        print_row(&row);
+    }
+
+    // The paper's headline: the largest dataset on the largest machine.
+    if let Some((n, cells)) = tables.last() {
+        let last = cells.last().unwrap();
+        println!();
+        println!(
+            "# headline: {} records classified in {:.3} simulated seconds on {} processors",
+            opts.scale.size_label(*n),
+            last.time_s,
+            last.procs
+        );
+        println!(
+            "#           per-processor comm volume {} MB, peak memory {} MB",
+            fmt_mb(last.comm_per_proc),
+            fmt_mb(last.mem_per_proc)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! **FIG3B** — reproduce Figure 3(b): memory required per processor vs
+//! number of processors, one series per training-set size.
+//!
+//! Shapes to check (paper §5): "for smaller number of processors, the
+//! memory required drops by almost a perfect factor of two when the number
+//! of processors is doubled. Sizes of some of the buffers required for the
+//! collective communication operations increase with the increasing number
+//! of processors. Hence, for larger number of processors, we see a deviation
+//! from the ideal trend."
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin fig3b [--full|--quick]`
+
+use scalparc::Algorithm;
+use scalparc_bench::{print_row, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = opts.scale.procs();
+    let sizes = opts.scale.dataset_sizes();
+
+    println!("# Figure 3(b): peak memory per processor (MB) vs processors");
+    println!(
+        "# workload: Quest {:?}, 7 attributes, 2 classes, seed {}",
+        opts.func, opts.seed
+    );
+    let mut header = vec!["N \\ p".to_string()];
+    header.extend(procs.iter().map(|p| p.to_string()));
+    print_row(&header);
+
+    let mut tables = Vec::new();
+    for &n in &sizes {
+        let data = opts.dataset(n);
+        let cells = scalparc_bench::sweep(&data, &procs, Algorithm::ScalParc);
+        let mut row = vec![opts.scale.size_label(n)];
+        row.extend(
+            cells
+                .iter()
+                .map(|c| format!("{:.3}", c.mem_per_proc as f64 / 1e6)),
+        );
+        print_row(&row);
+        tables.push((n, cells));
+    }
+
+    println!();
+    println!("# Halving factor when doubling p (ideal = 2.00; the paper reports");
+    println!("# ~1.94 at small p decaying towards 1 as collective buffers grow)");
+    let mut header = vec!["N \\ p".to_string()];
+    header.extend(
+        procs
+            .windows(2)
+            .map(|w| format!("{}->{}", w[0], w[1])),
+    );
+    print_row(&header);
+    for (n, cells) in &tables {
+        let mut row = vec![opts.scale.size_label(*n)];
+        row.extend(cells.windows(2).map(|w| {
+            format!("{:.2}", w[0].mem_per_proc as f64 / w[1].mem_per_proc as f64)
+        }));
+        print_row(&row);
+    }
+
+    println!();
+    println!("# Per-category peaks at the largest machine (largest N):");
+    if let Some((_, cells)) = tables.last() {
+        let last = cells.last().unwrap();
+        let worst = last
+            .stats
+            .ranks
+            .iter()
+            .max_by_key(|r| r.peak_mem)
+            .unwrap();
+        for (cat, usage) in &worst.mem_categories {
+            println!("#   {:>16}: {:.3} MB peak", cat, usage.peak as f64 / 1e6);
+        }
+    }
+}

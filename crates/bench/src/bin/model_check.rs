@@ -1,0 +1,70 @@
+//! **MODEL-CHECK** — validate the closed-form runtime model against the
+//! simulator.
+//!
+//! The paper's scalability argument is analytical: per level, computation
+//! divides by p while communication overhead stays O(N/p) per processor.
+//! `scalparc::analysis::AnalyticModel` turns that argument into a formula
+//! (serial compute / p + closed-form per-level communication from the cost
+//! model and the level trace). This harness fits the single free parameter
+//! (serial compute, from the p = 1 run) and compares prediction with
+//! measurement across the sweep. Agreement within tens of percent means the
+//! measured Figure 3(a) shapes really are produced by the mechanism the
+//! paper describes, not by simulator artifacts; the residual is load
+//! imbalance, which the closed form cannot see.
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin model_check`
+
+use mpsim::CostModel;
+use scalparc::analysis::AnalyticModel;
+use scalparc::Algorithm;
+use scalparc_bench::{print_row, BenchOpts, T3D_CPU_FACTOR};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let sizes = opts.scale.dataset_sizes();
+    let n = sizes[1]; // second-smallest keeps the run quick
+    let data = opts.dataset(n);
+    let procs: Vec<usize> = opts.scale.procs();
+
+    // Fit: serial compute from the p = 1 run (which also yields the trace).
+    let serial = scalparc_bench::run_measured(&data, 1, Algorithm::ScalParc);
+    let model = AnalyticModel {
+        serial_compute_ns: serial.stats.ranks[0].compute_ns,
+        cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
+    };
+
+    println!(
+        "# Closed-form model vs simulator at N = {} (fit: serial compute {:.3}s)",
+        opts.scale.size_label(n),
+        serial.stats.ranks[0].compute_ns as f64 / 1e9
+    );
+    print_row(&[
+        "p".into(),
+        "measured".into(),
+        "predicted".into(),
+        "err %".into(),
+    ]);
+    let mut errs = Vec::new();
+    for &p in &procs {
+        let measured = if p == 1 {
+            serial.stats.time_s()
+        } else {
+            scalparc_bench::run_measured(&data, p, Algorithm::ScalParc)
+                .stats
+                .time_s()
+        };
+        let predicted = model.predict_s(&serial.trace, &data.schema, n as u64, p);
+        let err = (predicted - measured) / measured * 100.0;
+        errs.push(err.abs());
+        print_row(&[
+            p.to_string(),
+            format!("{measured:.4}"),
+            format!("{predicted:.4}"),
+            format!("{err:+.1}"),
+        ]);
+    }
+    println!();
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    println!("# mean |error| {mean:.1}% — the residual is per-rank load imbalance");
+    println!("# (the model assumes perfect division of compute), plus measurement noise.");
+}

@@ -1,0 +1,74 @@
+//! **TXT-SPD** — the relative-speedup numbers quoted in the paper's §5 text.
+//!
+//! The paper reports *relative* speedups between machine sizes (digits are
+//! OCR-damaged in our source; the canonical claims are of the form):
+//!
+//! * for 1.6M records, the relative speedup from 8 to 32 processors and
+//!   from 4 to 128 processors (decreasing efficiency at fixed N);
+//! * going from 4 to 128 processors, the relative speedup for 6.4M records
+//!   exceeds that for 1.6M records (efficiency improves with N).
+//!
+//! The check here is the *ordering*: relative speedup at a fixed processor
+//! jump must increase with training-set size, and every jump must yield a
+//! real speedup (> 1).
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin speedup_table`
+
+use scalparc::Algorithm;
+use scalparc_bench::{print_row, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = opts.scale.procs();
+    let sizes = opts.scale.dataset_sizes();
+
+    // The processor jumps quoted in the text (clamped to the sweep).
+    let jumps: Vec<(usize, usize)> = [(8, 32), (4, 128), (4, 32)]
+        .into_iter()
+        .filter(|(a, b)| procs.contains(a) && procs.contains(b))
+        .collect();
+
+    println!("# Relative speedups between machine sizes (paper §5 in-text numbers)");
+    let mut header = vec!["N".to_string()];
+    header.extend(jumps.iter().map(|(a, b)| format!("{a}->{b}")));
+    header.push("ideal".to_string());
+    print_row(&header);
+
+    let mut per_jump: Vec<Vec<f64>> = vec![Vec::new(); jumps.len()];
+    for &n in &sizes {
+        let data = opts.dataset(n);
+        let cells = scalparc_bench::sweep(&data, &procs, Algorithm::ScalParc);
+        let time_at = |p: usize| {
+            cells
+                .iter()
+                .find(|c| c.procs == p)
+                .map(|c| c.time_s)
+                .unwrap()
+        };
+        let mut row = vec![opts.scale.size_label(n)];
+        for (j, (a, b)) in jumps.iter().enumerate() {
+            let s = time_at(*a) / time_at(*b);
+            per_jump[j].push(s);
+            row.push(format!("{s:.2}"));
+        }
+        row.push(
+            jumps
+                .iter()
+                .map(|(a, b)| format!("{}x", b / a))
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+        print_row(&row);
+    }
+
+    println!();
+    for (j, (a, b)) in jumps.iter().enumerate() {
+        let s = &per_jump[j];
+        let monotone = s.windows(2).all(|w| w[1] >= w[0] * 0.98);
+        println!(
+            "# jump {a}->{b}: speedups {:?} — larger N gives better relative speedup: {}",
+            s.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>(),
+            if monotone { "YES (matches paper)" } else { "NO" }
+        );
+    }
+}

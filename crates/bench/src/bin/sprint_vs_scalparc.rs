@@ -1,0 +1,91 @@
+//! **CMP-SPRINT** — ScalParC vs the parallel SPRINT formulation (paper §2,
+//! §3.2).
+//!
+//! The paper argues analytically that parallel SPRINT's splitting phase —
+//! which gathers the whole record-to-child hash table onto *every*
+//! processor — has per-processor communication overhead O(N) and memory
+//! O(N), whereas ScalParC's distributed node table is O(N/p) in both. This
+//! harness measures the claim: for a fixed N, sweep p and report per-
+//! processor communication volume, peak memory, and simulated runtime for
+//! both formulations. Expected shapes:
+//!
+//! * ScalParC's per-processor comm volume and memory fall ~1/p;
+//! * SPRINT's flatten out at the O(N) replication floor;
+//! * the runtime gap widens with p.
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin sprint_vs_scalparc`
+
+use scalparc::Algorithm;
+use scalparc_bench::{fmt_mb, print_row, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = opts.scale.procs();
+    // One dataset: the second-largest size keeps --full runs tractable.
+    let sizes = opts.scale.dataset_sizes();
+    let n = sizes[sizes.len() - 2];
+    let data = opts.dataset(n);
+
+    println!(
+        "# ScalParC vs parallel SPRINT at N = {} (Quest {:?})",
+        opts.scale.size_label(n),
+        opts.func
+    );
+    print_row(&[
+        "p".into(),
+        "scal t(s)".into(),
+        "spr t(s)".into(),
+        "scal MB/p".into(),
+        "spr MB/p".into(),
+        "scal comm".into(),
+        "spr comm".into(),
+    ]);
+
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let scal = scalparc_bench::run_measured(&data, p, Algorithm::ScalParc);
+        let spr = scalparc_bench::run_measured(&data, p, Algorithm::SprintReplicated);
+        assert_eq!(scal.tree, spr.tree, "formulations must agree on the tree");
+        print_row(&[
+            p.to_string(),
+            format!("{:.3}", scal.stats.time_s()),
+            format!("{:.3}", spr.stats.time_s()),
+            fmt_mb(scal.stats.peak_mem_per_proc()),
+            fmt_mb(spr.stats.peak_mem_per_proc()),
+            fmt_mb(scal.stats.max_comm_volume_per_proc()),
+            fmt_mb(spr.stats.max_comm_volume_per_proc()),
+        ]);
+        rows.push((p, scal.stats, spr.stats));
+    }
+
+    println!();
+    // Communication baselines start at the first parallel row (p = 1 has
+    // no communication at all).
+    let rows: Vec<_> = rows.into_iter().filter(|(p, _, _)| *p > 1).collect();
+    if rows.len() >= 3 {
+        let (p0, s0, r0) = &rows[0];
+        let (pl, sl, rl) = &rows[rows.len() - 1];
+        let scal_mem_ratio = s0.peak_mem_per_proc() as f64 / sl.peak_mem_per_proc() as f64;
+        let spr_mem_ratio = r0.peak_mem_per_proc() as f64 / rl.peak_mem_per_proc() as f64;
+        println!(
+            "# memory p={p0} -> p={pl}: ScalParC shrinks {scal_mem_ratio:.1}x, \
+             SPRINT only {spr_mem_ratio:.1}x (replication floor)"
+        );
+        let scal_comm_ratio =
+            s0.max_comm_volume_per_proc() as f64 / sl.max_comm_volume_per_proc() as f64;
+        let spr_comm_ratio =
+            r0.max_comm_volume_per_proc() as f64 / rl.max_comm_volume_per_proc() as f64;
+        println!(
+            "# comm volume p={p0} -> p={pl}: ScalParC shrinks {scal_comm_ratio:.1}x, \
+             SPRINT only {spr_comm_ratio:.1}x"
+        );
+        println!(
+            "# verdict: {}",
+            if scal_mem_ratio > 2.0 * spr_mem_ratio && scal_comm_ratio > 2.0 * spr_comm_ratio {
+                "ScalParC scalable, replicated SPRINT not — matches the paper"
+            } else {
+                "UNEXPECTED — check the configuration"
+            }
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Analytic performance model of ScalParC, in the style of the
+//! isoefficiency analysis the paper builds on (Kumar et al., *Introduction
+//! to Parallel Computing*, which the paper cites for its scalability
+//! framework).
+//!
+//! The model predicts the parallel runtime from
+//!
+//! * the measured **serial computation time** divided by `p` (perfect
+//!   division — the paper's `T_s/p` term), and
+//! * the per-level **communication costs** computed in closed form from the
+//!   [`CostModel`] and the level trace (active nodes, records): one prefix
+//!   scan and three reductions for FindSplit, one all-to-all update and
+//!   `n_attrs` two-step enquiries for PerformSplit, plus the Presort's
+//!   sample sort.
+//!
+//! The gap between prediction and measurement is the part the closed form
+//! cannot see — load imbalance across ranks and residual measurement noise
+//! — and the `model_check` harness reports it per (N, p). The paper's
+//! runtime-scalability argument (§3: overhead per processor O(N/p) per
+//! level) is exactly this model's communication term; validating it against
+//! the simulator closes the loop between the analysis and the measured
+//! figures.
+
+use dtree::data::{AttrKind, Schema};
+use mpsim::CostModel;
+
+use crate::induce::LevelInfo;
+
+/// Closed-form ScalParC runtime predictor.
+#[derive(Clone, Debug)]
+pub struct AnalyticModel {
+    /// Serial computation time, nanoseconds (measured at `p = 1`).
+    pub serial_compute_ns: u64,
+    /// Communication cost model of the target machine.
+    pub cost: CostModel,
+}
+
+impl AnalyticModel {
+    /// Predicted parallel runtime (seconds) on `p` processors for a run
+    /// with the given level trace and schema, training-set size `n`.
+    pub fn predict_s(&self, trace: &[LevelInfo], schema: &Schema, n: u64, p: usize) -> f64 {
+        let compute_ns = self.serial_compute_ns as f64 / p as f64;
+        let comm_ns = self.comm_ns(trace, schema, n, p);
+        (compute_ns + comm_ns) / 1e9
+    }
+
+    /// Predicted communication time (nanoseconds) — the `T_o/p` overhead
+    /// term of the paper's analysis.
+    pub fn comm_ns(&self, trace: &[LevelInfo], schema: &Schema, n: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let classes = schema.num_classes as usize;
+        let n_attrs = schema.num_attrs();
+        let n_cont = schema.continuous_attrs().len();
+        let cat_matrix_u64s: usize = schema
+            .attrs
+            .iter()
+            .filter_map(|a| match a.kind {
+                AttrKind::Categorical { cardinality } => Some(cardinality as usize * classes),
+                AttrKind::Continuous => None,
+            })
+            .sum();
+
+        let mut total = 0u64;
+
+        // Presort: per continuous attribute, one sample allgather
+        // (p−1 samples each), one all-to-all of the full list, and the
+        // parallel shift's scan + allreduce + all-to-all.
+        let entry = 12u64; // ContEntry payload
+        for _ in 0..n_cont {
+            total += self.cost.allgather(p, (p as u64 - 1) * entry);
+            total += self.cost.alltoall(p, (n / p as u64) * entry);
+            total += self.cost.tree(p, 8) * 2;
+            total += self.cost.alltoall(p, (n / p as u64) * entry);
+        }
+
+        for l in trace {
+            let per_rank = l.records / p as u64; // entries of one attribute
+            let actives = l.active_nodes as u64;
+
+            // FindSplitI: prefix scan of (hist, last) per (node, cont attr)
+            // + allreduce of categorical count matrices.
+            let scan_bytes = actives * n_cont as u64 * (classes as u64 * 8 + 8);
+            total += self.cost.tree(p, scan_bytes);
+            total += self.cost.tree(p, actives * cat_matrix_u64s as u64 * 8);
+            // FindSplitII: allreduce of candidates.
+            total += self.cost.tree(p, actives * 24);
+            // PerformSplitI: node-table update (one all-to-all of
+            // (idx, child) pairs) + the blocked-update round count
+            // allreduce + the child-histogram allreduce.
+            total += self.cost.alltoall(p, per_rank * 8);
+            total += self.cost.tree(p, 8);
+            total += self.cost.tree(p, l.splits as u64 * 2 * classes as u64 * 8);
+            // PerformSplitII: per attribute, enquiry indices out (u32) and
+            // Option<u8> verdicts back.
+            for _ in 0..n_attrs {
+                total += self.cost.alltoall(p, per_rank * 4);
+                total += self.cost.alltoall(p, per_rank * 2);
+            }
+        }
+        total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::data::AttrDef;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                AttrDef::continuous("x"),
+                AttrDef::continuous("y"),
+                AttrDef::categorical("g", 5),
+            ],
+            2,
+        )
+    }
+
+    fn trace() -> Vec<LevelInfo> {
+        vec![
+            LevelInfo {
+                active_nodes: 1,
+                splits: 1,
+                records: 10_000,
+            },
+            LevelInfo {
+                active_nodes: 2,
+                splits: 2,
+                records: 10_000,
+            },
+            LevelInfo {
+                active_nodes: 4,
+                splits: 3,
+                records: 6_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn serial_prediction_is_compute_only() {
+        let m = AnalyticModel {
+            serial_compute_ns: 2_000_000_000,
+            cost: CostModel::t3d(),
+        };
+        assert_eq!(m.predict_s(&trace(), &schema(), 10_000, 1), 2.0);
+    }
+
+    #[test]
+    fn prediction_decreases_then_flattens() {
+        let m = AnalyticModel {
+            serial_compute_ns: 2_000_000_000,
+            cost: CostModel::t3d(),
+        };
+        let t: Vec<f64> = [2usize, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| m.predict_s(&trace(), &schema(), 10_000, p))
+            .collect();
+        // Strictly better through the compute-bound regime…
+        assert!(t[1] < t[0] && t[2] < t[1]);
+        // …and the marginal gain shrinks as latency terms take over.
+        let g1 = t[0] - t[1];
+        let g4 = t[4] - t[5];
+        assert!(g4 < g1);
+    }
+
+    #[test]
+    fn comm_grows_with_levels_and_records() {
+        let m = AnalyticModel {
+            serial_compute_ns: 0,
+            cost: CostModel::t3d(),
+        };
+        let small = m.comm_ns(&trace()[..1], &schema(), 10_000, 8);
+        let full = m.comm_ns(&trace(), &schema(), 10_000, 8);
+        assert!(full > small);
+        let big_records: Vec<LevelInfo> = trace()
+            .iter()
+            .map(|l| LevelInfo {
+                records: l.records * 10,
+                ..*l
+            })
+            .collect();
+        assert!(m.comm_ns(&big_records, &schema(), 100_000, 8) > full);
+    }
+
+    #[test]
+    fn free_cost_model_predicts_ideal_speedup() {
+        let m = AnalyticModel {
+            serial_compute_ns: 1_000_000_000,
+            cost: CostModel::free(),
+        };
+        let t1 = m.predict_s(&trace(), &schema(), 10_000, 1);
+        let t8 = m.predict_s(&trace(), &schema(), 10_000, 8);
+        assert!((t1 / t8 - 8.0).abs() < 1e-9);
+    }
+}

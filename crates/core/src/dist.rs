@@ -1,0 +1,136 @@
+//! Distribution of the training set: horizontal fragmentation, the Presort
+//! phase (parallel sample sort of every continuous attribute list), and
+//! memory accounting of the distributed attribute lists.
+
+use dtree::data::{AttrKind, Column, Dataset};
+use dtree::list::{AttrList, CatEntry, ContEntry};
+use mpsim::Comm;
+
+/// Memory-tracker category for this rank's attribute-list segments.
+pub const ATTR_MEM: &str = "attr-lists";
+
+/// Build this rank's portion of the distributed attribute lists from its
+/// horizontal fragment (records `rid_offset..rid_offset + local.len()`),
+/// running the Presort on every continuous attribute.
+///
+/// Collective. After the call:
+/// * each continuous list is **globally sorted** by `(value, rid)` with this
+///   rank holding block `rank` of `⌈N/p⌉` entries (sample sort + parallel
+///   shift, paper §4);
+/// * each categorical list holds the local fragment in record order.
+pub fn build_distributed_lists(comm: &mut Comm, local: &Dataset, rid_offset: u32) -> Vec<AttrList> {
+    let lists: Vec<AttrList> = local
+        .columns
+        .iter()
+        .zip(&local.schema.attrs)
+        .map(|(col, def)| match (col, def.kind) {
+            (Column::Continuous(vals), AttrKind::Continuous) => {
+                let entries: Vec<ContEntry> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &value)| ContEntry {
+                        value,
+                        rid: rid_offset + i as u32,
+                        class: local.labels[i],
+                    })
+                    .collect();
+                let sorted = sortp::sample_sort(comm, entries, |a, b| {
+                    a.value.total_cmp(&b.value).then(a.rid.cmp(&b.rid))
+                });
+                AttrList::Continuous(sorted)
+            }
+            (Column::Categorical(vals), AttrKind::Categorical { .. }) => AttrList::Categorical(
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &value)| CatEntry {
+                        value,
+                        rid: rid_offset + i as u32,
+                        class: local.labels[i],
+                    })
+                    .collect(),
+            ),
+            _ => unreachable!("dataset validated shape"),
+        })
+        .collect();
+    for l in &lists {
+        l.assert_sorted();
+    }
+    lists
+}
+
+/// Total payload bytes of a set of attribute lists (one rank's segments).
+pub fn lists_bytes<'a>(lists: impl IntoIterator<Item = &'a AttrList>) -> u64 {
+    lists.into_iter().map(|l| l.bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::data::{AttrDef, Schema};
+    use dtree::list::build_lists;
+    use mpsim::run_simple;
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            2,
+        );
+        let xs: Vec<f32> = (0..n).map(|i| ((i * 7919) % 1000) as f32).collect();
+        let gs: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        Dataset::new(
+            schema,
+            vec![Column::Continuous(xs), Column::Categorical(gs)],
+            labels,
+        )
+    }
+
+    #[test]
+    fn distributed_presort_matches_serial_presort() {
+        let n = 103;
+        let data = toy(n);
+        for p in [1usize, 2, 3, 5] {
+            let dref = &data;
+            let outs = run_simple(p, move |c| {
+                let block = n.div_ceil(p);
+                let lo = (c.rank() * block).min(n);
+                let hi = ((c.rank() + 1) * block).min(n);
+                let local = dref.slice(lo, hi);
+                build_distributed_lists(c, &local, lo as u32)
+            });
+            // Concatenate the continuous lists across ranks and compare to
+            // the serial presort.
+            let serial = build_lists(&data, 0, true);
+            let parallel: Vec<ContEntry> = outs
+                .iter()
+                .flat_map(|lists| lists[0].as_continuous().to_vec())
+                .collect();
+            assert_eq!(parallel, serial[0].as_continuous().to_vec(), "p={p}");
+            // Block sizes are ⌈N/p⌉.
+            let block = n.div_ceil(p);
+            for (r, lists) in outs.iter().enumerate() {
+                let want = ((r + 1) * block).min(n).saturating_sub((r * block).min(n));
+                assert_eq!(lists[0].len(), want, "p={p} rank={r}");
+            }
+            // Categorical lists keep the fragment in record order.
+            for (r, lists) in outs.iter().enumerate() {
+                let lo = (r * block).min(n) as u32;
+                for (i, e) in lists[1].as_categorical().iter().enumerate() {
+                    assert_eq!(e.rid, lo + i as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let data = toy(10);
+        let outs = run_simple(1, move |c| {
+            let lists = build_distributed_lists(c, &data, 0);
+            lists_bytes(&lists)
+        });
+        let cont = 10 * std::mem::size_of::<ContEntry>() as u64;
+        let cat = 10 * std::mem::size_of::<CatEntry>() as u64;
+        assert_eq!(outs[0], cont + cat);
+    }
+}

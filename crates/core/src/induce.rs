@@ -1,0 +1,171 @@
+//! The ScalParC tree-induction driver (paper Figure 2):
+//!
+//! ```text
+//! Presort
+//! l = 0
+//! do while (there are nonempty nodes at level l)
+//!     FindSplitI; FindSplitII; PerformSplitI; PerformSplitII
+//!     l = l + 1
+//! end do
+//! ```
+//!
+//! Every rank maintains a replica of the (small) tree metadata; the heavy
+//! per-record state — attribute lists and the node table — stays
+//! distributed. All control-flow decisions (stop rules, accepted splits)
+//! are taken from *global* quantities, so the ranks stay in collective
+//! lockstep and all induce the identical tree.
+
+use dhash::DistTable;
+use dtree::data::Dataset;
+use dtree::tree::{BestSplit, DecisionTree, Node};
+use mpsim::Comm;
+
+use crate::config::{Algorithm, InduceConfig};
+use crate::dist::{build_distributed_lists, lists_bytes, ATTR_MEM};
+use crate::phases::{find_split, perform_split, Work};
+
+/// Per-level trace entry (global quantities — identical on every rank).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelInfo {
+    /// Active (split-candidate) nodes entering the level.
+    pub active_nodes: usize,
+    /// Nodes actually split at the level.
+    pub splits: usize,
+    /// Training records covered by the active nodes.
+    pub records: u64,
+}
+
+/// Rank-level counters of one induction run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Levels processed (root level counts as 1).
+    pub levels: u32,
+    /// Largest number of simultaneously active nodes.
+    pub max_active_nodes: usize,
+    /// One entry per processed level, in order.
+    pub trace: Vec<LevelInfo>,
+}
+
+/// Run ScalParC induction on an already-distributed training set.
+///
+/// Collective: every rank passes its horizontal fragment (`local`, whose
+/// record 0 has global id `rid_offset`) and the global record count
+/// `total_n`. Returns the (identical-on-every-rank) tree and counters.
+pub fn induce_on_comm(
+    comm: &mut Comm,
+    local: Dataset,
+    rid_offset: u32,
+    total_n: u64,
+    cfg: &InduceConfig,
+) -> (DecisionTree, ParStats) {
+    let schema = local.schema.clone();
+
+    let hist_bytes = schema.num_classes as u64 * 8;
+    let root_hist = comm.allreduce_sized(local.class_hist(), hist_bytes, |a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += *y;
+        }
+    });
+    debug_assert_eq!(root_hist.iter().sum::<u64>(), total_n);
+
+    let mut table = match cfg.algorithm {
+        Algorithm::ScalParc => Some(DistTable::<u8>::new(comm, total_n.max(1))),
+        Algorithm::SprintReplicated => None,
+    };
+
+    let mut nodes = vec![Node::leaf(0, root_hist.clone())];
+    let mut level: Vec<Work> = if total_n > 0 && !cfg.stop.pre_split_leaf(&root_hist, 0) {
+        // Presort.
+        let lists = build_distributed_lists(comm, &local, rid_offset);
+        drop(local);
+        vec![Work {
+            node_id: 0,
+            depth: 0,
+            hist: root_hist,
+            lists,
+        }]
+    } else {
+        Vec::new()
+    };
+
+    let mut stats = ParStats::default();
+    while !level.is_empty() {
+        stats.levels += 1;
+        stats.max_active_nodes = stats.max_active_nodes.max(level.len());
+        let mut info = LevelInfo {
+            active_nodes: level.len(),
+            splits: 0,
+            records: level.iter().map(|w| w.hist.iter().sum::<u64>()).sum(),
+        };
+        comm.tracker()
+            .set(ATTR_MEM, lists_bytes(level.iter().flat_map(|w| &w.lists)));
+
+        let candidates = find_split(comm, &level, &schema, cfg.split);
+        let decisions: Vec<Option<BestSplit>> = level
+            .iter()
+            .zip(&candidates)
+            .map(|(w, c)| match c {
+                Some(b)
+                    if !cfg
+                        .stop
+                        .insufficient_gain(cfg.split.criterion.impurity(&w.hist), b.gini) =>
+                {
+                    Some(*b)
+                }
+                _ => None,
+            })
+            .collect();
+
+        info.splits = decisions.iter().filter(|d| d.is_some()).count();
+        let meta: Vec<(u32, u32, u8)> = level
+            .iter()
+            .map(|w| (w.node_id, w.depth, nodes[w.node_id as usize].majority))
+            .collect();
+        let outcomes = perform_split(
+            comm,
+            level,
+            &decisions,
+            table.as_mut(),
+            cfg.blocked_updates,
+            cfg.batched_enquiry,
+            total_n,
+            &schema,
+        );
+
+        let mut next: Vec<Work> = Vec::new();
+        for ((node_id, depth, parent_majority), outcome) in meta.into_iter().zip(outcomes) {
+            let Some(o) = outcome else { continue };
+            let mut children = Vec::with_capacity(o.child_hists.len());
+            for (hist, lists) in o.child_hists.into_iter().zip(o.child_lists) {
+                let id = nodes.len() as u32;
+                let n: u64 = hist.iter().sum();
+                let mut child = Node::leaf(depth + 1, hist.clone());
+                if n == 0 {
+                    child.majority = parent_majority;
+                }
+                nodes.push(child);
+                children.push(id);
+                if n > 0 && !cfg.stop.pre_split_leaf(&hist, depth + 1) {
+                    next.push(Work {
+                        node_id: id,
+                        depth: depth + 1,
+                        hist,
+                        lists,
+                    });
+                }
+            }
+            let parent = &mut nodes[node_id as usize];
+            parent.test = Some(o.test);
+            parent.children = children;
+        }
+        stats.trace.push(info);
+        level = next;
+    }
+
+    comm.tracker().set(ATTR_MEM, 0);
+    if let Some(t) = table.take() {
+        t.release(comm.tracker());
+    }
+
+    (DecisionTree { schema, nodes }, stats)
+}

@@ -1,0 +1,447 @@
+//! The four per-level phases of ScalParC tree induction (paper §4):
+//!
+//! * **FindSplitI** — per (node, continuous attribute): local count matrix at
+//!   the split point at the start of the local list, globalized with one
+//!   parallel prefix; per (node, categorical attribute): global count matrix
+//!   by parallel reduction.
+//! * **FindSplitII** — local linear scans find each processor's best
+//!   continuous split point; the overall best split per node is agreed with
+//!   a parallel reduction under the canonical candidate order.
+//! * **PerformSplitI** — the lists of splitting attributes are split
+//!   directly and the distributed node table is updated with the
+//!   record-to-child mapping (parallel hashing paradigm, optionally in
+//!   blocks of `⌈N/p⌉` for memory scalability).
+//! * **PerformSplitII** — the lists of non-splitting attributes are split,
+//!   one attribute at a time, by enquiring the node table.
+//!
+//! All communication is **per level**, not per node (paper §3.1): every
+//! collective in this module batches across all active nodes.
+//!
+//! The [`Algorithm::SprintReplicated`](crate::config::Algorithm) baseline
+//! replaces the node-table update/enquiry with an allgather that replicates
+//! the entire mapping on every processor — the formulation the paper proves
+//! unscalable. Both formulations share every other phase, so measured
+//! differences isolate the splitting phase.
+
+use dhash::DistTable;
+use dtree::hashutil::RidMap;
+use dtree::data::{AttrKind, Schema};
+use dtree::gini::{ContinuousScan, CountMatrix};
+use dtree::list::{AttrList, CatEntry, ContEntry};
+use dtree::split::{categorical_candidate, SplitOptions};
+use dtree::tree::{BestSplit, SplitTest};
+use mpsim::Comm;
+
+/// Memory-tracker category for count matrices and scan state.
+pub const COUNT_MEM: &str = "count-matrices";
+/// Memory-tracker category for the SPRINT baseline's replicated hash table.
+pub const REPL_HASH_MEM: &str = "replicated-hash";
+
+/// One active (still-splittable) node at the current level: global class
+/// histogram plus this rank's segments of every attribute list.
+pub struct Work {
+    /// Tree node id this work belongs to.
+    pub node_id: u32,
+    /// Depth of the node.
+    pub depth: u32,
+    /// **Global** class histogram of the node.
+    pub hist: Vec<u64>,
+    /// This rank's local segment of each attribute list.
+    pub lists: Vec<AttrList>,
+}
+
+/// Prefix-scan payload for one (node, continuous attribute) pair.
+#[derive(Clone)]
+struct ScanItem {
+    /// Class counts of the segment.
+    hist: Vec<u64>,
+    /// Last attribute value in the segment (`None` when empty).
+    last: Option<f32>,
+}
+
+/// FindSplitI + FindSplitII: the globally best split candidate per work
+/// (`None` when no attribute offers a valid split). Collective; every rank
+/// returns the same vector.
+pub fn find_split(
+    comm: &mut Comm,
+    works: &[Work],
+    schema: &Schema,
+    opts: SplitOptions,
+) -> Vec<Option<BestSplit>> {
+    let classes = schema.num_classes as usize;
+    let cont_attrs = schema.continuous_attrs();
+    let cat_attrs = schema.categorical_attrs();
+
+    // --- FindSplitI, continuous: one parallel prefix over all (work, attr)
+    // count matrices and boundary values.
+    let mut items: Vec<ScanItem> = Vec::with_capacity(works.len() * cont_attrs.len());
+    for w in works {
+        for &a in &cont_attrs {
+            let seg = w.lists[a].as_continuous();
+            let mut hist = vec![0u64; classes];
+            for e in seg {
+                hist[e.class as usize] += 1;
+            }
+            items.push(ScanItem {
+                hist,
+                last: seg.last().map(|e| e.value),
+            });
+        }
+    }
+    let scan_bytes = (items.len() * (classes * 8 + 8)) as u64;
+    comm.tracker().pulse(COUNT_MEM, scan_bytes);
+    let identity: Vec<ScanItem> = items
+        .iter()
+        .map(|_| ScanItem {
+            hist: vec![0; classes],
+            last: None,
+        })
+        .collect();
+    let prefixes = comm.scan_exclusive_sized(items, identity, scan_bytes, |acc, b| {
+        for (x, y) in acc.iter_mut().zip(b) {
+            for (h, g) in x.hist.iter_mut().zip(&y.hist) {
+                *h += *g;
+            }
+            if y.last.is_some() {
+                x.last = y.last; // rightmost non-empty segment wins
+            }
+        }
+    });
+
+    // --- FindSplitI, categorical: global count matrices by reduction.
+    let mut flat: Vec<u64> = Vec::new();
+    for w in works {
+        for &a in &cat_attrs {
+            let AttrKind::Categorical { cardinality } = schema.attrs[a].kind else {
+                unreachable!()
+            };
+            let mut m = CountMatrix::new(cardinality as usize, classes);
+            for e in w.lists[a].as_categorical() {
+                m.add(e.value as usize, e.class as usize);
+            }
+            flat.extend_from_slice(m.as_slice());
+        }
+    }
+    comm.tracker().pulse(COUNT_MEM, (flat.len() * 8) as u64);
+    let flat_bytes = (flat.len() * 8) as u64;
+    let global_flat = comm.allreduce_sized(flat, flat_bytes, |a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += *y;
+        }
+    });
+
+    // --- FindSplitII: local candidates, then a global reduction under the
+    // canonical candidate order.
+    let mut cands: Vec<Option<BestSplit>> = Vec::with_capacity(works.len());
+    let mut pi = 0usize;
+    let mut off = 0usize;
+    for w in works {
+        let mut best: Option<BestSplit> = None;
+        for &a in &cont_attrs {
+            let pre = &prefixes[pi];
+            pi += 1;
+            let mut scan = ContinuousScan::new(w.hist.clone(), pre.hist.clone(), pre.last)
+                .with_criterion(opts.criterion);
+            for e in w.lists[a].as_continuous() {
+                scan.push(e.value, e.class);
+            }
+            best = BestSplit::better(
+                best,
+                scan.best().map(|c| BestSplit {
+                    gini: c.gini,
+                    test: SplitTest::Continuous {
+                        attr: a,
+                        threshold: c.threshold,
+                    },
+                }),
+            );
+        }
+        for &a in &cat_attrs {
+            let AttrKind::Categorical { cardinality } = schema.attrs[a].kind else {
+                unreachable!()
+            };
+            let len = cardinality as usize * classes;
+            let m = CountMatrix::from_slice(
+                cardinality as usize,
+                classes,
+                &global_flat[off..off + len],
+            );
+            off += len;
+            best = BestSplit::better(best, categorical_candidate(a, &m, opts));
+        }
+        cands.push(best);
+    }
+    let cand_bytes = (cands.len() * std::mem::size_of::<Option<BestSplit>>()) as u64;
+    comm.allreduce_sized(cands, cand_bytes, |a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = BestSplit::better(*x, *y);
+        }
+    })
+}
+
+/// Result of splitting one work: the winning test, **global** per-child
+/// histograms, and this rank's per-child attribute-list segments.
+pub struct SplitOutcome {
+    /// The split applied.
+    pub test: SplitTest,
+    /// Global class histogram of each child.
+    pub child_hists: Vec<Vec<u64>>,
+    /// Local attribute lists of each child (`[child][attr]`).
+    pub child_lists: Vec<Vec<AttrList>>,
+}
+
+/// PerformSplitI + PerformSplitII for a whole level. `decisions[i]` is the
+/// accepted split of `works[i]` (`None` = the node becomes a leaf and its
+/// lists are dropped). Pass the distributed node table for ScalParC, or
+/// `None` for the replicated-SPRINT baseline.
+///
+/// Collective; outcome `i` is `Some` exactly where `decisions[i]` was.
+#[allow(clippy::too_many_arguments)] // phase inputs are inherently plural
+pub fn perform_split(
+    comm: &mut Comm,
+    works: Vec<Work>,
+    decisions: &[Option<BestSplit>],
+    mut table: Option<&mut DistTable<u8>>,
+    blocked_updates: bool,
+    batched_enquiry: bool,
+    total_n: u64,
+    schema: &Schema,
+) -> Vec<Option<SplitOutcome>> {
+    assert_eq!(works.len(), decisions.len());
+    let p = comm.size() as u64;
+    let classes = schema.num_classes as usize;
+
+    // --- PerformSplitI: split the splitting attributes' lists, collect the
+    // record-to-child mapping and local child histograms.
+    let mut updates: Vec<(u64, u8)> = Vec::new();
+    let mut local_child_hists: Vec<Vec<Vec<u64>>> = Vec::new();
+    for (w, dec) in works.iter().zip(decisions) {
+        let Some(split) = dec else { continue };
+        let arity = split.test.arity(schema);
+        let mut hists = vec![vec![0u64; classes]; arity];
+        match (&w.lists[split.test.attr()], split.test) {
+            (AttrList::Continuous(seg), SplitTest::Continuous { threshold, .. }) => {
+                for e in seg {
+                    let child = usize::from(e.value >= threshold);
+                    updates.push((e.rid as u64, child as u8));
+                    hists[child][e.class as usize] += 1;
+                }
+            }
+            (AttrList::Categorical(seg), SplitTest::Categorical { .. }) => {
+                for e in seg {
+                    let child = e.value as usize;
+                    updates.push((e.rid as u64, child as u8));
+                    hists[child][e.class as usize] += 1;
+                }
+            }
+            (AttrList::Categorical(seg), SplitTest::CategoricalSubset { left_mask, .. }) => {
+                for e in seg {
+                    let child = usize::from((left_mask >> e.value) & 1 == 0);
+                    updates.push((e.rid as u64, child as u8));
+                    hists[child][e.class as usize] += 1;
+                }
+            }
+            _ => unreachable!("splitting list kind matches the test"),
+        }
+        local_child_hists.push(hists);
+    }
+
+    // Publish the record-to-child mapping.
+    let mut replicated: Option<RidMap<u8>> = None;
+    let mut repl_bytes = 0u64;
+    match table.as_deref_mut() {
+        Some(t) => {
+            // ScalParC: distributed node-table update via the parallel
+            // hashing paradigm, optionally blocked into ⌈N/p⌉ rounds.
+            if blocked_updates {
+                let round = total_n.div_ceil(p).max(1) as usize;
+                t.update_blocked(comm, &updates, round);
+            } else {
+                t.update(comm, &updates);
+            }
+        }
+        None => {
+            // Parallel SPRINT: every processor receives the entire mapping
+            // and builds the full hash table — O(N) communication and O(N)
+            // memory per processor at the upper levels.
+            let all = comm.allgatherv(updates.clone());
+            // Resident replicated table: entries plus open-addressing slack.
+            repl_bytes = (all.len() * (std::mem::size_of::<(u32, u8)>() + 4)) as u64;
+            comm.tracker().alloc(REPL_HASH_MEM, repl_bytes);
+            replicated = Some(all.into_iter().map(|(r, c)| (r as u32, c)).collect());
+        }
+    }
+
+    // Globalize the child histograms with one reduction.
+    let flat: Vec<u64> = local_child_hists.iter().flatten().flatten().copied().collect();
+    let hist_bytes = (flat.len() * 8) as u64;
+    let gflat = comm.allreduce_sized(flat, hist_bytes, |a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += *y;
+        }
+    });
+
+    // Prepare outcomes (child hists now global, child lists filled below).
+    let mut outcomes: Vec<Option<SplitOutcome>> = Vec::with_capacity(works.len());
+    let mut gi = 0usize;
+    for dec in decisions {
+        outcomes.push(dec.map(|split| {
+            let arity = split.test.arity(schema);
+            let mut child_hists = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                child_hists.push(gflat[gi..gi + classes].to_vec());
+                gi += classes;
+            }
+            SplitOutcome {
+                test: split.test,
+                child_hists,
+                // One slot per attribute per child, assigned by index so
+                // processing order cannot scramble attribute order.
+                child_lists: (0..arity)
+                    .map(|_| vec![AttrList::Categorical(Vec::new()); schema.num_attrs()])
+                    .collect(),
+            }
+        }));
+    }
+
+    // --- PerformSplitII: split every attribute list. The splitting
+    // attribute of each node routes directly; all other attributes enquire
+    // the node table (or probe the replicated one). The paper enquires one
+    // attribute at a time (§4); with `batched_enquiry` all attributes share
+    // one two-step exchange (same results, fewer collective latencies).
+    let mut works = works;
+    let attr_groups: Vec<Vec<usize>> = if batched_enquiry {
+        vec![(0..schema.num_attrs()).collect()]
+    } else {
+        (0..schema.num_attrs()).map(|a| vec![a]).collect()
+    };
+    for group in attr_groups {
+        // Batch the enquiry keys of every (node, attribute) pair where the
+        // node splits on a different attribute.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut spans: Vec<(usize, usize, usize)> = Vec::new(); // (work, attr, len)
+        for &a in &group {
+            for (wi, (w, dec)) in works.iter().zip(decisions).enumerate() {
+                if let Some(split) = dec {
+                    if split.test.attr() != a {
+                        let rids = w.lists[a].rids();
+                        spans.push((wi, a, rids.len()));
+                        keys.extend(rids.iter().map(|&r| r as u64));
+                    }
+                }
+            }
+        }
+        let children: Vec<u8> = match (table.as_deref(), replicated.as_ref()) {
+            (Some(t), _) => t
+                .inquire(comm, &keys)
+                .into_iter()
+                .map(|o| o.expect("record missing from node table"))
+                .collect(),
+            (None, Some(map)) => keys.iter().map(|&k| map[&(k as u32)]).collect(),
+            (None, None) => {
+                // No node split this level; nothing to enquire, but the
+                // branch keeps both formulations' control flow aligned.
+                debug_assert!(keys.is_empty());
+                Vec::new()
+            }
+        };
+
+        // Split the enquired lists in span order.
+        let mut pos = 0usize;
+        for (wi, a, len) in spans {
+            let verdicts = &children[pos..pos + len];
+            pos += len;
+            let split = decisions[wi].as_ref().unwrap();
+            let arity = split.test.arity(schema);
+            let list = std::mem::replace(&mut works[wi].lists[a], AttrList::Categorical(Vec::new()));
+            let parts = split_by_children(list, arity, verdicts);
+            let out = outcomes[wi].as_mut().unwrap();
+            for (c, part) in parts.into_iter().enumerate() {
+                out.child_lists[c][a] = part;
+            }
+        }
+
+        // Directly route the nodes splitting on an attribute in this group.
+        for &a in &group {
+            for (wi, dec) in decisions.iter().enumerate() {
+                if let Some(split) = dec {
+                    if split.test.attr() == a {
+                        let arity = split.test.arity(schema);
+                        let list = std::mem::replace(
+                            &mut works[wi].lists[a],
+                            AttrList::Categorical(Vec::new()),
+                        );
+                        let parts = split_directly(list, &split.test, arity);
+                        let out = outcomes[wi].as_mut().unwrap();
+                        for (c, part) in parts.into_iter().enumerate() {
+                            out.child_lists[c][a] = part;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if repl_bytes > 0 {
+        comm.tracker().free(REPL_HASH_MEM, repl_bytes);
+    }
+
+    // Note: a rank's segments of different attributes cover *different*
+    // record subsets (continuous lists are distributed in sorted order,
+    // categorical lists by record id), so per-rank cross-list consistency
+    // cannot be asserted here. The global invariant — every attribute list
+    // of a child holds exactly the child's records — is verified by the
+    // integration tests, which compare whole trees against the serial
+    // classifier.
+    outcomes
+}
+
+/// Stable partition by a per-entry child verdict (aligned with the list).
+fn split_by_children(list: AttrList, arity: usize, children: &[u8]) -> Vec<AttrList> {
+    match list {
+        AttrList::Continuous(entries) => {
+            assert_eq!(entries.len(), children.len());
+            let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for (e, &c) in entries.into_iter().zip(children) {
+                parts[c as usize].push(e);
+            }
+            parts.into_iter().map(AttrList::Continuous).collect()
+        }
+        AttrList::Categorical(entries) => {
+            assert_eq!(entries.len(), children.len());
+            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for (e, &c) in entries.into_iter().zip(children) {
+                parts[c as usize].push(e);
+            }
+            parts.into_iter().map(AttrList::Categorical).collect()
+        }
+    }
+}
+
+/// Stable partition of the splitting attribute's own list.
+fn split_directly(list: AttrList, test: &SplitTest, arity: usize) -> Vec<AttrList> {
+    match (list, test) {
+        (AttrList::Continuous(entries), SplitTest::Continuous { threshold, .. }) => {
+            let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in entries {
+                parts[usize::from(e.value >= *threshold)].push(e);
+            }
+            parts.into_iter().map(AttrList::Continuous).collect()
+        }
+        (AttrList::Categorical(entries), SplitTest::Categorical { .. }) => {
+            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in entries {
+                parts[e.value as usize].push(e);
+            }
+            parts.into_iter().map(AttrList::Categorical).collect()
+        }
+        (AttrList::Categorical(entries), SplitTest::CategoricalSubset { left_mask, .. }) => {
+            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in entries {
+                parts[usize::from((left_mask >> e.value) & 1 == 0)].push(e);
+            }
+            parts.into_iter().map(AttrList::Categorical).collect()
+        }
+        _ => unreachable!("splitting list kind matches the test"),
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal CSV import/export for generated datasets, so examples can be run
+//! against files and external tools can consume the synthetic data.
+//!
+//! Format: a header row of attribute names plus a final `class` column;
+//! continuous values are written with full `f32` round-trip precision.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use dtree::{AttrKind, Column, Dataset, Schema};
+
+/// Serialize a dataset to CSV text.
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    for attr in &data.schema.attrs {
+        out.push_str(&attr.name);
+        out.push(',');
+    }
+    out.push_str("class\n");
+    for rid in 0..data.len() {
+        for col in &data.columns {
+            match col {
+                Column::Continuous(v) => {
+                    let _ = write!(out, "{}", v[rid]);
+                }
+                Column::Categorical(v) => {
+                    let _ = write!(out, "{}", v[rid]);
+                }
+            }
+            out.push(',');
+        }
+        let _ = writeln!(out, "{}", data.labels[rid]);
+    }
+    out
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv(data: &Dataset, path: &Path) -> io::Result<()> {
+    fs::write(path, to_csv(data))
+}
+
+/// Parse CSV text against a known schema.
+///
+/// # Errors
+/// Returns an error for a malformed header, wrong column count, or an
+/// unparsable value.
+pub fn from_csv(text: &str, schema: &Schema) -> Result<Dataset, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty file")?;
+    let mut expect: Vec<&str> = schema.attrs.iter().map(|a| a.name.as_str()).collect();
+    expect.push("class");
+    let got: Vec<&str> = header.split(',').collect();
+    if got != expect {
+        return Err(format!("header mismatch: expected {expect:?}, got {got:?}"));
+    }
+
+    let mut columns: Vec<Column> = schema
+        .attrs
+        .iter()
+        .map(|a| match a.kind {
+            AttrKind::Continuous => Column::Continuous(Vec::new()),
+            AttrKind::Categorical { .. } => Column::Categorical(Vec::new()),
+        })
+        .collect();
+    let mut labels = Vec::new();
+
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != schema.num_attrs() + 1 {
+            return Err(format!("line {}: wrong field count", lineno + 2));
+        }
+        for (field, col) in fields[..schema.num_attrs()].iter().zip(&mut columns) {
+            match col {
+                Column::Continuous(v) => v.push(
+                    field
+                        .parse::<f32>()
+                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+                ),
+                Column::Categorical(v) => v.push(
+                    field
+                        .parse::<u32>()
+                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+                ),
+            }
+        }
+        labels.push(
+            fields[schema.num_attrs()]
+                .parse::<u8>()
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+        );
+    }
+    Ok(Dataset::new(schema.clone(), columns, labels))
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_csv(path: &Path, schema: &Schema) -> Result<Dataset, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_csv(&text, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GenConfig, Profile};
+    use crate::quest::ClassFunc;
+
+    fn small() -> Dataset {
+        generate(&GenConfig {
+            n: 64,
+            func: ClassFunc::F2,
+            noise: 0.0,
+            seed: 11,
+            profile: Profile::Paper7,
+        })
+    }
+
+    #[test]
+    fn csv_roundtrip_exact() {
+        let d = small();
+        let text = to_csv(&d);
+        let back = from_csv(&text, &d.schema).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn csv_header_names() {
+        let d = small();
+        let text = to_csv(&d);
+        let header = text.lines().next().unwrap();
+        assert!(header.starts_with("salary,"));
+        assert!(header.ends_with(",class"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let d = small();
+        let err = from_csv("a,b,class\n", &d.schema).unwrap_err();
+        assert!(err.contains("header mismatch"));
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let d = small();
+        let mut text = to_csv(&d);
+        text.push_str("1.0,2.0\n");
+        let err = from_csv(&text, &d.schema).unwrap_err();
+        assert!(err.contains("wrong field count"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = small();
+        let dir = std::env::temp_dir().join("scalparc-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path, &d.schema).unwrap();
+        assert_eq!(d, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

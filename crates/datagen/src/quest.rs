@@ -1,0 +1,314 @@
+//! The Quest synthetic-record model: attribute samplers and classification
+//! functions F1–F10.
+//!
+//! ScalParC's training sets "were artificially generated using a scheme
+//! similar to that used in SPRINT" (§5); SPRINT in turn uses the synthetic
+//! data of Agrawal et al., *Database Mining: A Performance Perspective*
+//! (IEEE TKDE 1993): nine attributes of a hypothetical loan applicant and
+//! ten boolean classification functions of increasing complexity. The
+//! functions below follow the published definitions; where the original
+//! leaves a coefficient ambiguous we document the choice inline. Group A
+//! maps to class 0, group B to class 1.
+
+use rand::Rng;
+
+/// One fully-sampled synthetic record (before projection onto a schema).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuestRecord {
+    /// Salary, uniform in `[20_000, 150_000]`.
+    pub salary: f32,
+    /// Commission: `0` if `salary ≥ 75_000`, else uniform in
+    /// `[10_000, 75_000]`.
+    pub commission: f32,
+    /// Age, uniform in `[20, 80]`.
+    pub age: f32,
+    /// Education level, uniform in `{0, …, 4}`.
+    pub elevel: u32,
+    /// Make of car, uniform in `{0, …, 19}`.
+    pub car: u32,
+    /// Zipcode, uniform in `{0, …, 8}` (the original's `{1, …, 9}` shifted
+    /// to zero-based domain indices).
+    pub zipcode: u32,
+    /// House value, uniform in `[0.5·k·100_000, 1.5·k·100_000]` where
+    /// `k = zipcode + 1` (house value depends on zipcode, as in the
+    /// original).
+    pub hvalue: f32,
+    /// Years the house has been owned, uniform in `[1, 30]`.
+    pub hyears: f32,
+    /// Total loan amount, uniform in `[0, 500_000]`.
+    pub loan: f32,
+}
+
+impl QuestRecord {
+    /// Sample one record.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let salary = rng.gen_range(20_000.0..=150_000.0f32);
+        let commission = if salary >= 75_000.0 {
+            0.0
+        } else {
+            rng.gen_range(10_000.0..=75_000.0f32)
+        };
+        let age = rng.gen_range(20.0..=80.0f32);
+        let elevel = rng.gen_range(0..5u32);
+        let car = rng.gen_range(0..20u32);
+        let zipcode = rng.gen_range(0..9u32);
+        let k = (zipcode + 1) as f32;
+        let hvalue = rng.gen_range(0.5 * k * 100_000.0..=1.5 * k * 100_000.0f32);
+        let hyears = rng.gen_range(1.0..=30.0f32);
+        let loan = rng.gen_range(0.0..=500_000.0f32);
+        QuestRecord {
+            salary,
+            commission,
+            age,
+            elevel,
+            car,
+            zipcode,
+            hvalue,
+            hyears,
+            loan,
+        }
+    }
+
+    /// Home equity: `0.1 · hvalue · max(hyears − 20, 0)` (zero for houses
+    /// owned less than 20 years), as used by F9 and F10.
+    pub fn equity(&self) -> f32 {
+        0.1 * self.hvalue * (self.hyears - 20.0).max(0.0)
+    }
+}
+
+/// The ten classification functions. `classify` returns `true` for Group A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClassFunc {
+    /// Age only: A iff `age < 40 ∨ age ≥ 60`.
+    F1,
+    /// Age × salary bands.
+    F2,
+    /// Age × education level.
+    F3,
+    /// Age × education × salary bands.
+    F4,
+    /// Age × salary × loan bands.
+    F5,
+    /// Age × (salary + commission) bands — a *linear combination* of two
+    /// attributes, invisible to single-attribute splits.
+    F6,
+    /// Linear disposable income: `0.67·(salary+commission) − 0.2·loan −
+    /// 20_000 > 0`.
+    F7,
+    /// Disposable income with education: `0.67·(salary+commission) −
+    /// 5_000·elevel − 0.2·loan − 10_000 > 0`.
+    F8,
+    /// Disposable income with home equity: `0.67·(salary+commission) −
+    /// 5_000·elevel − 0.2·loan + 0.2·equity − 10_000 > 0` (F8 plus an
+    /// equity credit).
+    F9,
+    /// Equity-gated rule: A iff `hyears ≥ 20 ∧ equity > 0.2·loan`
+    /// (house-rich applicants), the hardest nonlinear interaction.
+    F10,
+}
+
+impl ClassFunc {
+    /// All ten functions, for sweeps.
+    pub const ALL: [ClassFunc; 10] = [
+        ClassFunc::F1,
+        ClassFunc::F2,
+        ClassFunc::F3,
+        ClassFunc::F4,
+        ClassFunc::F5,
+        ClassFunc::F6,
+        ClassFunc::F7,
+        ClassFunc::F8,
+        ClassFunc::F9,
+        ClassFunc::F10,
+    ];
+
+    /// Parse `"F1"`…`"F10"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ClassFunc> {
+        let s = s.to_ascii_uppercase();
+        ClassFunc::ALL
+            .iter()
+            .copied()
+            .find(|f| format!("{f:?}") == s)
+    }
+
+    /// True iff the record belongs to Group A (class 0).
+    pub fn classify(&self, r: &QuestRecord) -> bool {
+        let age = r.age;
+        let sal = r.salary;
+        let young = age < 40.0;
+        let middle = (40.0..60.0).contains(&age);
+        match self {
+            ClassFunc::F1 => !(40.0..60.0).contains(&age),
+            ClassFunc::F2 => {
+                (young && (50_000.0..=100_000.0).contains(&sal))
+                    || (middle && (75_000.0..=125_000.0).contains(&sal))
+                    || (!young && !middle && (25_000.0..=75_000.0).contains(&sal))
+            }
+            ClassFunc::F3 => {
+                (young && r.elevel <= 1)
+                    || (middle && (1..=3).contains(&r.elevel))
+                    || (!young && !middle && (2..=4).contains(&r.elevel))
+            }
+            ClassFunc::F4 => {
+                if young {
+                    if r.elevel <= 1 {
+                        (25_000.0..=75_000.0).contains(&sal)
+                    } else {
+                        (50_000.0..=100_000.0).contains(&sal)
+                    }
+                } else if middle {
+                    if (1..=3).contains(&r.elevel) {
+                        (50_000.0..=100_000.0).contains(&sal)
+                    } else {
+                        (75_000.0..=125_000.0).contains(&sal)
+                    }
+                } else if (2..=4).contains(&r.elevel) {
+                    (50_000.0..=100_000.0).contains(&sal)
+                } else {
+                    (25_000.0..=75_000.0).contains(&sal)
+                }
+            }
+            ClassFunc::F5 => {
+                (young
+                    && (50_000.0..=100_000.0).contains(&sal)
+                    && (100_000.0..=300_000.0).contains(&r.loan))
+                    || (middle
+                        && (75_000.0..=125_000.0).contains(&sal)
+                        && (200_000.0..=400_000.0).contains(&r.loan))
+                    || (!young
+                        && !middle
+                        && (25_000.0..=75_000.0).contains(&sal)
+                        && (300_000.0..=500_000.0).contains(&r.loan))
+            }
+            ClassFunc::F6 => {
+                let t = sal + r.commission;
+                (young && (50_000.0..=100_000.0).contains(&t))
+                    || (middle && (75_000.0..=125_000.0).contains(&t))
+                    || (!young && !middle && (25_000.0..=75_000.0).contains(&t))
+            }
+            ClassFunc::F7 => 0.67 * (sal + r.commission) - 0.2 * r.loan - 20_000.0 > 0.0,
+            ClassFunc::F8 => {
+                0.67 * (sal + r.commission) - 5_000.0 * r.elevel as f32 - 0.2 * r.loan - 10_000.0
+                    > 0.0
+            }
+            ClassFunc::F9 => {
+                0.67 * (sal + r.commission) - 5_000.0 * r.elevel as f32 - 0.2 * r.loan
+                    + 0.2 * r.equity()
+                    - 10_000.0
+                    > 0.0
+            }
+            ClassFunc::F10 => r.hyears >= 20.0 && r.equity() > 0.2 * r.loan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(n: usize, seed: u64) -> Vec<QuestRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| QuestRecord::sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn attribute_ranges_hold() {
+        for r in sample_many(2000, 1) {
+            assert!((20_000.0..=150_000.0).contains(&r.salary));
+            assert!(r.commission == 0.0 || (10_000.0..=75_000.0).contains(&r.commission));
+            assert!((r.salary >= 75_000.0) == (r.commission == 0.0));
+            assert!((20.0..=80.0).contains(&r.age));
+            assert!(r.elevel < 5 && r.car < 20 && r.zipcode < 9);
+            let k = (r.zipcode + 1) as f32;
+            assert!((0.5 * k * 100_000.0..=1.5 * k * 100_000.0).contains(&r.hvalue));
+            assert!((1.0..=30.0).contains(&r.hyears));
+            assert!((0.0..=500_000.0).contains(&r.loan));
+        }
+    }
+
+    #[test]
+    fn f1_depends_only_on_age() {
+        let mut r = sample_many(1, 2)[0];
+        r.age = 30.0;
+        assert!(ClassFunc::F1.classify(&r));
+        r.age = 50.0;
+        assert!(!ClassFunc::F1.classify(&r));
+        r.age = 65.0;
+        assert!(ClassFunc::F1.classify(&r));
+    }
+
+    #[test]
+    fn f2_band_membership() {
+        let mut r = sample_many(1, 3)[0];
+        r.age = 30.0;
+        r.salary = 60_000.0;
+        assert!(ClassFunc::F2.classify(&r));
+        r.salary = 120_000.0;
+        assert!(!ClassFunc::F2.classify(&r));
+        r.age = 70.0;
+        r.salary = 50_000.0;
+        assert!(ClassFunc::F2.classify(&r));
+    }
+
+    #[test]
+    fn f7_linear_boundary() {
+        let mut r = sample_many(1, 4)[0];
+        r.salary = 100_000.0;
+        r.commission = 0.0;
+        r.loan = 0.0;
+        assert!(ClassFunc::F7.classify(&r)); // 67k − 20k > 0
+        r.loan = 500_000.0;
+        assert!(!ClassFunc::F7.classify(&r)); // 67k − 100k − 20k < 0
+    }
+
+    #[test]
+    fn f10_requires_old_house() {
+        let mut r = sample_many(1, 5)[0];
+        r.hyears = 10.0;
+        assert!(!ClassFunc::F10.classify(&r));
+        r.hyears = 30.0;
+        r.hvalue = 500_000.0;
+        r.loan = 0.0;
+        assert!(ClassFunc::F10.classify(&r));
+    }
+
+    #[test]
+    fn equity_zero_below_20_years() {
+        let mut r = sample_many(1, 6)[0];
+        r.hyears = 19.9;
+        assert_eq!(r.equity(), 0.0);
+        r.hyears = 25.0;
+        r.hvalue = 100_000.0;
+        assert!((r.equity() - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn every_function_produces_both_classes() {
+        let records = sample_many(5000, 7);
+        for f in ClassFunc::ALL {
+            let a = records.iter().filter(|r| f.classify(r)).count();
+            assert!(
+                a > 50 && a < records.len() - 50,
+                "{f:?} degenerate: {a}/{}",
+                records.len()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for f in ClassFunc::ALL {
+            assert_eq!(ClassFunc::parse(&format!("{f:?}")), Some(f));
+            assert_eq!(ClassFunc::parse(&format!("{f:?}").to_lowercase()), Some(f));
+        }
+        assert_eq!(ClassFunc::parse("F11"), None);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(sample_many(50, 9), sample_many(50, 9));
+        assert_ne!(sample_many(50, 9), sample_many(50, 10));
+    }
+}

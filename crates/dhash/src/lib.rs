@@ -1,0 +1,494 @@
+//! `dhash` — the parallel hashing paradigm of ScalParC (§3.3.1).
+//!
+//! The paper's key building block is a *distributed hash table* updated and
+//! queried by all processors at once:
+//!
+//! * **construction/update** — every processor hashes its `(key, value)`
+//!   pairs to `(home processor, local index)`, fills one buffer per
+//!   destination, and a single step of all-to-all personalized communication
+//!   delivers the `(index, value)` pairs to their homes;
+//! * **enquiry** — every processor hashes its keys into per-destination
+//!   *enquiry buffers* of local indices; one all-to-all step delivers the
+//!   indices, the homes look the values up, and a second all-to-all step
+//!   returns them.
+//!
+//! With `m` keys hashed per processor, each step costs `O(m)` provided
+//! `m = Ω(p)`, making the paradigm scalable. The paper applies it to the
+//! record-id → child-number *node table* ([`DistTable`], collision-free
+//! because record ids are dense), and notes that open chaining supports
+//! general keys ([`ChainedTable`]).
+//!
+//! Memory scalability under skew is preserved by [`DistTable::update_blocked`],
+//! which splits a processor's outgoing updates into rounds of at most
+//! `N/p` entries (paper §3.3.2: "dividing the updates being sent into blocks
+//! of `N/p`").
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use mpsim::{Comm, MemTracker};
+
+/// Memory-tracker category for the distributed table's resident storage.
+pub const TABLE_MEM: &str = "dist-table";
+/// Memory-tracker category for transient hash/enquiry/result buffers.
+pub const BUFFER_MEM: &str = "hash-buffers";
+
+/// A distributed, collision-free hash table over the dense key space
+/// `0..total_keys`, block-partitioned across ranks.
+///
+/// The hash function is the paper's `h(j) = (j div ⌈N/p⌉, j mod ⌈N/p⌉)`:
+/// key `j` lives at local index `j mod block` on rank `j div block`. Since
+/// every key has a distinct slot the table is collision-free.
+///
+/// All methods taking a [`Comm`] are collective: every rank of the machine
+/// must call them in the same order.
+pub struct DistTable<V> {
+    total_keys: u64,
+    block: u64,
+    rank: usize,
+    local: Vec<Option<V>>,
+    tracked_bytes: u64,
+}
+
+impl<V: Clone + Send + 'static> DistTable<V> {
+    /// Collectively create an empty table for keys `0..total_keys`.
+    pub fn new(comm: &Comm, total_keys: u64) -> Self {
+        let p = comm.size() as u64;
+        let block = total_keys.div_ceil(p).max(1);
+        let rank = comm.rank();
+        let lo = (rank as u64 * block).min(total_keys);
+        let hi = ((rank as u64 + 1) * block).min(total_keys);
+        let local = vec![None; (hi - lo) as usize];
+        let tracked_bytes = (local.len() * std::mem::size_of::<Option<V>>()) as u64;
+        comm.tracker().alloc(TABLE_MEM, tracked_bytes);
+        DistTable {
+            total_keys,
+            block,
+            rank,
+            local,
+            tracked_bytes,
+        }
+    }
+
+    /// Total key-space size `N`.
+    pub fn total_keys(&self) -> u64 {
+        self.total_keys
+    }
+
+    /// Block size `⌈N/p⌉`.
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Number of slots resident on this rank.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// The paper's hash function: `(home rank, local index)` of `key`.
+    #[inline]
+    pub fn home_of(&self, key: u64) -> (usize, usize) {
+        debug_assert!(key < self.total_keys, "key {key} out of range");
+        ((key / self.block) as usize, (key % self.block) as usize)
+    }
+
+    /// Read a locally-resident slot (for tests and local fast paths).
+    ///
+    /// # Panics
+    /// Panics if `key` is homed on a different rank.
+    pub fn get_local(&self, key: u64) -> Option<&V> {
+        let (home, idx) = self.home_of(key);
+        assert_eq!(home, self.rank, "key {key} is not resident on this rank");
+        self.local[idx].as_ref()
+    }
+
+    /// Collectively apply `(key, value)` updates, one all-to-all step.
+    ///
+    /// Each rank may pass any number of entries; keys may target any rank.
+    /// Later updates (by rank order, then buffer order) win on duplicates.
+    pub fn update(&mut self, comm: &mut Comm, entries: &[(u64, V)]) {
+        let p = comm.size();
+        let mut bufs: Vec<Vec<(u32, V)>> = vec![Vec::new(); p];
+        for &(key, ref value) in entries {
+            let (home, idx) = self.home_of(key);
+            bufs[home].push((idx as u32, value.clone()));
+        }
+        let buf_bytes: u64 = bufs
+            .iter()
+            .map(|b| (b.len() * std::mem::size_of::<(u32, V)>()) as u64)
+            .sum();
+        comm.tracker().pulse(BUFFER_MEM, buf_bytes);
+        let received = comm.alltoallv(bufs);
+        for part in received {
+            for (idx, value) in part {
+                self.local[idx as usize] = Some(value);
+            }
+        }
+    }
+
+    /// Memory-scalable update: outgoing entries are split into rounds of at
+    /// most `max_per_round` per rank, bounding buffer memory even when one
+    /// rank must send far more than `N/p` updates (the paper's pathological
+    /// skew case). All ranks execute the same (all-reduced) number of rounds.
+    pub fn update_blocked(&mut self, comm: &mut Comm, entries: &[(u64, V)], max_per_round: usize) {
+        assert!(max_per_round > 0, "round size must be positive");
+        let rounds_mine = entries.len().div_ceil(max_per_round);
+        let rounds = comm.allreduce(rounds_mine as u64, |a, b| *a = (*a).max(*b)) as usize;
+        for r in 0..rounds {
+            let lo = (r * max_per_round).min(entries.len());
+            let hi = ((r + 1) * max_per_round).min(entries.len());
+            self.update(comm, &entries[lo..hi]);
+        }
+    }
+
+    /// Collectively look the given keys up; `out[i]` is the value for
+    /// `keys[i]` (or `None` if never written). Two all-to-all steps.
+    pub fn inquire(&self, comm: &mut Comm, keys: &[u64]) -> Vec<Option<V>> {
+        let p = comm.size();
+        // Enquiry buffers: local indices per destination, plus for each key
+        // remember (destination, position-within-destination) so results can
+        // be scattered back into key order.
+        let mut enquiry: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut placement: Vec<(u32, u32)> = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let (home, idx) = self.home_of(key);
+            placement.push((home as u32, enquiry[home].len() as u32));
+            enquiry[home].push(idx as u32);
+        }
+        let enquiry_bytes: u64 = (keys.len() * std::mem::size_of::<u32>()) as u64;
+        comm.tracker().pulse(BUFFER_MEM, enquiry_bytes);
+
+        // Step 1: indices travel to their homes.
+        let index_bufs = comm.alltoallv(enquiry);
+
+        // Homes fill intermediate value buffers in the received order.
+        let value_bufs: Vec<Vec<Option<V>>> = index_bufs
+            .into_iter()
+            .map(|idxs| {
+                idxs.into_iter()
+                    .map(|i| self.local[i as usize].clone())
+                    .collect()
+            })
+            .collect();
+        let value_bytes: u64 = value_bufs
+            .iter()
+            .map(|b| (b.len() * std::mem::size_of::<Option<V>>()) as u64)
+            .sum();
+        comm.tracker().pulse(BUFFER_MEM, value_bytes);
+
+        // Step 2: values travel back; scatter into key order.
+        let result_bufs = comm.alltoallv(value_bufs);
+        placement
+            .into_iter()
+            .map(|(home, pos)| result_bufs[home as usize][pos as usize].clone())
+            .collect()
+    }
+
+    /// Collectively clear all slots (reused between decision-tree levels).
+    pub fn clear(&mut self, comm: &mut Comm) {
+        for slot in &mut self.local {
+            *slot = None;
+        }
+        comm.barrier();
+    }
+
+    /// Release the tracked bytes of the resident block. Call when the table
+    /// is retired so the rank's memory accounting sees the storage returned.
+    pub fn release(mut self, tracker: &MemTracker) {
+        tracker.free(TABLE_MEM, self.tracked_bytes);
+        self.tracked_bytes = 0;
+    }
+}
+
+/// A distributed hash table for arbitrary hashable keys, with open chaining
+/// at each local slot — the generalization the paper sketches for reusing
+/// the paradigm in other algorithms.
+///
+/// Keys hash to `(rank, bucket)`; each bucket is a chain of `(key, value)`
+/// pairs. All [`Comm`]-taking methods are collective.
+pub struct ChainedTable<K, V> {
+    buckets_per_rank: usize,
+    local: Vec<Vec<(K, V)>>,
+}
+
+fn hash64<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K, V> ChainedTable<K, V>
+where
+    K: Clone + Eq + Hash + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    /// Collectively create a table with `buckets_per_rank` chains per rank.
+    pub fn new(_comm: &Comm, buckets_per_rank: usize) -> Self {
+        assert!(buckets_per_rank > 0);
+        ChainedTable {
+            buckets_per_rank,
+            local: vec![Vec::new(); buckets_per_rank],
+        }
+    }
+
+    /// `(home rank, bucket)` of a key on a `p`-rank machine.
+    #[inline]
+    pub fn home_of(&self, p: usize, key: &K) -> (usize, usize) {
+        let h = hash64(key);
+        (
+            (h % p as u64) as usize,
+            (h / p as u64) as usize % self.buckets_per_rank,
+        )
+    }
+
+    /// Collectively insert `(key, value)` pairs (one all-to-all step).
+    /// Inserting an existing key overwrites its value.
+    pub fn insert(&mut self, comm: &mut Comm, entries: &[(K, V)]) {
+        let p = comm.size();
+        let mut bufs: Vec<Vec<(K, V)>> = vec![Vec::new(); p];
+        for (key, value) in entries {
+            let (home, _) = self.home_of(p, key);
+            bufs[home].push((key.clone(), value.clone()));
+        }
+        for part in comm.alltoallv(bufs) {
+            for (key, value) in part {
+                let (_, bucket) = self.home_of(p, &key);
+                let chain = &mut self.local[bucket];
+                if let Some(slot) = chain.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    chain.push((key, value));
+                }
+            }
+        }
+    }
+
+    /// Collectively look keys up; results align with `keys`.
+    pub fn lookup(&self, comm: &mut Comm, keys: &[K]) -> Vec<Option<V>> {
+        let p = comm.size();
+        let mut enquiry: Vec<Vec<K>> = vec![Vec::new(); p];
+        let mut placement: Vec<(u32, u32)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let (home, _) = self.home_of(p, key);
+            placement.push((home as u32, enquiry[home].len() as u32));
+            enquiry[home].push(key.clone());
+        }
+        let key_bufs = comm.alltoallv(enquiry);
+        let value_bufs: Vec<Vec<Option<V>>> = key_bufs
+            .into_iter()
+            .map(|ks| {
+                ks.into_iter()
+                    .map(|key| {
+                        let (_, bucket) = self.home_of(p, &key);
+                        self.local[bucket]
+                            .iter()
+                            .find(|(k, _)| *k == key)
+                            .map(|(_, v)| v.clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        let result_bufs = comm.alltoallv(value_bufs);
+        placement
+            .into_iter()
+            .map(|(home, pos)| result_bufs[home as usize][pos as usize].clone())
+            .collect()
+    }
+
+    /// Number of entries resident on this rank.
+    pub fn local_entries(&self) -> usize {
+        self.local.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::run_simple;
+
+    #[test]
+    fn home_partitioning_is_collision_free() {
+        let outs = run_simple(4, |c| {
+            let t = DistTable::<u8>::new(c, 10);
+            // block = ceil(10/4) = 3 → ranks own [0..3), [3..6), [6..9), [9..10)
+            (t.block(), t.local_len())
+        });
+        assert_eq!(outs, vec![(3, 3), (3, 3), (3, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn update_then_inquire_roundtrip() {
+        let n = 50u64;
+        let outs = run_simple(4, |c| {
+            let mut t = DistTable::<u32>::new(c, n);
+            // Rank r updates keys ≡ r (mod 4) with value key*10.
+            let mine: Vec<(u64, u32)> = (0..n)
+                .filter(|k| *k as usize % 4 == c.rank())
+                .map(|k| (k, k as u32 * 10))
+                .collect();
+            t.update(c, &mine);
+            // Every rank inquires every key.
+            let keys: Vec<u64> = (0..n).collect();
+            t.inquire(c, &keys)
+        });
+        for out in outs {
+            for (k, v) in out.into_iter().enumerate() {
+                assert_eq!(v, Some(k as u32 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn inquire_missing_returns_none() {
+        let outs = run_simple(3, |c| {
+            let mut t = DistTable::<u8>::new(c, 9);
+            if c.rank() == 0 {
+                t.update(c, &[(4, 7)]);
+            } else {
+                t.update(c, &[]);
+            }
+            t.inquire(c, &[3, 4, 5])
+        });
+        for out in outs {
+            assert_eq!(out, vec![None, Some(7), None]);
+        }
+    }
+
+    #[test]
+    fn blocked_update_matches_plain() {
+        let n = 40u64;
+        let outs = run_simple(4, |c| {
+            let mut t = DistTable::<u32>::new(c, n);
+            // Pathological skew: rank 0 sends everything.
+            let mine: Vec<(u64, u32)> = if c.rank() == 0 {
+                (0..n).map(|k| (k, k as u32 + 1)).collect()
+            } else {
+                Vec::new()
+            };
+            t.update_blocked(c, &mine, 7);
+            let keys: Vec<u64> = (0..n).collect();
+            t.inquire(c, &keys)
+        });
+        for out in outs {
+            for (k, v) in out.into_iter().enumerate() {
+                assert_eq!(v, Some(k as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_last_writer_wins_within_rank() {
+        let outs = run_simple(2, |c| {
+            let mut t = DistTable::<u32>::new(c, 4);
+            if c.rank() == 0 {
+                t.update(c, &[(1, 10), (1, 20)]);
+            } else {
+                t.update(c, &[]);
+            }
+            t.inquire(c, &[1])
+        });
+        for out in outs {
+            assert_eq!(out, vec![Some(20)]);
+        }
+    }
+
+    #[test]
+    fn clear_resets_all_slots() {
+        let outs = run_simple(2, |c| {
+            let mut t = DistTable::<u8>::new(c, 8);
+            t.update(c, &[(c.rank() as u64, 1)]);
+            t.clear(c);
+            t.inquire(c, &[0, 1])
+        });
+        for out in outs {
+            assert_eq!(out, vec![None, None]);
+        }
+    }
+
+    #[test]
+    fn single_proc_table() {
+        let outs = run_simple(1, |c| {
+            let mut t = DistTable::<u64>::new(c, 5);
+            t.update(c, &[(0, 1), (4, 2)]);
+            t.inquire(c, &[0, 1, 4])
+        });
+        assert_eq!(outs[0], vec![Some(1), None, Some(2)]);
+    }
+
+    #[test]
+    fn table_memory_is_tracked_per_rank() {
+        let outs = run_simple(4, |c| {
+            let _t = DistTable::<u8>::new(c, 1000);
+            c.tracker().category(TABLE_MEM).current
+        });
+        // 1000 keys over 4 ranks: 250 Option<u8> (2 bytes) each.
+        assert!(outs.iter().all(|&b| b == 500));
+    }
+
+    #[test]
+    fn release_returns_tracked_bytes() {
+        let outs = run_simple(2, |c| {
+            let t = DistTable::<u8>::new(c, 100);
+            let before = c.tracker().category(TABLE_MEM).current;
+            t.release(c.tracker());
+            (before, c.tracker().category(TABLE_MEM).current)
+        });
+        for (before, after) in outs {
+            assert!(before > 0);
+            assert_eq!(after, 0);
+        }
+    }
+
+    #[test]
+    fn chained_table_roundtrip() {
+        let outs = run_simple(4, |c| {
+            let mut t = ChainedTable::<String, u32>::new(c, 8);
+            let mine: Vec<(String, u32)> = (0..20)
+                .filter(|i| i % 4 == c.rank())
+                .map(|i| (format!("key-{i}"), i as u32))
+                .collect();
+            t.insert(c, &mine);
+            let keys: Vec<String> = (0..20).map(|i| format!("key-{i}")).collect();
+            t.lookup(c, &keys)
+        });
+        for out in outs {
+            for (i, v) in out.into_iter().enumerate() {
+                assert_eq!(v, Some(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn chained_table_overwrites_and_misses() {
+        let outs = run_simple(2, |c| {
+            let mut t = ChainedTable::<u64, &'static str>::new(c, 4);
+            if c.rank() == 0 {
+                t.insert(c, &[(9, "first")]);
+                t.insert(c, &[(9, "second")]);
+            } else {
+                t.insert(c, &[]);
+                t.insert(c, &[]);
+            }
+            t.lookup(c, &[9, 77])
+        });
+        for out in outs {
+            assert_eq!(out, vec![Some("second"), None]);
+        }
+    }
+
+    #[test]
+    fn chained_collisions_chain_correctly() {
+        // 1 bucket per rank on 1 rank forces every key into one chain.
+        let outs = run_simple(1, |c| {
+            let mut t = ChainedTable::<u32, u32>::new(c, 1);
+            let entries: Vec<(u32, u32)> = (0..32).map(|i| (i, i * i)).collect();
+            t.insert(c, &entries);
+            assert_eq!(t.local_entries(), 32);
+            let keys: Vec<u32> = (0..32).collect();
+            t.lookup(c, &keys)
+        });
+        for (i, v) in outs[0].iter().enumerate() {
+            assert_eq!(*v, Some((i * i) as u32));
+        }
+    }
+}

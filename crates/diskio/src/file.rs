@@ -1,0 +1,203 @@
+//! File-backed vectors of fixed-size records with buffered sequential I/O.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::record::Record;
+use crate::stats::IoStats;
+
+/// An append-only, file-backed vector of `T` records.
+///
+/// Writes are buffered; reading is a buffered sequential scan
+/// ([`DiskVec::iter`]). All traffic is accounted in the shared [`IoStats`].
+pub struct DiskVec<T: Record> {
+    path: PathBuf,
+    len: usize,
+    writer: Option<BufWriter<File>>,
+    stats: Arc<IoStats>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Record> DiskVec<T> {
+    /// Create (truncating) a vector backed by `path`.
+    pub fn create(path: &Path, stats: Arc<IoStats>) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(DiskVec {
+            path: path.to_path_buf(),
+            len: 0,
+            writer: Some(BufWriter::new(file)),
+            stats,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of records appended.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no records were appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Payload bytes on disk.
+    pub fn bytes(&self) -> u64 {
+        (self.len * T::SIZE) as u64
+    }
+
+    /// Backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, value: &T) -> std::io::Result<()> {
+        let w = self
+            .writer
+            .as_mut()
+            .expect("DiskVec already sealed for reading");
+        let mut buf = [0u8; 64];
+        assert!(T::SIZE <= 64, "record too large for the stack buffer");
+        value.write(&mut buf[..T::SIZE]);
+        w.write_all(&buf[..T::SIZE])?;
+        self.len += 1;
+        self.stats.add_written(T::SIZE as u64);
+        Ok(())
+    }
+
+    /// Flush buffered writes; further `push` calls remain allowed.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Finish writing and return a sequential reader over the records.
+    /// Counts one read pass in the stats.
+    pub fn iter(&mut self) -> std::io::Result<DiskIter<'_, T>> {
+        self.flush()?;
+        self.stats.add_pass();
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(0))?;
+        Ok(DiskIter {
+            reader: BufReader::with_capacity(1 << 16, file),
+            remaining: self.len,
+            stats: &self.stats,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Delete the backing file (consumes the vector).
+    pub fn remove(mut self) -> std::io::Result<()> {
+        self.writer = None;
+        std::fs::remove_file(&self.path)
+    }
+}
+
+/// Buffered sequential reader over a [`DiskVec`].
+pub struct DiskIter<'a, T: Record> {
+    reader: BufReader<File>,
+    remaining: usize,
+    stats: &'a Arc<IoStats>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Record> Iterator for DiskIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut buf = [0u8; 64];
+        self.reader
+            .read_exact(&mut buf[..T::SIZE])
+            .expect("disk list truncated");
+        self.remaining -= 1;
+        self.stats.add_read(T::SIZE as u64);
+        Some(T::read(&buf[..T::SIZE]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::list::ContEntry;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("scalparc-diskio-test")
+            .join(name)
+    }
+
+    #[test]
+    fn push_iter_roundtrip() {
+        let stats = IoStats::new();
+        let path = tmp("roundtrip.bin");
+        let mut v = DiskVec::<ContEntry>::create(&path, Arc::clone(&stats)).unwrap();
+        let entries: Vec<ContEntry> = (0..100)
+            .map(|i| ContEntry {
+                value: i as f32 / 2.0,
+                rid: i,
+                class: (i % 2) as u8,
+            })
+            .collect();
+        for e in &entries {
+            v.push(e).unwrap();
+        }
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.bytes(), 900);
+        let back: Vec<ContEntry> = v.iter().unwrap().collect();
+        assert_eq!(back, entries);
+        assert_eq!(stats.bytes_written(), 900);
+        assert_eq!(stats.bytes_read(), 900);
+        assert_eq!(stats.read_passes(), 1);
+        v.remove().unwrap();
+    }
+
+    #[test]
+    fn multiple_passes_are_counted() {
+        let stats = IoStats::new();
+        let path = tmp("passes.bin");
+        let mut v = DiskVec::<ContEntry>::create(&path, Arc::clone(&stats)).unwrap();
+        for i in 0..10 {
+            v.push(&ContEntry {
+                value: i as f32,
+                rid: i,
+                class: 0,
+            })
+            .unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(v.iter().unwrap().count(), 10);
+        }
+        assert_eq!(stats.read_passes(), 3);
+        assert_eq!(stats.bytes_read(), 3 * 90);
+        v.remove().unwrap();
+    }
+
+    #[test]
+    fn empty_vec_iterates_nothing() {
+        let stats = IoStats::new();
+        let path = tmp("empty.bin");
+        let mut v = DiskVec::<ContEntry>::create(&path, stats).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.iter().unwrap().count(), 0);
+        v.remove().unwrap();
+    }
+}

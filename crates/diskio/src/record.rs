@@ -1,0 +1,88 @@
+//! Fixed-size binary encoding of attribute-list entries.
+//!
+//! Hand-rolled little-endian encoding (no serde): out-of-core lists must be
+//! byte-exact and schema-stable, and the entries are trivial PODs.
+
+use dtree::list::{CatEntry, ContEntry};
+
+/// A fixed-size record that can live in a [`crate::DiskVec`].
+pub trait Record: Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Serialize into `buf[..Self::SIZE]`.
+    fn write(&self, buf: &mut [u8]);
+    /// Deserialize from `buf[..Self::SIZE]`.
+    fn read(buf: &[u8]) -> Self;
+}
+
+impl Record for ContEntry {
+    const SIZE: usize = 9;
+
+    fn write(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.value.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.rid.to_le_bytes());
+        buf[8] = self.class;
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        ContEntry {
+            value: f32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            rid: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            class: buf[8],
+        }
+    }
+}
+
+impl Record for CatEntry {
+    const SIZE: usize = 9;
+
+    fn write(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.value.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.rid.to_le_bytes());
+        buf[8] = self.class;
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        CatEntry {
+            value: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            rid: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            class: buf[8],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cont_entry_roundtrip() {
+        let e = ContEntry {
+            value: -3.25,
+            rid: 0xDEAD_BEEF,
+            class: 7,
+        };
+        let mut buf = [0u8; 9];
+        e.write(&mut buf);
+        assert_eq!(ContEntry::read(&buf), e);
+    }
+
+    #[test]
+    fn cat_entry_roundtrip() {
+        let e = CatEntry {
+            value: 19,
+            rid: 42,
+            class: 1,
+        };
+        let mut buf = [0u8; 9];
+        e.write(&mut buf);
+        assert_eq!(CatEntry::read(&buf), e);
+    }
+
+    #[test]
+    fn encoded_size_is_packed() {
+        // 4 + 4 + 1 — no padding on disk, unlike the in-memory layout.
+        assert_eq!(ContEntry::SIZE, 9);
+        assert!(ContEntry::SIZE < std::mem::size_of::<ContEntry>());
+    }
+}

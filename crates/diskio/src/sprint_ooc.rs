@@ -1,0 +1,530 @@
+//! Out-of-core serial SPRINT with a hash-table memory budget.
+//!
+//! Identical splitting decisions to [`dtree::sprint`] (the integration
+//! tests assert tree equality), but the attribute lists are [`DiskVec`]s
+//! and the record-id → child hash table may not exceed `budget` entries in
+//! memory. When a node holds more records than the budget, its splitting
+//! phase runs in ⌈n/budget⌉ **stages** (paper §2): each stage builds the
+//! table for one record-id range from the splitting attribute's list, then
+//! re-reads every other attribute list in full, routing only the records of
+//! that range. Continuous child lists are written per (child, stage) and
+//! merged afterwards to restore their sort order — one more pass.
+//!
+//! The point, measured by the `ooc_passes` experiment: read volume grows
+//! roughly with `n_attrs · N · N/(budget)` at the upper tree levels, which
+//! is exactly the "additional expensive disk I/O" ScalParC's distributed
+//! node table eliminates.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dtree::data::{AttrKind, Dataset, Schema};
+use dtree::gini::{ContinuousScan, CountMatrix};
+use dtree::hashutil::{rid_map_with_capacity, RidMap};
+use dtree::list::{build_lists, AttrList, CatEntry, ContEntry};
+use dtree::split::{categorical_candidate, SplitOptions};
+use dtree::tree::{BestSplit, DecisionTree, Node, SplitTest, StopRules};
+
+use crate::file::DiskVec;
+use crate::stats::IoStats;
+
+/// Configuration of the out-of-core induction.
+#[derive(Clone, Debug)]
+pub struct OocConfig {
+    /// Stopping rules (same semantics as the in-memory classifiers).
+    pub stop: StopRules,
+    /// Candidate generation options (categorical mode, criterion).
+    pub split: SplitOptions,
+    /// Maximum resident hash-table entries during a node's splitting phase.
+    pub budget: usize,
+    /// Scratch directory for the list files.
+    pub dir: PathBuf,
+}
+
+impl OocConfig {
+    /// Config with the given budget, scratch space under the system temp
+    /// directory.
+    pub fn with_budget(budget: usize) -> Self {
+        OocConfig {
+            stop: StopRules::default(),
+            split: SplitOptions::default(),
+            budget,
+            dir: std::env::temp_dir().join("scalparc-ooc"),
+        }
+    }
+}
+
+/// Counters of one out-of-core run (I/O totals live in the [`IoStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OocStats {
+    /// Total splitting-phase stages executed (≥ one per split node).
+    pub stages: u64,
+    /// Number of nodes whose split needed more than one stage.
+    pub staged_nodes: u64,
+    /// Extra merge passes run to restore continuous sort order.
+    pub merge_passes: u64,
+}
+
+enum DiskList {
+    Continuous(DiskVec<ContEntry>),
+    Categorical(DiskVec<CatEntry>),
+}
+
+impl DiskList {
+    fn len(&self) -> usize {
+        match self {
+            DiskList::Continuous(v) => v.len(),
+            DiskList::Categorical(v) => v.len(),
+        }
+    }
+}
+
+struct Work {
+    node_id: u32,
+    depth: u32,
+    hist: Vec<u64>,
+    lists: Vec<DiskList>,
+}
+
+/// Induce a tree with disk-resident attribute lists under a hash-table
+/// memory budget. Returns the tree, the staging counters, and leaves the
+/// cumulative I/O in `stats`.
+pub fn induce_ooc(data: &Dataset, cfg: &OocConfig, stats: &Arc<IoStats>) -> (DecisionTree, OocStats) {
+    assert!(cfg.budget > 0, "hash-table budget must be positive");
+    let schema = data.schema.clone();
+    let mut counters = OocStats::default();
+    let mut file_seq = 0u64;
+
+    let mut nodes = vec![Node::leaf(0, data.class_hist())];
+    let mut level: Vec<Work> = Vec::new();
+    if !data.is_empty() && !cfg.stop.pre_split_leaf(&nodes[0].hist, 0) {
+        // Presort in memory, then spill the root lists to disk (a real
+        // out-of-core presort would use an external sort; the I/O under
+        // study is the *splitting* phase, which dominates per level).
+        let mem_lists = build_lists(data, 0, true);
+        let lists = mem_lists
+            .into_iter()
+            .map(|l| spill(&cfg.dir, &mut file_seq, l, stats))
+            .collect();
+        level.push(Work {
+            node_id: 0,
+            depth: 0,
+            hist: nodes[0].hist.clone(),
+            lists,
+        });
+    }
+
+    while !level.is_empty() {
+        let mut next = Vec::new();
+        for mut work in level {
+            let parent_gini = cfg.split.criterion.impurity(&work.hist);
+            let best = find_best_split(&schema, &mut work, cfg.split);
+            let split = match best {
+                Some(b) if !cfg.stop.insufficient_gain(parent_gini, b.gini) => b,
+                _ => {
+                    remove_lists(work.lists);
+                    continue;
+                }
+            };
+
+            let arity = split.test.arity(&schema);
+            let n = work.lists[split.test.attr()].len();
+            let stages = n.div_ceil(cfg.budget).max(1);
+            counters.stages += stages as u64;
+            if stages > 1 {
+                counters.staged_nodes += 1;
+            }
+
+            let (child_lists, child_hists, merges) = staged_split(
+                &cfg.dir,
+                &mut file_seq,
+                &schema,
+                work.lists,
+                &split,
+                arity,
+                work.hist.len(),
+                cfg.budget,
+                stages,
+                stats,
+            );
+            counters.merge_passes += merges;
+
+            let parent_majority = nodes[work.node_id as usize].majority;
+            let mut children = Vec::with_capacity(arity);
+            for (hist, lists) in child_hists.into_iter().zip(child_lists) {
+                let id = nodes.len() as u32;
+                let records: u64 = hist.iter().sum();
+                let mut child = Node::leaf(work.depth + 1, hist.clone());
+                if records == 0 {
+                    child.majority = parent_majority;
+                }
+                nodes.push(child);
+                children.push(id);
+                if records > 0 && !cfg.stop.pre_split_leaf(&hist, work.depth + 1) {
+                    next.push(Work {
+                        node_id: id,
+                        depth: work.depth + 1,
+                        hist,
+                        lists,
+                    });
+                } else {
+                    remove_lists(lists);
+                }
+            }
+            let parent = &mut nodes[work.node_id as usize];
+            parent.test = Some(split.test);
+            parent.children = children;
+        }
+        level = next;
+    }
+
+    (DecisionTree { schema, nodes }, counters)
+}
+
+fn new_file(dir: &Path, seq: &mut u64) -> PathBuf {
+    *seq += 1;
+    dir.join(format!("list-{seq:08}.bin"))
+}
+
+fn spill(dir: &Path, seq: &mut u64, list: AttrList, stats: &Arc<IoStats>) -> DiskList {
+    match list {
+        AttrList::Continuous(entries) => {
+            let mut v = DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            for e in &entries {
+                v.push(e).expect("write");
+            }
+            DiskList::Continuous(v)
+        }
+        AttrList::Categorical(entries) => {
+            let mut v = DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            for e in &entries {
+                v.push(e).expect("write");
+            }
+            DiskList::Categorical(v)
+        }
+    }
+}
+
+fn remove_lists(lists: Vec<DiskList>) {
+    for l in lists {
+        match l {
+            DiskList::Continuous(v) => v.remove().ok(),
+            DiskList::Categorical(v) => v.remove().ok(),
+        };
+    }
+}
+
+/// Streaming split determination (one pass per attribute list).
+fn find_best_split(schema: &Schema, work: &mut Work, opts: SplitOptions) -> Option<BestSplit> {
+    let mut best: Option<BestSplit> = None;
+    for (attr, list) in work.lists.iter_mut().enumerate() {
+        let candidate = match (&schema.attrs[attr].kind, list) {
+            (AttrKind::Continuous, DiskList::Continuous(v)) => {
+                let mut scan =
+                    ContinuousScan::fresh(work.hist.clone()).with_criterion(opts.criterion);
+                for e in v.iter().expect("read") {
+                    scan.push(e.value, e.class);
+                }
+                scan.best().map(|c| BestSplit {
+                    gini: c.gini,
+                    test: SplitTest::Continuous {
+                        attr,
+                        threshold: c.threshold,
+                    },
+                })
+            }
+            (AttrKind::Categorical { cardinality }, DiskList::Categorical(v)) => {
+                let mut m = CountMatrix::new(*cardinality as usize, work.hist.len());
+                for e in v.iter().expect("read") {
+                    m.add(e.value as usize, e.class as usize);
+                }
+                categorical_candidate(attr, &m, opts)
+            }
+            _ => unreachable!("list kind matches schema"),
+        };
+        best = BestSplit::better(best, candidate);
+    }
+    best
+}
+
+fn route(test: &SplitTest, cont_value: Option<f32>, cat_value: Option<u32>) -> usize {
+    match *test {
+        SplitTest::Continuous { threshold, .. } => {
+            usize::from(cont_value.expect("continuous test") >= threshold)
+        }
+        SplitTest::Categorical { .. } => cat_value.expect("categorical test") as usize,
+        SplitTest::CategoricalSubset { left_mask, .. } => {
+            usize::from((left_mask >> cat_value.expect("categorical test")) & 1 == 0)
+        }
+    }
+}
+
+/// The budgeted splitting phase. Returns per-child lists, per-child
+/// histograms, and the number of merge passes used.
+#[allow(clippy::too_many_arguments)]
+fn staged_split(
+    dir: &Path,
+    seq: &mut u64,
+    schema: &Schema,
+    mut lists: Vec<DiskList>,
+    split: &BestSplit,
+    arity: usize,
+    classes: usize,
+    budget: usize,
+    stages: usize,
+    stats: &Arc<IoStats>,
+) -> (Vec<Vec<DiskList>>, Vec<Vec<u64>>, u64) {
+    let split_attr = split.test.attr();
+    let mut child_hists = vec![vec![0u64; classes]; arity];
+    let mut merges = 0u64;
+
+    // Per (attr, child, stage) output files; merged per (attr, child) below.
+    let n_attrs = lists.len();
+    let mut outputs: Vec<Vec<Vec<DiskList>>> = (0..n_attrs)
+        .map(|_| (0..arity).map(|_| Vec::new()).collect())
+        .collect();
+
+    for stage in 0..stages {
+        let lo = stage * budget;
+        let hi = (stage + 1) * budget;
+
+        // Build this stage's hash table from the splitting attribute's
+        // list: the `stage`-th block of `budget` entries in list order.
+        // Each record is covered by exactly one stage, so the child
+        // histograms accumulate each record once.
+        let mut table: RidMap<u8> = rid_map_with_capacity(budget.min(1 << 20));
+        match &mut lists[split_attr] {
+            DiskList::Continuous(v) => {
+                for (i, e) in v.iter().expect("read").enumerate() {
+                    if i < lo || i >= hi {
+                        continue;
+                    }
+                    let child = route(&split.test, Some(e.value), None);
+                    table.insert(e.rid, child as u8);
+                    child_hists[child][e.class as usize] += 1;
+                }
+            }
+            DiskList::Categorical(v) => {
+                for (i, e) in v.iter().expect("read").enumerate() {
+                    if i < lo || i >= hi {
+                        continue;
+                    }
+                    let child = route(&split.test, None, Some(e.value));
+                    table.insert(e.rid, child as u8);
+                    child_hists[child][e.class as usize] += 1;
+                }
+            }
+        }
+
+        // Route every attribute list's records belonging to this stage.
+        for (attr, list) in lists.iter_mut().enumerate() {
+            let mut outs: Vec<DiskList> = (0..arity)
+                .map(|_| match schema.attrs[attr].kind {
+                    AttrKind::Continuous => DiskList::Continuous(
+                        DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create"),
+                    ),
+                    AttrKind::Categorical { .. } => DiskList::Categorical(
+                        DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create"),
+                    ),
+                })
+                .collect();
+            match list {
+                DiskList::Continuous(v) => {
+                    for e in v.iter().expect("read") {
+                        if let Some(&c) = table.get(&e.rid) {
+                            match &mut outs[c as usize] {
+                                DiskList::Continuous(o) => o.push(&e).expect("write"),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+                DiskList::Categorical(v) => {
+                    for e in v.iter().expect("read") {
+                        if let Some(&c) = table.get(&e.rid) {
+                            match &mut outs[c as usize] {
+                                DiskList::Categorical(o) => o.push(&e).expect("write"),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+            }
+            for (c, o) in outs.into_iter().enumerate() {
+                outputs[attr][c].push(o);
+            }
+        }
+    }
+    remove_lists(lists);
+
+    // Merge stage files per (attr, child). Continuous lists need a k-way
+    // merge by (value, rid) to restore sort order; categorical lists (and
+    // the single-stage case) concatenate.
+    let mut child_lists: Vec<Vec<DiskList>> = (0..arity).map(|_| Vec::new()).collect();
+    for (attr, per_child) in outputs.into_iter().enumerate() {
+        for (c, stage_files) in per_child.into_iter().enumerate() {
+            let merged = if stage_files.len() == 1 {
+                stage_files.into_iter().next().unwrap()
+            } else {
+                merges += 1;
+                merge_stage_files(dir, seq, &schema.attrs[attr].kind, stage_files, stats)
+            };
+            child_lists[c].push(merged);
+        }
+    }
+    // child_lists[c] currently has attrs appended per attr loop above in
+    // attr order — but per_child iteration pushed attr-major, so each
+    // child's vector is already in ascending attribute order.
+    (child_lists, child_hists, merges)
+}
+
+fn merge_stage_files(
+    dir: &Path,
+    seq: &mut u64,
+    kind: &AttrKind,
+    files: Vec<DiskList>,
+    stats: &Arc<IoStats>,
+) -> DiskList {
+    match kind {
+        AttrKind::Continuous => {
+            // Streaming k-way merge (k = stages): only one head entry per
+            // run is resident, so the merge respects the memory budget.
+            let mut vecs: Vec<DiskVec<ContEntry>> = files
+                .into_iter()
+                .map(|f| match f {
+                    DiskList::Continuous(v) => v,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mut out =
+                DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            {
+                let mut iters: Vec<_> = vecs
+                    .iter_mut()
+                    .map(|v| v.iter().expect("read").peekable())
+                    .collect();
+                loop {
+                    let mut best: Option<usize> = None;
+                    for i in 0..iters.len() {
+                        let Some(cand) = iters[i].peek().copied() else {
+                            continue;
+                        };
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                let cur = *iters[b].peek().unwrap();
+                                cand.value
+                                    .total_cmp(&cur.value)
+                                    .then(cand.rid.cmp(&cur.rid))
+                                    .is_lt()
+                            }
+                        };
+                        if better {
+                            best = Some(i);
+                        }
+                    }
+                    match best {
+                        None => break,
+                        Some(i) => {
+                            let e = iters[i].next().unwrap();
+                            out.push(&e).expect("write");
+                        }
+                    }
+                }
+            }
+            for v in vecs {
+                v.remove().ok();
+            }
+            DiskList::Continuous(out)
+        }
+        AttrKind::Categorical { .. } => {
+            let mut out =
+                DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            for f in files {
+                match f {
+                    DiskList::Categorical(mut v) => {
+                        for e in v.iter().expect("read") {
+                            out.push(&e).expect("write");
+                        }
+                        v.remove().ok();
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            DiskList::Categorical(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, ClassFunc, GenConfig, Profile};
+    use dtree::sprint::{self, SprintConfig};
+
+    fn quest(n: usize, seed: u64) -> Dataset {
+        generate(&GenConfig {
+            n,
+            func: ClassFunc::F2,
+            noise: 0.0,
+            seed,
+            profile: Profile::Paper7,
+        })
+    }
+
+    fn cfg(budget: usize, name: &str) -> OocConfig {
+        OocConfig {
+            stop: StopRules::default(),
+            split: SplitOptions::default(),
+            budget,
+            dir: std::env::temp_dir().join("scalparc-ooc-test").join(name),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_in_memory_sprint() {
+        let data = quest(400, 1);
+        let want = sprint::induce(&data, &SprintConfig::default());
+        let stats = IoStats::new();
+        let (tree, counters) = induce_ooc(&data, &cfg(usize::MAX >> 1, "unlimited"), &stats);
+        assert_eq!(tree, want);
+        assert_eq!(counters.staged_nodes, 0);
+        assert_eq!(counters.merge_passes, 0);
+    }
+
+    #[test]
+    fn tiny_budget_still_matches_but_stages() {
+        let data = quest(300, 2);
+        let want = sprint::induce(&data, &SprintConfig::default());
+        let stats = IoStats::new();
+        let (tree, counters) = induce_ooc(&data, &cfg(64, "tiny"), &stats);
+        assert_eq!(tree, want, "staged split must not change the tree");
+        assert!(counters.staged_nodes > 0);
+        assert!(counters.merge_passes > 0);
+        assert!(counters.stages as usize > counters.staged_nodes as usize);
+    }
+
+    #[test]
+    fn smaller_budget_reads_more() {
+        let data = quest(500, 3);
+        let big = IoStats::new();
+        induce_ooc(&data, &cfg(1_000_000, "big"), &big);
+        let small = IoStats::new();
+        induce_ooc(&data, &cfg(50, "small"), &small);
+        assert!(
+            small.bytes_read() > 3 * big.bytes_read(),
+            "budget 50: {} vs unlimited: {}",
+            small.bytes_read(),
+            big.bytes_read()
+        );
+        assert!(small.read_passes() > big.read_passes());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let data = quest(10, 4);
+        let stats = IoStats::new();
+        induce_ooc(&data, &cfg(0, "zero"), &stats);
+    }
+}

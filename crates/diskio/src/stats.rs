@@ -1,0 +1,64 @@
+//! Byte-exact I/O accounting shared by all disk structures of one run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative I/O counters. Clone the `Arc` into every [`crate::DiskVec`]
+/// belonging to the same experiment.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_passes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(IoStats::default())
+    }
+
+    pub(crate) fn add_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_written(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_pass(&self) {
+        self.read_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes read from disk.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written to disk.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Number of full sequential read passes started.
+    pub fn read_passes(&self) -> u64 {
+        self.read_passes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.add_read(10);
+        s.add_read(5);
+        s.add_written(7);
+        s.add_pass();
+        assert_eq!(s.bytes_read(), 15);
+        assert_eq!(s.bytes_written(), 7);
+        assert_eq!(s.read_passes(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Tabular training data: schema and column-oriented dataset.
+//!
+//! Classification in the paper operates on records with *continuous* and
+//! *categorical* attributes plus a class label (§1). The dataset is stored
+//! column-major because both the serial and parallel classifiers immediately
+//! fragment it vertically into per-attribute lists.
+
+/// Kind of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Real-valued attribute; split conditions have the form `A < v`.
+    Continuous,
+    /// Finite-domain attribute with values `0..cardinality`; a split forms
+    /// one partition per value (paper §2).
+    Categorical {
+        /// Number of distinct values in the domain.
+        cardinality: u32,
+    },
+}
+
+/// Declaration of one attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrDef {
+    /// Human-readable name (e.g. `"salary"`).
+    pub name: String,
+    /// Continuous or categorical.
+    pub kind: AttrKind,
+}
+
+impl AttrDef {
+    /// A continuous attribute.
+    pub fn continuous(name: &str) -> Self {
+        AttrDef {
+            name: name.to_string(),
+            kind: AttrKind::Continuous,
+        }
+    }
+
+    /// A categorical attribute with the given domain size.
+    pub fn categorical(name: &str, cardinality: u32) -> Self {
+        AttrDef {
+            name: name.to_string(),
+            kind: AttrKind::Categorical { cardinality },
+        }
+    }
+}
+
+/// Schema of a training set: attribute declarations and the class count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    /// Attribute declarations, in column order.
+    pub attrs: Vec<AttrDef>,
+    /// Number of class labels (`n_c` in the paper).
+    pub num_classes: u32,
+}
+
+impl Schema {
+    /// Create a schema; panics on an empty attribute list or fewer than two
+    /// classes.
+    pub fn new(attrs: Vec<AttrDef>, num_classes: u32) -> Self {
+        assert!(!attrs.is_empty(), "schema needs at least one attribute");
+        assert!(num_classes >= 2, "classification needs at least two classes");
+        Schema { attrs, num_classes }
+    }
+
+    /// Number of attributes (`n_a`).
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Indices of continuous attributes.
+    pub fn continuous_attrs(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttrKind::Continuous)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of categorical attributes.
+    pub fn categorical_attrs(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.kind, AttrKind::Categorical { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// One column of data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Values of a continuous attribute.
+    Continuous(Vec<f32>),
+    /// Values of a categorical attribute, each `< cardinality`.
+    Categorical(Vec<u32>),
+}
+
+impl Column {
+    /// Number of records in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Continuous(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The continuous values; panics on a categorical column.
+    pub fn as_continuous(&self) -> &[f32] {
+        match self {
+            Column::Continuous(v) => v,
+            Column::Categorical(_) => panic!("column is categorical, not continuous"),
+        }
+    }
+
+    /// The categorical values; panics on a continuous column.
+    pub fn as_categorical(&self) -> &[u32] {
+        match self {
+            Column::Categorical(v) => v,
+            Column::Continuous(_) => panic!("column is continuous, not categorical"),
+        }
+    }
+}
+
+/// A column-oriented training set. Record `i` is
+/// `(columns[0][i], …, columns[a-1][i])` with class `labels[i]`; its record
+/// id is `i`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// The schema the columns conform to.
+    pub schema: Schema,
+    /// One column per attribute, all of equal length.
+    pub columns: Vec<Column>,
+    /// Class label per record, each `< schema.num_classes`.
+    pub labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Create a dataset, validating column shapes and label/value ranges.
+    pub fn new(schema: Schema, columns: Vec<Column>, labels: Vec<u8>) -> Self {
+        assert_eq!(
+            columns.len(),
+            schema.num_attrs(),
+            "one column per schema attribute required"
+        );
+        for (i, (col, def)) in columns.iter().zip(&schema.attrs).enumerate() {
+            assert_eq!(col.len(), labels.len(), "column {i} length mismatch");
+            match (col, def.kind) {
+                (Column::Continuous(v), AttrKind::Continuous) => {
+                    assert!(
+                        v.iter().all(|x| x.is_finite()),
+                        "attribute {i} has non-finite values"
+                    );
+                }
+                (Column::Categorical(v), AttrKind::Categorical { cardinality }) => {
+                    assert!(
+                        v.iter().all(|&x| x < cardinality),
+                        "attribute {i} has out-of-domain values"
+                    );
+                }
+                _ => panic!("column {i} kind does not match schema"),
+            }
+        }
+        assert!(
+            labels.iter().all(|&c| (c as u32) < schema.num_classes),
+            "label out of range"
+        );
+        Dataset {
+            schema,
+            columns,
+            labels,
+        }
+    }
+
+    /// Number of records (`N`).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Continuous value of attribute `attr` for record `rid`.
+    /// Panics if the attribute is categorical.
+    pub fn continuous_value(&self, attr: usize, rid: usize) -> f32 {
+        self.columns[attr].as_continuous()[rid]
+    }
+
+    /// Categorical value of attribute `attr` for record `rid`.
+    /// Panics if the attribute is continuous.
+    pub fn categorical_value(&self, attr: usize, rid: usize) -> u32 {
+        self.columns[attr].as_categorical()[rid]
+    }
+
+    /// Class histogram of the whole dataset.
+    pub fn class_hist(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.schema.num_classes as usize];
+        for &c in &self.labels {
+            h[c as usize] += 1;
+        }
+        h
+    }
+
+    /// Horizontal fragment `[lo, hi)` of the dataset (record ids are
+    /// renumbered from zero in the fragment; callers needing global ids must
+    /// track the offset). Used to distribute data across processors.
+    pub fn slice(&self, lo: usize, hi: usize) -> Dataset {
+        assert!(lo <= hi && hi <= self.len());
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Continuous(v) => Column::Continuous(v[lo..hi].to_vec()),
+                Column::Categorical(v) => Column::Categorical(v[lo..hi].to_vec()),
+            })
+            .collect();
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+            labels: self.labels[lo..hi].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            2,
+        );
+        Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::Categorical(vec![0, 1, 2, 1]),
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.continuous_value(0, 2), 3.0);
+        assert_eq!(d.categorical_value(1, 3), 1);
+        assert_eq!(d.class_hist(), vec![2, 2]);
+        assert_eq!(d.schema.continuous_attrs(), vec![0]);
+        assert_eq!(d.schema.categorical_attrs(), vec![1]);
+    }
+
+    #[test]
+    fn slicing() {
+        let d = toy();
+        let s = d.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.continuous_value(0, 0), 2.0);
+        assert_eq!(s.labels, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_column_length_panics() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        Dataset::new(schema, vec![Column::Continuous(vec![1.0])], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-domain")]
+    fn out_of_domain_categorical_panics() {
+        let schema = Schema::new(vec![AttrDef::categorical("g", 2)], 2);
+        Dataset::new(schema, vec![Column::Categorical(vec![5])], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        Dataset::new(schema, vec![Column::Continuous(vec![1.0])], vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind does not match")]
+    fn kind_mismatch_panics() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        Dataset::new(schema, vec![Column::Categorical(vec![0])], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_values_panic() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        Dataset::new(schema, vec![Column::Continuous(vec![f32::NAN])], vec![0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Model evaluation: confusion matrices, error rates, and deterministic
+//! train/test splitting.
+
+use crate::data::{Column, Dataset};
+use crate::gini::CountMatrix;
+use crate::tree::DecisionTree;
+
+/// Confusion matrix: row = true class, column = predicted class.
+pub fn confusion_matrix(tree: &DecisionTree, data: &Dataset) -> CountMatrix {
+    let c = data.schema.num_classes as usize;
+    let mut m = CountMatrix::new(c, c);
+    for rid in 0..data.len() {
+        m.add(data.labels[rid] as usize, tree.predict(data, rid) as usize);
+    }
+    m
+}
+
+/// Misclassification rate on `data`.
+pub fn error_rate(tree: &DecisionTree, data: &Dataset) -> f64 {
+    1.0 - tree.accuracy(data)
+}
+
+/// SplitMix64 — tiny deterministic generator for shuffling without pulling
+/// `rand` into the library's public dependency set.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Deterministically shuffle record indices and split off the first
+/// `test_fraction` as a test set. Returns `(train, test)`.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&test_fraction), "fraction in [0,1)");
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64(seed);
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    (select(data, train_idx), select(data, test_idx))
+}
+
+/// Materialize the subset of `data` given by `indices` (record ids are
+/// renumbered).
+pub fn select(data: &Dataset, indices: &[usize]) -> Dataset {
+    let columns = data
+        .columns
+        .iter()
+        .map(|c| match c {
+            Column::Continuous(v) => {
+                Column::Continuous(indices.iter().map(|&i| v[i]).collect())
+            }
+            Column::Categorical(v) => {
+                Column::Categorical(indices.iter().map(|&i| v[i]).collect())
+            }
+        })
+        .collect();
+    let labels = indices.iter().map(|&i| data.labels[i]).collect();
+    Dataset {
+        schema: data.schema.clone(),
+        columns,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Schema};
+    use crate::sprint::{self, SprintConfig};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let xs: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let labels: Vec<u8> = (0..100).map(|i| u8::from(i >= 50)).collect();
+        Dataset::new(schema, vec![Column::Continuous(xs)], labels)
+    }
+
+    #[test]
+    fn confusion_of_perfect_tree_is_diagonal() {
+        let d = data();
+        let tree = sprint::induce(&d, &SprintConfig::default());
+        let m = confusion_matrix(&tree, &d);
+        assert_eq!(m.get(0, 0), 50);
+        assert_eq!(m.get(1, 1), 50);
+        assert_eq!(m.get(0, 1), 0);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(error_rate(&tree, &d), 0.0);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let d = data();
+        let (tr1, te1) = train_test_split(&d, 0.3, 42);
+        let (tr2, te2) = train_test_split(&d, 0.3, 42);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len(), 70);
+        assert_eq!(te1.len(), 30);
+        // Multiset of values preserved.
+        let mut all: Vec<f32> = tr1.columns[0]
+            .as_continuous()
+            .iter()
+            .chain(te1.columns[0].as_continuous())
+            .copied()
+            .collect();
+        all.sort_by(f32::total_cmp);
+        assert_eq!(all, (0..100).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = data();
+        let (tr1, _) = train_test_split(&d, 0.3, 1);
+        let (tr2, _) = train_test_split(&d, 0.3, 2);
+        assert_ne!(tr1, tr2);
+    }
+
+    #[test]
+    fn select_renumbers() {
+        let d = data();
+        let s = select(&d, &[10, 20, 30]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.columns[0].as_continuous(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn cross_validation_runs_and_is_deterministic() {
+        let d = data();
+        let cfg = crate::sprint::SprintConfig::default();
+        let a = cross_validate(&d, 5, 3, &cfg);
+        let b = cross_validate(&d, 5, 3, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|&acc| acc > 0.85), "{a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn cross_validation_rejects_one_fold() {
+        let d = data();
+        cross_validate(&d, 1, 0, &crate::sprint::SprintConfig::default());
+    }
+
+    #[test]
+    fn generalization_on_holdout() {
+        let d = data();
+        let (train, test) = train_test_split(&d, 0.25, 7);
+        let tree = sprint::induce(&train, &SprintConfig::default());
+        assert!(tree.accuracy(&test) > 0.9);
+    }
+}
+
+/// K-fold cross-validation of serial SPRINT: returns per-fold holdout
+/// accuracies. Deterministic given `seed`.
+pub fn cross_validate(
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+    cfg: &crate::sprint::SprintConfig,
+) -> Vec<f64> {
+    assert!(folds >= 2, "need at least two folds");
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64(seed);
+    for i in (1..n).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    (0..folds)
+        .map(|f| {
+            let lo = n * f / folds;
+            let hi = n * (f + 1) / folds;
+            let test_idx = &idx[lo..hi];
+            let train_idx: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+            let train = select(data, &train_idx);
+            let test = select(data, test_idx);
+            let tree = crate::sprint::induce(&train, cfg);
+            tree.accuracy(&test)
+        })
+        .collect()
+}

@@ -1,0 +1,92 @@
+//! Fast hashing for record-id keyed maps.
+//!
+//! The serial SPRINT splitting phase probes a record-id → child map once
+//! per attribute-list entry — hundreds of millions of probes on large
+//! inputs — so the default SipHash is a significant cost. Record ids are
+//! dense machine integers with no adversarial source, so a multiply-shift
+//! (Fibonacci) hash is both sufficient and several times faster.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for integer keys.
+#[derive(Default)]
+pub struct RidHasher(u64);
+
+impl Hasher for RidHasher {
+    #[inline]
+    fn write_u32(&mut self, k: u32) {
+        self.0 = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, k: u64) {
+        self.0 = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a) so derived Hash impls still work.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `HashMap` keyed by record ids with the fast hasher.
+pub type RidMap<V> = HashMap<u32, V, BuildHasherDefault<RidHasher>>;
+
+/// Empty [`RidMap`] with capacity.
+pub fn rid_map_with_capacity<V>(capacity: usize) -> RidMap<V> {
+    RidMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: RidMap<u8> = rid_map_with_capacity(16);
+        for k in 0..1000u32 {
+            m.insert(k, (k % 7) as u8);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u32 {
+            assert_eq!(m[&k], (k % 7) as u8);
+        }
+        assert_eq!(m.get(&5000), None);
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        // Multiply-shift by an odd constant is injective on u64, so no two
+        // u32 keys collide in the full hash (bucket collisions remain
+        // possible and are the map's job).
+        let hash = |k: u32| {
+            let mut h = RidHasher::default();
+            h.write_u32(k);
+            h.finish()
+        };
+        let a: Vec<u64> = (0..64).map(hash).collect();
+        let mut b = a.clone();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn byte_fallback_works() {
+        let mut m: HashMap<String, u8, BuildHasherDefault<RidHasher>> = HashMap::default();
+        m.insert("alpha".into(), 1);
+        m.insert("beta".into(), 2);
+        assert_eq!(m["alpha"], 1);
+        assert_eq!(m["beta"], 2);
+    }
+}

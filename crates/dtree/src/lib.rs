@@ -1,0 +1,39 @@
+//! `dtree` — sequential decision-tree classification substrate.
+//!
+//! This crate implements everything ScalParC assumes of the *serial* world
+//! (paper §2):
+//!
+//! * the tabular data model with continuous and categorical attributes
+//!   ([`data`]);
+//! * the gini splitting criterion, count matrices, and the linear
+//!   split-point scan over value-sorted lists ([`gini`]);
+//! * SPRINT-style attribute lists, presorted once and split consistently via
+//!   a record-id → child hash table ([`list`], [`sprint`]);
+//! * the decision-tree model with prediction and validation ([`tree`],
+//!   [`eval`]);
+//! * the CART/C4.5-style baseline that re-sorts at every node, used by the
+//!   presort ablation ([`cart`]);
+//! * reduced-error pruning as the documented extension covering the paper's
+//!   second (out-of-scope) phase ([`prune`]).
+//!
+//! Every classifier here and in the `scalparc` crate shares the same
+//! candidate comparison ([`tree::BestSplit::cmp`]) and stopping rules
+//! ([`tree::StopRules`]), so all of them induce **identical trees** on
+//! identical data — a property the workspace's integration tests enforce.
+
+pub mod cart;
+pub mod data;
+pub mod eval;
+pub mod gini;
+pub mod hashutil;
+pub mod list;
+pub mod model_io;
+pub mod prune;
+pub mod split;
+pub mod sprint;
+pub mod tree;
+
+pub use data::{AttrDef, AttrKind, Column, Dataset, Schema};
+pub use gini::Criterion;
+pub use split::{CatSplitMode, SplitOptions};
+pub use tree::{BestSplit, DecisionTree, Node, SplitTest, StopRules};

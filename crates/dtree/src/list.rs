@@ -1,0 +1,315 @@
+//! Attribute lists — the vertical fragmentation of the training set
+//! (paper §2): one list per attribute holding `(value, record id, class)`
+//! triples, with continuous lists sorted on value **once** at the start
+//! (the SPRINT/ScalParC presort) and kept sorted by every subsequent split.
+
+use crate::data::{AttrKind, Column, Dataset};
+
+/// Entry of a continuous attribute list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContEntry {
+    /// Attribute value.
+    pub value: f32,
+    /// Global record id.
+    pub rid: u32,
+    /// Class label of the record.
+    pub class: u8,
+}
+
+/// Entry of a categorical attribute list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CatEntry {
+    /// Attribute value (domain index).
+    pub value: u32,
+    /// Global record id.
+    pub rid: u32,
+    /// Class label of the record.
+    pub class: u8,
+}
+
+/// One attribute list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrList {
+    /// Sorted-by-value list of a continuous attribute.
+    Continuous(Vec<ContEntry>),
+    /// List of a categorical attribute (record order).
+    Categorical(Vec<CatEntry>),
+}
+
+impl AttrList {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            AttrList::Continuous(v) => v.len(),
+            AttrList::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes (for memory accounting).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            AttrList::Continuous(v) => std::mem::size_of_val(v.as_slice()) as u64,
+            AttrList::Categorical(v) => std::mem::size_of_val(v.as_slice()) as u64,
+        }
+    }
+
+    /// The continuous entries; panics on a categorical list.
+    pub fn as_continuous(&self) -> &[ContEntry] {
+        match self {
+            AttrList::Continuous(v) => v,
+            AttrList::Categorical(_) => panic!("list is categorical"),
+        }
+    }
+
+    /// The categorical entries; panics on a continuous list.
+    pub fn as_categorical(&self) -> &[CatEntry] {
+        match self {
+            AttrList::Categorical(v) => v,
+            AttrList::Continuous(_) => panic!("list is continuous"),
+        }
+    }
+
+    /// Record ids in list order.
+    pub fn rids(&self) -> Vec<u32> {
+        match self {
+            AttrList::Continuous(v) => v.iter().map(|e| e.rid).collect(),
+            AttrList::Categorical(v) => v.iter().map(|e| e.rid).collect(),
+        }
+    }
+
+    /// Verify the sorted-order invariant of continuous lists.
+    pub fn assert_sorted(&self) {
+        if let AttrList::Continuous(v) = self {
+            assert!(
+                v.windows(2).all(|w| w[0].value <= w[1].value),
+                "continuous attribute list lost its sort order"
+            );
+        }
+    }
+}
+
+/// Sort a continuous list by `(value, rid)` — the canonical presort order
+/// (the rid tiebreak makes every implementation bit-deterministic).
+pub fn sort_cont(entries: &mut [ContEntry]) {
+    entries.sort_unstable_by(|a, b| a.value.total_cmp(&b.value).then(a.rid.cmp(&b.rid)));
+}
+
+/// Build the attribute lists of `data`, assigning record ids
+/// `rid_offset..rid_offset + N`. Continuous lists are presorted when
+/// `presort` is set (serial SPRINT sorts here; the parallel code sorts with
+/// the distributed sample sort instead).
+pub fn build_lists(data: &Dataset, rid_offset: u32, presort: bool) -> Vec<AttrList> {
+    data.columns
+        .iter()
+        .zip(&data.schema.attrs)
+        .map(|(col, def)| match (col, def.kind) {
+            (Column::Continuous(vals), AttrKind::Continuous) => {
+                let mut entries: Vec<ContEntry> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &value)| ContEntry {
+                        value,
+                        rid: rid_offset + i as u32,
+                        class: data.labels[i],
+                    })
+                    .collect();
+                if presort {
+                    sort_cont(&mut entries);
+                }
+                AttrList::Continuous(entries)
+            }
+            (Column::Categorical(vals), AttrKind::Categorical { .. }) => AttrList::Categorical(
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &value)| CatEntry {
+                        value,
+                        rid: rid_offset + i as u32,
+                        class: data.labels[i],
+                    })
+                    .collect(),
+            ),
+            _ => unreachable!("dataset validated shape"),
+        })
+        .collect()
+}
+
+/// Class histogram of any attribute list (all lists of a node agree).
+pub fn class_hist(list: &AttrList, num_classes: usize) -> Vec<u64> {
+    let mut h = vec![0u64; num_classes];
+    match list {
+        AttrList::Continuous(v) => {
+            for e in v {
+                h[e.class as usize] += 1;
+            }
+        }
+        AttrList::Categorical(v) => {
+            for e in v {
+                h[e.class as usize] += 1;
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Schema};
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            2,
+        );
+        Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![3.0, 1.0, 2.0, 1.0]),
+                Column::Categorical(vec![2, 0, 1, 0]),
+            ],
+            vec![1, 0, 0, 1],
+        )
+    }
+
+    #[test]
+    fn build_presorts_continuous() {
+        let lists = build_lists(&toy(), 0, true);
+        let cont = lists[0].as_continuous();
+        assert_eq!(
+            cont.iter().map(|e| (e.value, e.rid)).collect::<Vec<_>>(),
+            vec![(1.0, 1), (1.0, 3), (2.0, 2), (3.0, 0)]
+        );
+        // Classes ride along with their records.
+        assert_eq!(cont[0].class, 0);
+        assert_eq!(cont[1].class, 1);
+        lists[0].assert_sorted();
+    }
+
+    #[test]
+    fn build_keeps_categorical_record_order() {
+        let lists = build_lists(&toy(), 0, true);
+        let cat = lists[1].as_categorical();
+        assert_eq!(
+            cat.iter().map(|e| (e.value, e.rid)).collect::<Vec<_>>(),
+            vec![(2, 0), (0, 1), (1, 2), (0, 3)]
+        );
+    }
+
+    #[test]
+    fn rid_offset_applies() {
+        let lists = build_lists(&toy(), 100, false);
+        assert!(lists[1].as_categorical().iter().all(|e| e.rid >= 100));
+    }
+
+    #[test]
+    fn class_hist_consistent_across_lists() {
+        let lists = build_lists(&toy(), 0, true);
+        assert_eq!(class_hist(&lists[0], 2), vec![2, 2]);
+        assert_eq!(class_hist(&lists[1], 2), vec![2, 2]);
+    }
+
+    #[test]
+    fn bytes_and_len() {
+        let lists = build_lists(&toy(), 0, true);
+        assert_eq!(lists[0].len(), 4);
+        assert!(!lists[0].is_empty());
+        assert_eq!(lists[0].bytes(), 4 * std::mem::size_of::<ContEntry>() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lost its sort order")]
+    fn assert_sorted_catches_violation() {
+        let l = AttrList::Continuous(vec![
+            ContEntry {
+                value: 2.0,
+                rid: 0,
+                class: 0,
+            },
+            ContEntry {
+                value: 1.0,
+                rid: 1,
+                class: 0,
+            },
+        ]);
+        l.assert_sorted();
+    }
+}
+
+#[cfg(test)]
+mod split_consistency_tests {
+    use super::*;
+    use crate::data::{AttrDef, Column, Schema};
+
+    /// The invariant the splitting phase must uphold (paper §2): after any
+    /// consistent split, every attribute list of a child covers exactly the
+    /// same record-id set.
+    #[test]
+    fn consistent_assignment_across_lists() {
+        let schema = Schema::new(
+            vec![
+                AttrDef::continuous("x"),
+                AttrDef::continuous("y"),
+                AttrDef::categorical("g", 4),
+            ],
+            2,
+        );
+        let n = 64usize;
+        let xs: Vec<f32> = (0..n).map(|i| ((i * 37) % n) as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| ((i * 11) % n) as f32).collect();
+        let gs: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let data = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(xs),
+                Column::Continuous(ys),
+                Column::Categorical(gs),
+            ],
+            labels,
+        );
+        let lists = build_lists(&data, 0, true);
+
+        // Route by an arbitrary rule on record id, split every list, and
+        // verify rid-set agreement per child.
+        let child_of = |rid: u32| (rid % 3) as usize;
+        let mut per_child_sets: Vec<Vec<std::collections::BTreeSet<u32>>> = Vec::new();
+        for list in &lists {
+            let mut sets = vec![std::collections::BTreeSet::new(); 3];
+            match list {
+                AttrList::Continuous(v) => {
+                    for e in v {
+                        sets[child_of(e.rid)].insert(e.rid);
+                    }
+                }
+                AttrList::Categorical(v) => {
+                    for e in v {
+                        sets[child_of(e.rid)].insert(e.rid);
+                    }
+                }
+            }
+            per_child_sets.push(sets);
+        }
+        for c in 0..3 {
+            assert_eq!(per_child_sets[0][c], per_child_sets[1][c]);
+            assert_eq!(per_child_sets[0][c], per_child_sets[2][c]);
+        }
+    }
+
+    #[test]
+    fn sort_cont_is_total_order_with_rid_tiebreak() {
+        let mut entries = vec![
+            ContEntry { value: 2.0, rid: 5, class: 0 },
+            ContEntry { value: 1.0, rid: 9, class: 1 },
+            ContEntry { value: 2.0, rid: 1, class: 0 },
+            ContEntry { value: 1.0, rid: 2, class: 1 },
+        ];
+        sort_cont(&mut entries);
+        let order: Vec<(f32, u32)> = entries.iter().map(|e| (e.value, e.rid)).collect();
+        assert_eq!(order, vec![(1.0, 2), (1.0, 9), (2.0, 1), (2.0, 5)]);
+    }
+}

@@ -1,0 +1,417 @@
+//! Decision-tree model persistence: a versioned, line-oriented text format
+//! with exact (bit-preserving) float round-tripping, so trained models can
+//! be stored, diffed, and reloaded without serde.
+//!
+//! ```text
+//! scalparc-tree v1
+//! classes 2
+//! attr continuous salary
+//! attr categorical elevel 5
+//! nodes 3
+//! node depth 0 hist 5,7 majority 1 test cont 0 3f19999a children 1,2
+//! node depth 1 hist 5,0 majority 0 leaf
+//! node depth 1 hist 0,7 majority 1 leaf
+//! ```
+//!
+//! Thresholds are serialized as hexadecimal IEEE-754 bits: every classifier
+//! in this workspace guarantees bit-identical trees, and persistence must
+//! not break that by printing decimals.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::data::{AttrDef, AttrKind, Schema};
+use crate::tree::{DecisionTree, Node, SplitTest};
+
+/// Serialize a tree to the text format.
+pub fn to_text(tree: &DecisionTree) -> String {
+    let mut out = String::new();
+    out.push_str("scalparc-tree v1\n");
+    let _ = writeln!(out, "classes {}", tree.schema.num_classes);
+    for attr in &tree.schema.attrs {
+        assert!(
+            !attr.name.contains(char::is_whitespace),
+            "attribute name {:?} cannot be persisted (whitespace)",
+            attr.name
+        );
+        match attr.kind {
+            AttrKind::Continuous => {
+                let _ = writeln!(out, "attr continuous {}", attr.name);
+            }
+            AttrKind::Categorical { cardinality } => {
+                let _ = writeln!(out, "attr categorical {} {}", attr.name, cardinality);
+            }
+        }
+    }
+    let _ = writeln!(out, "nodes {}", tree.nodes.len());
+    for node in &tree.nodes {
+        let hist: Vec<String> = node.hist.iter().map(|c| c.to_string()).collect();
+        let _ = write!(
+            out,
+            "node depth {} hist {} majority {} ",
+            node.depth,
+            hist.join(","),
+            node.majority
+        );
+        match node.test {
+            None => out.push_str("leaf\n"),
+            Some(test) => {
+                match test {
+                    SplitTest::Continuous { attr, threshold } => {
+                        let _ = write!(out, "test cont {attr} {:08x} ", threshold.to_bits());
+                    }
+                    SplitTest::Categorical { attr } => {
+                        let _ = write!(out, "test cat {attr} ");
+                    }
+                    SplitTest::CategoricalSubset { attr, left_mask } => {
+                        let _ = write!(out, "test subset {attr} {left_mask:x} ");
+                    }
+                }
+                let children: Vec<String> =
+                    node.children.iter().map(|c| c.to_string()).collect();
+                let _ = writeln!(out, "children {}", children.join(","));
+            }
+        }
+    }
+    out
+}
+
+/// Write a tree to a file.
+pub fn save(tree: &DecisionTree, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(tree))
+}
+
+fn err(line: usize, msg: impl Into<String>) -> String {
+    format!("line {}: {}", line + 1, msg.into())
+}
+
+/// Parse a tree from the text format.
+///
+/// # Errors
+/// Returns a line-tagged message for any structural or numeric problem; a
+/// successfully parsed tree additionally passes
+/// [`DecisionTree::validate`]-level invariants (child counts, id bounds).
+pub fn from_text(text: &str) -> Result<DecisionTree, String> {
+    let mut lines = text.lines().enumerate();
+    let (ln, header) = lines.next().ok_or("empty input")?;
+    if header != "scalparc-tree v1" {
+        return Err(err(ln, format!("bad header {header:?}")));
+    }
+    let (ln, classes_line) = lines.next().ok_or("missing classes line")?;
+    let num_classes: u32 = classes_line
+        .strip_prefix("classes ")
+        .ok_or_else(|| err(ln, "expected `classes <n>`"))?
+        .parse()
+        .map_err(|e| err(ln, format!("bad class count: {e}")))?;
+
+    let mut attrs: Vec<AttrDef> = Vec::new();
+    let mut nodes_decl: Option<(usize, usize)> = None;
+    for (ln, line) in lines.by_ref() {
+        if let Some(rest) = line.strip_prefix("attr ") {
+            let mut parts = rest.split(' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("continuous"), Some(name), None) => attrs.push(AttrDef::continuous(name)),
+                (Some("categorical"), Some(name), Some(card)) => attrs.push(AttrDef::categorical(
+                    name,
+                    card.parse()
+                        .map_err(|e| err(ln, format!("bad cardinality: {e}")))?,
+                )),
+                _ => return Err(err(ln, "malformed attr line")),
+            }
+        } else if let Some(rest) = line.strip_prefix("nodes ") {
+            nodes_decl = Some((
+                ln,
+                rest.parse()
+                    .map_err(|e| err(ln, format!("bad node count: {e}")))?,
+            ));
+            break;
+        } else {
+            return Err(err(ln, "expected `attr …` or `nodes <n>`"));
+        }
+    }
+    let (_, n_nodes) = nodes_decl.ok_or("missing `nodes` line")?;
+    if attrs.is_empty() {
+        return Err("no attributes declared".into());
+    }
+    let schema = Schema::new(attrs, num_classes);
+
+    let mut nodes: Vec<Node> = Vec::with_capacity(n_nodes);
+    for (ln, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split(' ').collect();
+        // node depth D hist H majority M (leaf | test … children …)
+        if toks.first() != Some(&"node") || toks.get(1) != Some(&"depth") {
+            return Err(err(ln, "expected node line"));
+        }
+        let depth: u32 = toks
+            .get(2)
+            .ok_or_else(|| err(ln, "missing depth"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad depth: {e}")))?;
+        if toks.get(3) != Some(&"hist") {
+            return Err(err(ln, "missing hist"));
+        }
+        let hist: Vec<u64> = toks
+            .get(4)
+            .ok_or_else(|| err(ln, "missing hist values"))?
+            .split(',')
+            .map(|t| t.parse().map_err(|e| err(ln, format!("bad hist: {e}"))))
+            .collect::<Result<_, _>>()?;
+        if hist.len() != num_classes as usize {
+            return Err(err(ln, "hist length != classes"));
+        }
+        if toks.get(5) != Some(&"majority") {
+            return Err(err(ln, "missing majority"));
+        }
+        let majority: u8 = toks
+            .get(6)
+            .ok_or_else(|| err(ln, "missing majority value"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad majority: {e}")))?;
+
+        let mut node = Node::leaf(depth, hist);
+        node.majority = majority;
+        match toks.get(7) {
+            Some(&"leaf") => {}
+            Some(&"test") => {
+                let kind = *toks.get(8).ok_or_else(|| err(ln, "missing test kind"))?;
+                let attr: usize = toks
+                    .get(9)
+                    .ok_or_else(|| err(ln, "missing test attr"))?
+                    .parse()
+                    .map_err(|e| err(ln, format!("bad attr: {e}")))?;
+                if attr >= schema.num_attrs() {
+                    return Err(err(ln, "test attr out of range"));
+                }
+                let (test, children_idx) = match kind {
+                    "cont" => {
+                        let bits = u32::from_str_radix(
+                            toks.get(10).ok_or_else(|| err(ln, "missing threshold"))?,
+                            16,
+                        )
+                        .map_err(|e| err(ln, format!("bad threshold bits: {e}")))?;
+                        (
+                            SplitTest::Continuous {
+                                attr,
+                                threshold: f32::from_bits(bits),
+                            },
+                            11,
+                        )
+                    }
+                    "cat" => (SplitTest::Categorical { attr }, 10),
+                    "subset" => {
+                        let mask = u64::from_str_radix(
+                            toks.get(10).ok_or_else(|| err(ln, "missing mask"))?,
+                            16,
+                        )
+                        .map_err(|e| err(ln, format!("bad mask: {e}")))?;
+                        (
+                            SplitTest::CategoricalSubset {
+                                attr,
+                                left_mask: mask,
+                            },
+                            11,
+                        )
+                    }
+                    other => return Err(err(ln, format!("unknown test kind {other:?}"))),
+                };
+                if toks.get(children_idx) != Some(&"children") {
+                    return Err(err(ln, "missing children"));
+                }
+                let children: Vec<u32> = toks
+                    .get(children_idx + 1)
+                    .ok_or_else(|| err(ln, "missing child ids"))?
+                    .split(',')
+                    .map(|t| t.parse().map_err(|e| err(ln, format!("bad child id: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                if children.len() != test.arity(&schema) {
+                    return Err(err(ln, "child count does not match test arity"));
+                }
+                node.test = Some(test);
+                node.children = children;
+            }
+            _ => return Err(err(ln, "expected `leaf` or `test`")),
+        }
+        nodes.push(node);
+    }
+    if nodes.len() != n_nodes {
+        return Err(format!(
+            "declared {n_nodes} nodes but parsed {}",
+            nodes.len()
+        ));
+    }
+    if nodes.is_empty() {
+        return Err("tree must have at least a root node".into());
+    }
+    for node in &nodes {
+        for &c in &node.children {
+            if c as usize >= nodes.len() {
+                return Err(format!("child id {c} out of range"));
+            }
+        }
+    }
+    Ok(DecisionTree { schema, nodes })
+}
+
+/// Read a tree from a file.
+pub fn load(path: &Path) -> Result<DecisionTree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Column, Dataset};
+    use crate::split::{CatSplitMode, SplitOptions};
+    use crate::sprint::{self, SprintConfig};
+
+    fn mixed_dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            2,
+        );
+        let n = 60usize;
+        let xs: Vec<f32> = (0..n).map(|i| ((i * 31) % 97) as f32 / 3.0).collect();
+        let gs: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let labels: Vec<u8> = (0..n)
+            .map(|i| u8::from(xs[i] > 16.0 || gs[i] == 2))
+            .collect();
+        Dataset::new(
+            schema,
+            vec![Column::Continuous(xs), Column::Categorical(gs)],
+            labels,
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let data = mixed_dataset();
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let text = to_text(&tree);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, tree);
+        back.validate();
+    }
+
+    #[test]
+    fn roundtrip_subset_mode() {
+        let data = mixed_dataset();
+        let tree = sprint::induce(
+            &data,
+            &SprintConfig {
+                split: SplitOptions {
+                    cat_mode: CatSplitMode::BinarySubset,
+                    ..SplitOptions::default()
+                },
+                ..SprintConfig::default()
+            },
+        );
+        let back = from_text(&to_text(&tree)).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn thresholds_roundtrip_bit_exactly() {
+        // An awkward float that would lose bits through decimal printing.
+        let tree = DecisionTree {
+            schema: Schema::new(vec![AttrDef::continuous("x")], 2),
+            nodes: vec![
+                Node {
+                    depth: 0,
+                    hist: vec![1, 1],
+                    majority: 0,
+                    test: Some(SplitTest::Continuous {
+                        attr: 0,
+                        threshold: f32::from_bits(0x3f99_999a), // 1.2000000476…
+                    }),
+                    children: vec![1, 2],
+                },
+                Node::leaf(1, vec![1, 0]),
+                Node::leaf(1, vec![0, 1]),
+            ],
+        };
+        let back = from_text(&to_text(&tree)).unwrap();
+        match back.nodes[0].test {
+            Some(SplitTest::Continuous { threshold, .. }) => {
+                assert_eq!(threshold.to_bits(), 0x3f99_999a);
+            }
+            _ => panic!("wrong test"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let data = mixed_dataset();
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let dir = std::env::temp_dir().join("scalparc-model-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tree");
+        save(&tree, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, tree);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_text("nonsense v9\n").unwrap_err().contains("header"));
+    }
+
+    #[test]
+    fn rejects_wrong_hist_length() {
+        let text = "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+                    node depth 0 hist 1,2,3 majority 0 leaf\n";
+        assert!(from_text(text).unwrap_err().contains("hist length"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_children() {
+        let text = "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+                    node depth 0 hist 1,1 majority 0 test cont 0 3f800000 children 5,6\n";
+        assert!(from_text(text).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let text = "scalparc-tree v1\nclasses 2\nattr categorical g 3\nnodes 1\n\
+                    node depth 0 hist 1,1 majority 0 test cat 0 children 1,2\n";
+        assert!(from_text(text).unwrap_err().contains("arity"));
+    }
+
+    #[test]
+    fn rejects_empty_tree() {
+        let text = "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 0\n";
+        assert!(from_text(text).unwrap_err().contains("at least a root"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be persisted")]
+    fn rejects_spaced_attribute_names_on_save() {
+        use crate::tree::Node;
+        let tree = DecisionTree {
+            schema: Schema::new(vec![AttrDef::continuous("my attr")], 2),
+            nodes: vec![Node::leaf(0, vec![1, 0])],
+        };
+        to_text(&tree);
+    }
+
+    #[test]
+    fn rejects_node_count_mismatch() {
+        let text = "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 2\n\
+                    node depth 0 hist 1,1 majority 0 leaf\n";
+        assert!(from_text(text).unwrap_err().contains("declared 2 nodes"));
+    }
+
+    #[test]
+    fn loaded_model_predicts_identically() {
+        let data = mixed_dataset();
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let back = from_text(&to_text(&tree)).unwrap();
+        for rid in 0..data.len() {
+            assert_eq!(tree.predict(&data, rid), back.predict(&data, rid));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Tree pruning (the paper's second step, §2: "the induced tree is made more
+//! concise and robust by removing any statistical dependencies on the
+//! specific training dataset"). The paper concentrates on induction and
+//! leaves pruning out of scope; we provide reduced-error pruning as the
+//! documented extension so the library covers the full classification
+//! pipeline.
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, Node};
+
+/// Reduced-error pruning against a validation set: bottom-up, replace a
+/// subtree by a leaf whenever doing so does not increase validation errors.
+/// Returns a new tree (the input is untouched).
+pub fn reduced_error_prune(tree: &DecisionTree, validation: &Dataset) -> DecisionTree {
+    // Validation class histogram per node.
+    let classes = tree.schema.num_classes as usize;
+    let mut vhist = vec![vec![0u64; classes]; tree.nodes.len()];
+    for rid in 0..validation.len() {
+        let class = validation.labels[rid] as usize;
+        let mut id = 0usize;
+        loop {
+            vhist[id][class] += 1;
+            let node = &tree.nodes[id];
+            match node.test {
+                None => break,
+                Some(test) => id = node.children[test.route(validation, rid)] as usize,
+            }
+        }
+    }
+
+    // Bottom-up subtree error vs. leaf error. `keep[id]` = subtree survives.
+    let n = tree.nodes.len();
+    let mut subtree_err = vec![0u64; n];
+    let mut keep = vec![true; n];
+    // Children always have larger ids than parents (BFS construction), so a
+    // reverse scan is bottom-up.
+    for id in (0..n).rev() {
+        let node = &tree.nodes[id];
+        let as_leaf_err: u64 =
+            vhist[id].iter().sum::<u64>() - vhist[id].get(node.majority as usize).copied().unwrap_or(0);
+        if node.is_leaf() {
+            subtree_err[id] = as_leaf_err;
+            continue;
+        }
+        let child_err: u64 = node
+            .children
+            .iter()
+            .map(|&c| subtree_err[c as usize])
+            .sum();
+        if as_leaf_err <= child_err {
+            keep[id] = false;
+            subtree_err[id] = as_leaf_err;
+        } else {
+            subtree_err[id] = child_err;
+        }
+    }
+
+    // Rebuild the arena keeping only surviving structure.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut map = vec![u32::MAX; n];
+    rebuild(tree, 0, &keep, &mut nodes, &mut map);
+    DecisionTree {
+        schema: tree.schema.clone(),
+        nodes,
+    }
+}
+
+fn rebuild(
+    tree: &DecisionTree,
+    id: usize,
+    keep: &[bool],
+    nodes: &mut Vec<Node>,
+    map: &mut [u32],
+) -> u32 {
+    let new_id = nodes.len() as u32;
+    map[id] = new_id;
+    let src = &tree.nodes[id];
+    if keep[id] && !src.is_leaf() {
+        nodes.push(src.clone());
+        // Children are appended after the parent during the recursion.
+        let children: Vec<u32> = src.children.to_vec();
+        // Placeholder children fixed up below.
+        nodes[new_id as usize].children.clear();
+        let mut new_children = Vec::with_capacity(children.len());
+        for c in children {
+            new_children.push(rebuild(tree, c as usize, keep, nodes, map));
+        }
+        nodes[new_id as usize].children = new_children;
+    } else {
+        let mut leaf = Node::leaf(src.depth, src.hist.clone());
+        leaf.majority = src.majority;
+        nodes.push(leaf);
+    }
+    new_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Column, Schema};
+    use crate::sprint::{self, SprintConfig};
+
+    fn noisy_dataset(seed: u64, n: usize) -> Dataset {
+        // True rule: class = x < 50. 10% label noise.
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::continuous("noise")],
+            2,
+        );
+        let mut state = seed;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut xs = Vec::new();
+        let mut zs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x = (rand() % 1000) as f32 / 10.0;
+            let z = (rand() % 1000) as f32 / 10.0;
+            let mut label = u8::from(x >= 50.0);
+            if rand() % 10 == 0 {
+                label ^= 1;
+            }
+            xs.push(x);
+            zs.push(z);
+            labels.push(label);
+        }
+        Dataset::new(
+            schema,
+            vec![Column::Continuous(xs), Column::Continuous(zs)],
+            labels,
+        )
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_tree_without_losing_holdout_accuracy() {
+        let train = noisy_dataset(1, 600);
+        let valid = noisy_dataset(2, 300);
+        let test = noisy_dataset(3, 300);
+        let tree = sprint::induce(&train, &SprintConfig::default());
+        let pruned = reduced_error_prune(&tree, &valid);
+        pruned.validate();
+        assert!(
+            pruned.nodes.len() < tree.nodes.len(),
+            "pruning should shrink an overfit tree ({} vs {})",
+            pruned.nodes.len(),
+            tree.nodes.len()
+        );
+        let acc_full = tree.accuracy(&test);
+        let acc_pruned = pruned.accuracy(&test);
+        assert!(
+            acc_pruned + 0.02 >= acc_full,
+            "pruned {acc_pruned} much worse than full {acc_full}"
+        );
+        // Both should be close to the 90% noise ceiling.
+        assert!(acc_pruned > 0.8);
+    }
+
+    #[test]
+    fn pruning_perfect_tree_keeps_perfect_accuracy() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(
+            schema,
+            vec![Column::Continuous((0..40).map(|i| i as f32).collect())],
+            (0..40).map(|i| u8::from(i >= 20)).collect(),
+        );
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let pruned = reduced_error_prune(&tree, &data);
+        pruned.validate();
+        assert_eq!(pruned.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn pruning_with_empty_validation_collapses_to_root_leaf() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(
+            schema.clone(),
+            vec![Column::Continuous(vec![1.0, 2.0, 3.0, 4.0])],
+            vec![0, 0, 1, 1],
+        );
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let empty = Dataset::new(schema, vec![Column::Continuous(vec![])], vec![]);
+        let pruned = reduced_error_prune(&tree, &empty);
+        // Zero validation errors either way → leaf preferred everywhere.
+        assert_eq!(pruned.nodes.len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared split-candidate construction used by every classifier in the
+//! workspace (serial SPRINT, CART-style, and — via the `scalparc` crate —
+//! both parallel formulations). Keeping candidate generation in one place
+//! is what guarantees identical trees across implementations.
+
+use crate::gini::{best_subset_split_with, CountMatrix, Criterion};
+use crate::tree::{BestSplit, SplitTest};
+
+/// How categorical attributes are split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CatSplitMode {
+    /// One partition per domain value (paper §2's default assumption).
+    #[default]
+    PerValue,
+    /// Two partitions characterized by a subset of domain values (the
+    /// paper's footnote variant; SPRINT/SLIQ-style subsetting — exhaustive
+    /// up to [`crate::gini::SUBSET_EXHAUSTIVE_LIMIT`] populated values,
+    /// greedy beyond).
+    BinarySubset,
+}
+
+/// How split candidates are generated and scored: categorical mode plus the
+/// impurity criterion. One copy of these options is shared by every
+/// classifier in the workspace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitOptions {
+    /// How categorical attributes split.
+    pub cat_mode: CatSplitMode,
+    /// Which impurity function scores candidates (gini in the paper;
+    /// entropy as the C4.5-style extension).
+    pub criterion: Criterion,
+}
+
+/// The categorical candidate for `attr` from its (global) count matrix.
+pub fn categorical_candidate(
+    attr: usize,
+    matrix: &CountMatrix,
+    opts: SplitOptions,
+) -> Option<BestSplit> {
+    match opts.cat_mode {
+        CatSplitMode::PerValue => opts.criterion.multiway_split(matrix).map(|gini| BestSplit {
+            gini,
+            test: SplitTest::Categorical { attr },
+        }),
+        CatSplitMode::BinarySubset => {
+            best_subset_split_with(matrix, opts.criterion).map(|s| BestSplit {
+                gini: s.gini,
+                test: SplitTest::CategoricalSubset {
+                    attr,
+                    left_mask: s.left_mask,
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[u64]]) -> CountMatrix {
+        let classes = rows[0].len();
+        let flat: Vec<u64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        CountMatrix::from_slice(rows.len(), classes, &flat)
+    }
+
+    #[test]
+    fn per_value_mode_yields_m_way_test() {
+        let m = matrix(&[&[3, 0], &[0, 3]]);
+        let c = categorical_candidate(
+            5,
+            &m,
+            SplitOptions {
+                cat_mode: CatSplitMode::PerValue,
+                ..SplitOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.test, SplitTest::Categorical { attr: 5 });
+        assert_eq!(c.gini, 0.0);
+    }
+
+    #[test]
+    fn subset_mode_yields_binary_test() {
+        let m = matrix(&[&[3, 0], &[0, 3], &[2, 0]]);
+        let c = categorical_candidate(
+            1,
+            &m,
+            SplitOptions {
+                cat_mode: CatSplitMode::BinarySubset,
+                ..SplitOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            c.test,
+            SplitTest::CategoricalSubset {
+                attr: 1,
+                left_mask: 0b101
+            }
+        );
+        assert_eq!(c.gini, 0.0);
+    }
+
+    #[test]
+    fn both_modes_agree_there_is_nothing_to_split() {
+        let m = matrix(&[&[4, 4], &[0, 0]]);
+        let per_value = SplitOptions::default();
+        let subset = SplitOptions {
+            cat_mode: CatSplitMode::BinarySubset,
+            ..SplitOptions::default()
+        };
+        assert!(categorical_candidate(0, &m, per_value).is_none());
+        assert!(categorical_candidate(0, &m, subset).is_none());
+    }
+}

@@ -1,0 +1,428 @@
+//! Serial SPRINT (Shafer, Agrawal & Mehta, VLDB 1996) — the sequential
+//! classifier ScalParC parallelizes (paper §2).
+//!
+//! Continuous attributes are sorted **once** during presort; the splitting
+//! phase keeps every list sorted by splitting stably. Consistent assignment
+//! of the non-splitting attribute lists uses a record-id → child hash table
+//! built per node from the splitting attribute's list — the structure whose
+//! replication makes parallel SPRINT unscalable and whose distribution is
+//! ScalParC's contribution.
+//!
+//! Induction proceeds level by level (breadth-first) and assigns node ids in
+//! a canonical order, so trees from every classifier in this workspace can
+//! be compared for exact equality.
+
+use crate::data::{AttrKind, Dataset, Schema};
+use crate::hashutil::{rid_map_with_capacity, RidMap};
+use crate::gini::{ContinuousScan, CountMatrix};
+use crate::list::{build_lists, AttrList, CatEntry, ContEntry};
+use crate::split::{categorical_candidate, SplitOptions};
+use crate::tree::{majority_class, BestSplit, DecisionTree, Node, SplitTest, StopRules};
+
+/// Configuration of serial SPRINT induction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SprintConfig {
+    /// Stopping rules applied in the split-determining phase.
+    pub stop: StopRules,
+    /// Candidate generation options (categorical mode, criterion).
+    pub split: SplitOptions,
+}
+
+/// Counters describing an induction run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InductionStats {
+    /// Number of tree levels processed (root level = 1).
+    pub levels: u32,
+    /// Largest number of simultaneously active (split-candidate) nodes.
+    pub max_active_nodes: usize,
+    /// Largest record-id → child hash table built for a single node; for the
+    /// root this is `N`, the paper's memory-pressure argument.
+    pub max_hash_entries: usize,
+    /// Total records moved through hash probes during splitting.
+    pub hash_probes: u64,
+}
+
+/// Work item: one active node and its attribute lists.
+struct Work {
+    node_id: u32,
+    depth: u32,
+    hist: Vec<u64>,
+    lists: Vec<AttrList>,
+}
+
+/// Induce a decision tree with serial SPRINT.
+pub fn induce(data: &Dataset, cfg: &SprintConfig) -> DecisionTree {
+    induce_with_stats(data, cfg).0
+}
+
+/// Induce a tree, also returning run statistics.
+pub fn induce_with_stats(data: &Dataset, cfg: &SprintConfig) -> (DecisionTree, InductionStats) {
+    let schema = data.schema.clone();
+    let mut stats = InductionStats::default();
+
+    let mut nodes = vec![Node::leaf(0, data.class_hist())];
+    let mut level: Vec<Work> = Vec::new();
+    if !data.is_empty() && !cfg.stop.pre_split_leaf(&nodes[0].hist, 0) {
+        // Presort: the one-time sort of continuous attributes.
+        level.push(Work {
+            node_id: 0,
+            depth: 0,
+            hist: nodes[0].hist.clone(),
+            lists: build_lists(data, 0, true),
+        });
+    }
+
+    while !level.is_empty() {
+        stats.levels += 1;
+        stats.max_active_nodes = stats.max_active_nodes.max(level.len());
+        let mut next: Vec<Work> = Vec::new();
+        for work in level {
+            let parent_gini = cfg.split.criterion.impurity(&work.hist);
+            let best = find_best_split(&schema, &work, cfg.split);
+            let split = match best {
+                Some(b) if !cfg.stop.insufficient_gain(parent_gini, b.gini) => b,
+                _ => continue, // node stays a leaf
+            };
+
+            let arity = split.test.arity(&schema);
+            // Split the splitting attribute's list directly and build the
+            // record-id → child hash table from it.
+            let split_attr = split.test.attr();
+            let (hash, child_hists) =
+                build_node_table(&work.lists[split_attr], &split.test, arity, work.hist.len());
+            stats.max_hash_entries = stats.max_hash_entries.max(hash.len());
+
+            // Split every attribute list consistently.
+            let mut child_lists: Vec<Vec<AttrList>> = (0..arity).map(|_| Vec::new()).collect();
+            for (a, list) in work.lists.into_iter().enumerate() {
+                let parts = split_list(list, arity, |rid| {
+                    if a == split_attr {
+                        // The splitting list could route directly, but the
+                        // hash probe is equivalent and keeps one code path.
+                        hash[&rid] as usize
+                    } else {
+                        stats.hash_probes += 1;
+                        hash[&rid] as usize
+                    }
+                });
+                for (c, part) in parts.into_iter().enumerate() {
+                    child_lists[c].push(part);
+                }
+            }
+
+            // Create children in canonical order.
+            let parent_majority = nodes[work.node_id as usize].majority;
+            let mut children = Vec::with_capacity(arity);
+            for (hist, lists) in child_hists.into_iter().zip(child_lists) {
+                let id = nodes.len() as u32;
+                let n: u64 = hist.iter().sum();
+                let mut child = Node::leaf(work.depth + 1, hist.clone());
+                if n == 0 {
+                    // Empty partition: predict the parent's majority.
+                    child.majority = parent_majority;
+                }
+                nodes.push(child);
+                children.push(id);
+                if n > 0 && !cfg.stop.pre_split_leaf(&hist, work.depth + 1) {
+                    next.push(Work {
+                        node_id: id,
+                        depth: work.depth + 1,
+                        hist,
+                        lists,
+                    });
+                }
+            }
+            let parent = &mut nodes[work.node_id as usize];
+            parent.test = Some(split.test);
+            parent.children = children;
+        }
+        level = next;
+    }
+
+    let tree = DecisionTree { schema, nodes };
+    (tree, stats)
+}
+
+/// Split-determining phase for one node: scan continuous lists, build count
+/// matrices for categorical lists, return the best candidate.
+fn find_best_split(schema: &Schema, work: &Work, opts: SplitOptions) -> Option<BestSplit> {
+    let mut best: Option<BestSplit> = None;
+    for (attr, list) in work.lists.iter().enumerate() {
+        let candidate = match (&schema.attrs[attr].kind, list) {
+            (AttrKind::Continuous, AttrList::Continuous(entries)) => {
+                let mut scan =
+                    ContinuousScan::fresh(work.hist.clone()).with_criterion(opts.criterion);
+                for e in entries {
+                    scan.push(e.value, e.class);
+                }
+                scan.best().map(|c| BestSplit {
+                    gini: c.gini,
+                    test: SplitTest::Continuous {
+                        attr,
+                        threshold: c.threshold,
+                    },
+                })
+            }
+            (AttrKind::Categorical { cardinality }, AttrList::Categorical(entries)) => {
+                let mut m = CountMatrix::new(*cardinality as usize, work.hist.len());
+                for e in entries {
+                    m.add(e.value as usize, e.class as usize);
+                }
+                categorical_candidate(attr, &m, opts)
+            }
+            _ => unreachable!("list kind matches schema"),
+        };
+        best = BestSplit::better(best, candidate);
+    }
+    best
+}
+
+/// Build the record-id → child mapping (SPRINT's per-node hash table) from
+/// the splitting attribute's list, along with per-child class histograms.
+fn build_node_table(
+    list: &AttrList,
+    test: &SplitTest,
+    arity: usize,
+    classes: usize,
+) -> (RidMap<u8>, Vec<Vec<u64>>) {
+    let mut hash = rid_map_with_capacity(list.len());
+    let mut hists = vec![vec![0u64; classes]; arity];
+    match (list, test) {
+        (AttrList::Continuous(entries), SplitTest::Continuous { threshold, .. }) => {
+            for e in entries {
+                let child = usize::from(e.value >= *threshold);
+                hash.insert(e.rid, child as u8);
+                hists[child][e.class as usize] += 1;
+            }
+        }
+        (AttrList::Categorical(entries), SplitTest::Categorical { .. }) => {
+            for e in entries {
+                let child = e.value as usize;
+                hash.insert(e.rid, child as u8);
+                hists[child][e.class as usize] += 1;
+            }
+        }
+        (AttrList::Categorical(entries), SplitTest::CategoricalSubset { left_mask, .. }) => {
+            for e in entries {
+                let child = usize::from((left_mask >> e.value) & 1 == 0);
+                hash.insert(e.rid, child as u8);
+                hists[child][e.class as usize] += 1;
+            }
+        }
+        _ => panic!("splitting list kind does not match the test"),
+    }
+    (hash, hists)
+}
+
+/// Stable partition of a list into `arity` children via `child_of(rid)`;
+/// preserves the sorted order of continuous lists.
+fn split_list(list: AttrList, arity: usize, mut child_of: impl FnMut(u32) -> usize) -> Vec<AttrList> {
+    match list {
+        AttrList::Continuous(entries) => {
+            let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in entries {
+                parts[child_of(e.rid)].push(e);
+            }
+            parts.into_iter().map(AttrList::Continuous).collect()
+        }
+        AttrList::Categorical(entries) => {
+            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in entries {
+                parts[child_of(e.rid)].push(e);
+            }
+            parts.into_iter().map(AttrList::Categorical).collect()
+        }
+    }
+}
+
+/// Recompute the majority histogram of children and update a freshly split
+/// parent — exposed for reuse by other classifiers' tests.
+pub fn child_majorities(hists: &[Vec<u64>]) -> Vec<u8> {
+    hists.iter().map(|h| majority_class(h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Column, Schema};
+
+    /// 8 records cleanly separable on x at 4.5.
+    fn separable() -> Dataset {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        Dataset::new(
+            schema,
+            vec![Column::Continuous(vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0,
+            ])],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn separable_data_gives_one_split() {
+        let (tree, stats) = induce_with_stats(&separable(), &SprintConfig::default());
+        tree.validate();
+        assert_eq!(tree.nodes.len(), 3);
+        assert_eq!(
+            tree.root().test,
+            Some(SplitTest::Continuous {
+                attr: 0,
+                threshold: 4.5
+            })
+        );
+        assert_eq!(tree.accuracy(&separable()), 1.0);
+        assert_eq!(stats.levels, 1);
+        assert_eq!(stats.max_hash_entries, 8);
+    }
+
+    #[test]
+    fn categorical_split() {
+        let schema = Schema::new(vec![AttrDef::categorical("g", 3)], 2);
+        let data = Dataset::new(
+            schema,
+            vec![Column::Categorical(vec![0, 0, 1, 1, 2, 2])],
+            vec![0, 0, 1, 1, 0, 0],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        tree.validate();
+        assert_eq!(tree.root().test, Some(SplitTest::Categorical { attr: 0 }));
+        assert_eq!(tree.root().children.len(), 3);
+        assert_eq!(tree.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn pure_data_stays_single_leaf() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(
+            schema,
+            vec![Column::Continuous(vec![1.0, 2.0, 3.0])],
+            vec![1, 1, 1],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        assert_eq!(tree.nodes.len(), 1);
+        assert!(tree.root().is_leaf());
+        assert_eq!(tree.root().majority, 1);
+    }
+
+    #[test]
+    fn unseparable_data_stays_leaf() {
+        // Identical attribute values, mixed classes: no candidate exists.
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(
+            schema,
+            vec![Column::Continuous(vec![5.0, 5.0, 5.0, 5.0])],
+            vec![0, 1, 0, 1],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        assert_eq!(tree.nodes.len(), 1);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let cfg = SprintConfig {
+            stop: StopRules {
+                max_depth: 1,
+                ..StopRules::default()
+            },
+            ..SprintConfig::default()
+        };
+        // xor-ish data needing two levels; depth 1 allows only the root split.
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
+            2,
+        );
+        let data = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![0.0, 0.0, 1.0, 1.0]),
+                Column::Continuous(vec![0.0, 1.0, 0.0, 1.0]),
+            ],
+            vec![0, 1, 1, 0],
+        );
+        let tree = induce(&data, &cfg);
+        tree.validate();
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn two_level_tree_solves_xor() {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
+            2,
+        );
+        let data = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![0.0, 0.0, 1.0, 1.0, 0.1, 0.1, 0.9, 0.9]),
+                Column::Continuous(vec![0.0, 1.0, 0.0, 1.0, 0.1, 0.9, 0.1, 0.9]),
+            ],
+            vec![0, 1, 1, 0, 0, 1, 1, 0],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        tree.validate();
+        assert_eq!(tree.accuracy(&data), 1.0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn mixed_attribute_types() {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 2)],
+            2,
+        );
+        // Class = categorical value; continuous attribute is noise that
+        // cannot separate perfectly.
+        let data = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![1.0, 2.0, 3.0, 1.5, 2.5, 3.5]),
+                Column::Categorical(vec![0, 1, 0, 1, 0, 1]),
+            ],
+            vec![0, 1, 0, 1, 0, 1],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        tree.validate();
+        assert_eq!(tree.root().test, Some(SplitTest::Categorical { attr: 1 }));
+        assert_eq!(tree.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn empty_categorical_child_predicts_parent_majority() {
+        let schema = Schema::new(vec![AttrDef::categorical("g", 3)], 2);
+        // Value 2 never occurs.
+        let data = Dataset::new(
+            schema.clone(),
+            vec![Column::Categorical(vec![0, 0, 1, 1, 1])],
+            vec![0, 0, 1, 1, 1],
+        );
+        let tree = induce(&data, &SprintConfig::default());
+        tree.validate();
+        let empty_child = tree.root().children[2];
+        let node = &tree.nodes[empty_child as usize];
+        assert_eq!(node.n(), 0);
+        assert_eq!(node.majority, 1); // parent majority is class 1
+    }
+
+    #[test]
+    fn stats_track_hash_probes() {
+        let (_, stats) = induce_with_stats(&separable(), &SprintConfig::default());
+        // Only one attribute, which is the splitting one → no non-splitting
+        // probes counted.
+        assert_eq!(stats.hash_probes, 0);
+
+        let schema = Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
+            2,
+        );
+        let data = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::Continuous(vec![4.0, 3.0, 2.0, 1.0]),
+            ],
+            vec![0, 0, 1, 1],
+        );
+        let (_, stats) = induce_with_stats(&data, &SprintConfig::default());
+        assert_eq!(stats.hash_probes, 4); // the non-splitting list's entries
+    }
+}

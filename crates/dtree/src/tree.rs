@@ -1,0 +1,569 @@
+//! The decision-tree model: nodes, split tests, prediction, and the
+//! canonical comparison of candidate splits shared by every classifier in
+//! this workspace (serial SPRINT, CART-style, parallel SPRINT, ScalParC).
+//!
+//! All classifiers must produce *identical* trees on identical data — the
+//! integration tests rely on it — so the tie-breaking rule for equal-gini
+//! candidates is defined once here: lower `gini` wins, then lower attribute
+//! index, then lower threshold.
+
+use std::cmp::Ordering;
+
+use crate::data::{AttrKind, Dataset, Schema};
+
+/// The decision at an internal node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitTest {
+    /// Binary test `A < threshold`: child 0 on success, child 1 otherwise.
+    Continuous {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold `v` of `A < v`.
+        threshold: f32,
+    },
+    /// m-way categorical test: a record with value `v` goes to child `v`
+    /// (one partition per domain value, paper §2).
+    Categorical {
+        /// Attribute index.
+        attr: usize,
+    },
+    /// Binary subset test on a categorical attribute (the paper's footnote
+    /// variant): values whose `left_mask` bit is set go to child 0, the
+    /// rest — including values unseen in training — to child 1.
+    CategoricalSubset {
+        /// Attribute index.
+        attr: usize,
+        /// Bitmask of domain values routed left.
+        left_mask: u64,
+    },
+}
+
+impl SplitTest {
+    /// The attribute this test examines.
+    pub fn attr(&self) -> usize {
+        match self {
+            SplitTest::Continuous { attr, .. }
+            | SplitTest::Categorical { attr }
+            | SplitTest::CategoricalSubset { attr, .. } => *attr,
+        }
+    }
+
+    /// Which child a record goes to.
+    pub fn route(&self, data: &Dataset, rid: usize) -> usize {
+        match *self {
+            SplitTest::Continuous { attr, threshold } => {
+                usize::from(data.continuous_value(attr, rid) >= threshold)
+            }
+            SplitTest::Categorical { attr } => data.categorical_value(attr, rid) as usize,
+            SplitTest::CategoricalSubset { attr, left_mask } => {
+                usize::from((left_mask >> data.categorical_value(attr, rid)) & 1 == 0)
+            }
+        }
+    }
+
+    /// Number of children this test creates under `schema`.
+    pub fn arity(&self, schema: &Schema) -> usize {
+        match *self {
+            SplitTest::Continuous { .. } | SplitTest::CategoricalSubset { .. } => 2,
+            SplitTest::Categorical { attr } => match schema.attrs[attr].kind {
+                AttrKind::Categorical { cardinality } => cardinality as usize,
+                AttrKind::Continuous => panic!("categorical test on continuous attribute"),
+            },
+        }
+    }
+
+    /// Total-order key for deterministic tie-breaking among equal-gini
+    /// candidates: attribute index, then test kind, then a kind-specific
+    /// discriminator (total-ordered threshold bits / subset mask).
+    fn order_key(&self) -> (usize, u8, u64) {
+        match *self {
+            SplitTest::Categorical { attr } => (attr, 0, 0),
+            SplitTest::CategoricalSubset { attr, left_mask } => (attr, 1, left_mask),
+            SplitTest::Continuous { attr, threshold } => {
+                // IEEE-754 total-order trick so negative thresholds sort
+                // below positive ones.
+                let bits = threshold.to_bits();
+                let key = if bits & 0x8000_0000 != 0 {
+                    !bits
+                } else {
+                    bits | 0x8000_0000
+                };
+                (attr, 2, key as u64)
+            }
+        }
+    }
+}
+
+/// A candidate split with its impurity score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BestSplit {
+    /// The split's weighted-impurity score under the active criterion
+    /// (gini by default; entropy when configured). Named `gini` after the
+    /// paper's criterion; lower is better under either.
+    pub gini: f64,
+    /// The test realizing it.
+    pub test: SplitTest,
+}
+
+impl BestSplit {
+    /// Canonical total order on candidates: gini, then the test's order
+    /// key (attribute index, kind, threshold/mask).
+    /// Every classifier in the workspace breaks ties with this order, which
+    /// is what makes their trees identical.
+    #[allow(clippy::should_implement_trait)] // deliberate: f64 keeps us off Ord
+    pub fn cmp(&self, other: &BestSplit) -> Ordering {
+        self.gini
+            .total_cmp(&other.gini)
+            .then_with(|| self.test.order_key().cmp(&other.test.order_key()))
+    }
+
+    /// Keep the better (lower) of two optional candidates.
+    pub fn better(a: Option<BestSplit>, b: Option<BestSplit>) -> Option<BestSplit> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.cmp(&x) == Ordering::Less { y } else { x }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+/// Stopping rules for tree induction (`FindSplitII` applies these — paper §4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopRules {
+    /// Nodes at this depth are never split (root has depth 0).
+    pub max_depth: u32,
+    /// Nodes with fewer records are never split.
+    pub min_records: u64,
+    /// Required strict improvement `gini(parent) − gini_split`. The paper's
+    /// classifiers split until leaves are pure, accepting zero-gain splits
+    /// (e.g. the first level of an XOR concept), so the default is negative:
+    /// any candidate split is taken. Set `0.0` or higher to demand real
+    /// impurity reduction (a pre-pruning heuristic).
+    pub min_gain: f64,
+}
+
+impl Default for StopRules {
+    fn default() -> Self {
+        StopRules {
+            max_depth: 1_000,
+            min_records: 2,
+            min_gain: -1.0,
+        }
+    }
+}
+
+impl StopRules {
+    /// True when a node with the given histogram/depth must become a leaf
+    /// before even searching for a split.
+    pub fn pre_split_leaf(&self, hist: &[u64], depth: u32) -> bool {
+        let n: u64 = hist.iter().sum();
+        let pure = hist.iter().filter(|&&c| c > 0).count() <= 1;
+        pure || n < self.min_records || depth >= self.max_depth
+    }
+
+    /// True when a found split does not improve impurity enough.
+    pub fn insufficient_gain(&self, parent_gini: f64, split_gini: f64) -> bool {
+        // NaN-conservative: any non-comparable gain counts as insufficient.
+        (parent_gini - split_gini).partial_cmp(&self.min_gain) != Some(Ordering::Greater)
+    }
+}
+
+/// One node of a decision tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+    /// Class histogram of the training records that reached this node.
+    pub hist: Vec<u64>,
+    /// Majority class (lowest class index on ties).
+    pub majority: u8,
+    /// The split test; `None` for leaves.
+    pub test: Option<SplitTest>,
+    /// Child node ids, aligned with the test's partitions.
+    pub children: Vec<u32>,
+}
+
+impl Node {
+    /// Construct a (leaf) node from a histogram.
+    pub fn leaf(depth: u32, hist: Vec<u64>) -> Self {
+        let majority = majority_class(&hist);
+        Node {
+            depth,
+            hist,
+            majority,
+            test: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of training records at this node.
+    pub fn n(&self) -> u64 {
+        self.hist.iter().sum()
+    }
+
+    /// True when this node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Majority class of a histogram (lowest index on ties; 0 if empty).
+pub fn majority_class(hist: &[u64]) -> u8 {
+    let mut best = 0usize;
+    for (i, &c) in hist.iter().enumerate() {
+        if c > hist[best] {
+            best = i;
+        }
+    }
+    best as u8
+}
+
+/// An induced decision tree (induction step only; see [`crate::prune`] for
+/// the pruning step).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionTree {
+    /// Schema the tree was trained under.
+    pub schema: Schema,
+    /// Node arena; the root is node 0.
+    pub nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Number of internal (decision) nodes.
+    pub fn num_internal(&self) -> usize {
+        self.nodes.len() - self.num_leaves()
+    }
+
+    /// Maximum node depth.
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Predict the class of record `rid` of `data` (which must share the
+    /// training schema's shape).
+    pub fn predict(&self, data: &Dataset, rid: usize) -> u8 {
+        let mut node = &self.nodes[0];
+        while let Some(test) = node.test {
+            let child = test.route(data, rid);
+            node = &self.nodes[node.children[child] as usize];
+        }
+        node.majority
+    }
+
+    /// Fraction of records of `data` whose label the tree predicts.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let hits = (0..data.len())
+            .filter(|&i| self.predict(data, i) == data.labels[i])
+            .count();
+        hits as f64 / data.len() as f64
+    }
+
+    /// Render an indented textual form (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: u32, out: &mut String) {
+        let node = &self.nodes[id as usize];
+        let pad = "  ".repeat(node.depth as usize);
+        match node.test {
+            None => {
+                out.push_str(&format!(
+                    "{pad}leaf class={} n={} hist={:?}\n",
+                    node.majority,
+                    node.n(),
+                    node.hist
+                ));
+            }
+            Some(SplitTest::Continuous { attr, threshold }) => {
+                out.push_str(&format!(
+                    "{pad}if {} < {threshold} (n={})\n",
+                    self.schema.attrs[attr].name,
+                    node.n()
+                ));
+                for &c in &node.children {
+                    self.render_node(c, out);
+                }
+            }
+            Some(SplitTest::Categorical { attr }) => {
+                out.push_str(&format!(
+                    "{pad}switch {} (n={})\n",
+                    self.schema.attrs[attr].name,
+                    node.n()
+                ));
+                for &c in &node.children {
+                    self.render_node(c, out);
+                }
+            }
+            Some(SplitTest::CategoricalSubset { attr, left_mask }) => {
+                out.push_str(&format!(
+                    "{pad}if {} in {:#b} (n={})\n",
+                    self.schema.attrs[attr].name,
+                    left_mask,
+                    node.n()
+                ));
+                for &c in &node.children {
+                    self.render_node(c, out);
+                }
+            }
+        }
+    }
+
+    /// Structural sanity check used by tests: children exist, depths are
+    /// consistent, child histograms sum to the parent's, arity matches the
+    /// test.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "tree has no nodes");
+        for (id, node) in self.nodes.iter().enumerate() {
+            match node.test {
+                None => assert!(node.children.is_empty(), "leaf {id} has children"),
+                Some(test) => {
+                    assert_eq!(
+                        node.children.len(),
+                        test.arity(&self.schema),
+                        "node {id} arity mismatch"
+                    );
+                    let mut sum = vec![0u64; node.hist.len()];
+                    for &c in &node.children {
+                        let child = &self.nodes[c as usize];
+                        assert_eq!(child.depth, node.depth + 1, "child depth mismatch");
+                        for (s, h) in sum.iter_mut().zip(&child.hist) {
+                            *s += h;
+                        }
+                    }
+                    assert_eq!(sum, node.hist, "node {id} child histograms do not sum");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Column};
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            2,
+        )
+    }
+
+    fn hand_tree() -> DecisionTree {
+        // root: x < 2.5 ? leaf(0) : leaf(1)
+        DecisionTree {
+            schema: toy_schema(),
+            nodes: vec![
+                Node {
+                    depth: 0,
+                    hist: vec![2, 2],
+                    majority: 0,
+                    test: Some(SplitTest::Continuous {
+                        attr: 0,
+                        threshold: 2.5,
+                    }),
+                    children: vec![1, 2],
+                },
+                Node::leaf(1, vec![2, 0]),
+                Node::leaf(1, vec![0, 2]),
+            ],
+        }
+    }
+
+    #[test]
+    fn prediction_routes_correctly() {
+        let t = hand_tree();
+        let d = Dataset::new(
+            toy_schema(),
+            vec![
+                Column::Continuous(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::Categorical(vec![0, 1, 2, 1]),
+            ],
+            vec![0, 0, 1, 1],
+        );
+        assert_eq!(t.predict(&d, 0), 0);
+        assert_eq!(t.predict(&d, 3), 1);
+        assert_eq!(t.accuracy(&d), 1.0);
+        t.validate();
+    }
+
+    #[test]
+    fn majority_prefers_lowest_on_tie() {
+        assert_eq!(majority_class(&[3, 3]), 0);
+        assert_eq!(majority_class(&[1, 5, 5]), 1);
+        assert_eq!(majority_class(&[]), 0);
+    }
+
+    #[test]
+    fn best_split_ordering() {
+        let a = BestSplit {
+            gini: 0.1,
+            test: SplitTest::Continuous {
+                attr: 0,
+                threshold: 5.0,
+            },
+        };
+        let b = BestSplit {
+            gini: 0.1,
+            test: SplitTest::Continuous {
+                attr: 0,
+                threshold: 2.0,
+            },
+        };
+        let c = BestSplit {
+            gini: 0.05,
+            test: SplitTest::Categorical { attr: 1 },
+        };
+        assert_eq!(c.cmp(&a), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Less); // lower threshold wins ties
+        assert_eq!(BestSplit::better(Some(a), Some(c)).unwrap(), c);
+        assert_eq!(BestSplit::better(None, Some(a)).unwrap(), a);
+        assert_eq!(BestSplit::better(Some(a), None).unwrap(), a);
+        assert_eq!(BestSplit::better(None, None), None);
+    }
+
+    #[test]
+    fn stop_rules() {
+        let r = StopRules::default();
+        assert!(r.pre_split_leaf(&[5, 0], 0)); // pure
+        assert!(r.pre_split_leaf(&[1, 0], 0)); // too small
+        assert!(!r.pre_split_leaf(&[3, 2], 0));
+        let shallow = StopRules {
+            max_depth: 1,
+            ..StopRules::default()
+        };
+        assert!(shallow.pre_split_leaf(&[3, 2], 1));
+        // Default rules accept zero-gain splits (paper: split until pure).
+        assert!(!r.insufficient_gain(0.5, 0.5));
+        assert!(!r.insufficient_gain(0.5, 0.4));
+        let strict = StopRules {
+            min_gain: 0.0,
+            ..StopRules::default()
+        };
+        assert!(strict.insufficient_gain(0.5, 0.5));
+        assert!(!strict.insufficient_gain(0.5, 0.4));
+    }
+
+    #[test]
+    fn arity_and_route() {
+        let schema = toy_schema();
+        let cont = SplitTest::Continuous {
+            attr: 0,
+            threshold: 2.5,
+        };
+        let cat = SplitTest::Categorical { attr: 1 };
+        assert_eq!(cont.arity(&schema), 2);
+        assert_eq!(cat.arity(&schema), 3);
+        let d = Dataset::new(
+            schema,
+            vec![
+                Column::Continuous(vec![2.4, 2.5]),
+                Column::Categorical(vec![2, 0]),
+            ],
+            vec![0, 1],
+        );
+        assert_eq!(cont.route(&d, 0), 0);
+        assert_eq!(cont.route(&d, 1), 1); // x >= threshold goes right
+        assert_eq!(cat.route(&d, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not sum")]
+    fn validate_catches_bad_histograms() {
+        let mut t = hand_tree();
+        t.nodes[1].hist = vec![1, 0];
+        t.validate();
+    }
+}
+
+impl DecisionTree {
+    /// Impurity-decrease feature importance (a.k.a. gini importance): for
+    /// each attribute, the total `n/N`-weighted impurity decrease of the
+    /// nodes splitting on it, normalized to sum to 1 (all zeros for a
+    /// single-leaf tree). `criterion` should match the one used to induce.
+    pub fn feature_importance(&self, criterion: crate::gini::Criterion) -> Vec<f64> {
+        let mut imp = vec![0.0f64; self.schema.num_attrs()];
+        let total = self.root().n() as f64;
+        if total == 0.0 {
+            return imp;
+        }
+        for node in &self.nodes {
+            let Some(test) = node.test else { continue };
+            let n = node.n() as f64;
+            let parent = criterion.impurity(&node.hist);
+            let children: f64 = node
+                .children
+                .iter()
+                .map(|&c| {
+                    let ch = &self.nodes[c as usize];
+                    (ch.n() as f64 / n) * criterion.impurity(&ch.hist)
+                })
+                .sum();
+            imp[test.attr()] += (n / total) * (parent - children).max(0.0);
+        }
+        let sum: f64 = imp.iter().sum();
+        if sum > 0.0 {
+            for x in &mut imp {
+                *x /= sum;
+            }
+        }
+        imp
+    }
+}
+
+#[cfg(test)]
+mod importance_tests {
+    use super::*;
+    use crate::data::{AttrDef, Column, Dataset};
+    use crate::gini::Criterion;
+    use crate::sprint::{self, SprintConfig};
+
+    #[test]
+    fn importance_concentrates_on_the_informative_attribute() {
+        let schema = Schema::new(
+            vec![AttrDef::continuous("signal"), AttrDef::continuous("junk")],
+            2,
+        );
+        let n = 200usize;
+        let signal: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let junk: Vec<f32> = (0..n).map(|i| ((i * 7919) % n) as f32).collect();
+        let labels: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+        let data = Dataset::new(
+            schema,
+            vec![Column::Continuous(signal), Column::Continuous(junk)],
+            labels,
+        );
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        let imp = tree.feature_importance(Criterion::Gini);
+        assert!(imp[0] > 0.95, "{imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_importance() {
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(
+            schema,
+            vec![Column::Continuous(vec![1.0, 2.0])],
+            vec![1, 1],
+        );
+        let tree = sprint::induce(&data, &SprintConfig::default());
+        assert_eq!(tree.feature_importance(Criterion::Gini), vec![0.0]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Anchor crate for the runnable examples in the repository-root
+//! `examples/` directory. See each example's module docs:
+//!
+//! * `quickstart` — generate data, induce with ScalParC, inspect the model;
+//! * `loan_approval` — full pipeline with noise, pruning, confusion matrix;
+//! * `cluster_scaling` — same algorithm under two machine cost models;
+//! * `csv_workflow` — file round-trip and serial/parallel agreement;
+//! * `parallel_hashing` — the hashing paradigm reused outside classification.

@@ -1,0 +1,190 @@
+//! Per-rank simulated clock.
+//!
+//! A rank's simulated time advances from two sources: measured computation
+//! (wall time while the rank holds a compute token, see [`crate::machine`])
+//! and modelled communication (costs from [`crate::cost::CostModel`]).
+//! Collectives synchronize clocks across ranks to `max + cost`, reproducing
+//! the bulk-synchronous structure of the algorithm.
+
+use std::time::Instant;
+
+/// How computation time is charged to the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Computation time is not measured; only explicit
+    /// [`SimClock::charge_compute`] calls and communication costs advance
+    /// the clock. Fastest mode; used by correctness tests, where the ranks
+    /// may oversubscribe the host freely.
+    #[default]
+    Free,
+    /// Computation segments run while holding the machine's single *compute
+    /// token* and their wall time is charged to the simulated clock. The
+    /// token — together with token-guarded collective copy phases — makes
+    /// measured segments run exclusively, so wall time is an honest
+    /// single-processor measurement even with 128 virtual processors
+    /// oversubscribing a 2-core host. (Per-thread CPU clocks would be the
+    /// natural tool, but they tick at jiffy granularity on some kernels,
+    /// far too coarse for millisecond segments.) Used by the benchmark
+    /// harnesses.
+    Measured,
+}
+
+/// Simulated clock for one virtual processor.
+#[derive(Debug)]
+pub struct SimClock {
+    mode: TimingMode,
+    clock_ns: u64,
+    compute_ns: u64,
+    comm_ns: u64,
+    timer: Option<Instant>,
+    /// Durations of completed measured segments, in order.
+    segments: Vec<u64>,
+    /// When set, measured segments charge these recorded durations instead
+    /// of the live measurement (deterministic replay; see
+    /// [`crate::machine::MachineCfg::replay`]).
+    replay: Option<std::sync::Arc<Vec<u64>>>,
+}
+
+impl SimClock {
+    /// New clock at time zero.
+    pub fn new(mode: TimingMode) -> Self {
+        SimClock {
+            mode,
+            clock_ns: 0,
+            compute_ns: 0,
+            comm_ns: 0,
+            timer: None,
+            segments: Vec::new(),
+            replay: None,
+        }
+    }
+
+    /// Replace live measurement with recorded segment durations.
+    pub fn set_replay(&mut self, durations: std::sync::Arc<Vec<u64>>) {
+        self.replay = Some(durations);
+    }
+
+    /// Durations of the measured segments completed so far (drained by the
+    /// machine when collecting statistics).
+    pub fn take_segments(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.segments)
+    }
+
+    /// The configured timing mode.
+    pub fn mode(&self) -> TimingMode {
+        self.mode
+    }
+
+    /// Begin a measured compute segment (no-op in [`TimingMode::Free`]).
+    pub fn start_compute(&mut self) {
+        if self.mode == TimingMode::Measured {
+            debug_assert!(self.timer.is_none(), "compute segment already open");
+            self.timer = Some(Instant::now());
+        }
+    }
+
+    /// End the current compute segment, charging its wall time (or the
+    /// recorded duration when replaying).
+    pub fn stop_compute(&mut self) {
+        if let Some(t0) = self.timer.take() {
+            let measured = t0.elapsed().as_nanos() as u64;
+            let dt = match &self.replay {
+                Some(r) => r.get(self.segments.len()).copied().unwrap_or(measured),
+                None => measured,
+            };
+            self.segments.push(dt);
+            self.clock_ns += dt;
+            self.compute_ns += dt;
+        }
+    }
+
+    /// Explicitly charge `ns` of computation (any mode). Lets workloads with
+    /// an analytic work model drive the clock deterministically.
+    pub fn charge_compute(&mut self, ns: u64) {
+        self.clock_ns += ns;
+        self.compute_ns += ns;
+    }
+
+    /// Charge `ns` of communication.
+    pub fn charge_comm(&mut self, ns: u64) {
+        self.clock_ns += ns;
+        self.comm_ns += ns;
+    }
+
+    /// Synchronize to a collective exit time `sync_ns` (already including the
+    /// collective's cost). Time spent waiting below `sync_ns` is accounted as
+    /// communication.
+    pub fn sync_to(&mut self, sync_ns: u64) {
+        if sync_ns > self.clock_ns {
+            self.comm_ns += sync_ns - self.clock_ns;
+            self.clock_ns = sync_ns;
+        }
+    }
+
+    /// Current simulated time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Total computation charged so far.
+    pub fn compute_ns(&self) -> u64 {
+        self.compute_ns
+    }
+
+    /// Total communication (including synchronization waits) charged so far.
+    pub fn comm_ns(&self) -> u64 {
+        self.comm_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_mode_ignores_segments() {
+        let mut c = SimClock::new(TimingMode::Free);
+        c.start_compute();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        c.stop_compute();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn measured_mode_charges_busy_time() {
+        let mut c = SimClock::new(TimingMode::Measured);
+        c.start_compute();
+        // Busy work: CPU-time clocks ignore sleeps, so burn real cycles.
+        let mut acc = 0u64;
+        for i in 0..5_000_000u64 {
+            acc = acc.wrapping_add(i ^ (i << 7));
+        }
+        std::hint::black_box(acc);
+        c.stop_compute();
+        assert!(c.now_ns() > 100_000, "got {}", c.now_ns());
+        assert_eq!(c.now_ns(), c.compute_ns());
+    }
+
+    #[test]
+    fn sync_accounts_wait_as_comm() {
+        let mut c = SimClock::new(TimingMode::Free);
+        c.charge_compute(100);
+        c.sync_to(250);
+        assert_eq!(c.now_ns(), 250);
+        assert_eq!(c.compute_ns(), 100);
+        assert_eq!(c.comm_ns(), 150);
+        // Sync below current time is a no-op.
+        c.sync_to(10);
+        assert_eq!(c.now_ns(), 250);
+    }
+
+    #[test]
+    fn explicit_charges_accumulate() {
+        let mut c = SimClock::new(TimingMode::Free);
+        c.charge_compute(40);
+        c.charge_comm(60);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.compute_ns(), 40);
+        assert_eq!(c.comm_ns(), 60);
+    }
+}

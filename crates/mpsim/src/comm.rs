@@ -1,0 +1,832 @@
+//! The per-rank communicator: collectives and point-to-point operations.
+//!
+//! All collectives follow the same bulk-synchronous skeleton:
+//!
+//! 1. close the current compute segment and publish (clock, payload bytes)
+//!    on the shared boards, deposit data;
+//! 2. barrier;
+//! 3. read peers' deposits and boards, synchronize the local clock to
+//!    `max(entry clocks) + modelled cost`;
+//! 4. barrier (so slots may be safely reused);
+//! 5. reopen a compute segment.
+//!
+//! The contract is standard MPI: every rank of the machine must call every
+//! collective, in the same order. Point-to-point `send`/`recv` may be used by
+//! any subset of ranks and are FIFO-ordered per (source, destination) pair.
+
+use std::any::Any;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::clock::SimClock;
+use crate::machine::{PtpMsg, Shared};
+use crate::mem::MemTracker;
+use crate::stats::RankStats;
+
+/// Which cost formula a collective uses (payload size comes from the
+/// shared bytes board).
+#[derive(Clone, Copy)]
+enum CollKind {
+    Barrier,
+    Tree,
+    Allgather,
+    Alltoall,
+}
+
+/// Memory-tracker category used for transient collective buffers.
+pub const COMM_MEM: &str = "comm-buffers";
+
+/// Communicator handle owned by one virtual processor.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    clock: SimClock,
+    tracker: Arc<MemTracker>,
+    senders: Vec<Sender<PtpMsg>>,
+    receivers: Vec<Receiver<PtpMsg>>,
+    bytes_sent: u64,
+    bytes_recv: u64,
+    msgs_sent: u64,
+}
+
+fn payload_bytes<T>(len: usize) -> u64 {
+    (std::mem::size_of::<T>() * len) as u64
+}
+
+fn downcast<T: 'static>(b: Box<dyn Any + Send>) -> T {
+    *b.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "mpsim type mismatch: expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        shared: Arc<Shared>,
+        clock: SimClock,
+        tracker: Arc<MemTracker>,
+        senders: Vec<Sender<PtpMsg>>,
+        receivers: Vec<Receiver<PtpMsg>>,
+    ) -> Self {
+        Comm {
+            rank,
+            shared,
+            clock,
+            tracker,
+            senders,
+            receivers,
+            bytes_sent: 0,
+            bytes_recv: 0,
+            msgs_sent: 0,
+        }
+    }
+
+    /// This rank's id, `0 ≤ rank < size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of virtual processors in the machine.
+    pub fn size(&self) -> usize {
+        self.shared.procs
+    }
+
+    /// The rank-local memory tracker. Clone the `Arc` to hand it to data
+    /// structures owned by this rank.
+    pub fn tracker(&self) -> &Arc<MemTracker> {
+        &self.tracker
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Explicitly charge computation time (for analytic work models).
+    pub fn charge_compute(&mut self, ns: u64) {
+        self.clock.charge_compute(ns);
+    }
+
+    // ----- machine lifecycle -------------------------------------------------
+
+    pub(crate) fn pin_worker(&self) {
+        self.shared.tokens.pin_worker();
+    }
+
+    pub(crate) fn set_replay(&mut self, durations: std::sync::Arc<Vec<u64>>) {
+        self.clock.set_replay(durations);
+    }
+
+    pub(crate) fn begin(&mut self) {
+        self.shared.tokens.acquire();
+        self.clock.start_compute();
+    }
+
+    pub(crate) fn finish(&mut self) -> RankStats {
+        self.clock.stop_compute();
+        self.shared.tokens.release();
+        RankStats {
+            clock_ns: self.clock.now_ns(),
+            compute_ns: self.clock.compute_ns(),
+            comm_ns: self.clock.comm_ns(),
+            bytes_sent: self.bytes_sent,
+            bytes_recv: self.bytes_recv,
+            msgs_sent: self.msgs_sent,
+            peak_mem: self.tracker.peak(),
+            mem_categories: self.tracker.categories(),
+            segments: self.clock.take_segments(),
+        }
+    }
+
+    // ----- collective skeleton ----------------------------------------------
+
+    fn enter(&mut self, my_bytes: u64) {
+        self.clock.stop_compute();
+        self.shared.tokens.release();
+        self.shared.clock_board[self.rank].store(self.clock.now_ns(), Ordering::Release);
+        self.shared.bytes_board[self.rank].store(my_bytes, Ordering::Release);
+        // Self-traffic is not network traffic: a single-processor machine
+        // communicates nothing.
+        if self.shared.procs > 1 {
+            self.bytes_sent += my_bytes;
+        }
+        self.msgs_sent += 1;
+    }
+
+    fn exit(&mut self) {
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        self.clock.start_compute();
+    }
+
+    fn sync_with_cost(&mut self, kind: CollKind) {
+        let (max_clock, max_bytes) = self.shared.board_max();
+        let p = self.shared.procs;
+        let cost = match kind {
+            CollKind::Barrier => self.shared.cost.barrier(p),
+            CollKind::Tree => self.shared.cost.tree(p, max_bytes),
+            CollKind::Allgather => self.shared.cost.allgather(p, max_bytes),
+            CollKind::Alltoall => self.shared.cost.alltoall(p, max_bytes),
+        };
+        self.clock.sync_to(max_clock + cost);
+    }
+
+    fn deposit(&self, value: Option<Box<dyn Any + Send>>) {
+        *self.shared.slots[self.rank].lock() = value;
+    }
+
+    /// Read rank `r`'s deposit as `Arc<T>` without consuming it.
+    fn peek<T: Send + Sync + 'static>(&self, r: usize) -> Arc<T> {
+        let guard = self.shared.slots[r].lock();
+        let any = guard
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {r} deposited nothing for this collective"));
+        any.downcast_ref::<Arc<T>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "mpsim type mismatch reading rank {r}: expected {}",
+                    std::any::type_name::<T>()
+                )
+            })
+            .clone()
+    }
+
+    // ----- collectives --------------------------------------------------------
+
+    /// Synchronize all ranks; clocks align to `max + barrier cost`.
+    pub fn barrier(&mut self) {
+        self.enter(0);
+        self.shared.barrier.wait();
+        self.sync_with_cost(CollKind::Barrier);
+        self.exit();
+    }
+
+    /// Broadcast `value` from `root`. Non-root ranks pass `None`.
+    pub fn bcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+        let bytes = if self.rank == root {
+            std::mem::size_of::<T>() as u64
+        } else {
+            0
+        };
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        if self.rank == root {
+            let v = value.expect("broadcast root must supply a value");
+            self.deposit(Some(Box::new(Arc::new(v))));
+        } else {
+            assert!(value.is_none(), "non-root rank supplied a broadcast value");
+            self.deposit(None);
+        }
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let out = self.peek::<T>(root).as_ref().clone();
+        self.shared.tokens.release();
+        if self.rank != root {
+            self.bytes_recv += std::mem::size_of::<T>() as u64;
+        }
+        self.tracker.pulse(COMM_MEM, std::mem::size_of::<T>() as u64);
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
+        out
+    }
+
+    /// Reduce with `op` onto `root`; returns `Some(result)` there, `None`
+    /// elsewhere. `op` is applied in rank order, so non-commutative folds are
+    /// deterministic.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.reduce_sized(root, value, bytes, op)
+    }
+
+    /// [`Comm::reduce`] with an explicit per-rank payload size, for payloads
+    /// whose wire size `size_of::<T>()` cannot see (e.g. `Vec` contents).
+    pub fn reduce_sized<T, F>(&mut self, root: usize, value: T, bytes: u64, op: F) -> Option<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        let out = if self.rank == root {
+            self.shared.tokens.acquire();
+            let mut acc = self.peek::<T>(0).as_ref().clone();
+            for r in 1..self.shared.procs {
+                op(&mut acc, self.peek::<T>(r).as_ref());
+            }
+            self.shared.tokens.release();
+            self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+            Some(acc)
+        } else {
+            None
+        };
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
+        out
+    }
+
+    /// All-reduce: every rank receives the rank-ordered fold of all values.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.allreduce_sized(value, bytes, op)
+    }
+
+    /// [`Comm::allreduce`] with an explicit per-rank payload size, for
+    /// payloads whose wire size `size_of::<T>()` cannot see (`Vec`s).
+    pub fn allreduce_sized<T, F>(&mut self, value: T, bytes: u64, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let mut acc = self.peek::<T>(0).as_ref().clone();
+        for r in 1..self.shared.procs {
+            op(&mut acc, self.peek::<T>(r).as_ref());
+        }
+        self.shared.tokens.release();
+        if self.shared.procs > 1 {
+            self.bytes_recv += bytes;
+        }
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
+        acc
+    }
+
+    /// Exclusive prefix scan: rank `i` receives `op(identity, v_0, …, v_{i-1})`.
+    /// Rank 0 receives `identity`. This is the "parallel prefix" the paper
+    /// uses in `FindSplitI` to globalize per-node count matrices.
+    pub fn scan_exclusive<T, F>(&mut self, value: T, identity: T, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.scan_exclusive_sized(value, identity, bytes, op)
+    }
+
+    /// [`Comm::scan_exclusive`] with an explicit per-rank payload size.
+    pub fn scan_exclusive_sized<T, F>(&mut self, value: T, identity: T, bytes: u64, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let mut acc = identity;
+        for r in 0..self.rank {
+            op(&mut acc, self.peek::<T>(r).as_ref());
+        }
+        self.shared.tokens.release();
+        if self.rank > 0 {
+            self.bytes_recv += bytes;
+        }
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
+        acc
+    }
+
+    /// Gather one value per rank onto `root` (rank order).
+    pub fn gather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+    ) -> Option<Vec<T>> {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        let out = if self.rank == root {
+            self.shared.tokens.acquire();
+            let mut v = Vec::with_capacity(self.shared.procs);
+            for r in 0..self.shared.procs {
+                v.push(self.peek::<T>(r).as_ref().clone());
+            }
+            self.shared.tokens.release();
+            self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+            self.tracker
+                .pulse(COMM_MEM, bytes * self.shared.procs as u64);
+            Some(v)
+        } else {
+            None
+        };
+        self.sync_with_cost(CollKind::Allgather);
+        self.exit();
+        out
+    }
+
+    /// Allgather one value per rank; every rank receives all values in rank
+    /// order.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T) -> Vec<T> {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let mut v = Vec::with_capacity(self.shared.procs);
+        for r in 0..self.shared.procs {
+            v.push(self.peek::<T>(r).as_ref().clone());
+        }
+        self.shared.tokens.release();
+        self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+        self.tracker
+            .pulse(COMM_MEM, bytes * self.shared.procs as u64);
+        self.sync_with_cost(CollKind::Allgather);
+        self.exit();
+        v
+    }
+
+    /// Variable-length allgather: every rank contributes a vector; every rank
+    /// receives the rank-ordered concatenation.
+    ///
+    /// This is the operation that makes the parallel SPRINT splitting phase
+    /// unscalable: each rank receives the *entire* record-to-child mapping,
+    /// `O(N)` bytes, regardless of `p`.
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, value: Vec<T>) -> Vec<T> {
+        let bytes = payload_bytes::<T>(value.len());
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(Arc::new(value))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let mut total = 0usize;
+        let parts: Vec<Arc<Vec<T>>> = (0..self.shared.procs)
+            .map(|r| {
+                let a = self.peek::<Vec<T>>(r);
+                total += a.len();
+                a
+            })
+            .collect();
+        let mut out = Vec::with_capacity(total);
+        for part in &parts {
+            out.extend_from_slice(part);
+        }
+        self.shared.tokens.release();
+        self.bytes_recv += payload_bytes::<T>(total).saturating_sub(bytes);
+        self.tracker
+            .pulse(COMM_MEM, bytes + payload_bytes::<T>(total));
+        // Cost: the largest per-rank contribution bounds each doubling step.
+        self.sync_with_cost(CollKind::Allgather);
+        self.exit();
+        out
+    }
+
+    /// All-to-all personalized communication with variable payloads:
+    /// `bufs[d]` is moved to rank `d`; the result's element `s` is the buffer
+    /// rank `s` addressed to this rank.
+    ///
+    /// This is the core primitive of the paper's parallel hashing paradigm.
+    pub fn alltoallv<T: Send + 'static>(&mut self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.shared.procs;
+        assert_eq!(bufs.len(), p, "alltoallv needs one buffer per rank");
+        let send_bytes: u64 = bufs
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, b)| payload_bytes::<T>(b.len()))
+            .sum();
+        let self_bytes = payload_bytes::<T>(bufs[self.rank].len());
+        self.enter(send_bytes);
+        self.shared.tokens.acquire();
+        for (dst, buf) in bufs.into_iter().enumerate() {
+            *self.shared.mslots[self.rank * p + dst].lock() = Some(Box::new(buf));
+        }
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut recv_bytes = 0u64;
+        for src in 0..p {
+            let any = self.shared.mslots[src * p + self.rank]
+                .lock()
+                .take()
+                .unwrap_or_else(|| panic!("rank {src} deposited no alltoallv buffer"));
+            let buf: Vec<T> = downcast(any);
+            recv_bytes += payload_bytes::<T>(buf.len());
+            out.push(buf);
+        }
+        self.shared.tokens.release();
+        self.bytes_recv += recv_bytes.saturating_sub(self_bytes);
+        self.tracker.pulse(COMM_MEM, send_bytes + recv_bytes);
+        self.sync_with_cost(CollKind::Alltoall);
+        self.exit();
+        out
+    }
+
+    /// Fixed-size all-to-all: element `d` of `items` goes to rank `d`.
+    pub fn alltoall<T: Send + 'static>(&mut self, items: Vec<T>) -> Vec<T> {
+        let bufs = items.into_iter().map(|x| vec![x]).collect();
+        self.alltoallv(bufs)
+            .into_iter()
+            .map(|mut v| {
+                assert_eq!(v.len(), 1);
+                v.pop().unwrap()
+            })
+            .collect()
+    }
+
+    // ----- point-to-point -----------------------------------------------------
+
+    /// Send `value` to rank `dst`. Never blocks. FIFO per (src, dst) pair;
+    /// the receiver must `recv` with the matching type.
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, value: T) {
+        let bytes = std::mem::size_of::<T>() as u64;
+        let depart_ns = self.clock.now_ns();
+        self.clock.charge_comm(self.shared.cost.ptp(bytes));
+        self.bytes_sent += bytes;
+        self.msgs_sent += 1;
+        self.senders[dst]
+            .send(PtpMsg {
+                data: Box::new(value),
+                depart_ns,
+                bytes,
+            })
+            .expect("mpsim channel closed");
+    }
+
+    /// Send a vector to rank `dst` (payload-sized accounting).
+    pub fn send_vec<T: Send + 'static>(&mut self, dst: usize, value: Vec<T>) {
+        let bytes = payload_bytes::<T>(value.len());
+        let depart_ns = self.clock.now_ns();
+        self.clock.charge_comm(self.shared.cost.ptp(bytes));
+        self.bytes_sent += bytes;
+        self.msgs_sent += 1;
+        self.senders[dst]
+            .send(PtpMsg {
+                data: Box::new(value),
+                depart_ns,
+                bytes,
+            })
+            .expect("mpsim channel closed");
+    }
+
+    /// Receive the next message from rank `src`, blocking if necessary.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
+        self.clock.stop_compute();
+        self.shared.tokens.release();
+        let msg = self.receivers[src].recv().expect("mpsim channel closed");
+        self.clock
+            .sync_to(msg.depart_ns + self.shared.cost.ptp(msg.bytes));
+        self.bytes_recv += msg.bytes;
+        self.tracker.pulse(COMM_MEM, msg.bytes);
+        self.shared.tokens.acquire();
+        self.clock.start_compute();
+        downcast(msg.data)
+    }
+
+    /// Receive a vector sent with [`Comm::send_vec`].
+    pub fn recv_vec<T: Send + 'static>(&mut self, src: usize) -> Vec<T> {
+        self.recv::<Vec<T>>(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{run, MachineCfg};
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let cfg = MachineCfg::new(4);
+            let r = run(&cfg, |c| {
+                let v = if c.rank() == root {
+                    Some(root * 100 + 7)
+                } else {
+                    None
+                };
+                c.bcast(root, v)
+            });
+            assert!(r.outputs.iter().all(|&v| v == root * 100 + 7));
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let cfg = MachineCfg::new(7);
+        let r = run(&cfg, |c| {
+            let sum = c.allreduce(c.rank() as u64 + 1, |a, b| *a += *b);
+            let max = c.allreduce(c.rank() as u64, |a, b| *a = (*a).max(*b));
+            (sum, max)
+        });
+        for &(sum, max) in &r.outputs {
+            assert_eq!(sum, 28);
+            assert_eq!(max, 6);
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_result() {
+        let cfg = MachineCfg::new(5);
+        let r = run(&cfg, |c| c.reduce(2, 1u32, |a, b| *a += *b));
+        for (rank, out) in r.outputs.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(*out, Some(5));
+            } else {
+                assert_eq!(*out, None);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_exclusive_prefix_sums() {
+        let cfg = MachineCfg::new(6);
+        let r = run(&cfg, |c| {
+            c.scan_exclusive((c.rank() + 1) as u64, 0u64, |a, b| *a += *b)
+        });
+        // prefix sums of [1,2,3,4,5,6] exclusive: [0,1,3,6,10,15]
+        assert_eq!(r.outputs, vec![0, 1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn gather_and_allgather() {
+        let cfg = MachineCfg::new(4);
+        let r = run(&cfg, |c| {
+            let g = c.gather(0, c.rank() as u32);
+            let ag = c.allgather(c.rank() as u32 * 2);
+            (g, ag)
+        });
+        assert_eq!(r.outputs[0].0, Some(vec![0, 1, 2, 3]));
+        assert_eq!(r.outputs[3].0, None);
+        for (_, ag) in &r.outputs {
+            assert_eq!(*ag, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let cfg = MachineCfg::new(3);
+        let r = run(&cfg, |c| {
+            let mine: Vec<u32> = (0..c.rank() as u32 + 1).map(|i| c.rank() as u32 * 10 + i).collect();
+            c.allgatherv(mine)
+        });
+        for out in &r.outputs {
+            assert_eq!(*out, vec![0, 10, 11, 20, 21, 22]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_transpose() {
+        let p = 5;
+        let cfg = MachineCfg::new(p);
+        let r = run(&cfg, |c| {
+            let bufs: Vec<Vec<(usize, usize)>> = (0..p)
+                .map(|d| vec![(c.rank(), d); c.rank() + d])
+                .collect();
+            c.alltoallv(bufs)
+        });
+        for (me, out) in r.outputs.iter().enumerate() {
+            for (src, buf) in out.iter().enumerate() {
+                assert_eq!(buf.len(), src + me);
+                assert!(buf.iter().all(|&(s, d)| s == src && d == me));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_fixed() {
+        let cfg = MachineCfg::new(4);
+        let r = run(&cfg, |c| {
+            let items: Vec<u32> = (0..4).map(|d| (c.rank() * 10 + d) as u32).collect();
+            c.alltoall(items)
+        });
+        // rank m receives [s*10+m for s in 0..4]
+        for (m, out) in r.outputs.iter().enumerate() {
+            let want: Vec<u32> = (0..4).map(|s| (s * 10 + m) as u32).collect();
+            assert_eq!(*out, want);
+        }
+    }
+
+    #[test]
+    fn ptp_ring() {
+        let p = 6;
+        let cfg = MachineCfg::new(p);
+        let r = run(&cfg, |c| {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send(next, c.rank() as u64);
+            c.recv::<u64>(prev)
+        });
+        for (me, got) in r.outputs.iter().enumerate() {
+            assert_eq!(*got as usize, (me + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn ptp_vec_roundtrip() {
+        let cfg = MachineCfg::new(2);
+        let r = run(&cfg, |c| {
+            if c.rank() == 0 {
+                c.send_vec(1, vec![1u8, 2, 3]);
+                Vec::new()
+            } else {
+                c.recv_vec::<u8>(0)
+            }
+        });
+        assert_eq!(r.outputs[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collective_clock_sync_monotonic() {
+        let cfg = MachineCfg::new(4);
+        let r = run(&cfg, |c| {
+            c.charge_compute((c.rank() as u64 + 1) * 1000);
+            c.barrier();
+            c.now_ns()
+        });
+        // After a barrier all clocks agree, and equal at least the slowest
+        // rank's entry time.
+        let t = r.outputs[0];
+        assert!(r.outputs.iter().all(|&x| x == t));
+        assert!(t >= 4000);
+    }
+
+    #[test]
+    fn comm_bytes_accounted() {
+        let cfg = MachineCfg::new(2);
+        let r = run(&cfg, |c| {
+            let _ = c.allgatherv(vec![0u64; 100]);
+        });
+        for rs in &r.stats.ranks {
+            assert!(rs.bytes_sent >= 800);
+            assert!(rs.peak_mem >= 1600); // send + concatenated recv pulse
+        }
+    }
+
+    #[test]
+    fn mixed_type_ptp_fifo_per_pair() {
+        let cfg = MachineCfg::new(2);
+        let r = run(&cfg, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7u32);
+                c.send_vec(1, vec![1.5f64, 2.5]);
+                c.send(1, "done".to_string());
+                (0, vec![], String::new())
+            } else {
+                let a = c.recv::<u32>(0);
+                let b = c.recv_vec::<f64>(0);
+                let s = c.recv::<String>(0);
+                (a, b, s)
+            }
+        });
+        assert_eq!(r.outputs[1], (7, vec![1.5, 2.5], "done".to_string()));
+    }
+
+    #[test]
+    fn allgatherv_with_empty_contributions() {
+        let cfg = MachineCfg::new(4);
+        let r = run(&cfg, |c| {
+            let mine: Vec<u8> = if c.rank() == 2 { vec![9, 9] } else { vec![] };
+            c.allgatherv(mine)
+        });
+        for out in &r.outputs {
+            assert_eq!(*out, vec![9, 9]);
+        }
+    }
+
+    #[test]
+    fn vector_payload_scan() {
+        let cfg = MachineCfg::new(3);
+        let r = run(&cfg, |c| {
+            let mine = vec![c.rank() as u64 + 1; 4];
+            c.scan_exclusive_sized(mine, vec![0u64; 4], 32, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += *y;
+                }
+            })
+        });
+        assert_eq!(r.outputs[0], vec![0; 4]);
+        assert_eq!(r.outputs[1], vec![1; 4]);
+        assert_eq!(r.outputs[2], vec![3; 4]);
+    }
+
+    #[test]
+    fn barrier_charges_cost_model() {
+        use crate::cost::CostModel;
+        let cfg = MachineCfg {
+            procs: 4,
+            cost: CostModel::t3d(),
+            timing: crate::TimingMode::Free,
+            compute_tokens: 0,
+            replay: None,
+        };
+        let r = run(&cfg, |c| {
+            c.barrier();
+            c.barrier();
+            c.now_ns()
+        });
+        let want = 2 * CostModel::t3d().barrier(4);
+        assert!(r.outputs.iter().all(|&t| t == want), "{:?}", r.outputs);
+    }
+
+    #[test]
+    fn replay_overrides_measured_durations() {
+        use std::sync::Arc;
+        // First run: record real segments (3 segments per rank: begin→b1,
+        // b1→b2, b2→finish).
+        let cfg = MachineCfg::measured(2, crate::cost::CostModel::free());
+        let first = run(&cfg, |c| {
+            c.barrier();
+            c.barrier();
+        });
+        let segs: Vec<Vec<u64>> = first
+            .stats
+            .ranks
+            .iter()
+            .map(|r| r.segments.iter().map(|_| 1000u64).collect())
+            .collect();
+        let n_segs = segs[0].len();
+        let cfg2 = MachineCfg {
+            replay: Some(Arc::new(segs)),
+            ..cfg
+        };
+        let second = run(&cfg2, |c| {
+            c.barrier();
+            c.barrier();
+        });
+        for r in &second.stats.ranks {
+            assert_eq!(r.compute_ns, n_segs as u64 * 1000);
+        }
+    }
+
+    #[test]
+    fn stress_many_collectives_many_ranks() {
+        let cfg = MachineCfg::new(16);
+        let r = run(&cfg, |c| {
+            let mut acc = 0u64;
+            for round in 0..20u64 {
+                acc += c.allreduce(round + c.rank() as u64, |a, b| *a += *b);
+            }
+            acc
+        });
+        assert!(r.outputs.iter().all(|&v| v == r.outputs[0]));
+    }
+}

@@ -1,0 +1,216 @@
+//! Linear communication cost model.
+//!
+//! The paper benchmarks the Cray T3D's tuned MPI "assuming a linear model of
+//! communication" and reports (digits partially lost in the source text) a
+//! point-to-point latency on the order of 100 µs with ~30 MB/s bandwidth, and
+//! for the all-to-all collectives a latency linear in the processor count
+//! (~25 µs per processor) with ~45 MB/s aggregate per-processor bandwidth.
+//! The defaults below encode those T3D-like constants; every experiment
+//! accepts a custom [`CostModel`], and the *shape* of the scalability curves
+//! (who wins, where the deviation from ideal begins) is insensitive to the
+//! exact constants.
+//!
+//! Costs are returned in nanoseconds of simulated time. Tree-structured
+//! collectives (broadcast, reduce, scan) are charged `⌈log2 p⌉` point-to-point
+//! steps, the standard model from Kumar et al., *Introduction to Parallel
+//! Computing* — the reference the paper itself cites for these operations.
+
+/// Parameters of the linear communication model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Point-to-point latency per message, nanoseconds.
+    pub ptp_latency_ns: f64,
+    /// Point-to-point bandwidth, bytes per second.
+    pub ptp_bandwidth: f64,
+    /// All-to-all personalized latency, nanoseconds *per processor*.
+    pub a2a_latency_ns_per_proc: f64,
+    /// All-to-all personalized per-processor bandwidth, bytes per second.
+    pub a2a_bandwidth: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::t3d()
+    }
+}
+
+impl CostModel {
+    /// T3D-like constants (see module docs).
+    pub fn t3d() -> Self {
+        CostModel {
+            ptp_latency_ns: 100_000.0,         // 100 µs
+            ptp_bandwidth: 30.0e6,             // 30 MB/s
+            a2a_latency_ns_per_proc: 25_000.0, // 25 µs per processor
+            a2a_bandwidth: 45.0e6,             // 45 MB/s
+        }
+    }
+
+    /// A model for a modern commodity cluster (for sensitivity studies):
+    /// ~2 µs latency, ~10 GB/s links.
+    pub fn modern_cluster() -> Self {
+        CostModel {
+            ptp_latency_ns: 2_000.0,
+            ptp_bandwidth: 10.0e9,
+            a2a_latency_ns_per_proc: 1_000.0,
+            a2a_bandwidth: 8.0e9,
+        }
+    }
+
+    /// T3D constants rescaled for a modern host CPU.
+    ///
+    /// The paper's compute runs on a 150 MHz Alpha EV4; this reproduction's
+    /// compute runs on a ~2020s core that is roughly `factor` times faster
+    /// on this workload. Dividing the communication constants by the same
+    /// factor preserves the paper's computation-to-communication ratio —
+    /// the quantity every scalability shape in Figure 3 depends on. The
+    /// benchmark harnesses default to `factor = 64`.
+    pub fn t3d_scaled(factor: f64) -> Self {
+        assert!(factor > 0.0);
+        let base = CostModel::t3d();
+        CostModel {
+            ptp_latency_ns: base.ptp_latency_ns / factor,
+            ptp_bandwidth: base.ptp_bandwidth * factor,
+            a2a_latency_ns_per_proc: base.a2a_latency_ns_per_proc / factor,
+            a2a_bandwidth: base.a2a_bandwidth * factor,
+        }
+    }
+
+    /// A zero-cost model: communication is free. Useful to isolate
+    /// computation time in ablations.
+    pub fn free() -> Self {
+        CostModel {
+            ptp_latency_ns: 0.0,
+            ptp_bandwidth: f64::INFINITY,
+            a2a_latency_ns_per_proc: 0.0,
+            a2a_bandwidth: f64::INFINITY,
+        }
+    }
+
+    #[inline]
+    fn xfer_ns(bytes: u64, bandwidth: f64) -> f64 {
+        if bandwidth.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 * 1e9 / bandwidth
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes` payload.
+    pub fn ptp(&self, bytes: u64) -> u64 {
+        (self.ptp_latency_ns + Self::xfer_ns(bytes, self.ptp_bandwidth)) as u64
+    }
+
+    /// Cost of an all-to-all personalized exchange on `p` processors where
+    /// the busiest processor sends/receives `max_bytes` in total.
+    ///
+    /// This is the operation at the heart of the parallel hashing paradigm;
+    /// the paper notes it completes in `O(m)` time for `m` keys per processor
+    /// provided `m = Ω(p)`.
+    pub fn alltoall(&self, p: usize, max_bytes: u64) -> u64 {
+        if p <= 1 {
+            return 0;
+        }
+        (self.a2a_latency_ns_per_proc * p as f64 + Self::xfer_ns(max_bytes, self.a2a_bandwidth))
+            as u64
+    }
+
+    /// Cost of a tree-structured collective (broadcast / reduce / scan) on
+    /// `p` processors moving `bytes` per step.
+    pub fn tree(&self, p: usize, bytes: u64) -> u64 {
+        if p <= 1 {
+            return 0;
+        }
+        let steps = usize::BITS - (p - 1).leading_zeros(); // ceil(log2 p)
+        steps as u64 * self.ptp(bytes)
+    }
+
+    /// Cost of an allgather on `p` processors where each contributes
+    /// `bytes_each` and every processor ends with `p * bytes_each`.
+    ///
+    /// Modelled as the standard recursive-doubling allgather:
+    /// `α·log p + (p-1)·m/B`.
+    pub fn allgather(&self, p: usize, bytes_each: u64) -> u64 {
+        if p <= 1 {
+            return 0;
+        }
+        let steps = usize::BITS - (p - 1).leading_zeros();
+        (steps as f64 * self.ptp_latency_ns
+            + Self::xfer_ns((p as u64 - 1) * bytes_each, self.ptp_bandwidth)) as u64
+    }
+
+    /// Cost of a barrier: one tree collective with empty payload.
+    pub fn barrier(&self, p: usize) -> u64 {
+        self.tree(p, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_is_free() {
+        let m = CostModel::t3d();
+        assert_eq!(m.alltoall(1, 1 << 20), 0);
+        assert_eq!(m.tree(1, 1 << 20), 0);
+        assert_eq!(m.allgather(1, 1 << 20), 0);
+        assert_eq!(m.barrier(1), 0);
+    }
+
+    #[test]
+    fn ptp_scales_linearly_in_bytes() {
+        let m = CostModel::t3d();
+        let small = m.ptp(1_000);
+        let large = m.ptp(1_000_000);
+        // Latency-dominated at 1 KB, bandwidth-dominated at 1 MB.
+        assert!(large > 10 * small);
+        // 1 MB at 30 MB/s is ~33 ms.
+        assert!((large as f64 - 1e6 * 1e9 / 30e6 - 100_000.0).abs() < 1e3);
+    }
+
+    #[test]
+    fn alltoall_latency_linear_in_p() {
+        let m = CostModel::t3d();
+        let c32 = m.alltoall(32, 0);
+        let c64 = m.alltoall(64, 0);
+        assert_eq!(c64, 2 * c32);
+    }
+
+    #[test]
+    fn tree_cost_is_log_p() {
+        let m = CostModel::t3d();
+        assert_eq!(m.tree(2, 0), m.ptp(0));
+        assert_eq!(m.tree(8, 0), 3 * m.ptp(0));
+        assert_eq!(m.tree(9, 0), 4 * m.ptp(0));
+        assert_eq!(m.tree(128, 0), 7 * m.ptp(0));
+    }
+
+    #[test]
+    fn allgather_volume_grows_with_p() {
+        let m = CostModel::t3d();
+        // Fixed per-rank contribution: total received grows with p, so the
+        // cost must grow roughly linearly in p for bandwidth-bound sizes.
+        let c4 = m.allgather(4, 1 << 20);
+        let c64 = m.allgather(64, 1 << 20);
+        assert!(c64 > 10 * c4);
+    }
+
+    #[test]
+    fn scaled_model_preserves_ratios() {
+        let base = CostModel::t3d();
+        let fast = CostModel::t3d_scaled(64.0);
+        assert!((base.ptp(1 << 20) as f64 / fast.ptp(1 << 20) as f64 - 64.0).abs() < 1.0);
+        assert!(
+            (base.alltoall(32, 1 << 20) as f64 / fast.alltoall(32, 1 << 20) as f64 - 64.0).abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn free_model_is_zero_everywhere() {
+        let m = CostModel::free();
+        assert_eq!(m.ptp(1 << 30), 0);
+        assert_eq!(m.alltoall(128, 1 << 30), 0);
+        assert_eq!(m.allgather(128, 1 << 30), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The virtual machine: spawns `p` ranks as threads, wires up the shared
+//! communication boards and point-to-point channels, and collects statistics.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+pub use crate::clock::TimingMode;
+use crate::comm::Comm;
+use crate::cost::CostModel;
+use crate::mem::MemTracker;
+use crate::stats::{RankStats, RunStats};
+
+/// Configuration for a machine run.
+#[derive(Clone, Debug)]
+pub struct MachineCfg {
+    /// Number of virtual processors.
+    pub procs: usize,
+    /// Communication cost model.
+    pub cost: CostModel,
+    /// How computation time is charged (see [`TimingMode`]).
+    pub timing: TimingMode,
+    /// Number of compute tokens in [`TimingMode::Measured`]; `0` means `1`
+    /// (fully exclusive measured segments — the accurate default).
+    pub compute_tokens: usize,
+    /// Recorded per-rank segment durations to replay instead of live
+    /// measurement (outer index = rank). A deterministic SPMD program runs
+    /// the same segments every time, so replaying the elementwise minimum
+    /// of several measured runs filters out host noise (CPU steal,
+    /// preemption) while keeping the honest per-segment costs.
+    pub replay: Option<Arc<Vec<Vec<u64>>>>,
+}
+
+impl MachineCfg {
+    /// Default configuration: free-running timing, T3D cost model.
+    pub fn new(procs: usize) -> Self {
+        MachineCfg {
+            procs,
+            cost: CostModel::default(),
+            timing: TimingMode::Free,
+            compute_tokens: 0,
+            replay: None,
+        }
+    }
+
+    /// Configuration for benchmark runs: measured computation time.
+    pub fn measured(procs: usize, cost: CostModel) -> Self {
+        MachineCfg {
+            procs,
+            cost,
+            timing: TimingMode::Measured,
+            compute_tokens: 0,
+            replay: None,
+        }
+    }
+
+    fn effective_tokens(&self) -> usize {
+        if self.timing != TimingMode::Measured {
+            return usize::MAX; // tokens disabled
+        }
+        if self.compute_tokens > 0 {
+            self.compute_tokens
+        } else {
+            // One token: measured segments (and token-guarded collective
+            // copy phases) run exclusively, so their wall time is a clean
+            // single-processor measurement regardless of oversubscription.
+            1
+        }
+    }
+}
+
+/// Pin the calling thread to one CPU core (no-op on failure or non-Unix).
+#[cfg(unix)]
+fn pin_to_core(core: usize) {
+    // SAFETY: plain syscall with a locally-initialized mask.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(core, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    }
+}
+
+/// Pin the calling thread to every core except core 0.
+#[cfg(unix)]
+fn pin_to_others(ncores: usize) {
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        for c in 1..ncores.max(2) {
+            libc::CPU_SET(c, &mut set);
+        }
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    }
+}
+
+#[cfg(not(unix))]
+fn pin_to_core(_core: usize) {}
+#[cfg(not(unix))]
+fn pin_to_others(_ncores: usize) {}
+
+/// Counting semaphore gating measured compute segments.
+///
+/// FIFO handoff built on per-thread parking: a release wakes exactly one
+/// waiter and nobody spins. This matters for measurement quality — with a
+/// condvar- or spin-based semaphore, every barrier release stampedes ~p
+/// waiters onto the lock, stealing CPU from the one measured segment that
+/// is running and systematically inflating its wall time.
+pub(crate) struct Tokens {
+    state: Mutex<TokenState>,
+    enabled: bool,
+    /// Pin token holders to core 0 (measured mode on multi-core hosts):
+    /// the one measured segment owns a core; the other ranks' wakeup storms
+    /// stay on the remaining cores and cannot perturb the measurement.
+    pin: bool,
+    host_cores: usize,
+}
+
+struct TokenState {
+    avail: usize,
+    queue: std::collections::VecDeque<std::thread::Thread>,
+}
+
+impl Tokens {
+    fn new(count: usize) -> Self {
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let enabled = count != usize::MAX;
+        Tokens {
+            state: Mutex::new(TokenState {
+                avail: if enabled { count } else { 0 },
+                queue: std::collections::VecDeque::new(),
+            }),
+            enabled,
+            pin: enabled && count == 1 && host_cores >= 2,
+            host_cores,
+        }
+    }
+
+    /// Confine the calling (non-token-holding) thread to the non-measured
+    /// cores. Called once per rank thread at machine start.
+    pub(crate) fn pin_worker(&self) {
+        if self.pin {
+            pin_to_others(self.host_cores);
+        }
+    }
+
+    pub(crate) fn acquire(&self) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut s = self.state.lock();
+            if s.avail > 0 && s.queue.is_empty() {
+                s.avail -= 1;
+                drop(s);
+                if self.pin {
+                    pin_to_core(0);
+                }
+                return;
+            }
+            s.queue.push_back(std::thread::current());
+        }
+        // Park until a release hands the token to this thread. Spurious
+        // unparks are possible, so re-check queue membership.
+        loop {
+            std::thread::park();
+            let s = self.state.lock();
+            let me = std::thread::current().id();
+            if !s.queue.iter().any(|t| t.id() == me) {
+                // A release removed us from the queue: the token is ours.
+                drop(s);
+                if self.pin {
+                    pin_to_core(0);
+                }
+                return;
+            }
+            drop(s);
+        }
+    }
+
+    pub(crate) fn release(&self) {
+        if !self.enabled {
+            return;
+        }
+        if self.pin {
+            pin_to_others(self.host_cores);
+        }
+        let mut s = self.state.lock();
+        if let Some(next) = s.queue.pop_front() {
+            // Direct handoff: avail stays as-is, the waiter owns the token.
+            drop(s);
+            next.unpark();
+        } else {
+            s.avail += 1;
+        }
+    }
+}
+
+/// A point-to-point message in flight.
+pub(crate) struct PtpMsg {
+    pub data: Box<dyn Any + Send>,
+    /// Sender's simulated clock at departure.
+    pub depart_ns: u64,
+    pub bytes: u64,
+}
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// State shared by all ranks of one machine.
+pub(crate) struct Shared {
+    pub procs: usize,
+    pub cost: CostModel,
+    pub barrier: Barrier,
+    /// One deposit slot per rank, for broadcast/reduce/scan/gather-style
+    /// collectives.
+    pub slots: Vec<Slot>,
+    /// `procs × procs` matrix of slots for all-to-all exchanges, row-major
+    /// `[src * procs + dst]`.
+    pub mslots: Vec<Slot>,
+    /// Per-rank clock board: each rank publishes its clock at collective
+    /// entry; all ranks synchronize to the max plus the collective's cost.
+    pub clock_board: Vec<CachePadded<AtomicU64>>,
+    /// Per-rank payload-size board for collective cost computation.
+    pub bytes_board: Vec<CachePadded<AtomicU64>>,
+    pub tokens: Tokens,
+}
+
+impl Shared {
+    fn new(cfg: &MachineCfg) -> Self {
+        let p = cfg.procs;
+        Shared {
+            procs: p,
+            cost: cfg.cost,
+            barrier: Barrier::new(p),
+            slots: (0..p).map(|_| Mutex::new(None)).collect(),
+            mslots: (0..p * p).map(|_| Mutex::new(None)).collect(),
+            clock_board: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            bytes_board: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            tokens: Tokens::new(cfg.effective_tokens()),
+        }
+    }
+
+    pub(crate) fn board_max(&self) -> (u64, u64) {
+        let mut max_clock = 0;
+        let mut max_bytes = 0;
+        for r in 0..self.procs {
+            max_clock = max_clock.max(self.clock_board[r].load(Ordering::Acquire));
+            max_bytes = max_bytes.max(self.bytes_board[r].load(Ordering::Acquire));
+        }
+        (max_clock, max_bytes)
+    }
+}
+
+/// Result of a machine run: the per-rank outputs (rank order) and statistics.
+#[derive(Debug)]
+pub struct RunResult<T> {
+    pub outputs: Vec<T>,
+    pub stats: RunStats,
+}
+
+/// Run `f` as an SPMD program on `cfg.procs` virtual processors.
+///
+/// `f` is invoked once per rank with that rank's [`Comm`] handle. The
+/// returned outputs are ordered by rank. Panics in any rank propagate.
+pub fn run<T, F>(cfg: &MachineCfg, f: F) -> RunResult<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(cfg.procs >= 1, "machine needs at least one processor");
+    let p = cfg.procs;
+    let shared = Arc::new(Shared::new(cfg));
+
+    // p×p mesh of point-to-point channels.
+    let mut senders: Vec<Vec<Option<Sender<PtpMsg>>>> = (0..p).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<PtpMsg>>>> = (0..p).map(|_| Vec::new()).collect();
+    for srow in senders.iter_mut() {
+        for rrow in receivers.iter_mut() {
+            let (tx, rx) = unbounded();
+            srow.push(Some(tx));
+            rrow.push(Some(rx));
+        }
+    }
+
+    let mut rank_ctx: Vec<Option<Comm>> = Vec::with_capacity(p);
+    for (rank, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
+        let mut comm = Comm::new(
+            rank,
+            Arc::clone(&shared),
+            SimClock::new(cfg.timing),
+            Arc::new(MemTracker::new()),
+            srow.into_iter().map(|s| s.unwrap()).collect(),
+            rrow.into_iter().map(|r| r.unwrap()).collect(),
+        );
+        if let Some(replay) = &cfg.replay {
+            comm.set_replay(Arc::new(replay[rank].clone()));
+        }
+        rank_ctx.push(Some(comm));
+    }
+
+    let mut results: Vec<Option<(T, RankStats)>> = (0..p).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, (ctx, out)) in rank_ctx.iter_mut().zip(results.iter_mut()).enumerate() {
+            let fref = &f;
+            let mut comm = ctx.take().unwrap();
+            handles.push(
+                scope
+                    .builder()
+                    .name(format!("mpsim-rank-{rank}"))
+                    .spawn(move |_| {
+                        comm.pin_worker();
+                        comm.begin();
+                        let value = fref(&mut comm);
+                        let stats = comm.finish();
+                        *out = Some((value, stats));
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    })
+    .expect("machine scope failed");
+
+    let mut outputs = Vec::with_capacity(p);
+    let mut ranks = Vec::with_capacity(p);
+    for slot in results {
+        let (v, s) = slot.expect("rank produced no output");
+        outputs.push(v);
+        ranks.push(s);
+    }
+    RunResult {
+        outputs,
+        stats: RunStats { ranks },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_rank_ordered() {
+        let cfg = MachineCfg::new(8);
+        let r = run(&cfg, |c| c.rank() * 10);
+        assert_eq!(r.outputs, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(r.stats.procs(), 8);
+    }
+
+    #[test]
+    fn single_proc_works() {
+        let cfg = MachineCfg::new(1);
+        let r = run(&cfg, |c| {
+            c.barrier();
+            c.size()
+        });
+        assert_eq!(r.outputs, vec![1]);
+    }
+
+    #[test]
+    fn many_procs_oversubscribe_fine() {
+        let cfg = MachineCfg::new(64);
+        let r = run(&cfg, |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(r.outputs.len(), 64);
+    }
+
+    #[test]
+    fn measured_mode_charges_compute() {
+        let cfg = MachineCfg::measured(4, CostModel::free());
+        let r = run(&cfg, |_c| {
+            // Busy loop long enough to register on the clock; black_box
+            // keeps the compiler from folding the loop away.
+            let mut acc = 0u64;
+            for i in 0..5_000_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i * i));
+            }
+            acc
+        });
+        for rs in &r.stats.ranks {
+            assert!(rs.compute_ns > 0, "compute time not measured");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        let cfg = MachineCfg::new(2);
+        let _ = run(&cfg, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 must not block on a collective here, or the machine
+            // deadlocks instead of propagating. Plain return is fine.
+            0
+        });
+    }
+
+    #[test]
+    fn tokens_acquire_release() {
+        let t = Tokens::new(2);
+        t.acquire();
+        t.acquire();
+        t.release();
+        t.acquire();
+        t.release();
+        t.release();
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-rank memory accounting.
+//!
+//! Figure 3(b) of the paper plots *memory required per processor*. On the
+//! simulator, operating-system metrics for one oversubscribed thread are
+//! meaningless, so memory is accounted explicitly: every major data
+//! structure (attribute lists, node table, communication buffers, count
+//! matrices) registers its allocations with the rank-local [`MemTracker`],
+//! which maintains current usage and the high-water mark, per category and
+//! overall.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Usage counters for a single category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatUsage {
+    /// Bytes currently allocated in this category.
+    pub current: u64,
+    /// High-water mark for this category.
+    pub peak: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    current: u64,
+    peak: u64,
+    cats: BTreeMap<&'static str, CatUsage>,
+}
+
+/// Byte-exact memory tracker for one virtual processor.
+///
+/// All methods take `&self`; the tracker is internally synchronized so it can
+/// be shared with helper structures owned by the same rank.
+#[derive(Default)]
+pub struct MemTracker {
+    inner: Mutex<Inner>,
+}
+
+impl MemTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation of `bytes` in `category`.
+    pub fn alloc(&self, category: &'static str, bytes: u64) {
+        let mut g = self.inner.lock();
+        g.current += bytes;
+        g.peak = g.peak.max(g.current);
+        let c = g.cats.entry(category).or_default();
+        c.current += bytes;
+        c.peak = c.peak.max(c.current);
+    }
+
+    /// Record a release of `bytes` from `category`.
+    ///
+    /// # Panics
+    /// Panics if more bytes are freed than are currently allocated — that is
+    /// always an accounting bug in the caller.
+    pub fn free(&self, category: &'static str, bytes: u64) {
+        let mut g = self.inner.lock();
+        assert!(g.current >= bytes, "mem accounting underflow (total)");
+        g.current -= bytes;
+        let c = g
+            .cats
+            .get_mut(category)
+            .unwrap_or_else(|| panic!("free from unknown category {category:?}"));
+        assert!(
+            c.current >= bytes,
+            "mem accounting underflow in category {category:?}"
+        );
+        c.current -= bytes;
+    }
+
+    /// Record a transient allocation: `bytes` are allocated and immediately
+    /// released, but the peak still observes them. Used by collectives for
+    /// communication buffers whose lifetime is a single exchange.
+    pub fn pulse(&self, category: &'static str, bytes: u64) {
+        let mut g = self.inner.lock();
+        let cur = g.current;
+        g.peak = g.peak.max(cur + bytes);
+        let c = g.cats.entry(category).or_default();
+        c.peak = c.peak.max(c.current + bytes);
+    }
+
+    /// Adjust a category to a new absolute size (convenience for structures
+    /// that grow and shrink, e.g. attribute-list segments).
+    pub fn set(&self, category: &'static str, bytes: u64) {
+        let mut g = self.inner.lock();
+        let c = g.cats.entry(category).or_default();
+        let old = c.current;
+        c.current = bytes;
+        c.peak = c.peak.max(bytes);
+        let cur = g.current + bytes;
+        // Apply the delta to the total, guarding underflow.
+        let new_total = cur.checked_sub(old).expect("mem accounting underflow");
+        g.current = new_total;
+        g.peak = g.peak.max(new_total);
+    }
+
+    /// Bytes currently allocated across all categories.
+    pub fn current(&self) -> u64 {
+        self.inner.lock().current
+    }
+
+    /// Overall high-water mark.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// Usage for one category (zero if never used).
+    pub fn category(&self, category: &'static str) -> CatUsage {
+        self.inner
+            .lock()
+            .cats
+            .get(category)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all categories.
+    pub fn categories(&self) -> Vec<(&'static str, CatUsage)> {
+        self.inner
+            .lock()
+            .cats
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+
+/// RAII guard that frees its bytes on drop. Handy for scoped buffers.
+pub struct MemGuard<'a> {
+    tracker: &'a MemTracker,
+    category: &'static str,
+    bytes: u64,
+}
+
+impl<'a> MemGuard<'a> {
+    /// Allocate `bytes` in `category`, released when the guard drops.
+    pub fn new(tracker: &'a MemTracker, category: &'static str, bytes: u64) -> Self {
+        tracker.alloc(category, bytes);
+        MemGuard {
+            tracker,
+            category,
+            bytes,
+        }
+    }
+
+    /// Grow the guarded allocation by `extra` bytes.
+    pub fn grow(&mut self, extra: u64) {
+        self.tracker.alloc(self.category, extra);
+        self.bytes += extra;
+    }
+}
+
+impl Drop for MemGuard<'_> {
+    fn drop(&mut self) {
+        self.tracker.free(self.category, self.bytes);
+    }
+}
+
+/// Size in bytes of a slice's payload.
+pub fn bytes_of<T>(slice: &[T]) -> u64 {
+    std::mem::size_of_val(slice) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let t = MemTracker::new();
+        t.alloc("a", 100);
+        t.alloc("b", 50);
+        assert_eq!(t.current(), 150);
+        assert_eq!(t.peak(), 150);
+        t.free("a", 100);
+        assert_eq!(t.current(), 50);
+        assert_eq!(t.peak(), 150);
+        assert_eq!(t.category("a").peak, 100);
+        assert_eq!(t.category("a").current, 0);
+    }
+
+    #[test]
+    fn pulse_moves_peak_only() {
+        let t = MemTracker::new();
+        t.alloc("base", 10);
+        t.pulse("comm", 1000);
+        assert_eq!(t.current(), 10);
+        assert_eq!(t.peak(), 1010);
+        assert_eq!(t.category("comm").peak, 1000);
+        assert_eq!(t.category("comm").current, 0);
+    }
+
+    #[test]
+    fn set_adjusts_total() {
+        let t = MemTracker::new();
+        t.set("seg", 100);
+        assert_eq!(t.current(), 100);
+        t.set("seg", 40);
+        assert_eq!(t.current(), 40);
+        t.set("seg", 90);
+        assert_eq!(t.peak(), 100);
+        assert_eq!(t.current(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn overfree_panics() {
+        let t = MemTracker::new();
+        t.alloc("a", 10);
+        t.free("a", 11);
+    }
+
+    #[test]
+    fn guard_frees_on_drop() {
+        let t = MemTracker::new();
+        {
+            let mut g = MemGuard::new(&t, "buf", 64);
+            g.grow(36);
+            assert_eq!(t.current(), 100);
+        }
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 100);
+    }
+
+    #[test]
+    fn bytes_of_slices() {
+        assert_eq!(bytes_of(&[0u32; 8]), 32);
+        assert_eq!(bytes_of::<u64>(&[]), 0);
+    }
+}

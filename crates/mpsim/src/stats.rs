@@ -1,0 +1,155 @@
+//! Run statistics: simulated time, communication volume, and memory peaks
+//! per rank, with aggregation helpers used by the benchmark harnesses.
+
+use crate::mem::CatUsage;
+
+/// Statistics for one virtual processor after the SPMD closure returned.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Final simulated clock, nanoseconds.
+    pub clock_ns: u64,
+    /// Computation portion of the clock.
+    pub compute_ns: u64,
+    /// Communication portion (modelled costs + synchronization waits).
+    pub comm_ns: u64,
+    /// Total payload bytes sent by this rank (point-to-point + collectives).
+    pub bytes_sent: u64,
+    /// Total payload bytes delivered to this rank. For an allgather this is
+    /// the full concatenation minus the rank's own contribution — the
+    /// receive-side volume that makes replicated-table schemes `O(N)` per
+    /// processor.
+    pub bytes_recv: u64,
+    /// Number of messages / collective participations initiated.
+    pub msgs_sent: u64,
+    /// Peak tracked memory, bytes.
+    pub peak_mem: u64,
+    /// Per-category memory peaks.
+    pub mem_categories: Vec<(&'static str, CatUsage)>,
+    /// Durations of the rank's measured compute segments, in execution
+    /// order (empty outside measured mode). Deterministic algorithms yield
+    /// the same segment count every run, so two runs' vectors can be
+    /// combined elementwise (e.g. a minimum) and replayed for a
+    /// noise-filtered simulated time.
+    pub segments: Vec<u64>,
+}
+
+/// Statistics for a whole machine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per rank, in rank order.
+    pub ranks: Vec<RankStats>,
+}
+
+impl RunStats {
+    /// Number of virtual processors.
+    pub fn procs(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Parallel runtime: the maximum simulated clock across ranks
+    /// (all ranks finish a bulk-synchronous program at nearly the same
+    /// simulated time; the max is the honest completion time).
+    pub fn time_ns(&self) -> u64 {
+        self.ranks.iter().map(|r| r.clock_ns).max().unwrap_or(0)
+    }
+
+    /// Parallel runtime in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_ns() as f64 / 1e9
+    }
+
+    /// Maximum per-rank peak memory — the quantity of the paper's Fig 3(b).
+    pub fn peak_mem_per_proc(&self) -> u64 {
+        self.ranks.iter().map(|r| r.peak_mem).max().unwrap_or(0)
+    }
+
+    /// Total bytes sent by all ranks.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Maximum bytes sent by any single rank (per-processor communication
+    /// overhead — the quantity bounded by O(N/p) in the paper's analysis).
+    pub fn max_bytes_sent_per_proc(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).max().unwrap_or(0)
+    }
+
+    /// Maximum communication volume (sent + received) on any single rank —
+    /// the per-processor communication overhead of the paper's analysis
+    /// (§3.2 counts the O(N) hash table *received* by every processor in
+    /// parallel SPRINT).
+    pub fn max_comm_volume_per_proc(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.bytes_sent + r.bytes_recv)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of compute time across ranks (≈ serial work).
+    pub fn total_compute_ns(&self) -> u64 {
+        self.ranks.iter().map(|r| r.compute_ns).sum()
+    }
+
+    /// Maximum communication time on any rank.
+    pub fn max_comm_ns(&self) -> u64 {
+        self.ranks.iter().map(|r| r.comm_ns).max().unwrap_or(0)
+    }
+
+    /// Speedup of this run relative to a baseline run (typically `p = 1`).
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        baseline.time_ns() as f64 / self.time_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(clock: u64, bytes: u64, peak: u64) -> RankStats {
+        RankStats {
+            clock_ns: clock,
+            compute_ns: clock / 2,
+            comm_ns: clock / 2,
+            bytes_sent: bytes,
+            bytes_recv: bytes * 2,
+            msgs_sent: 1,
+            peak_mem: peak,
+            mem_categories: vec![],
+            segments: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let stats = RunStats {
+            ranks: vec![rs(100, 10, 1000), rs(150, 30, 800), rs(120, 20, 900)],
+        };
+        assert_eq!(stats.procs(), 3);
+        assert_eq!(stats.time_ns(), 150);
+        assert_eq!(stats.peak_mem_per_proc(), 1000);
+        assert_eq!(stats.total_bytes_sent(), 60);
+        assert_eq!(stats.max_bytes_sent_per_proc(), 30);
+        assert_eq!(stats.max_comm_volume_per_proc(), 90);
+        assert_eq!(stats.total_compute_ns(), 185);
+    }
+
+    #[test]
+    fn speedup() {
+        let serial = RunStats {
+            ranks: vec![rs(1000, 0, 0)],
+        };
+        let par = RunStats {
+            ranks: vec![rs(250, 0, 0), rs(260, 0, 0)],
+        };
+        let s = par.speedup_vs(&serial);
+        assert!((s - 1000.0 / 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_zeroes() {
+        let stats = RunStats::default();
+        assert_eq!(stats.time_ns(), 0);
+        assert_eq!(stats.peak_mem_per_proc(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! `sortp` — parallel sorting over the `mpsim` machine.
+//!
+//! ScalParC's Presort phase uses "the scalable parallel sample sort
+//! algorithm followed by a parallel shift operation, to sort all the
+//! continuous attributes" (paper §4, citing Kumar et al., *Introduction to
+//! Parallel Computing*). This crate provides both:
+//!
+//! * [`sample_sort`] — parallel sorting by regular sampling: local sort,
+//!   regular local samples, globally-agreed splitters, one all-to-all
+//!   personalized exchange, local merge;
+//! * [`parallel_shift`] — rebalancing of a globally-sorted, arbitrarily
+//!   distributed sequence onto exact `⌈N/p⌉` blocks per rank, so that after
+//!   Presort the distributed attribute lists have the even block sizes the
+//!   paper's load-balancing discussion (§3.1) assumes.
+//!
+//! Ties: callers that need a total order (the attribute lists sort by
+//! `(value, rid)`) must fold the tiebreak into the comparator; the sort
+//! itself is deterministic for any total-order comparator.
+
+use std::cmp::Ordering;
+
+use mpsim::Comm;
+
+/// Globally sort a distributed sequence and rebalance it to `⌈N/p⌉` blocks.
+///
+/// Collective. Each rank passes its local elements (any sizes, including
+/// empty); afterwards rank `i` holds elements `[i·b, min((i+1)·b, N))` of the
+/// global sorted order, `b = ⌈N/p⌉`. The comparator must be a total order
+/// consistent across ranks.
+pub fn sample_sort<T, C>(comm: &mut Comm, local: Vec<T>, cmp: C) -> Vec<T>
+where
+    T: Clone + Send + Sync + 'static,
+    C: Fn(&T, &T) -> Ordering + Copy,
+{
+    let sorted = sample_sort_unbalanced(comm, local, cmp);
+    parallel_shift(comm, sorted)
+}
+
+/// Parallel sample sort **without** the final shift: the result is globally
+/// sorted (rank `i`'s last element ≤ rank `i+1`'s first) but block sizes
+/// depend on where the splitters fall.
+pub fn sample_sort_unbalanced<T, C>(comm: &mut Comm, mut local: Vec<T>, cmp: C) -> Vec<T>
+where
+    T: Clone + Send + Sync + 'static,
+    C: Fn(&T, &T) -> Ordering + Copy,
+{
+    let p = comm.size();
+    local.sort_unstable_by(cmp);
+    if p == 1 {
+        return local;
+    }
+
+    // Regular sampling: p−1 local samples at positions (len·i)/p.
+    let samples: Vec<T> = (1..p)
+        .filter_map(|i| {
+            if local.is_empty() {
+                None
+            } else {
+                Some(local[(local.len() * i) / p].clone())
+            }
+        })
+        .collect();
+
+    // Gather all samples everywhere and agree on p−1 splitters.
+    let mut all_samples = comm.allgatherv(samples);
+    all_samples.sort_unstable_by(cmp);
+    let splitters: Vec<T> = (1..p)
+        .filter_map(|i| {
+            if all_samples.is_empty() {
+                None
+            } else {
+                Some(all_samples[(all_samples.len() * i) / p].clone())
+            }
+        })
+        .collect();
+
+    // Bucket by splitter: element x goes to bucket #{splitters ≤ x}. Since
+    // `local` is sorted, bucket boundaries come from binary searches.
+    let mut bufs: Vec<Vec<T>> = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for s in &splitters {
+        // First index whose element is > s.
+        let end = start + local[start..].partition_point(|x| cmp(x, s) != Ordering::Greater);
+        bufs.push(local[start..end].to_vec());
+        start = end;
+    }
+    bufs.push(local[start..].to_vec());
+    while bufs.len() < p {
+        bufs.push(Vec::new()); // degenerate splitter sets (tiny inputs)
+    }
+
+    // One all-to-all personalized exchange, then merge the received runs.
+    // pdqsort detects the pre-sorted runs, so concatenate-and-sort performs
+    // like a k-way merge without the bookkeeping.
+    let mut merged: Vec<T> = comm.alltoallv(bufs).into_iter().flatten().collect();
+    merged.sort_unstable_by(cmp);
+    merged
+}
+
+/// Rebalance a globally-sorted distributed sequence so rank `i` holds the
+/// contiguous block `[i·b, min((i+1)·b, N))`, `b = ⌈N/p⌉` — the paper's
+/// "parallel shift", realized as one all-to-all personalized exchange over
+/// contiguous ranges.
+pub fn parallel_shift<T>(comm: &mut Comm, local: Vec<T>) -> Vec<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    let p = comm.size();
+    if p == 1 {
+        return local;
+    }
+    // Global offset of my run and total size.
+    let my_len = local.len() as u64;
+    let offset = comm.scan_exclusive(my_len, 0u64, |a, b| *a += *b);
+    let total = comm.allreduce(my_len, |a, b| *a += *b);
+    let block = total.div_ceil(p as u64).max(1);
+
+    let mut bufs: Vec<Vec<T>> = vec![Vec::new(); p];
+    for (i, x) in local.into_iter().enumerate() {
+        let gidx = offset + i as u64;
+        let dst = ((gidx / block) as usize).min(p - 1);
+        bufs[dst].push(x);
+    }
+    // Received parts arrive in rank order = ascending global-index order.
+    comm.alltoallv(bufs).into_iter().flatten().collect()
+}
+
+/// Verify a distributed sequence is globally sorted under `cmp`.
+/// Collective; every rank receives the same verdict.
+pub fn is_globally_sorted<T, C>(comm: &mut Comm, local: &[T], cmp: C) -> bool
+where
+    T: Clone + Send + Sync + 'static,
+    C: Fn(&T, &T) -> Ordering,
+{
+    let locally = local
+        .windows(2)
+        .all(|w| cmp(&w[0], &w[1]) != Ordering::Greater);
+    // Boundary check via allgather of (first, last).
+    let ends: Vec<Option<(T, T)>> = comm.allgather(
+        local
+            .first()
+            .map(|f| (f.clone(), local.last().unwrap().clone())),
+    );
+    let mut boundary_ok = true;
+    let mut prev_last: Option<T> = None;
+    for pair in ends.into_iter().flatten() {
+        if let Some(pl) = &prev_last {
+            if cmp(pl, &pair.0) == Ordering::Greater {
+                boundary_ok = false;
+            }
+        }
+        prev_last = Some(pair.1);
+    }
+    let ok = locally && boundary_ok;
+    comm.allreduce(u8::from(ok), |a, b| *a = (*a).min(*b)) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::run_simple;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sort(p: usize, sizes: &[usize], seed: u64) {
+        assert_eq!(sizes.len(), p);
+        let sizes = sizes.to_vec();
+        let outs = run_simple(p, move |c| {
+            let mut rng = StdRng::seed_from_u64(seed + c.rank() as u64);
+            let local: Vec<u32> = (0..sizes[c.rank()])
+                .map(|_| rng.gen_range(0..1000))
+                .collect();
+            let mine = local.clone();
+            let sorted = sample_sort(c, local, |a, b| a.cmp(b));
+            assert!(is_globally_sorted(c, &sorted, |a, b| a.cmp(b)));
+            (mine, sorted)
+        });
+        // Multiset preserved and globally ordered.
+        let mut input: Vec<u32> = outs.iter().flat_map(|(i, _)| i.clone()).collect();
+        let output: Vec<u32> = outs.iter().flat_map(|(_, s)| s.clone()).collect();
+        input.sort_unstable();
+        assert_eq!(input, output, "global order wrong");
+        // Balanced blocks.
+        let total: usize = outs.iter().map(|(_, s)| s.len()).sum();
+        let block = total.div_ceil(p).max(1);
+        for (r, (_, s)) in outs.iter().enumerate() {
+            let lo = (r * block).min(total);
+            let hi = ((r + 1) * block).min(total);
+            assert_eq!(s.len(), hi - lo, "rank {r} not balanced");
+        }
+    }
+
+    #[test]
+    fn sorts_balanced_inputs() {
+        check_sort(4, &[100, 100, 100, 100], 1);
+    }
+
+    #[test]
+    fn sorts_skewed_inputs() {
+        check_sort(4, &[400, 0, 3, 50], 2);
+    }
+
+    #[test]
+    fn sorts_tiny_inputs() {
+        check_sort(8, &[1, 0, 2, 0, 1, 0, 0, 1], 3);
+    }
+
+    #[test]
+    fn sorts_single_rank() {
+        check_sort(1, &[257], 4);
+    }
+
+    #[test]
+    fn sorts_empty_everything() {
+        check_sort(3, &[0, 0, 0], 5);
+    }
+
+    #[test]
+    fn sorts_larger_machine() {
+        check_sort(16, &[64; 16], 6);
+    }
+
+    #[test]
+    fn sorts_many_duplicates() {
+        let outs = run_simple(4, |c| {
+            let local: Vec<u32> = vec![7; 50];
+            sample_sort(c, local, |a, b| a.cmp(b))
+        });
+        let total: usize = outs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 200);
+        assert!(outs.iter().all(|s| s.iter().all(|&x| x == 7)));
+        assert_eq!(outs[0].len(), 50); // shift rebalanced the pile-up
+    }
+
+    #[test]
+    fn float_pairs_sort_with_total_cmp() {
+        let outs = run_simple(3, |c| {
+            let mut rng = StdRng::seed_from_u64(77 + c.rank() as u64);
+            let local: Vec<(f32, u32)> = (0..80)
+                .map(|i| (rng.gen_range(0.0..10.0f32), (c.rank() * 1000 + i) as u32))
+                .collect();
+            let sorted = sample_sort(c, local, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert!(is_globally_sorted(c, &sorted, |a, b| a
+                .0
+                .total_cmp(&b.0)
+                .then(a.1.cmp(&b.1))));
+            sorted
+        });
+        let all: Vec<(f32, u32)> = outs.into_iter().flatten().collect();
+        assert_eq!(all.len(), 240);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn matches_serial_sort_exactly() {
+        let p = 5;
+        let outs = run_simple(p, move |c| {
+            let mut rng = StdRng::seed_from_u64(123 + c.rank() as u64);
+            let local: Vec<u64> = (0..100).map(|_| rng.gen_range(0..10_000)).collect();
+            let mine = local.clone();
+            (mine, sample_sort(c, local, |a, b| a.cmp(b)))
+        });
+        let mut serial: Vec<u64> = outs.iter().flat_map(|(i, _)| i.clone()).collect();
+        serial.sort_unstable();
+        let parallel: Vec<u64> = outs.iter().flat_map(|(_, s)| s.clone()).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn shift_rebalances_without_reordering() {
+        let outs = run_simple(4, |c| {
+            // Globally sorted but wildly unbalanced: rank 0 has everything.
+            let local: Vec<u32> = if c.rank() == 0 { (0..100).collect() } else { vec![] };
+            parallel_shift(c, local)
+        });
+        for (r, s) in outs.iter().enumerate() {
+            let want: Vec<u32> = (r as u32 * 25..(r as u32 + 1) * 25).collect();
+            assert_eq!(*s, want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn shift_handles_non_divisible_sizes() {
+        let outs = run_simple(4, |c| {
+            let local: Vec<u32> = if c.rank() == 1 { (0..10).collect() } else { vec![] };
+            parallel_shift(c, local)
+        });
+        // N=10, p=4 → block 3: sizes 3,3,3,1.
+        assert_eq!(
+            outs.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
+        let all: Vec<u32> = outs.into_iter().flatten().collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unbalanced_variant_is_sorted() {
+        let outs = run_simple(4, |c| {
+            let mut rng = StdRng::seed_from_u64(9 + c.rank() as u64);
+            let local: Vec<u32> = (0..64).map(|_| rng.gen_range(0..100)).collect();
+            let sorted = sample_sort_unbalanced(c, local, |a, b| a.cmp(b));
+            assert!(is_globally_sorted(c, &sorted, |a, b| a.cmp(b)));
+            sorted
+        });
+        let total: usize = outs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn detects_unsorted_sequences() {
+        let verdicts = run_simple(2, |c| {
+            let local: Vec<u32> = if c.rank() == 0 { vec![5, 6] } else { vec![1, 2] };
+            is_globally_sorted(c, &local, |a, b| a.cmp(b))
+        });
+        assert!(verdicts.iter().all(|&v| !v));
+    }
+}

@@ -1,0 +1,2 @@
+//! Anchor crate for the workspace-spanning integration tests in the
+//! repository-root `tests/` directory.

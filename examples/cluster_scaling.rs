@@ -1,0 +1,54 @@
+//! What-if machine study: run the same induction under two communication
+//! cost models — the paper's Cray T3D (1998) and a modern commodity
+//! cluster — and watch where the scalability knee moves.
+//!
+//! This exercises the `mpsim` cost model as a first-class experimental
+//! knob: the algorithm and data are identical, only the machine changes.
+//!
+//! Run: `cargo run --release -p scalparc-examples --example cluster_scaling`
+
+use datagen::{generate, GenConfig};
+use mpsim::{CostModel, TimingMode};
+use scalparc::{induce_measured, ParConfig};
+
+fn run(data: &dtree::Dataset, p: usize, cost: CostModel) -> (f64, f64) {
+    let cfg = ParConfig {
+        procs: p,
+        cost,
+        timing: TimingMode::Measured,
+        induce: Default::default(),
+    };
+    let r = induce_measured(data, &cfg, 2);
+    let t = r.stats.time_s();
+    let comm = r.stats.max_comm_ns() as f64 / 1e9;
+    (t, comm)
+}
+
+fn main() {
+    let data = generate(&GenConfig::paper(50_000, 42));
+    println!("# ScalParC on 50k records under two machines");
+    println!(
+        "# {:>4} {:>12} {:>12} {:>14} {:>14}",
+        "p", "t3d time", "t3d comm", "cluster time", "cluster comm"
+    );
+
+    let mut t3d_t1 = 0.0;
+    let mut cl_t1 = 0.0;
+    for &p in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let (t3d_t, t3d_c) = run(&data, p, CostModel::t3d());
+        let (cl_t, cl_c) = run(&data, p, CostModel::modern_cluster());
+        if p == 1 {
+            t3d_t1 = t3d_t;
+            cl_t1 = cl_t;
+        }
+        println!(
+            "# {p:>4} {t3d_t:>10.3}s {t3d_c:>10.3}s {cl_t:>12.3}s {cl_c:>12.3}s   speedup {:>5.1} vs {:>5.1}",
+            t3d_t1 / t3d_t,
+            cl_t1 / cl_t,
+        );
+    }
+    println!("#");
+    println!("# The T3D's 100µs latencies flatten the speedup curve at modest p for");
+    println!("# this (scaled-down) problem; the low-latency cluster keeps scaling —");
+    println!("# the same effect the paper gets by growing N instead.");
+}

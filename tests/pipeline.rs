@@ -1,0 +1,164 @@
+//! End-to-end pipeline tests: generation → (CSV round trip) → distributed
+//! induction → pruning → evaluation, the path a downstream user takes.
+
+use datagen::csv::{from_csv, to_csv};
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::eval::{confusion_matrix, error_rate, train_test_split};
+use dtree::prune::reduced_error_prune;
+use scalparc::{induce, ParConfig};
+
+#[test]
+fn generate_train_evaluate() {
+    let data = generate(&GenConfig {
+        n: 4_000,
+        func: ClassFunc::F2,
+        noise: 0.0,
+        seed: 1,
+        profile: Profile::Paper7,
+    });
+    let (train, test) = train_test_split(&data, 0.25, 9);
+    let tree = induce(&train, &ParConfig::new(4)).tree;
+    assert!(tree.accuracy(&train) > 0.999, "noiseless data is separable");
+    assert!(
+        tree.accuracy(&test) > 0.95,
+        "holdout accuracy {}",
+        tree.accuracy(&test)
+    );
+    let m = confusion_matrix(&tree, &test);
+    assert_eq!(m.total(), test.len() as u64);
+}
+
+#[test]
+fn csv_roundtrip_preserves_the_model() {
+    let data = generate(&GenConfig {
+        n: 1_500,
+        func: ClassFunc::F4,
+        noise: 0.0,
+        seed: 2,
+        profile: Profile::Paper7,
+    });
+    let text = to_csv(&data);
+    let back = from_csv(&text, &data.schema).expect("parse");
+    assert_eq!(back, data);
+    let a = induce(&data, &ParConfig::new(3)).tree;
+    let b = induce(&back, &ParConfig::new(3)).tree;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn noisy_pipeline_with_pruning_generalizes() {
+    let noisy = generate(&GenConfig {
+        n: 6_000,
+        func: ClassFunc::F7,
+        noise: 0.10,
+        seed: 3,
+        profile: Profile::Paper7,
+    });
+    let (train, rest) = train_test_split(&noisy, 0.4, 4);
+    let (valid, test) = train_test_split(&rest, 0.5, 5);
+
+    let grown = induce(&train, &ParConfig::new(8)).tree;
+    let pruned = reduced_error_prune(&grown, &valid);
+    pruned.validate();
+
+    assert!(pruned.nodes.len() < grown.nodes.len(), "pruning must shrink");
+    let e_grown = error_rate(&grown, &test);
+    let e_pruned = error_rate(&pruned, &test);
+    assert!(
+        e_pruned <= e_grown + 0.02,
+        "pruned {e_pruned:.3} vs grown {e_grown:.3}"
+    );
+    // Both near the 10% noise floor.
+    assert!(e_pruned < 0.2, "error {e_pruned:.3}");
+}
+
+#[test]
+fn every_function_learnable_when_noiseless() {
+    for (i, func) in ClassFunc::ALL.into_iter().enumerate() {
+        let data = generate(&GenConfig {
+            n: 3_000,
+            func,
+            noise: 0.0,
+            seed: 30 + i as u64,
+            profile: Profile::Full9,
+        });
+        let tree = induce(&data, &ParConfig::new(4)).tree;
+        let acc = tree.accuracy(&data);
+        assert!(acc > 0.99, "{func:?} training accuracy {acc}");
+    }
+}
+
+#[test]
+fn the_sprint_baseline_is_a_drop_in_replacement() {
+    let data = generate(&GenConfig {
+        n: 2_000,
+        func: ClassFunc::F5,
+        noise: 0.02,
+        seed: 6,
+        profile: Profile::Paper7,
+    });
+    let scal = induce(&data, &ParConfig::new(4));
+    let spr = induce(&data, &ParConfig::new(4).sprint_baseline());
+    assert_eq!(scal.tree, spr.tree);
+    assert_eq!(scal.levels, spr.levels);
+}
+
+#[test]
+fn out_of_core_budgeted_sprint_matches_parallel_scalparc() {
+    let data = generate(&GenConfig {
+        n: 600,
+        func: ClassFunc::F2,
+        noise: 0.0,
+        seed: 77,
+        profile: Profile::Paper7,
+    });
+    let parallel = induce(&data, &ParConfig::new(4)).tree;
+    let stats = diskio::IoStats::new();
+    let cfg = diskio::OocConfig {
+        dir: std::env::temp_dir().join("scalparc-xtest-ooc"),
+        ..diskio::OocConfig::with_budget(100)
+    };
+    let (ooc_tree, counters) = diskio::induce_ooc(&data, &cfg, &stats);
+    assert_eq!(
+        ooc_tree, parallel,
+        "budget-staged out-of-core SPRINT must match the distributed tree"
+    );
+    assert!(counters.staged_nodes > 0, "budget 100 must force staging");
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
+fn persisted_model_round_trips_through_all_classifiers() {
+    use dtree::model_io::{from_text, to_text};
+    let data = generate(&GenConfig {
+        n: 900,
+        func: ClassFunc::F3,
+        noise: 0.02,
+        seed: 78,
+        profile: Profile::Full9,
+    });
+    let tree = induce(&data, &ParConfig::new(6)).tree;
+    let loaded = from_text(&to_text(&tree)).expect("parse");
+    assert_eq!(loaded, tree);
+    for rid in (0..data.len()).step_by(37) {
+        assert_eq!(tree.predict(&data, rid), loaded.predict(&data, rid));
+    }
+}
+
+#[test]
+fn level_trace_accounts_for_every_record() {
+    let data = generate(&GenConfig {
+        n: 2_000,
+        func: ClassFunc::F2,
+        noise: 0.0,
+        seed: 79,
+        profile: Profile::Paper7,
+    });
+    let r = induce(&data, &ParConfig::new(3));
+    assert_eq!(r.trace.len(), r.levels as usize);
+    // Level 0 covers the whole training set; later levels cover no more.
+    assert_eq!(r.trace[0].records, 2_000);
+    assert!(r.trace.windows(2).all(|w| w[1].records <= w[0].records));
+    // Splits never exceed active nodes.
+    assert!(r.trace.iter().all(|l| l.splits <= l.active_nodes));
+}

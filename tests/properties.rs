@@ -1,0 +1,222 @@
+//! Property-based tests over the core building blocks, run against serial
+//! reference implementations:
+//!
+//! * the distributed hash table behaves like a `HashMap` under arbitrary
+//!   batched updates and enquiries, blocked or not;
+//! * parallel sample sort equals the serial sort (multiset, order, balance);
+//! * the incremental split-point scan equals the brute-force search, whole
+//!   or resumed at an arbitrary processor boundary;
+//! * list splitting is a stable partition;
+//! * the prefix-scan collective equals a serial prefix fold.
+
+use std::collections::HashMap;
+
+use dhash::DistTable;
+use dtree::gini::{brute_force_best_split, ContinuousScan};
+use mpsim::run_simple;
+use proptest::prelude::*;
+
+fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases: n,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    #[test]
+    fn dist_table_matches_hashmap(
+        p in 1usize..6,
+        n in 1u64..200,
+        ops in prop::collection::vec((0u64..200, 0u8..8), 0..120),
+        blocked in any::<bool>(),
+        round in 1usize..40,
+    ) {
+        let ops: Vec<(u64, u8)> = ops.into_iter().filter(|(k, _)| *k < n).collect();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for &(k, v) in &ops {
+            reference.insert(k, v);
+        }
+        let ops_ref = &ops;
+        let outs = run_simple(p, move |comm| {
+            let mut table = DistTable::<u8>::new(comm, n);
+            // Deal the operations round-robin to ranks; within a rank order
+            // is preserved, and the last global write must win because each
+            // key's updates all originate from the same rank here.
+            let mine: Vec<(u64, u8)> = ops_ref
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % comm.size() == comm.rank())
+                .map(|(_, kv)| *kv)
+                .collect();
+            // Keys dealt round-robin can interleave across ranks; to keep
+            // the last-writer deterministic, only keep each key's updates on
+            // one rank (key % p).
+            let mine: Vec<(u64, u8)> = mine
+                .into_iter()
+                .filter(|(k, _)| (*k as usize) % comm.size() == comm.rank())
+                .collect();
+            if blocked {
+                table.update_blocked(comm, &mine, round);
+            } else {
+                table.update(comm, &mine);
+            }
+            let keys: Vec<u64> = (0..n).collect();
+            table.inquire(comm, &keys)
+        });
+        // Reference restricted to the same per-rank filtering: a key k kept
+        // only if some op with that key existed (owner rank keeps order).
+        let mut expect: HashMap<u64, u8> = HashMap::new();
+        for (i, &(k, v)) in ops.iter().enumerate() {
+            if i % p == (k as usize) % p {
+                expect.insert(k, v);
+            }
+        }
+        for out in outs {
+            for (k, got) in out.into_iter().enumerate() {
+                prop_assert_eq!(got, expect.get(&(k as u64)).copied());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_sort_equals_serial_sort(
+        p in 1usize..6,
+        chunks in prop::collection::vec(prop::collection::vec(0u32..1000, 0..80), 1..6),
+    ) {
+        let chunks_ref = &chunks;
+        let outs = run_simple(p, move |comm| {
+            let local = chunks_ref.get(comm.rank()).cloned().unwrap_or_default();
+            sortp::sample_sort(comm, local, |a, b| a.cmp(b))
+        });
+        // Only the first p chunks are handed to ranks.
+        let mut serial: Vec<u32> = chunks.iter().take(p).flatten().copied().collect();
+        serial.sort_unstable();
+        let parallel: Vec<u32> = outs.iter().flatten().copied().collect();
+        prop_assert_eq!(&parallel, &serial);
+        // Balance: block sizes are ceil(N/p).
+        let total = serial.len();
+        let block = total.div_ceil(p).max(1);
+        for (r, s) in outs.iter().enumerate() {
+            let want = ((r + 1) * block).min(total).saturating_sub((r * block).min(total));
+            prop_assert_eq!(s.len(), want);
+        }
+    }
+
+    #[test]
+    fn scan_equals_brute_force(
+        pairs in prop::collection::vec((0u32..60, 0u8..3), 2..200),
+    ) {
+        let mut sorted: Vec<(f32, u8)> = pairs
+            .iter()
+            .map(|&(v, c)| (v as f32 / 4.0, c))
+            .collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = vec![0u64; 3];
+        for &(_, c) in &sorted {
+            total[c as usize] += 1;
+        }
+        let mut scan = ContinuousScan::fresh(total);
+        for &(v, c) in &sorted {
+            scan.push(v, c);
+        }
+        let brute = brute_force_best_split(&sorted, 3);
+        match (scan.best(), brute) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.threshold, b.threshold);
+                prop_assert!((a.gini - b.gini).abs() < 1e-12);
+            }
+            (a, b) => prop_assert!(false, "scan {a:?} vs brute {b:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_resumable_at_any_boundary(
+        pairs in prop::collection::vec((0u32..40, 0u8..2), 2..100),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut sorted: Vec<(f32, u8)> = pairs.iter().map(|&(v, c)| (v as f32, c)).collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = vec![0u64; 2];
+        for &(_, c) in &sorted {
+            total[c as usize] += 1;
+        }
+        let cut = ((sorted.len() as f64) * cut_frac) as usize;
+
+        let mut whole = ContinuousScan::fresh(total.clone());
+        for &(v, c) in &sorted {
+            whole.push(v, c);
+        }
+
+        let mut below = vec![0u64; 2];
+        for &(_, c) in &sorted[..cut] {
+            below[c as usize] += 1;
+        }
+        let prev = if cut == 0 { None } else { Some(sorted[cut - 1].0) };
+        let mut first = ContinuousScan::fresh(total.clone());
+        for &(v, c) in &sorted[..cut] {
+            first.push(v, c);
+        }
+        let mut second = ContinuousScan::new(total, below, prev);
+        for &(v, c) in &sorted[cut..] {
+            second.push(v, c);
+        }
+        let halves = [first.best(), second.best()]
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.gini.total_cmp(&b.gini).then(a.threshold.total_cmp(&b.threshold)));
+        match (whole.best(), halves) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.threshold, b.threshold);
+                prop_assert!((a.gini - b.gini).abs() < 1e-12);
+            }
+            (a, b) => prop_assert!(false, "whole {a:?} vs halves {b:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_scan_collective_matches_serial_fold(
+        p in 1usize..7,
+        values in prop::collection::vec(0u64..1000, 7),
+    ) {
+        let v = &values;
+        let outs = run_simple(p, move |comm| {
+            comm.scan_exclusive(v[comm.rank() % 7], 0u64, |a, b| *a += *b)
+        });
+        let mut acc = 0u64;
+        for (r, out) in outs.into_iter().enumerate() {
+            prop_assert_eq!(out, acc);
+            acc += values[r % 7];
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_permutation(
+        p in 1usize..6,
+        counts in prop::collection::vec(0usize..20, 36),
+    ) {
+        let c = &counts;
+        let outs = run_simple(p, move |comm| {
+            let bufs: Vec<Vec<(usize, usize, usize)>> = (0..comm.size())
+                .map(|d| {
+                    let k = c[(comm.rank() * 6 + d) % 36];
+                    (0..k).map(|i| (comm.rank(), d, i)).collect()
+                })
+                .collect();
+            comm.alltoallv(bufs)
+        });
+        for (me, out) in outs.iter().enumerate() {
+            for (src, buf) in out.iter().enumerate() {
+                let want = counts[(src * 6 + me) % 36];
+                prop_assert_eq!(buf.len(), want);
+                for (i, &(s, d, j)) in buf.iter().enumerate() {
+                    prop_assert_eq!((s, d, j), (src, me, i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Workspace-spanning equivalence tests: every classifier in this
+//! reproduction — CART-style (re-sort per node), serial SPRINT (presort +
+//! hash-table splitting), parallel SPRINT (replicated table), and ScalParC
+//! (distributed node table) — must induce the *identical* decision tree on
+//! identical data, for every processor count.
+//!
+//! This is the strongest end-to-end correctness statement available: it
+//! pins the distributed split search, the prefix-scan boundary handling,
+//! the node-table round trips, and the canonical tie-breaking all at once.
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::cart::{self, CartConfig};
+use dtree::sprint::{self, SprintConfig};
+use dtree::{Dataset, StopRules};
+use scalparc::{induce, ParConfig};
+
+fn quest(n: usize, func: ClassFunc, noise: f64, seed: u64, profile: Profile) -> Dataset {
+    generate(&GenConfig {
+        n,
+        func,
+        noise,
+        seed,
+        profile,
+    })
+}
+
+#[test]
+fn all_classifiers_agree_on_every_quest_function() {
+    for (i, func) in ClassFunc::ALL.into_iter().enumerate() {
+        let data = quest(400, func, 0.0, 100 + i as u64, Profile::Paper7);
+        let serial = sprint::induce(&data, &SprintConfig::default());
+        serial.validate();
+
+        let cart = cart::induce(&data, &CartConfig::default());
+        assert_eq!(cart, serial, "{func:?}: CART disagrees");
+
+        for p in [1usize, 3, 4, 8] {
+            let scal = induce(&data, &ParConfig::new(p));
+            assert_eq!(scal.tree, serial, "{func:?}: ScalParC p={p} disagrees");
+        }
+        let spr = induce(&data, &ParConfig::new(4).sprint_baseline());
+        assert_eq!(spr.tree, serial, "{func:?}: parallel SPRINT disagrees");
+    }
+}
+
+#[test]
+fn agreement_holds_with_label_noise() {
+    // Noise produces deep, bushy trees with many tiny nodes — the stress
+    // case for per-level batching and empty segments.
+    let data = quest(600, ClassFunc::F2, 0.15, 42, Profile::Paper7);
+    let serial = sprint::induce(&data, &SprintConfig::default());
+    assert!(serial.nodes.len() > 50, "noise should force a big tree");
+    for p in [2usize, 5, 16] {
+        let scal = induce(&data, &ParConfig::new(p));
+        assert_eq!(scal.tree, serial, "p={p}");
+    }
+}
+
+#[test]
+fn agreement_holds_on_full9_schema() {
+    // Three categorical attributes including the 20-way `car`.
+    let data = quest(500, ClassFunc::F3, 0.0, 7, Profile::Full9);
+    let serial = sprint::induce(&data, &SprintConfig::default());
+    for p in [2usize, 6] {
+        let scal = induce(&data, &ParConfig::new(p));
+        assert_eq!(scal.tree, serial, "p={p}");
+    }
+}
+
+#[test]
+fn agreement_holds_under_every_stop_rule() {
+    let data = quest(500, ClassFunc::F5, 0.05, 9, Profile::Paper7);
+    for stop in [
+        StopRules {
+            max_depth: 3,
+            ..StopRules::default()
+        },
+        StopRules {
+            min_records: 50,
+            ..StopRules::default()
+        },
+        StopRules {
+            min_gain: 0.01,
+            ..StopRules::default()
+        },
+    ] {
+        let serial = sprint::induce(
+            &data,
+            &SprintConfig {
+                stop,
+                ..SprintConfig::default()
+            },
+        );
+        let mut cfg = ParConfig::new(4);
+        cfg.induce.stop = stop;
+        let scal = induce(&data, &cfg);
+        assert_eq!(scal.tree, serial, "stop={stop:?}");
+        let cart = cart::induce(
+            &data,
+            &CartConfig {
+                stop,
+                ..CartConfig::default()
+            },
+        );
+        assert_eq!(cart, serial, "stop={stop:?} (cart)");
+    }
+}
+
+#[test]
+fn agreement_with_odd_processor_counts_and_tiny_data() {
+    // N not divisible by p; p > N; single-record fragments.
+    for n in [1usize, 2, 7, 13] {
+        let data = quest(n, ClassFunc::F1, 0.0, 11, Profile::Paper7);
+        let serial = sprint::induce(&data, &SprintConfig::default());
+        for p in [2usize, 3, 5, 16] {
+            let scal = induce(&data, &ParConfig::new(p));
+            assert_eq!(scal.tree, serial, "n={n} p={p}");
+        }
+    }
+}
+
+#[test]
+fn agreement_holds_under_entropy_criterion() {
+    use dtree::{Criterion, SplitOptions};
+    let opts = SplitOptions {
+        criterion: Criterion::Entropy,
+        ..SplitOptions::default()
+    };
+    let data = quest(500, ClassFunc::F5, 0.05, 44, Profile::Paper7);
+    let serial = sprint::induce(
+        &data,
+        &SprintConfig {
+            split: opts,
+            ..SprintConfig::default()
+        },
+    );
+    serial.validate();
+    let cart = cart::induce(
+        &data,
+        &CartConfig {
+            split: opts,
+            ..CartConfig::default()
+        },
+    );
+    assert_eq!(cart, serial, "CART disagrees under entropy");
+    for p in [2usize, 7] {
+        let mut cfg = ParConfig::new(p);
+        cfg.induce.split = opts;
+        let scal = induce(&data, &cfg);
+        assert_eq!(scal.tree, serial, "p={p}");
+    }
+}
+
+#[test]
+fn predictions_and_accuracy_match_across_implementations() {
+    let train = quest(800, ClassFunc::F6, 0.05, 21, Profile::Paper7);
+    let test = quest(400, ClassFunc::F6, 0.0, 22, Profile::Paper7);
+    let serial = sprint::induce(&train, &SprintConfig::default());
+    let scal = induce(&train, &ParConfig::new(8)).tree;
+    for rid in 0..test.len() {
+        assert_eq!(serial.predict(&test, rid), scal.predict(&test, rid));
+    }
+    assert_eq!(serial.accuracy(&test), scal.accuracy(&test));
+}
+
+#[test]
+fn agreement_holds_with_binary_subset_splits() {
+    use dtree::{CatSplitMode, SplitOptions};
+    let opts = SplitOptions {
+        cat_mode: CatSplitMode::BinarySubset,
+        ..SplitOptions::default()
+    };
+    // F3 (age × elevel) drives categorical splits; Full9 adds car/zipcode.
+    for profile in [Profile::Paper7, Profile::Full9] {
+        let data = quest(500, ClassFunc::F3, 0.0, 33, profile);
+        let serial = sprint::induce(
+            &data,
+            &SprintConfig {
+                split: opts,
+                ..SprintConfig::default()
+            },
+        );
+        serial.validate();
+        let cart = cart::induce(
+            &data,
+            &CartConfig {
+                split: opts,
+                ..CartConfig::default()
+            },
+        );
+        assert_eq!(cart, serial, "{profile:?}: CART disagrees");
+        for p in [2usize, 5] {
+            let mut cfg = ParConfig::new(p);
+            cfg.induce.split = opts;
+            let scal = induce(&data, &cfg);
+            assert_eq!(scal.tree, serial, "{profile:?} p={p}");
+        }
+        // Subset trees are binary everywhere.
+        assert!(serial
+            .nodes
+            .iter()
+            .all(|n| n.children.is_empty() || n.children.len() == 2));
+        assert!(serial.accuracy(&data) > 0.99);
+    }
+}
