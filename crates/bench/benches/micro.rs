@@ -77,8 +77,7 @@ fn bench_alltoallv(c: &mut Criterion) {
         b.iter(|| {
             let cfg = MachineCfg::new(p);
             mpsim::run(&cfg, |comm| {
-                let bufs: Vec<Vec<u64>> =
-                    (0..p).map(|d| vec![d as u64; per_dest]).collect();
+                let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64; per_dest]).collect();
                 comm.alltoallv(bufs).len()
             })
             .outputs

@@ -41,7 +41,10 @@ fn main() {
         let plain = induce_measured(&data, &cfg, 2);
         cfg.induce.batched_enquiry = true;
         let batched = induce_measured(&data, &cfg, 2);
-        assert_eq!(plain.tree, batched.tree, "batching must not change the tree");
+        assert_eq!(
+            plain.tree, batched.tree,
+            "batching must not change the tree"
+        );
         let (tp, tb) = (plain.stats.time_s(), batched.stats.time_s());
         print_row(&[
             p.to_string(),

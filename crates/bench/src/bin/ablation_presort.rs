@@ -41,43 +41,43 @@ fn main() {
 
     let noises = [0.0, 0.10];
     for &n in &sizes {
-      for &noise in &noises {
-        // The largest sizes are quadratic-ish for CART; cap the ablation.
-        if n > 1_000_000 {
-            println!("# (skipping N={n}: CART-style baseline becomes impractical — the point)");
-            continue;
+        for &noise in &noises {
+            // The largest sizes are quadratic-ish for CART; cap the ablation.
+            if n > 1_000_000 {
+                println!("# (skipping N={n}: CART-style baseline becomes impractical — the point)");
+                continue;
+            }
+            let data = datagen::generate(&datagen::GenConfig {
+                n,
+                func: opts.func,
+                noise,
+                seed: opts.seed,
+                profile: datagen::Profile::Paper7,
+            });
+            let cont_attrs = data.schema.continuous_attrs().len();
+
+            let t0 = Instant::now();
+            let (tree_s, _) = sprint::induce_with_stats(&data, &SprintConfig::default());
+            let sprint_t = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let (tree_c, stats_c) = cart::induce_with_stats(&data, &CartConfig::default());
+            let cart_t = t0.elapsed().as_secs_f64();
+
+            assert_eq!(tree_s, tree_c, "both classifiers must induce the same tree");
+
+            let presorted = (cont_attrs * n) as u64;
+            print_row(&[
+                opts.scale.size_label(n),
+                format!("{noise:.2}"),
+                tree_s.depth().to_string(),
+                format!("{:.1}", stats_c.sorted_elements as f64 / presorted as f64),
+                stats_c.sorted_elements.to_string(),
+                presorted.to_string(),
+                format!("{sprint_t:.3}"),
+                format!("{cart_t:.3}"),
+            ]);
         }
-        let data = datagen::generate(&datagen::GenConfig {
-            n,
-            func: opts.func,
-            noise,
-            seed: opts.seed,
-            profile: datagen::Profile::Paper7,
-        });
-        let cont_attrs = data.schema.continuous_attrs().len();
-
-        let t0 = Instant::now();
-        let (tree_s, _) = sprint::induce_with_stats(&data, &SprintConfig::default());
-        let sprint_t = t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let (tree_c, stats_c) = cart::induce_with_stats(&data, &CartConfig::default());
-        let cart_t = t0.elapsed().as_secs_f64();
-
-        assert_eq!(tree_s, tree_c, "both classifiers must induce the same tree");
-
-        let presorted = (cont_attrs * n) as u64;
-        print_row(&[
-            opts.scale.size_label(n),
-            format!("{noise:.2}"),
-            tree_s.depth().to_string(),
-            format!("{:.1}", stats_c.sorted_elements as f64 / presorted as f64),
-            stats_c.sorted_elements.to_string(),
-            presorted.to_string(),
-            format!("{sprint_t:.3}"),
-            format!("{cart_t:.3}"),
-        ]);
-      }
     }
     println!();
     println!("# 'resorted' = elements passed through per-node sorts (CART-style);");

@@ -45,17 +45,15 @@ fn main() {
     println!("# Halving factor when doubling p (ideal = 2.00; the paper reports");
     println!("# ~1.94 at small p decaying towards 1 as collective buffers grow)");
     let mut header = vec!["N \\ p".to_string()];
-    header.extend(
-        procs
-            .windows(2)
-            .map(|w| format!("{}->{}", w[0], w[1])),
-    );
+    header.extend(procs.windows(2).map(|w| format!("{}->{}", w[0], w[1])));
     print_row(&header);
     for (n, cells) in &tables {
         let mut row = vec![opts.scale.size_label(*n)];
-        row.extend(cells.windows(2).map(|w| {
-            format!("{:.2}", w[0].mem_per_proc as f64 / w[1].mem_per_proc as f64)
-        }));
+        row.extend(
+            cells
+                .windows(2)
+                .map(|w| format!("{:.2}", w[0].mem_per_proc as f64 / w[1].mem_per_proc as f64)),
+        );
         print_row(&row);
     }
 
@@ -63,12 +61,7 @@ fn main() {
     println!("# Per-category peaks at the largest machine (largest N):");
     if let Some((_, cells)) = tables.last() {
         let last = cells.last().unwrap();
-        let worst = last
-            .stats
-            .ranks
-            .iter()
-            .max_by_key(|r| r.peak_mem)
-            .unwrap();
+        let worst = last.stats.ranks.iter().max_by_key(|r| r.peak_mem).unwrap();
         for (cat, usage) in &worst.mem_categories {
             println!("#   {:>16}: {:.3} MB peak", cat, usage.peak as f64 / 1e6);
         }

@@ -60,8 +60,6 @@ fn main() {
 
     println!();
     let blowup = *reads.last().unwrap() as f64 / reads[0] as f64;
-    println!(
-        "# read-volume blow-up from in-core (budget 2N) to budget N/16: {blowup:.1}x —"
-    );
+    println!("# read-volume blow-up from in-core (budget 2N) to budget N/16: {blowup:.1}x —");
     println!("# the 'additional expensive disk I/O' the distributed node table avoids.");
 }

@@ -68,7 +68,11 @@ fn main() {
         println!(
             "# jump {a}->{b}: speedups {:?} — larger N gives better relative speedup: {}",
             s.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>(),
-            if monotone { "YES (matches paper)" } else { "NO" }
+            if monotone {
+                "YES (matches paper)"
+            } else {
+                "NO"
+            }
         );
     }
 }

@@ -24,9 +24,9 @@
 //! differences isolate the splitting phase.
 
 use dhash::DistTable;
-use dtree::hashutil::RidMap;
 use dtree::data::{AttrKind, Schema};
 use dtree::gini::{ContinuousScan, CountMatrix};
+use dtree::hashutil::RidMap;
 use dtree::list::{AttrList, CatEntry, ContEntry};
 use dtree::split::{categorical_candidate, SplitOptions};
 use dtree::tree::{BestSplit, SplitTest};
@@ -273,7 +273,12 @@ pub fn perform_split(
     }
 
     // Globalize the child histograms with one reduction.
-    let flat: Vec<u64> = local_child_hists.iter().flatten().flatten().copied().collect();
+    let flat: Vec<u64> = local_child_hists
+        .iter()
+        .flatten()
+        .flatten()
+        .copied()
+        .collect();
     let hist_bytes = (flat.len() * 8) as u64;
     let gflat = comm.allreduce_sized(flat, hist_bytes, |a, b| {
         for (x, y) in a.iter_mut().zip(b) {
@@ -353,7 +358,8 @@ pub fn perform_split(
             pos += len;
             let split = decisions[wi].as_ref().unwrap();
             let arity = split.test.arity(schema);
-            let list = std::mem::replace(&mut works[wi].lists[a], AttrList::Categorical(Vec::new()));
+            let list =
+                std::mem::replace(&mut works[wi].lists[a], AttrList::Categorical(Vec::new()));
             let parts = split_by_children(list, arity, verdicts);
             let out = outcomes[wi].as_mut().unwrap();
             for (c, part) in parts.into_iter().enumerate() {

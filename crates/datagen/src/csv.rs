@@ -106,8 +106,8 @@ pub fn read_csv(path: &Path, schema: &Schema) -> Result<Dataset, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{generate, GenConfig, Profile};
     use crate::quest::ClassFunc;
+    use crate::{generate, GenConfig, Profile};
 
     fn small() -> Dataset {
         generate(&GenConfig {

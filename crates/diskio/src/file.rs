@@ -140,9 +140,7 @@ mod tests {
     use dtree::list::ContEntry;
 
     fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir()
-            .join("scalparc-diskio-test")
-            .join(name)
+        std::env::temp_dir().join("scalparc-diskio-test").join(name)
     }
 
     #[test]

@@ -89,7 +89,11 @@ struct Work {
 /// Induce a tree with disk-resident attribute lists under a hash-table
 /// memory budget. Returns the tree, the staging counters, and leaves the
 /// cumulative I/O in `stats`.
-pub fn induce_ooc(data: &Dataset, cfg: &OocConfig, stats: &Arc<IoStats>) -> (DecisionTree, OocStats) {
+pub fn induce_ooc(
+    data: &Dataset,
+    cfg: &OocConfig,
+    stats: &Arc<IoStats>,
+) -> (DecisionTree, OocStats) {
     assert!(cfg.budget > 0, "hash-table budget must be positive");
     let schema = data.schema.clone();
     let mut counters = OocStats::default();
@@ -396,8 +400,7 @@ fn merge_stage_files(
                     _ => unreachable!(),
                 })
                 .collect();
-            let mut out =
-                DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            let mut out = DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
             {
                 let mut iters: Vec<_> = vecs
                     .iter_mut()
@@ -438,8 +441,7 @@ fn merge_stage_files(
             DiskList::Continuous(out)
         }
         AttrKind::Categorical { .. } => {
-            let mut out =
-                DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
+            let mut out = DiskVec::create(&new_file(dir, seq), Arc::clone(stats)).expect("create");
             for f in files {
                 match f {
                     DiskList::Categorical(mut v) => {

@@ -152,10 +152,7 @@ mod tests {
     use crate::sprint::{self, SprintConfig};
 
     fn xor_data() -> Dataset {
-        let schema = Schema::new(
-            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
-            2,
-        );
+        let schema = Schema::new(vec![AttrDef::continuous("x"), AttrDef::continuous("y")], 2);
         Dataset::new(
             schema,
             vec![
@@ -199,7 +196,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut state = 12345u64;
         let mut rand = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..n {

@@ -59,7 +59,10 @@ impl Schema {
     /// classes.
     pub fn new(attrs: Vec<AttrDef>, num_classes: u32) -> Self {
         assert!(!attrs.is_empty(), "schema needs at least one attribute");
-        assert!(num_classes >= 2, "classification needs at least two classes");
+        assert!(
+            num_classes >= 2,
+            "classification needs at least two classes"
+        );
         Schema { attrs, num_classes }
     }
 

@@ -58,12 +58,8 @@ pub fn select(data: &Dataset, indices: &[usize]) -> Dataset {
         .columns
         .iter()
         .map(|c| match c {
-            Column::Continuous(v) => {
-                Column::Continuous(indices.iter().map(|&i| v[i]).collect())
-            }
-            Column::Categorical(v) => {
-                Column::Categorical(indices.iter().map(|&i| v[i]).collect())
-            }
+            Column::Continuous(v) => Column::Continuous(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical(v) => Column::Categorical(indices.iter().map(|&i| v[i]).collect()),
         })
         .collect();
     let labels = indices.iter().map(|&i| data.labels[i]).collect();

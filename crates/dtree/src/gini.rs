@@ -314,10 +314,7 @@ impl ContinuousScan {
         // Strict improvement keeps the lowest-threshold candidate on ties,
         // which makes serial and parallel searches agree deterministically.
         if self.best.is_none_or(|b| g < b.gini) {
-            self.best = Some(ContSplit {
-                gini: g,
-                threshold,
-            });
+            self.best = Some(ContSplit { gini: g, threshold });
         }
     }
 
@@ -589,14 +586,7 @@ mod tests {
     fn scan_resumed_mid_list_matches_whole_list() {
         // Split the list at an arbitrary point and resume with prefix state —
         // the mechanism used across processor boundaries in FindSplitI.
-        let vals: Vec<(f32, u8)> = vec![
-            (1.0, 0),
-            (2.0, 1),
-            (2.0, 0),
-            (3.0, 1),
-            (5.0, 1),
-            (8.0, 0),
-        ];
+        let vals: Vec<(f32, u8)> = vec![(1.0, 0), (2.0, 1), (2.0, 0), (3.0, 1), (5.0, 1), (8.0, 0)];
         let total = vec![3u64, 3u64];
         let mut whole = ContinuousScan::fresh(total.clone());
         for &(v, c) in &vals {
@@ -608,7 +598,11 @@ mod tests {
             for &(_, c) in &vals[..cut] {
                 below[c as usize] += 1;
             }
-            let prev = if cut == 0 { None } else { Some(vals[cut - 1].0) };
+            let prev = if cut == 0 {
+                None
+            } else {
+                Some(vals[cut - 1].0)
+            };
             let mut first = ContinuousScan::fresh(total.clone());
             for &(v, c) in &vals[..cut] {
                 first.push(v, c);
@@ -622,7 +616,11 @@ mod tests {
             let halves_best = [first.best(), second.best()]
                 .into_iter()
                 .flatten()
-                .min_by(|a, b| a.gini.total_cmp(&b.gini).then(a.threshold.total_cmp(&b.threshold)))
+                .min_by(|a, b| {
+                    a.gini
+                        .total_cmp(&b.gini)
+                        .then(a.threshold.total_cmp(&b.threshold))
+                })
                 .unwrap();
             let whole_best = whole.best().unwrap();
             assert_eq!(halves_best.threshold, whole_best.threshold, "cut={cut}");
@@ -725,10 +723,11 @@ pub fn best_subset_split_with(matrix: &CountMatrix, criterion: Criterion) -> Opt
                 continue;
             }
             let g = gini_of_mask(mask);
-            if best.is_none_or(|b| {
-                g < b.gini || (g == b.gini && mask < b.left_mask)
-            }) {
-                best = Some(SubsetSplit { gini: g, left_mask: mask });
+            if best.is_none_or(|b| g < b.gini || (g == b.gini && mask < b.left_mask)) {
+                best = Some(SubsetSplit {
+                    gini: g,
+                    left_mask: mask,
+                });
             }
         }
         best

@@ -218,7 +218,10 @@ mod tests {
         let lists = build_lists(&toy(), 0, true);
         assert_eq!(lists[0].len(), 4);
         assert!(!lists[0].is_empty());
-        assert_eq!(lists[0].bytes(), 4 * std::mem::size_of::<ContEntry>() as u64);
+        assert_eq!(
+            lists[0].bytes(),
+            4 * std::mem::size_of::<ContEntry>() as u64
+        );
     }
 
     #[test]
@@ -303,10 +306,26 @@ mod split_consistency_tests {
     #[test]
     fn sort_cont_is_total_order_with_rid_tiebreak() {
         let mut entries = vec![
-            ContEntry { value: 2.0, rid: 5, class: 0 },
-            ContEntry { value: 1.0, rid: 9, class: 1 },
-            ContEntry { value: 2.0, rid: 1, class: 0 },
-            ContEntry { value: 1.0, rid: 2, class: 1 },
+            ContEntry {
+                value: 2.0,
+                rid: 5,
+                class: 0,
+            },
+            ContEntry {
+                value: 1.0,
+                rid: 9,
+                class: 1,
+            },
+            ContEntry {
+                value: 2.0,
+                rid: 1,
+                class: 0,
+            },
+            ContEntry {
+                value: 1.0,
+                rid: 2,
+                class: 1,
+            },
         ];
         sort_cont(&mut entries);
         let order: Vec<(f32, u32)> = entries.iter().map(|e| (e.value, e.rid)).collect();

@@ -67,8 +67,7 @@ pub fn to_text(tree: &DecisionTree) -> String {
                         let _ = write!(out, "test subset {attr} {left_mask:x} ");
                     }
                 }
-                let children: Vec<String> =
-                    node.children.iter().map(|c| c.to_string()).collect();
+                let children: Vec<String> = node.children.iter().map(|c| c.to_string()).collect();
                 let _ = writeln!(out, "children {}", children.join(","));
             }
         }

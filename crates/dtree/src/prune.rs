@@ -36,17 +36,13 @@ pub fn reduced_error_prune(tree: &DecisionTree, validation: &Dataset) -> Decisio
     // reverse scan is bottom-up.
     for id in (0..n).rev() {
         let node = &tree.nodes[id];
-        let as_leaf_err: u64 =
-            vhist[id].iter().sum::<u64>() - vhist[id].get(node.majority as usize).copied().unwrap_or(0);
+        let as_leaf_err: u64 = vhist[id].iter().sum::<u64>()
+            - vhist[id].get(node.majority as usize).copied().unwrap_or(0);
         if node.is_leaf() {
             subtree_err[id] = as_leaf_err;
             continue;
         }
-        let child_err: u64 = node
-            .children
-            .iter()
-            .map(|&c| subtree_err[c as usize])
-            .sum();
+        let child_err: u64 = node.children.iter().map(|&c| subtree_err[c as usize]).sum();
         if as_leaf_err <= child_err {
             keep[id] = false;
             subtree_err[id] = as_leaf_err;

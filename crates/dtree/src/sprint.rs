@@ -13,8 +13,8 @@
 //! be compared for exact equality.
 
 use crate::data::{AttrKind, Dataset, Schema};
-use crate::hashutil::{rid_map_with_capacity, RidMap};
 use crate::gini::{ContinuousScan, CountMatrix};
+use crate::hashutil::{rid_map_with_capacity, RidMap};
 use crate::list::{build_lists, AttrList, CatEntry, ContEntry};
 use crate::split::{categorical_candidate, SplitOptions};
 use crate::tree::{majority_class, BestSplit, DecisionTree, Node, SplitTest, StopRules};
@@ -216,7 +216,11 @@ fn build_node_table(
 
 /// Stable partition of a list into `arity` children via `child_of(rid)`;
 /// preserves the sorted order of continuous lists.
-fn split_list(list: AttrList, arity: usize, mut child_of: impl FnMut(u32) -> usize) -> Vec<AttrList> {
+fn split_list(
+    list: AttrList,
+    arity: usize,
+    mut child_of: impl FnMut(u32) -> usize,
+) -> Vec<AttrList> {
     match list {
         AttrList::Continuous(entries) => {
             let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
@@ -327,10 +331,7 @@ mod tests {
             ..SprintConfig::default()
         };
         // xor-ish data needing two levels; depth 1 allows only the root split.
-        let schema = Schema::new(
-            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
-            2,
-        );
+        let schema = Schema::new(vec![AttrDef::continuous("x"), AttrDef::continuous("y")], 2);
         let data = Dataset::new(
             schema,
             vec![
@@ -346,10 +347,7 @@ mod tests {
 
     #[test]
     fn two_level_tree_solves_xor() {
-        let schema = Schema::new(
-            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
-            2,
-        );
+        let schema = Schema::new(vec![AttrDef::continuous("x"), AttrDef::continuous("y")], 2);
         let data = Dataset::new(
             schema,
             vec![
@@ -410,10 +408,7 @@ mod tests {
         // probes counted.
         assert_eq!(stats.hash_probes, 0);
 
-        let schema = Schema::new(
-            vec![AttrDef::continuous("x"), AttrDef::continuous("y")],
-            2,
-        );
+        let schema = Schema::new(vec![AttrDef::continuous("x"), AttrDef::continuous("y")], 2);
         let data = Dataset::new(
             schema,
             vec![

@@ -558,11 +558,7 @@ mod importance_tests {
     #[test]
     fn single_leaf_tree_has_zero_importance() {
         let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
-        let data = Dataset::new(
-            schema,
-            vec![Column::Continuous(vec![1.0, 2.0])],
-            vec![1, 1],
-        );
+        let data = Dataset::new(schema, vec![Column::Continuous(vec![1.0, 2.0])], vec![1, 1]);
         let tree = sprint::induce(&data, &SprintConfig::default());
         assert_eq!(tree.feature_importance(Criterion::Gini), vec![0.0]);
     }

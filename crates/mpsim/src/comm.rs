@@ -18,7 +18,7 @@ use std::any::Any;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::clock::SimClock;
 use crate::machine::{PtpMsg, Shared};
@@ -177,12 +177,12 @@ impl Comm {
     }
 
     fn deposit(&self, value: Option<Box<dyn Any + Send>>) {
-        *self.shared.slots[self.rank].lock() = value;
+        *self.shared.slots[self.rank].lock().unwrap() = value;
     }
 
     /// Read rank `r`'s deposit as `Arc<T>` without consuming it.
     fn peek<T: Send + Sync + 'static>(&self, r: usize) -> Arc<T> {
-        let guard = self.shared.slots[r].lock();
+        let guard = self.shared.slots[r].lock().unwrap();
         let any = guard
             .as_ref()
             .unwrap_or_else(|| panic!("rank {r} deposited nothing for this collective"));
@@ -230,7 +230,8 @@ impl Comm {
         if self.rank != root {
             self.bytes_recv += std::mem::size_of::<T>() as u64;
         }
-        self.tracker.pulse(COMM_MEM, std::mem::size_of::<T>() as u64);
+        self.tracker
+            .pulse(COMM_MEM, std::mem::size_of::<T>() as u64);
         self.sync_with_cost(CollKind::Tree);
         self.exit();
         out
@@ -458,7 +459,7 @@ impl Comm {
         self.enter(send_bytes);
         self.shared.tokens.acquire();
         for (dst, buf) in bufs.into_iter().enumerate() {
-            *self.shared.mslots[self.rank * p + dst].lock() = Some(Box::new(buf));
+            *self.shared.mslots[self.rank * p + dst].lock().unwrap() = Some(Box::new(buf));
         }
         self.shared.tokens.release();
         self.shared.barrier.wait();
@@ -468,6 +469,7 @@ impl Comm {
         for src in 0..p {
             let any = self.shared.mslots[src * p + self.rank]
                 .lock()
+                .unwrap()
                 .take()
                 .unwrap_or_else(|| panic!("rank {src} deposited no alltoallv buffer"));
             let buf: Vec<T> = downcast(any);
@@ -625,7 +627,9 @@ mod tests {
     fn allgatherv_concatenates_in_rank_order() {
         let cfg = MachineCfg::new(3);
         let r = run(&cfg, |c| {
-            let mine: Vec<u32> = (0..c.rank() as u32 + 1).map(|i| c.rank() as u32 * 10 + i).collect();
+            let mine: Vec<u32> = (0..c.rank() as u32 + 1)
+                .map(|i| c.rank() as u32 * 10 + i)
+                .collect();
             c.allgatherv(mine)
         });
         for out in &r.outputs {
@@ -638,9 +642,8 @@ mod tests {
         let p = 5;
         let cfg = MachineCfg::new(p);
         let r = run(&cfg, |c| {
-            let bufs: Vec<Vec<(usize, usize)>> = (0..p)
-                .map(|d| vec![(c.rank(), d); c.rank() + d])
-                .collect();
+            let bufs: Vec<Vec<(usize, usize)>> =
+                (0..p).map(|d| vec![(c.rank(), d); c.rank() + d]).collect();
             c.alltoallv(bufs)
         });
         for (me, out) in r.outputs.iter().enumerate() {

@@ -3,11 +3,8 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex};
 
 use crate::clock::SimClock;
 pub use crate::clock::TimingMode;
@@ -74,33 +71,68 @@ impl MachineCfg {
     }
 }
 
-/// Pin the calling thread to one CPU core (no-op on failure or non-Unix).
-#[cfg(unix)]
-fn pin_to_core(core: usize) {
-    // SAFETY: plain syscall with a locally-initialized mask.
+/// One cache line per entry: rank-indexed atomics in `Shared` would
+/// otherwise false-share and perturb measured segments.
+#[repr(align(128))]
+pub(crate) struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    pub(crate) fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Apply a CPU affinity mask (up to 1024 cores) to the calling thread via
+/// a raw `sched_setaffinity` syscall; the workspace builds without libc.
+/// Failure is ignored — pinning is a measurement-quality optimization.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn set_affinity(mask: &[u64; 16]) {
+    // SAFETY: syscall 203 = sched_setaffinity(pid=0, len, mask) reads
+    // `len` bytes from a live, properly-sized local buffer.
     unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_SET(core, &mut set);
-        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        let mut ret: isize = 203;
+        std::arch::asm!(
+            "syscall",
+            inout("rax") ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of::<[u64; 16]>(),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, readonly)
+        );
+        let _ = ret;
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn set_affinity(_mask: &[u64; 16]) {}
+
+/// Pin the calling thread to one CPU core (no-op on failure or unsupported
+/// targets).
+fn pin_to_core(core: usize) {
+    let mut mask = [0u64; 16];
+    if core < 1024 {
+        mask[core / 64] |= 1 << (core % 64);
+        set_affinity(&mask);
     }
 }
 
 /// Pin the calling thread to every core except core 0.
-#[cfg(unix)]
 fn pin_to_others(ncores: usize) {
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        for c in 1..ncores.max(2) {
-            libc::CPU_SET(c, &mut set);
-        }
-        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    let mut mask = [0u64; 16];
+    for c in 1..ncores.clamp(2, 1024) {
+        mask[c / 64] |= 1 << (c % 64);
     }
+    set_affinity(&mask);
 }
-
-#[cfg(not(unix))]
-fn pin_to_core(_core: usize) {}
-#[cfg(not(unix))]
-fn pin_to_others(_ncores: usize) {}
 
 /// Counting semaphore gating measured compute segments.
 ///
@@ -154,7 +186,7 @@ impl Tokens {
             return;
         }
         {
-            let mut s = self.state.lock();
+            let mut s = self.state.lock().unwrap();
             if s.avail > 0 && s.queue.is_empty() {
                 s.avail -= 1;
                 drop(s);
@@ -169,7 +201,7 @@ impl Tokens {
         // unparks are possible, so re-check queue membership.
         loop {
             std::thread::park();
-            let s = self.state.lock();
+            let s = self.state.lock().unwrap();
             let me = std::thread::current().id();
             if !s.queue.iter().any(|t| t.id() == me) {
                 // A release removed us from the queue: the token is ours.
@@ -190,7 +222,7 @@ impl Tokens {
         if self.pin {
             pin_to_others(self.host_cores);
         }
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         if let Some(next) = s.queue.pop_front() {
             // Direct handoff: avail stays as-is, the waiter owns the token.
             drop(s);
@@ -239,8 +271,12 @@ impl Shared {
             barrier: Barrier::new(p),
             slots: (0..p).map(|_| Mutex::new(None)).collect(),
             mslots: (0..p * p).map(|_| Mutex::new(None)).collect(),
-            clock_board: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-            bytes_board: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            clock_board: (0..p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            bytes_board: (0..p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             tokens: Tokens::new(cfg.effective_tokens()),
         }
     }
@@ -281,7 +317,7 @@ where
     let mut receivers: Vec<Vec<Option<Receiver<PtpMsg>>>> = (0..p).map(|_| Vec::new()).collect();
     for srow in senders.iter_mut() {
         for rrow in receivers.iter_mut() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             srow.push(Some(tx));
             rrow.push(Some(rx));
         }
@@ -304,16 +340,15 @@ where
     }
 
     let mut results: Vec<Option<(T, RankStats)>> = (0..p).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, (ctx, out)) in rank_ctx.iter_mut().zip(results.iter_mut()).enumerate() {
             let fref = &f;
             let mut comm = ctx.take().unwrap();
             handles.push(
-                scope
-                    .builder()
+                std::thread::Builder::new()
                     .name(format!("mpsim-rank-{rank}"))
-                    .spawn(move |_| {
+                    .spawn_scoped(scope, move || {
                         comm.pin_worker();
                         comm.begin();
                         let value = fref(&mut comm);
@@ -328,8 +363,7 @@ where
                 std::panic::resume_unwind(e);
             }
         }
-    })
-    .expect("machine scope failed");
+    });
 
     let mut outputs = Vec::with_capacity(p);
     let mut ranks = Vec::with_capacity(p);

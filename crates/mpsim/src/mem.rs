@@ -8,8 +8,8 @@
 //! which maintains current usage and the high-water mark, per category and
 //! overall.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Usage counters for a single category.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,7 +44,7 @@ impl MemTracker {
 
     /// Record an allocation of `bytes` in `category`.
     pub fn alloc(&self, category: &'static str, bytes: u64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.current += bytes;
         g.peak = g.peak.max(g.current);
         let c = g.cats.entry(category).or_default();
@@ -58,7 +58,7 @@ impl MemTracker {
     /// Panics if more bytes are freed than are currently allocated — that is
     /// always an accounting bug in the caller.
     pub fn free(&self, category: &'static str, bytes: u64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         assert!(g.current >= bytes, "mem accounting underflow (total)");
         g.current -= bytes;
         let c = g
@@ -76,7 +76,7 @@ impl MemTracker {
     /// released, but the peak still observes them. Used by collectives for
     /// communication buffers whose lifetime is a single exchange.
     pub fn pulse(&self, category: &'static str, bytes: u64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         let cur = g.current;
         g.peak = g.peak.max(cur + bytes);
         let c = g.cats.entry(category).or_default();
@@ -86,7 +86,7 @@ impl MemTracker {
     /// Adjust a category to a new absolute size (convenience for structures
     /// that grow and shrink, e.g. attribute-list segments).
     pub fn set(&self, category: &'static str, bytes: u64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         let c = g.cats.entry(category).or_default();
         let old = c.current;
         c.current = bytes;
@@ -100,18 +100,19 @@ impl MemTracker {
 
     /// Bytes currently allocated across all categories.
     pub fn current(&self) -> u64 {
-        self.inner.lock().current
+        self.inner.lock().unwrap().current
     }
 
     /// Overall high-water mark.
     pub fn peak(&self) -> u64 {
-        self.inner.lock().peak
+        self.inner.lock().unwrap().peak
     }
 
     /// Usage for one category (zero if never used).
     pub fn category(&self, category: &'static str) -> CatUsage {
         self.inner
             .lock()
+            .unwrap()
             .cats
             .get(category)
             .copied()
@@ -122,6 +123,7 @@ impl MemTracker {
     pub fn categories(&self) -> Vec<(&'static str, CatUsage)> {
         self.inner
             .lock()
+            .unwrap()
             .cats
             .iter()
             .map(|(k, v)| (*k, *v))

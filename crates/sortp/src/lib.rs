@@ -270,7 +270,11 @@ mod tests {
     fn shift_rebalances_without_reordering() {
         let outs = run_simple(4, |c| {
             // Globally sorted but wildly unbalanced: rank 0 has everything.
-            let local: Vec<u32> = if c.rank() == 0 { (0..100).collect() } else { vec![] };
+            let local: Vec<u32> = if c.rank() == 0 {
+                (0..100).collect()
+            } else {
+                vec![]
+            };
             parallel_shift(c, local)
         });
         for (r, s) in outs.iter().enumerate() {
@@ -282,7 +286,11 @@ mod tests {
     #[test]
     fn shift_handles_non_divisible_sizes() {
         let outs = run_simple(4, |c| {
-            let local: Vec<u32> = if c.rank() == 1 { (0..10).collect() } else { vec![] };
+            let local: Vec<u32> = if c.rank() == 1 {
+                (0..10).collect()
+            } else {
+                vec![]
+            };
             parallel_shift(c, local)
         });
         // N=10, p=4 → block 3: sizes 3,3,3,1.
@@ -310,7 +318,11 @@ mod tests {
     #[test]
     fn detects_unsorted_sequences() {
         let verdicts = run_simple(2, |c| {
-            let local: Vec<u32> = if c.rank() == 0 { vec![5, 6] } else { vec![1, 2] };
+            let local: Vec<u32> = if c.rank() == 0 {
+                vec![5, 6]
+            } else {
+                vec![1, 2]
+            };
             is_globally_sorted(c, &local, |a, b| a.cmp(b))
         });
         assert!(verdicts.iter().all(|&v| !v));

@@ -25,7 +25,11 @@ fn main() {
     });
     write_csv(&data, &path).expect("write CSV");
     let bytes = std::fs::metadata(&path).unwrap().len();
-    println!("wrote {} records to {} ({bytes} bytes)", data.len(), path.display());
+    println!(
+        "wrote {} records to {} ({bytes} bytes)",
+        data.len(),
+        path.display()
+    );
 
     // Read it back against the known schema.
     let loaded = read_csv(&path, &Profile::Paper7.schema()).expect("read CSV");

@@ -34,8 +34,7 @@ fn main() {
             tree.accuracy(&data)
         );
         let imp = tree.feature_importance(criterion);
-        let mut ranked: Vec<(&str, f64)> =
-            names.iter().copied().zip(imp.iter().copied()).collect();
+        let mut ranked: Vec<(&str, f64)> = names.iter().copied().zip(imp.iter().copied()).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         print!("  importance:");
         for (name, v) in ranked.iter().take(4) {

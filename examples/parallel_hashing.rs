@@ -37,7 +37,10 @@ fn main() {
     });
     println!("dense table: 1M ids over {p} ranks");
     for (r, (peak, ok)) in outs.iter().enumerate() {
-        println!("  rank {r}: resident block {:.2} MB, sample verified: {ok}", *peak as f64 / 1e6);
+        println!(
+            "  rank {r}: resident block {:.2} MB, sample verified: {ok}",
+            *peak as f64 / 1e6
+        );
     }
 
     // --- Chained table: word → last document mentioning it.

@@ -61,7 +61,10 @@ fn noisy_pipeline_with_pruning_generalizes() {
     let pruned = reduced_error_prune(&grown, &valid);
     pruned.validate();
 
-    assert!(pruned.nodes.len() < grown.nodes.len(), "pruning must shrink");
+    assert!(
+        pruned.nodes.len() < grown.nodes.len(),
+        "pruning must shrink"
+    );
     let e_grown = error_rate(&grown, &test);
     let e_pruned = error_rate(&pruned, &test);
     assert!(

@@ -13,7 +13,6 @@ use dtree::Dataset;
 use mpsim::{CostModel, TimingMode};
 use scalparc::{induce, ParConfig};
 
-
 fn data(n: usize) -> Dataset {
     generate(&GenConfig::paper(n, 5))
 }
