@@ -86,6 +86,85 @@ fn bench_alltoallv(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_alltoallv_flat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv_flat");
+    g.sample_size(10);
+    let p = 8usize;
+    let per_dest = 4_000usize;
+    g.throughput(Throughput::Elements((p * p * per_dest) as u64));
+    // Same logical exchange as `alltoallv/8ranks_4k_each`, through the flat
+    // counts/displacements API: one contiguous send buffer per rank, one
+    // contiguous receive buffer, no per-destination vectors.
+    g.bench_function("8ranks_4k_each", |b| {
+        b.iter(|| {
+            let cfg = MachineCfg::new(p);
+            mpsim::run(&cfg, |comm| {
+                let counts = vec![per_dest; p];
+                let send: Vec<u64> = (0..p)
+                    .flat_map(|d| std::iter::repeat_n(d as u64, per_dest))
+                    .collect();
+                comm.alltoallv_flat(send, &counts).0.len()
+            })
+            .outputs
+        })
+    });
+    // Steady-state variant: warm receive buffers reused across rounds, the
+    // shape the induction hot loop actually runs.
+    g.bench_function("8ranks_4k_each_warm", |b| {
+        b.iter(|| {
+            let cfg = MachineCfg::new(p);
+            mpsim::run(&cfg, |comm| {
+                let counts = vec![per_dest; p];
+                let send: Vec<u64> = (0..p)
+                    .flat_map(|d| std::iter::repeat_n(d as u64, per_dest))
+                    .collect();
+                let mut recv = Vec::new();
+                let mut recv_counts = Vec::new();
+                for _ in 0..4 {
+                    comm.alltoallv_flat_into(&send, &counts, &mut recv, &mut recv_counts);
+                }
+                recv.len()
+            })
+            .outputs
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    use dtree::list::{AttrList, ContEntry};
+    use dtree::tree::SplitTest;
+    use scalparc::phases::{split_by_children, split_directly};
+
+    let n = 100_000usize;
+    let list = AttrList::Continuous(
+        (0..n)
+            .map(|i| ContEntry {
+                value: (i % 97) as f32,
+                rid: i as u32,
+                class: (i % 2) as u8,
+            })
+            .collect(),
+    );
+    let children: Vec<u8> = (0..n).map(|i| u8::from((i * 7) % 3 != 0)).collect();
+    let test = SplitTest::Continuous {
+        attr: 0,
+        threshold: 48.0,
+    };
+
+    let mut g = c.benchmark_group("partition");
+    g.throughput(Throughput::Elements(n as u64));
+    let mut counts = Vec::new();
+    g.bench_function("split_by_children_100k", |b| {
+        b.iter(|| split_by_children(list.clone(), 2, &children, &mut counts).len())
+    });
+    let mut counts2 = Vec::new();
+    g.bench_function("split_directly_100k", |b| {
+        b.iter(|| split_directly(list.clone(), &test, 2, &mut counts2).len())
+    });
+    g.finish();
+}
+
 fn bench_dist_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("dist_table");
     g.sample_size(10);
@@ -139,6 +218,8 @@ criterion_group!(
     bench_gini_scan,
     bench_sample_sort,
     bench_alltoallv,
+    bench_alltoallv_flat,
+    bench_partition,
     bench_dist_table,
     bench_induction
 );

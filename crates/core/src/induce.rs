@@ -22,7 +22,7 @@ use mpsim::Comm;
 
 use crate::config::{Algorithm, InduceConfig};
 use crate::dist::{build_distributed_lists, lists_bytes, ATTR_MEM};
-use crate::phases::{find_split, perform_split, Work};
+use crate::phases::{find_split, perform_split, LevelScratch, Work};
 
 /// Per-level trace entry (global quantities — identical on every rank).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -89,6 +89,10 @@ pub fn induce_on_comm(
     };
 
     let mut stats = ParStats::default();
+    // Per-level working buffers, reused across levels (cleared, never
+    // shrunk): after the widest level the per-level phases allocate only
+    // the child lists that become the next level's state.
+    let mut scratch = LevelScratch::new();
     while !level.is_empty() {
         stats.levels += 1;
         stats.max_active_nodes = stats.max_active_nodes.max(level.len());
@@ -100,7 +104,7 @@ pub fn induce_on_comm(
         comm.tracker()
             .set(ATTR_MEM, lists_bytes(level.iter().flat_map(|w| &w.lists)));
 
-        let candidates = find_split(comm, &level, &schema, cfg.split);
+        let candidates = find_split(comm, &level, &schema, cfg.split, &mut scratch);
         let decisions: Vec<Option<BestSplit>> = level
             .iter()
             .zip(&candidates)
@@ -130,6 +134,7 @@ pub fn induce_on_comm(
             cfg.batched_enquiry,
             total_n,
             &schema,
+            &mut scratch,
         );
 
         let mut next: Vec<Work> = Vec::new();

@@ -32,6 +32,87 @@ use dtree::split::{categorical_candidate, SplitOptions};
 use dtree::tree::{BestSplit, SplitTest};
 use mpsim::Comm;
 
+/// Per-level working memory reused across every level of one induction run:
+/// each buffer is cleared at the start of the phase that fills it and never
+/// shrunk, so after the first (widest) level the per-level hot path
+/// allocates nothing.
+///
+/// Owned by the induction loop and threaded through [`find_split`] and
+/// [`perform_split`]; a fresh [`LevelScratch::new`] per run is cheap (all
+/// buffers start empty and grow to the level high-water mark on first use).
+pub struct LevelScratch {
+    /// FindSplitI continuous: the borrowed prefix-scan payload — one flat
+    /// histogram pool (stride = `classes`) plus one boundary value per
+    /// (work, attribute) item.
+    scan: ScanPayload,
+    /// Exclusive-prefix accumulators folded from lower ranks, same layout.
+    prefix_hists: Vec<u64>,
+    prefix_lasts: Vec<Option<f32>>,
+    /// FindSplitI categorical: local and globalized flat count matrices.
+    cat: Vec<u64>,
+    cat_global: Vec<u64>,
+    /// FindSplitII: reused split-point scan state and categorical matrix.
+    cont_scan: ContinuousScan,
+    cat_matrix: CountMatrix,
+    /// PerformSplitI: record-to-child updates and flattened child
+    /// histograms (local, then globalized by reduction).
+    updates: Vec<(u64, u8)>,
+    child_flat: Vec<u64>,
+    child_global: Vec<u64>,
+    /// SPRINT baseline: the allgathered whole-machine mapping.
+    gathered: Vec<(u64, u8)>,
+    gather_counts: Vec<usize>,
+    /// PerformSplitII: enquiry keys, span table, raw verdicts, and the
+    /// unwrapped per-record child numbers.
+    keys: Vec<u64>,
+    spans: Vec<(usize, usize, usize)>,
+    verdicts: Vec<Option<u8>>,
+    children: Vec<u8>,
+    /// Exact-capacity partitioning: per-child entry counts.
+    part_counts: Vec<usize>,
+}
+
+impl LevelScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        LevelScratch {
+            scan: ScanPayload {
+                hists: Vec::new(),
+                lasts: Vec::new(),
+            },
+            prefix_hists: Vec::new(),
+            prefix_lasts: Vec::new(),
+            cat: Vec::new(),
+            cat_global: Vec::new(),
+            cont_scan: ContinuousScan::fresh(Vec::new()),
+            cat_matrix: CountMatrix::new(0, 0),
+            updates: Vec::new(),
+            child_flat: Vec::new(),
+            child_global: Vec::new(),
+            gathered: Vec::new(),
+            gather_counts: Vec::new(),
+            keys: Vec::new(),
+            spans: Vec::new(),
+            verdicts: Vec::new(),
+            children: Vec::new(),
+            part_counts: Vec::new(),
+        }
+    }
+}
+
+impl Default for LevelScratch {
+    fn default() -> Self {
+        LevelScratch::new()
+    }
+}
+
+/// Borrowed prefix-scan payload: the flattened class histograms and the
+/// last attribute value of every (work, continuous attribute) segment.
+struct ScanPayload {
+    hists: Vec<u64>,
+    lasts: Vec<Option<f32>>,
+}
+
 /// Memory-tracker category for count matrices and scan state.
 pub const COUNT_MEM: &str = "count-matrices";
 /// Memory-tracker category for the SPRINT baseline's replicated hash table.
@@ -50,15 +131,6 @@ pub struct Work {
     pub lists: Vec<AttrList>,
 }
 
-/// Prefix-scan payload for one (node, continuous attribute) pair.
-#[derive(Clone)]
-struct ScanItem {
-    /// Class counts of the segment.
-    hist: Vec<u64>,
-    /// Last attribute value in the segment (`None` when empty).
-    last: Option<f32>,
-}
-
 /// FindSplitI + FindSplitII: the globally best split candidate per work
 /// (`None` when no attribute offers a valid split). Collective; every rank
 /// returns the same vector.
@@ -67,87 +139,102 @@ pub fn find_split(
     works: &[Work],
     schema: &Schema,
     opts: SplitOptions,
+    scratch: &mut LevelScratch,
 ) -> Vec<Option<BestSplit>> {
     let classes = schema.num_classes as usize;
     let cont_attrs = schema.continuous_attrs();
     let cat_attrs = schema.categorical_attrs();
 
     // --- FindSplitI, continuous: one parallel prefix over all (work, attr)
-    // count matrices and boundary values.
-    let mut items: Vec<ScanItem> = Vec::with_capacity(works.len() * cont_attrs.len());
+    // count matrices and boundary values. The histograms live in one flat
+    // pool (stride = `classes`) deposited by reference, so globalizing them
+    // moves no heap-allocated per-item payloads.
+    let n_items = works.len() * cont_attrs.len();
+    scratch.scan.hists.clear();
+    scratch.scan.hists.resize(n_items * classes, 0);
+    scratch.scan.lasts.clear();
+    scratch.scan.lasts.reserve(n_items);
+    let mut base = 0usize;
     for w in works {
         for &a in &cont_attrs {
             let seg = w.lists[a].as_continuous();
-            let mut hist = vec![0u64; classes];
+            let hist = &mut scratch.scan.hists[base..base + classes];
             for e in seg {
                 hist[e.class as usize] += 1;
             }
-            items.push(ScanItem {
-                hist,
-                last: seg.last().map(|e| e.value),
-            });
+            scratch.scan.lasts.push(seg.last().map(|e| e.value));
+            base += classes;
         }
     }
-    let scan_bytes = (items.len() * (classes * 8 + 8)) as u64;
+    let scan_bytes = (n_items * (classes * 8 + 8)) as u64;
     comm.tracker().pulse(COUNT_MEM, scan_bytes);
-    let identity: Vec<ScanItem> = items
-        .iter()
-        .map(|_| ScanItem {
-            hist: vec![0; classes],
-            last: None,
-        })
-        .collect();
-    let prefixes = comm.scan_exclusive_sized(items, identity, scan_bytes, |acc, b| {
-        for (x, y) in acc.iter_mut().zip(b) {
-            for (h, g) in x.hist.iter_mut().zip(&y.hist) {
-                *h += *g;
+    scratch.prefix_hists.clear();
+    scratch.prefix_hists.resize(n_items * classes, 0);
+    scratch.prefix_lasts.clear();
+    scratch.prefix_lasts.resize(n_items, None);
+    {
+        let prefix_hists = &mut scratch.prefix_hists;
+        let prefix_lasts = &mut scratch.prefix_lasts;
+        comm.scan_exclusive_with(&scratch.scan, scan_bytes, |prev: &ScanPayload| {
+            for (x, y) in prefix_hists.iter_mut().zip(&prev.hists) {
+                *x += *y;
             }
-            if y.last.is_some() {
-                x.last = y.last; // rightmost non-empty segment wins
+            for (x, y) in prefix_lasts.iter_mut().zip(&prev.lasts) {
+                if y.is_some() {
+                    *x = *y; // rightmost non-empty segment wins
+                }
             }
-        }
-    });
+        });
+    }
 
-    // --- FindSplitI, categorical: global count matrices by reduction.
-    let mut flat: Vec<u64> = Vec::new();
+    // --- FindSplitI, categorical: counts accumulate straight into one flat
+    // pool, globalized by a borrowed-payload reduction.
+    scratch.cat.clear();
     for w in works {
         for &a in &cat_attrs {
             let AttrKind::Categorical { cardinality } = schema.attrs[a].kind else {
                 unreachable!()
             };
-            let mut m = CountMatrix::new(cardinality as usize, classes);
+            let b = scratch.cat.len();
+            scratch.cat.resize(b + cardinality as usize * classes, 0);
+            let m = &mut scratch.cat[b..];
             for e in w.lists[a].as_categorical() {
-                m.add(e.value as usize, e.class as usize);
+                m[e.value as usize * classes + e.class as usize] += 1;
             }
-            flat.extend_from_slice(m.as_slice());
         }
     }
-    comm.tracker().pulse(COUNT_MEM, (flat.len() * 8) as u64);
-    let flat_bytes = (flat.len() * 8) as u64;
-    let global_flat = comm.allreduce_sized(flat, flat_bytes, |a, b| {
-        for (x, y) in a.iter_mut().zip(b) {
-            *x += *y;
-        }
-    });
+    let flat_bytes = (scratch.cat.len() * 8) as u64;
+    comm.tracker().pulse(COUNT_MEM, flat_bytes);
+    scratch.cat_global.clear();
+    scratch.cat_global.resize(scratch.cat.len(), 0);
+    {
+        let global = &mut scratch.cat_global;
+        comm.allreduce_with(&scratch.cat, flat_bytes, |_, other: &Vec<u64>| {
+            for (x, y) in global.iter_mut().zip(other) {
+                *x += *y;
+            }
+        });
+    }
 
     // --- FindSplitII: local candidates, then a global reduction under the
     // canonical candidate order.
     let mut cands: Vec<Option<BestSplit>> = Vec::with_capacity(works.len());
     let mut pi = 0usize;
     let mut off = 0usize;
+    scratch.cont_scan.set_criterion(opts.criterion);
     for w in works {
         let mut best: Option<BestSplit> = None;
         for &a in &cont_attrs {
-            let pre = &prefixes[pi];
+            let below = &scratch.prefix_hists[pi * classes..(pi + 1) * classes];
+            let last = scratch.prefix_lasts[pi];
             pi += 1;
-            let mut scan = ContinuousScan::new(w.hist.clone(), pre.hist.clone(), pre.last)
-                .with_criterion(opts.criterion);
+            scratch.cont_scan.reset(&w.hist, below, last);
             for e in w.lists[a].as_continuous() {
-                scan.push(e.value, e.class);
+                scratch.cont_scan.push(e.value, e.class);
             }
             best = BestSplit::better(
                 best,
-                scan.best().map(|c| BestSplit {
+                scratch.cont_scan.best().map(|c| BestSplit {
                     gini: c.gini,
                     test: SplitTest::Continuous {
                         attr: a,
@@ -161,13 +248,13 @@ pub fn find_split(
                 unreachable!()
             };
             let len = cardinality as usize * classes;
-            let m = CountMatrix::from_slice(
+            scratch.cat_matrix.assign_from_slice(
                 cardinality as usize,
                 classes,
-                &global_flat[off..off + len],
+                &scratch.cat_global[off..off + len],
             );
             off += len;
-            best = BestSplit::better(best, categorical_candidate(a, &m, opts));
+            best = BestSplit::better(best, categorical_candidate(a, &scratch.cat_matrix, opts));
         }
         cands.push(best);
     }
@@ -206,44 +293,48 @@ pub fn perform_split(
     batched_enquiry: bool,
     total_n: u64,
     schema: &Schema,
+    scratch: &mut LevelScratch,
 ) -> Vec<Option<SplitOutcome>> {
     assert_eq!(works.len(), decisions.len());
     let p = comm.size() as u64;
     let classes = schema.num_classes as usize;
 
     // --- PerformSplitI: split the splitting attributes' lists, collect the
-    // record-to-child mapping and local child histograms.
-    let mut updates: Vec<(u64, u8)> = Vec::new();
-    let mut local_child_hists: Vec<Vec<Vec<u64>>> = Vec::new();
+    // record-to-child mapping and local child histograms (one flat pool,
+    // `arity × classes` counts per splitting work).
+    scratch.updates.clear();
+    scratch.child_flat.clear();
     for (w, dec) in works.iter().zip(decisions) {
         let Some(split) = dec else { continue };
         let arity = split.test.arity(schema);
-        let mut hists = vec![vec![0u64; classes]; arity];
+        let base = scratch.child_flat.len();
+        scratch.child_flat.resize(base + arity * classes, 0);
+        let updates = &mut scratch.updates;
+        let hists = &mut scratch.child_flat[base..];
         match (&w.lists[split.test.attr()], split.test) {
             (AttrList::Continuous(seg), SplitTest::Continuous { threshold, .. }) => {
                 for e in seg {
                     let child = usize::from(e.value >= threshold);
                     updates.push((e.rid as u64, child as u8));
-                    hists[child][e.class as usize] += 1;
+                    hists[child * classes + e.class as usize] += 1;
                 }
             }
             (AttrList::Categorical(seg), SplitTest::Categorical { .. }) => {
                 for e in seg {
                     let child = e.value as usize;
                     updates.push((e.rid as u64, child as u8));
-                    hists[child][e.class as usize] += 1;
+                    hists[child * classes + e.class as usize] += 1;
                 }
             }
             (AttrList::Categorical(seg), SplitTest::CategoricalSubset { left_mask, .. }) => {
                 for e in seg {
                     let child = usize::from((left_mask >> e.value) & 1 == 0);
                     updates.push((e.rid as u64, child as u8));
-                    hists[child][e.class as usize] += 1;
+                    hists[child * classes + e.class as usize] += 1;
                 }
             }
             _ => unreachable!("splitting list kind matches the test"),
         }
-        local_child_hists.push(hists);
     }
 
     // Publish the record-to-child mapping.
@@ -255,36 +346,46 @@ pub fn perform_split(
             // hashing paradigm, optionally blocked into ⌈N/p⌉ rounds.
             if blocked_updates {
                 let round = total_n.div_ceil(p).max(1) as usize;
-                t.update_blocked(comm, &updates, round);
+                t.update_blocked(comm, &scratch.updates, round);
             } else {
-                t.update(comm, &updates);
+                t.update(comm, &scratch.updates);
             }
         }
         None => {
             // Parallel SPRINT: every processor receives the entire mapping
             // and builds the full hash table — O(N) communication and O(N)
             // memory per processor at the upper levels.
-            let all = comm.allgatherv(updates.clone());
+            comm.allgatherv_flat_into(
+                &scratch.updates,
+                &mut scratch.gathered,
+                &mut scratch.gather_counts,
+            );
             // Resident replicated table: entries plus open-addressing slack.
-            repl_bytes = (all.len() * (std::mem::size_of::<(u32, u8)>() + 4)) as u64;
+            repl_bytes = (scratch.gathered.len() * (std::mem::size_of::<(u32, u8)>() + 4)) as u64;
             comm.tracker().alloc(REPL_HASH_MEM, repl_bytes);
-            replicated = Some(all.into_iter().map(|(r, c)| (r as u32, c)).collect());
+            replicated = Some(
+                scratch
+                    .gathered
+                    .iter()
+                    .map(|&(r, c)| (r as u32, c))
+                    .collect(),
+            );
         }
     }
 
-    // Globalize the child histograms with one reduction.
-    let flat: Vec<u64> = local_child_hists
-        .iter()
-        .flatten()
-        .flatten()
-        .copied()
-        .collect();
-    let hist_bytes = (flat.len() * 8) as u64;
-    let gflat = comm.allreduce_sized(flat, hist_bytes, |a, b| {
-        for (x, y) in a.iter_mut().zip(b) {
-            *x += *y;
-        }
-    });
+    // Globalize the child histograms with one borrowed-payload reduction.
+    let hist_bytes = (scratch.child_flat.len() * 8) as u64;
+    scratch.child_global.clear();
+    scratch.child_global.resize(scratch.child_flat.len(), 0);
+    {
+        let global = &mut scratch.child_global;
+        comm.allreduce_with(&scratch.child_flat, hist_bytes, |_, other: &Vec<u64>| {
+            for (x, y) in global.iter_mut().zip(other) {
+                *x += *y;
+            }
+        });
+    }
+    let gflat = &scratch.child_global;
 
     // Prepare outcomes (child hists now global, child lists filled below).
     let mut outcomes: Vec<Option<SplitOutcome>> = Vec::with_capacity(works.len());
@@ -323,44 +424,54 @@ pub fn perform_split(
     for group in attr_groups {
         // Batch the enquiry keys of every (node, attribute) pair where the
         // node splits on a different attribute.
-        let mut keys: Vec<u64> = Vec::new();
-        let mut spans: Vec<(usize, usize, usize)> = Vec::new(); // (work, attr, len)
+        scratch.keys.clear();
+        scratch.spans.clear(); // (work, attr, len)
         for &a in &group {
             for (wi, (w, dec)) in works.iter().zip(decisions).enumerate() {
                 if let Some(split) = dec {
                     if split.test.attr() != a {
                         let rids = w.lists[a].rids();
-                        spans.push((wi, a, rids.len()));
-                        keys.extend(rids.iter().map(|&r| r as u64));
+                        scratch.spans.push((wi, a, rids.len()));
+                        scratch.keys.extend(rids.iter().map(|&r| r as u64));
                     }
                 }
             }
         }
-        let children: Vec<u8> = match (table.as_deref(), replicated.as_ref()) {
-            (Some(t), _) => t
-                .inquire(comm, &keys)
-                .into_iter()
-                .map(|o| o.expect("record missing from node table"))
-                .collect(),
-            (None, Some(map)) => keys.iter().map(|&k| map[&(k as u32)]).collect(),
+        match (table.as_deref_mut(), replicated.as_ref()) {
+            (Some(t), _) => {
+                t.inquire_into(comm, &scratch.keys, &mut scratch.verdicts);
+                scratch.children.clear();
+                scratch.children.extend(
+                    scratch
+                        .verdicts
+                        .drain(..)
+                        .map(|o| o.expect("record missing from node table")),
+                );
+            }
+            (None, Some(map)) => {
+                scratch.children.clear();
+                scratch
+                    .children
+                    .extend(scratch.keys.iter().map(|&k| map[&(k as u32)]));
+            }
             (None, None) => {
                 // No node split this level; nothing to enquire, but the
                 // branch keeps both formulations' control flow aligned.
-                debug_assert!(keys.is_empty());
-                Vec::new()
+                debug_assert!(scratch.keys.is_empty());
+                scratch.children.clear();
             }
         };
 
         // Split the enquired lists in span order.
         let mut pos = 0usize;
-        for (wi, a, len) in spans {
-            let verdicts = &children[pos..pos + len];
+        for &(wi, a, len) in &scratch.spans {
+            let verdicts = &scratch.children[pos..pos + len];
             pos += len;
             let split = decisions[wi].as_ref().unwrap();
             let arity = split.test.arity(schema);
             let list =
                 std::mem::replace(&mut works[wi].lists[a], AttrList::Categorical(Vec::new()));
-            let parts = split_by_children(list, arity, verdicts);
+            let parts = split_by_children(list, arity, verdicts, &mut scratch.part_counts);
             let out = outcomes[wi].as_mut().unwrap();
             for (c, part) in parts.into_iter().enumerate() {
                 out.child_lists[c][a] = part;
@@ -377,7 +488,8 @@ pub fn perform_split(
                             &mut works[wi].lists[a],
                             AttrList::Categorical(Vec::new()),
                         );
-                        let parts = split_directly(list, &split.test, arity);
+                        let parts =
+                            split_directly(list, &split.test, arity, &mut scratch.part_counts);
                         let out = outcomes[wi].as_mut().unwrap();
                         for (c, part) in parts.into_iter().enumerate() {
                             out.child_lists[c][a] = part;
@@ -403,11 +515,29 @@ pub fn perform_split(
 }
 
 /// Stable partition by a per-entry child verdict (aligned with the list).
-fn split_by_children(list: AttrList, arity: usize, children: &[u8]) -> Vec<AttrList> {
+///
+/// A counting pass sizes every child first, so each child list is allocated
+/// at its exact final capacity — no doubling growth, no copy-on-realloc,
+/// no over-allocation held by the next level. `counts` is reused scratch.
+///
+/// Public for the allocation tests and kernel benchmarks; not part of the
+/// stable API surface.
+pub fn split_by_children(
+    list: AttrList,
+    arity: usize,
+    children: &[u8],
+    counts: &mut Vec<usize>,
+) -> Vec<AttrList> {
+    counts.clear();
+    counts.resize(arity, 0);
+    for &c in children {
+        counts[c as usize] += 1;
+    }
     match list {
         AttrList::Continuous(entries) => {
             assert_eq!(entries.len(), children.len());
-            let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            let mut parts: Vec<Vec<ContEntry>> =
+                counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for (e, &c) in entries.into_iter().zip(children) {
                 parts[c as usize].push(e);
             }
@@ -415,7 +545,8 @@ fn split_by_children(list: AttrList, arity: usize, children: &[u8]) -> Vec<AttrL
         }
         AttrList::Categorical(entries) => {
             assert_eq!(entries.len(), children.len());
-            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            let mut parts: Vec<Vec<CatEntry>> =
+                counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for (e, &c) in entries.into_iter().zip(children) {
                 parts[c as usize].push(e);
             }
@@ -424,25 +555,48 @@ fn split_by_children(list: AttrList, arity: usize, children: &[u8]) -> Vec<AttrL
     }
 }
 
-/// Stable partition of the splitting attribute's own list.
-fn split_directly(list: AttrList, test: &SplitTest, arity: usize) -> Vec<AttrList> {
+/// Stable partition of the splitting attribute's own list, with the same
+/// pre-counted exact-capacity allocation as [`split_by_children`].
+///
+/// Public for the allocation tests and kernel benchmarks; not part of the
+/// stable API surface.
+pub fn split_directly(
+    list: AttrList,
+    test: &SplitTest,
+    arity: usize,
+    counts: &mut Vec<usize>,
+) -> Vec<AttrList> {
+    counts.clear();
+    counts.resize(arity, 0);
     match (list, test) {
         (AttrList::Continuous(entries), SplitTest::Continuous { threshold, .. }) => {
-            let mut parts: Vec<Vec<ContEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in &entries {
+                counts[usize::from(e.value >= *threshold)] += 1;
+            }
+            let mut parts: Vec<Vec<ContEntry>> =
+                counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for e in entries {
                 parts[usize::from(e.value >= *threshold)].push(e);
             }
             parts.into_iter().map(AttrList::Continuous).collect()
         }
         (AttrList::Categorical(entries), SplitTest::Categorical { .. }) => {
-            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in &entries {
+                counts[e.value as usize] += 1;
+            }
+            let mut parts: Vec<Vec<CatEntry>> =
+                counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for e in entries {
                 parts[e.value as usize].push(e);
             }
             parts.into_iter().map(AttrList::Categorical).collect()
         }
         (AttrList::Categorical(entries), SplitTest::CategoricalSubset { left_mask, .. }) => {
-            let mut parts: Vec<Vec<CatEntry>> = (0..arity).map(|_| Vec::new()).collect();
+            for e in &entries {
+                counts[usize::from((left_mask >> e.value) & 1 == 0)] += 1;
+            }
+            let mut parts: Vec<Vec<CatEntry>> =
+                counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for e in entries {
                 parts[usize::from((left_mask >> e.value) & 1 == 0)].push(e);
             }

@@ -231,7 +231,7 @@ mod tests {
 /// columns are untouched; equal `(frac, seed)` give identical output.
 pub fn perturb_continuous(data: &Dataset, frac: f64, seed: u64) -> Dataset {
     assert!((0.0..=1.0).contains(&frac), "fraction in [0,1]");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0F_A77E2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05EE_D0FA_77E2);
     let columns = data
         .columns
         .iter()

@@ -48,9 +48,48 @@ pub struct DistTable<V> {
     rank: usize,
     local: Vec<Option<V>>,
     tracked_bytes: u64,
+    scratch: Scratch<V>,
 }
 
-impl<V: Clone + Send + 'static> DistTable<V> {
+/// Reused per-exchange buffers: cleared at every collective call, never
+/// shrunk, so the steady state allocates nothing (see DESIGN.md §6).
+struct Scratch<V> {
+    /// Per-destination element counts of the current exchange.
+    counts: Vec<usize>,
+    /// Cursor per destination while scattering into a flat send buffer.
+    cursors: Vec<usize>,
+    /// Flat `(local index, value)` send/recv buffers for `update`.
+    send_updates: Vec<(u32, V)>,
+    recv_updates: Vec<(u32, V)>,
+    /// Flat local-index send/recv buffers for `inquire` step 1.
+    send_idx: Vec<u32>,
+    recv_idx: Vec<u32>,
+    /// Flat value send/recv buffers for `inquire` step 2.
+    send_vals: Vec<Option<V>>,
+    recv_vals: Vec<Option<V>>,
+    /// Per-source counts returned by the flat collectives.
+    recv_counts: Vec<usize>,
+    idx_counts: Vec<usize>,
+}
+
+impl<V> Scratch<V> {
+    fn new(p: usize) -> Self {
+        Scratch {
+            counts: vec![0; p],
+            cursors: vec![0; p],
+            send_updates: Vec::new(),
+            recv_updates: Vec::new(),
+            send_idx: Vec::new(),
+            recv_idx: Vec::new(),
+            send_vals: Vec::new(),
+            recv_vals: Vec::new(),
+            recv_counts: Vec::new(),
+            idx_counts: Vec::new(),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> DistTable<V> {
     /// Collectively create an empty table for keys `0..total_keys`.
     pub fn new(comm: &Comm, total_keys: u64) -> Self {
         let p = comm.size() as u64;
@@ -67,6 +106,7 @@ impl<V: Clone + Send + 'static> DistTable<V> {
             rank,
             local,
             tracked_bytes,
+            scratch: Scratch::new(comm.size()),
         }
     }
 
@@ -106,23 +146,50 @@ impl<V: Clone + Send + 'static> DistTable<V> {
     ///
     /// Each rank may pass any number of entries; keys may target any rank.
     /// Later updates (by rank order, then buffer order) win on duplicates.
+    ///
+    /// The exchange runs on the flat collective: a pre-counting pass sizes
+    /// the per-destination regions, a cursor scatter fills one contiguous
+    /// send buffer, and every buffer involved is reused scratch — the steady
+    /// state allocates nothing.
     pub fn update(&mut self, comm: &mut Comm, entries: &[(u64, V)]) {
-        let p = comm.size();
-        let mut bufs: Vec<Vec<(u32, V)>> = vec![Vec::new(); p];
-        for &(key, ref value) in entries {
-            let (home, idx) = self.home_of(key);
-            bufs[home].push((idx as u32, value.clone()));
+        let block = self.block;
+        let s = &mut self.scratch;
+
+        // Pass 1: size each destination region.
+        s.counts.iter_mut().for_each(|c| *c = 0);
+        for &(key, _) in entries {
+            s.counts[(key / block) as usize] += 1;
         }
-        let buf_bytes: u64 = bufs
-            .iter()
-            .map(|b| (b.len() * std::mem::size_of::<(u32, V)>()) as u64)
-            .sum();
+        let mut acc = 0usize;
+        for (cur, &cnt) in s.cursors.iter_mut().zip(&s.counts) {
+            *cur = acc;
+            acc += cnt;
+        }
+
+        // Pass 2: cursor-scatter into one flat, exactly-sized send buffer.
+        s.send_updates.clear();
+        s.send_updates.reserve(entries.len());
+        let spare = s.send_updates.spare_capacity_mut();
+        for &(key, ref value) in entries {
+            let home = (key / block) as usize;
+            let at = s.cursors[home];
+            s.cursors[home] += 1;
+            spare[at].write(((key % block) as u32, value.clone()));
+        }
+        // SAFETY: the cursors partition `0..entries.len()`, so the scatter
+        // wrote each of the first `entries.len()` spare slots exactly once.
+        unsafe { s.send_updates.set_len(entries.len()) };
+
+        let buf_bytes = (entries.len() * std::mem::size_of::<(u32, V)>()) as u64;
         comm.tracker().pulse(BUFFER_MEM, buf_bytes);
-        let received = comm.alltoallv(bufs);
-        for part in received {
-            for (idx, value) in part {
-                self.local[idx as usize] = Some(value);
-            }
+        comm.alltoallv_flat_into(
+            &s.send_updates,
+            &s.counts,
+            &mut s.recv_updates,
+            &mut s.recv_counts,
+        );
+        for (idx, value) in s.recv_updates.drain(..) {
+            self.local[idx as usize] = Some(value);
         }
     }
 
@@ -143,45 +210,81 @@ impl<V: Clone + Send + 'static> DistTable<V> {
 
     /// Collectively look the given keys up; `out[i]` is the value for
     /// `keys[i]` (or `None` if never written). Two all-to-all steps.
-    pub fn inquire(&self, comm: &mut Comm, keys: &[u64]) -> Vec<Option<V>> {
-        let p = comm.size();
-        // Enquiry buffers: local indices per destination, plus for each key
-        // remember (destination, position-within-destination) so results can
-        // be scattered back into key order.
-        let mut enquiry: Vec<Vec<u32>> = vec![Vec::new(); p];
-        let mut placement: Vec<(u32, u32)> = Vec::with_capacity(keys.len());
+    pub fn inquire(&mut self, comm: &mut Comm, keys: &[u64]) -> Vec<Option<V>> {
+        let mut out = Vec::new();
+        self.inquire_into(comm, keys, &mut out);
+        out
+    }
+
+    /// [`inquire`](Self::inquire) into a caller-owned buffer, so repeated
+    /// enquiries (one per tree level) reuse the result allocation too.
+    ///
+    /// Both all-to-all steps run on the flat collective. The reply regions
+    /// mirror the enquiry regions element for element, so a key's answer
+    /// lands at the key's flat send position — re-running the cursor scatter
+    /// recovers key order without any placement table.
+    pub fn inquire_into(&mut self, comm: &mut Comm, keys: &[u64], out: &mut Vec<Option<V>>) {
+        let block = self.block;
+        let s = &mut self.scratch;
+
+        // Pass 1: size each destination region.
+        s.counts.iter_mut().for_each(|c| *c = 0);
         for &key in keys {
-            let (home, idx) = self.home_of(key);
-            placement.push((home as u32, enquiry[home].len() as u32));
-            enquiry[home].push(idx as u32);
+            s.counts[(key / block) as usize] += 1;
         }
-        let enquiry_bytes: u64 = (keys.len() * std::mem::size_of::<u32>()) as u64;
+        let mut acc = 0usize;
+        for (cur, &cnt) in s.cursors.iter_mut().zip(&s.counts) {
+            *cur = acc;
+            acc += cnt;
+        }
+
+        // Pass 2: cursor-scatter local indices into one flat enquiry buffer.
+        s.send_idx.clear();
+        s.send_idx.resize(keys.len(), 0);
+        for &key in keys {
+            let home = (key / block) as usize;
+            let at = s.cursors[home];
+            s.cursors[home] += 1;
+            s.send_idx[at] = (key % block) as u32;
+        }
+        let enquiry_bytes = (keys.len() * std::mem::size_of::<u32>()) as u64;
         comm.tracker().pulse(BUFFER_MEM, enquiry_bytes);
 
         // Step 1: indices travel to their homes.
-        let index_bufs = comm.alltoallv(enquiry);
+        comm.alltoallv_flat_into(&s.send_idx, &s.counts, &mut s.recv_idx, &mut s.idx_counts);
 
-        // Homes fill intermediate value buffers in the received order.
-        let value_bufs: Vec<Vec<Option<V>>> = index_bufs
-            .into_iter()
-            .map(|idxs| {
-                idxs.into_iter()
-                    .map(|i| self.local[i as usize].clone())
-                    .collect()
-            })
-            .collect();
-        let value_bytes: u64 = value_bufs
-            .iter()
-            .map(|b| (b.len() * std::mem::size_of::<Option<V>>()) as u64)
-            .sum();
+        // Homes look values up in received order; the per-source reply
+        // counts are exactly the received enquiry counts.
+        s.send_vals.clear();
+        s.send_vals
+            .extend(s.recv_idx.iter().map(|&i| self.local[i as usize].clone()));
+        let value_bytes = (s.send_vals.len() * std::mem::size_of::<Option<V>>()) as u64;
         comm.tracker().pulse(BUFFER_MEM, value_bytes);
 
-        // Step 2: values travel back; scatter into key order.
-        let result_bufs = comm.alltoallv(value_bufs);
-        placement
-            .into_iter()
-            .map(|(home, pos)| result_bufs[home as usize][pos as usize].clone())
-            .collect()
+        // Step 2: values travel back.
+        comm.alltoallv_flat_into(
+            &s.send_vals,
+            &s.idx_counts,
+            &mut s.recv_vals,
+            &mut s.recv_counts,
+        );
+
+        // Scatter replies into key order: each key's reply sits at the flat
+        // position its enquiry was sent from, and each position is read
+        // exactly once, so the value can be moved out instead of cloned.
+        let mut acc = 0usize;
+        for (cur, &cnt) in s.cursors.iter_mut().zip(&s.counts) {
+            *cur = acc;
+            acc += cnt;
+        }
+        out.clear();
+        out.reserve(keys.len());
+        for &key in keys {
+            let home = (key / block) as usize;
+            let at = s.cursors[home];
+            s.cursors[home] += 1;
+            out.push(s.recv_vals[at].take());
+        }
     }
 
     /// Collectively clear all slots (reused between decision-tree levels).
@@ -219,8 +322,8 @@ fn hash64<K: Hash>(key: &K) -> u64 {
 
 impl<K, V> ChainedTable<K, V>
 where
-    K: Clone + Eq + Hash + Send + 'static,
-    V: Clone + Send + 'static,
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     /// Collectively create a table with `buckets_per_rank` chains per rank.
     pub fn new(_comm: &Comm, buckets_per_rank: usize) -> Self {
@@ -413,6 +516,56 @@ mod tests {
             t.inquire(c, &[0, 1, 4])
         });
         assert_eq!(outs[0], vec![Some(1), None, Some(2)]);
+    }
+
+    #[test]
+    fn inquire_handles_duplicate_and_unsorted_keys() {
+        let outs = run_simple(4, |c| {
+            let mut t = DistTable::<u32>::new(c, 32);
+            let mine: Vec<(u64, u32)> = (0..32)
+                .filter(|k| *k as usize % 4 == c.rank())
+                .map(|k| (k, k as u32 + 100))
+                .collect();
+            t.update(c, &mine);
+            t.inquire(c, &[31, 0, 7, 7, 31, 2])
+        });
+        for out in outs {
+            assert_eq!(
+                out,
+                vec![
+                    Some(131),
+                    Some(100),
+                    Some(107),
+                    Some(107),
+                    Some(131),
+                    Some(102)
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_many_rounds() {
+        let outs = run_simple(3, |c| {
+            let mut t = DistTable::<u64>::new(c, 30);
+            let mut last = Vec::new();
+            for round in 0..5u64 {
+                let mine: Vec<(u64, u64)> = (0..30)
+                    .filter(|k| *k as usize % 3 == c.rank())
+                    .map(|k| (k, k * 1000 + round))
+                    .collect();
+                t.update(c, &mine);
+                let keys: Vec<u64> = (0..30).rev().collect();
+                t.inquire_into(c, &keys, &mut last);
+            }
+            last
+        });
+        for out in outs {
+            for (i, v) in out.into_iter().enumerate() {
+                let k = 29 - i as u64;
+                assert_eq!(v, Some(k * 1000 + 4));
+            }
+        }
     }
 
     #[test]

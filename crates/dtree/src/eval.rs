@@ -70,6 +70,36 @@ pub fn select(data: &Dataset, indices: &[usize]) -> Dataset {
     }
 }
 
+/// K-fold cross-validation of serial SPRINT: returns per-fold holdout
+/// accuracies. Deterministic given `seed`.
+pub fn cross_validate(
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+    cfg: &crate::sprint::SprintConfig,
+) -> Vec<f64> {
+    assert!(folds >= 2, "need at least two folds");
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64(seed);
+    for i in (1..n).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    (0..folds)
+        .map(|f| {
+            let lo = n * f / folds;
+            let hi = n * (f + 1) / folds;
+            let test_idx = &idx[lo..hi];
+            let train_idx: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+            let train = select(data, &train_idx);
+            let test = select(data, test_idx);
+            let tree = crate::sprint::induce(&train, cfg);
+            tree.accuracy(&test)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,34 +186,4 @@ mod tests {
         let tree = sprint::induce(&train, &SprintConfig::default());
         assert!(tree.accuracy(&test) > 0.9);
     }
-}
-
-/// K-fold cross-validation of serial SPRINT: returns per-fold holdout
-/// accuracies. Deterministic given `seed`.
-pub fn cross_validate(
-    data: &Dataset,
-    folds: usize,
-    seed: u64,
-    cfg: &crate::sprint::SprintConfig,
-) -> Vec<f64> {
-    assert!(folds >= 2, "need at least two folds");
-    let n = data.len();
-    let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = SplitMix64(seed);
-    for i in (1..n).rev() {
-        let j = (rng.next() % (i as u64 + 1)) as usize;
-        idx.swap(i, j);
-    }
-    (0..folds)
-        .map(|f| {
-            let lo = n * f / folds;
-            let hi = n * (f + 1) / folds;
-            let test_idx = &idx[lo..hi];
-            let train_idx: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
-            let train = select(data, &train_idx);
-            let test = select(data, test_idx);
-            let tree = crate::sprint::induce(&train, cfg);
-            tree.accuracy(&test)
-        })
-        .collect()
 }

@@ -45,7 +45,7 @@ impl Criterion {
     pub fn binary_split(&self, below: &[u64], total: &[u64]) -> f64 {
         match self {
             Criterion::Gini => binary_split_gini(below, total),
-            Criterion::Entropy => binary_split_with(below, total, entropy_of),
+            Criterion::Entropy => binary_split_entropy(below, total),
         }
     }
 
@@ -86,7 +86,10 @@ pub fn entropy_of(hist: &[u64]) -> f64 {
         .sum::<f64>()
 }
 
-fn binary_split_with(below: &[u64], total: &[u64], impurity: fn(&[u64]) -> f64) -> f64 {
+/// `binary_split` under entropy. Like [`binary_split_gini`], the *above*
+/// histogram is derived element-wise on the fly instead of materialized —
+/// this runs once per candidate boundary, the innermost loop of FindSplitII.
+pub fn binary_split_entropy(below: &[u64], total: &[u64]) -> f64 {
     debug_assert_eq!(below.len(), total.len());
     let n: u64 = total.iter().sum();
     let nb: u64 = below.iter().sum();
@@ -94,9 +97,25 @@ fn binary_split_with(below: &[u64], total: &[u64], impurity: fn(&[u64]) -> f64) 
     if n == 0 {
         return 0.0;
     }
-    let above: Vec<u64> = total.iter().zip(below).map(|(t, b)| t - b).collect();
+    let na = n - nb;
+    let e_below = entropy_of(below);
+    let e_above = if na == 0 {
+        0.0
+    } else {
+        let naf = na as f64;
+        -total
+            .iter()
+            .zip(below)
+            .map(|(&t, &b)| t - b)
+            .filter(|&c| c > 0)
+            .map(|c| {
+                let f = c as f64 / naf;
+                f * f.log2()
+            })
+            .sum::<f64>()
+    };
     let n = n as f64;
-    (nb as f64 / n) * impurity(below) + ((n - nb as f64) / n) * impurity(&above)
+    (nb as f64 / n) * e_below + (na as f64 / n) * e_above
 }
 
 /// Gini impurity of one partition given its class histogram.
@@ -118,6 +137,11 @@ pub fn gini_of(hist: &[u64]) -> f64 {
 
 /// `gini_split` of a binary partition described by the *below* histogram and
 /// the parent's *total* histogram.
+///
+/// The *above* histogram is derived element-wise (`total − below`) without
+/// being materialized: this function runs once per candidate boundary and
+/// must not allocate. The fold order matches `gini_of` on a materialized
+/// histogram, so scores are bit-identical to the textbook formulation.
 pub fn binary_split_gini(below: &[u64], total: &[u64]) -> f64 {
     debug_assert_eq!(below.len(), total.len());
     let n: u64 = total.iter().sum();
@@ -126,9 +150,23 @@ pub fn binary_split_gini(below: &[u64], total: &[u64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let above: Vec<u64> = total.iter().zip(below).map(|(t, b)| t - b).collect();
+    let na = n - nb;
+    let g_below = gini_of(below);
+    let g_above = if na == 0 {
+        0.0
+    } else {
+        let naf = na as f64;
+        1.0 - total
+            .iter()
+            .zip(below)
+            .map(|(&t, &b)| {
+                let f = (t - b) as f64 / naf;
+                f * f
+            })
+            .sum::<f64>()
+    };
     let n = n as f64;
-    (nb as f64 / n) * gini_of(below) + ((n - nb as f64) / n) * gini_of(&above)
+    (nb as f64 / n) * g_below + (na as f64 / n) * g_above
 }
 
 /// A `partitions × classes` count matrix (`[n_ij]` in the paper).
@@ -220,6 +258,17 @@ impl CountMatrix {
             data: data.to_vec(),
         }
     }
+
+    /// Reshape this matrix in place from flat row-major storage, reusing
+    /// its buffer — the allocation-free counterpart of
+    /// [`CountMatrix::from_slice`] for reused scratch matrices.
+    pub fn assign_from_slice(&mut self, partitions: usize, classes: usize, data: &[u64]) {
+        assert_eq!(data.len(), partitions * classes);
+        self.partitions = partitions;
+        self.classes = classes;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
 }
 
 /// `gini_split` of the m-way categorical partition described by `matrix`.
@@ -297,6 +346,27 @@ impl ContinuousScan {
     pub fn with_criterion(mut self, criterion: Criterion) -> Self {
         self.criterion = criterion;
         self
+    }
+
+    /// Switch the criterion in place (for reused scan state).
+    pub fn set_criterion(&mut self, criterion: Criterion) {
+        self.criterion = criterion;
+    }
+
+    /// Re-arm the scan for a new run, reusing its internal buffers — the
+    /// allocation-free counterpart of [`ContinuousScan::new`] for callers
+    /// that scan many runs per level.
+    pub fn reset(&mut self, total: &[u64], below_init: &[u64], prev_value: Option<f32>) {
+        assert_eq!(total.len(), below_init.len());
+        self.total.clear();
+        self.total.extend_from_slice(total);
+        self.below.clear();
+        self.below.extend_from_slice(below_init);
+        self.n_total = self.total.iter().sum();
+        self.n_below = self.below.iter().sum();
+        assert!(self.n_below <= self.n_total, "below counts exceed total");
+        self.prev = prev_value;
+        self.best = None;
     }
 
     /// Scan at the start of a whole (single-processor) list.

@@ -297,9 +297,9 @@ mod split_consistency_tests {
             }
             per_child_sets.push(sets);
         }
-        for c in 0..3 {
-            assert_eq!(per_child_sets[0][c], per_child_sets[1][c]);
-            assert_eq!(per_child_sets[0][c], per_child_sets[2][c]);
+        for (c, set) in per_child_sets[0].iter().enumerate() {
+            assert_eq!(set, &per_child_sets[1][c]);
+            assert_eq!(set, &per_child_sets[2][c]);
         }
     }
 

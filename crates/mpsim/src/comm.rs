@@ -64,6 +64,63 @@ fn downcast<T: 'static>(b: Box<dyn Any + Send>) -> T {
     })
 }
 
+/// Raw view of a rank's contiguous send buffer (plus its per-destination
+/// counts) deposited for the flat collectives.
+///
+/// Depositing a view instead of an owned `Vec` lets a collective move
+/// bytes exactly once — from the sender's buffer straight into the
+/// receiver's reused scratch. This is sound because every peer read
+/// completes before the collective's closing barrier, and the referenced
+/// buffers are borrowed parameters of the same collective call on every
+/// rank, so they outlive that barrier.
+struct FlatView<T> {
+    data: *const T,
+    len: usize,
+    counts: *const usize,
+    counts_len: usize,
+}
+
+// SAFETY: the view only permits shared reads (`*const`), and `T: Sync`
+// makes cross-thread shared reads of the pointee sound.
+unsafe impl<T: Sync> Send for FlatView<T> {}
+
+impl<T> Clone for FlatView<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for FlatView<T> {}
+
+impl<T> FlatView<T> {
+    fn new(data: &[T], counts: &[usize]) -> Self {
+        FlatView {
+            data: data.as_ptr(),
+            len: data.len(),
+            counts: counts.as_ptr(),
+            counts_len: counts.len(),
+        }
+    }
+
+    fn slice(&self) -> &[T] {
+        // SAFETY: constructed from a live slice; reads happen strictly
+        // before the barrier that lets the owner reclaim the buffer.
+        unsafe { std::slice::from_raw_parts(self.data, self.len) }
+    }
+
+    fn counts(&self) -> &[usize] {
+        // SAFETY: as `slice`.
+        unsafe { std::slice::from_raw_parts(self.counts, self.counts_len) }
+    }
+}
+
+/// Borrow of a single value deposited for the borrowed-fold collectives
+/// ([`Comm::scan_exclusive_with`], [`Comm::allreduce_with`]). Same
+/// lifetime argument as [`FlatView`].
+struct FlatRef<T>(*const T);
+
+// SAFETY: shared reads only; `T: Sync` required at every use site.
+unsafe impl<T: Sync> Send for FlatRef<T> {}
+
 impl Comm {
     pub(crate) fn new(
         rank: usize,
@@ -194,6 +251,37 @@ impl Comm {
                 )
             })
             .clone()
+    }
+
+    /// Read rank `r`'s deposit as a [`FlatView`] (copied out of the slot;
+    /// the pointers stay valid until the collective's closing barrier).
+    fn peek_view<T: Sync + 'static>(&self, r: usize) -> FlatView<T> {
+        let guard = self.shared.slots[r].lock().unwrap();
+        let any = guard
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {r} deposited nothing for this collective"));
+        *any.downcast_ref::<FlatView<T>>().unwrap_or_else(|| {
+            panic!(
+                "mpsim type mismatch reading rank {r}: expected flat view of {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Read rank `r`'s deposit as a [`FlatRef`] pointer.
+    fn peek_ref<T: Sync + 'static>(&self, r: usize) -> *const T {
+        let guard = self.shared.slots[r].lock().unwrap();
+        let any = guard
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {r} deposited nothing for this collective"));
+        any.downcast_ref::<FlatRef<T>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "mpsim type mismatch reading rank {r}: expected borrowed {}",
+                    std::any::type_name::<T>()
+                )
+            })
+            .0
     }
 
     // ----- collectives --------------------------------------------------------
@@ -411,34 +499,14 @@ impl Comm {
     /// This is the operation that makes the parallel SPRINT splitting phase
     /// unscalable: each rank receives the *entire* record-to-child mapping,
     /// `O(N)` bytes, regardless of `p`.
+    ///
+    /// Thin wrapper over [`Comm::allgatherv_flat_into`]; cost-model and byte
+    /// accounting are identical.
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, value: Vec<T>) -> Vec<T> {
-        let bytes = payload_bytes::<T>(value.len());
-        self.enter(bytes);
-        self.shared.tokens.acquire();
-        self.deposit(Some(Box::new(Arc::new(value))));
-        self.shared.tokens.release();
-        self.shared.barrier.wait();
-        self.shared.tokens.acquire();
-        let mut total = 0usize;
-        let parts: Vec<Arc<Vec<T>>> = (0..self.shared.procs)
-            .map(|r| {
-                let a = self.peek::<Vec<T>>(r);
-                total += a.len();
-                a
-            })
-            .collect();
-        let mut out = Vec::with_capacity(total);
-        for part in &parts {
-            out.extend_from_slice(part);
-        }
-        self.shared.tokens.release();
-        self.bytes_recv += payload_bytes::<T>(total).saturating_sub(bytes);
-        self.tracker
-            .pulse(COMM_MEM, bytes + payload_bytes::<T>(total));
-        // Cost: the largest per-rank contribution bounds each doubling step.
-        self.sync_with_cost(CollKind::Allgather);
-        self.exit();
-        out
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        self.allgatherv_flat_into(&value, &mut recv, &mut recv_counts);
+        recv
     }
 
     /// All-to-all personalized communication with variable payloads:
@@ -446,46 +514,36 @@ impl Comm {
     /// rank `s` addressed to this rank.
     ///
     /// This is the core primitive of the paper's parallel hashing paradigm.
-    pub fn alltoallv<T: Send + 'static>(&mut self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    ///
+    /// Thin wrapper over [`Comm::alltoallv_flat_into`]: the nested buffers
+    /// are flattened into one contiguous send buffer (and the received
+    /// stream split back per source). Hot paths should call the flat API
+    /// directly; cost-model and byte accounting are identical either way.
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let p = self.shared.procs;
         assert_eq!(bufs.len(), p, "alltoallv needs one buffer per rank");
-        let send_bytes: u64 = bufs
-            .iter()
-            .enumerate()
-            .filter(|(d, _)| *d != self.rank)
-            .map(|(_, b)| payload_bytes::<T>(b.len()))
-            .sum();
-        let self_bytes = payload_bytes::<T>(bufs[self.rank].len());
-        self.enter(send_bytes);
-        self.shared.tokens.acquire();
-        for (dst, buf) in bufs.into_iter().enumerate() {
-            *self.shared.mslots[self.rank * p + dst].lock().unwrap() = Some(Box::new(buf));
+        let counts: Vec<usize> = bufs.iter().map(Vec::len).collect();
+        let mut send = Vec::with_capacity(counts.iter().sum());
+        for buf in &bufs {
+            send.extend_from_slice(buf);
         }
-        self.shared.tokens.release();
-        self.shared.barrier.wait();
-        self.shared.tokens.acquire();
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        self.alltoallv_flat_into(&send, &counts, &mut recv, &mut recv_counts);
         let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
-        let mut recv_bytes = 0u64;
-        for src in 0..p {
-            let any = self.shared.mslots[src * p + self.rank]
-                .lock()
-                .unwrap()
-                .take()
-                .unwrap_or_else(|| panic!("rank {src} deposited no alltoallv buffer"));
-            let buf: Vec<T> = downcast(any);
-            recv_bytes += payload_bytes::<T>(buf.len());
-            out.push(buf);
+        let mut offset = 0usize;
+        for &k in &recv_counts {
+            out.push(recv[offset..offset + k].to_vec());
+            offset += k;
         }
-        self.shared.tokens.release();
-        self.bytes_recv += recv_bytes.saturating_sub(self_bytes);
-        self.tracker.pulse(COMM_MEM, send_bytes + recv_bytes);
-        self.sync_with_cost(CollKind::Alltoall);
-        self.exit();
         out
     }
 
     /// Fixed-size all-to-all: element `d` of `items` goes to rank `d`.
-    pub fn alltoall<T: Send + 'static>(&mut self, items: Vec<T>) -> Vec<T> {
+    pub fn alltoall<T: Clone + Send + Sync + 'static>(&mut self, items: Vec<T>) -> Vec<T> {
         let bufs = items.into_iter().map(|x| vec![x]).collect();
         self.alltoallv(bufs)
             .into_iter()
@@ -494,6 +552,181 @@ impl Comm {
                 v.pop().unwrap()
             })
             .collect()
+    }
+
+    // ----- flat (counts/displacements) collectives ---------------------------
+
+    /// All-to-all with counts/displacements over one contiguous buffer: the
+    /// first `counts[0]` elements of `send` go to rank 0, the next
+    /// `counts[1]` to rank 1, and so on. Returns the received elements
+    /// (grouped by source rank, in rank order) and the per-source counts —
+    /// the moral equivalent of `MPI_Alltoallv`.
+    pub fn alltoallv_flat<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        send: Vec<T>,
+        counts: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        self.alltoallv_flat_into(&send, counts, &mut recv, &mut recv_counts);
+        (recv, recv_counts)
+    }
+
+    /// [`Comm::alltoallv_flat`] writing into caller-owned buffers, which are
+    /// cleared and refilled (capacity is retained) — the steady-state
+    /// allocation-free hot path. Each peer's region is moved with a single
+    /// contiguous copy; no per-rank `Vec` and no per-element clone for
+    /// `Copy` element types.
+    pub fn alltoallv_flat_into<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        send: &[T],
+        counts: &[usize],
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+    ) {
+        let p = self.shared.procs;
+        assert_eq!(counts.len(), p, "alltoallv_flat needs one count per rank");
+        let total: usize = counts.iter().sum();
+        assert_eq!(
+            total,
+            send.len(),
+            "counts must tile the send buffer exactly"
+        );
+        let self_bytes = payload_bytes::<T>(counts[self.rank]);
+        let send_bytes = payload_bytes::<T>(total) - self_bytes;
+        self.enter(send_bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(FlatView::new(send, counts))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        recv.clear();
+        recv_counts.clear();
+        let mut recv_bytes = 0u64;
+        for src in 0..p {
+            let view = self.peek_view::<T>(src);
+            let cnts = view.counts();
+            let offset: usize = cnts[..self.rank].iter().sum();
+            let k = cnts[self.rank];
+            recv.extend_from_slice(&view.slice()[offset..offset + k]);
+            recv_counts.push(k);
+            recv_bytes += payload_bytes::<T>(k);
+        }
+        self.shared.tokens.release();
+        self.bytes_recv += recv_bytes.saturating_sub(self_bytes);
+        self.tracker.pulse(COMM_MEM, send_bytes + recv_bytes);
+        self.sync_with_cost(CollKind::Alltoall);
+        self.exit();
+    }
+
+    /// Flat variable-length allgather: returns the rank-ordered
+    /// concatenation of every rank's buffer plus the per-rank counts.
+    pub fn allgatherv_flat<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        send: Vec<T>,
+    ) -> (Vec<T>, Vec<usize>) {
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        self.allgatherv_flat_into(&send, &mut recv, &mut recv_counts);
+        (recv, recv_counts)
+    }
+
+    /// [`Comm::allgatherv_flat`] writing into caller-owned buffers, which
+    /// are cleared and refilled (capacity is retained) — no allocation once
+    /// the scratch has grown to the high-water mark.
+    pub fn allgatherv_flat_into<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        send: &[T],
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+    ) {
+        let bytes = payload_bytes::<T>(send.len());
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(FlatView::new(send, &[]))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        recv.clear();
+        recv_counts.clear();
+        let mut total = 0usize;
+        for r in 0..self.shared.procs {
+            let view = self.peek_view::<T>(r);
+            let part = view.slice();
+            recv.extend_from_slice(part);
+            recv_counts.push(part.len());
+            total += part.len();
+        }
+        self.shared.tokens.release();
+        self.bytes_recv += payload_bytes::<T>(total).saturating_sub(bytes);
+        self.tracker
+            .pulse(COMM_MEM, bytes + payload_bytes::<T>(total));
+        // Cost: the largest per-rank contribution bounds each doubling step.
+        self.sync_with_cost(CollKind::Allgather);
+        self.exit();
+    }
+
+    // ----- borrowed folds -----------------------------------------------------
+
+    /// Exclusive prefix fold over a borrowed value: `fold_prev` is invoked
+    /// once per lower-ranked peer, in rank order, with that peer's value.
+    /// The caller owns the accumulator (typically reused level scratch
+    /// initialized to the identity), so the collective itself allocates
+    /// nothing. Cost-model and byte accounting are identical to
+    /// [`Comm::scan_exclusive_sized`] with the same `bytes`.
+    pub fn scan_exclusive_with<T, F>(&mut self, value: &T, bytes: u64, mut fold_prev: F)
+    where
+        T: Sync + 'static,
+        F: FnMut(&T),
+    {
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(FlatRef(value as *const T))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        for r in 0..self.rank {
+            let ptr = self.peek_ref::<T>(r);
+            // SAFETY: the pointee is rank `r`'s borrowed `value`, which
+            // lives until that rank passes the exit barrier — after every
+            // read here.
+            fold_prev(unsafe { &*ptr });
+        }
+        self.shared.tokens.release();
+        if self.rank > 0 {
+            self.bytes_recv += bytes;
+        }
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
+    }
+
+    /// All-reduce over borrowed values: `fold` is invoked once per rank, in
+    /// rank order (own rank included), so folding into a caller-owned
+    /// identity accumulator reproduces [`Comm::allreduce_sized`] without
+    /// cloning or allocating. Cost-model and byte accounting are identical
+    /// to `allreduce_sized` with the same `bytes`.
+    pub fn allreduce_with<T, F>(&mut self, value: &T, bytes: u64, mut fold: F)
+    where
+        T: Sync + 'static,
+        F: FnMut(usize, &T),
+    {
+        self.enter(bytes);
+        self.shared.tokens.acquire();
+        self.deposit(Some(Box::new(FlatRef(value as *const T))));
+        self.shared.tokens.release();
+        self.shared.barrier.wait();
+        self.shared.tokens.acquire();
+        for r in 0..self.shared.procs {
+            let ptr = self.peek_ref::<T>(r);
+            // SAFETY: see scan_exclusive_with.
+            fold(r, unsafe { &*ptr });
+        }
+        self.shared.tokens.release();
+        if self.shared.procs > 1 {
+            self.bytes_recv += bytes;
+        }
+        self.sync_with_cost(CollKind::Tree);
+        self.exit();
     }
 
     // ----- point-to-point -----------------------------------------------------
@@ -831,5 +1064,155 @@ mod tests {
             acc
         });
         assert!(r.outputs.iter().all(|&v| v == r.outputs[0]));
+    }
+
+    /// Cost-model config so accounting comparisons cover modelled comm time,
+    /// not just byte counters.
+    fn t3d_cfg(p: usize) -> MachineCfg {
+        MachineCfg {
+            procs: p,
+            cost: crate::cost::CostModel::t3d(),
+            timing: crate::TimingMode::Free,
+            compute_tokens: 0,
+            replay: None,
+        }
+    }
+
+    fn assert_same_accounting(a: &crate::RunStats, b: &crate::RunStats) {
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x.clock_ns, y.clock_ns);
+            assert_eq!(x.comm_ns, y.comm_ns);
+            assert_eq!(x.bytes_sent, y.bytes_sent);
+            assert_eq!(x.bytes_recv, y.bytes_recv);
+            assert_eq!(x.msgs_sent, y.msgs_sent);
+            assert_eq!(x.peak_mem, y.peak_mem);
+        }
+    }
+
+    #[test]
+    fn flat_alltoallv_matches_nested_and_accounting() {
+        let p = 5;
+        // Same logical exchange as `alltoallv_is_transpose`, once through the
+        // nested API and once through the flat one.
+        let nested = run(&t3d_cfg(p), |c| {
+            let bufs: Vec<Vec<(usize, usize)>> =
+                (0..p).map(|d| vec![(c.rank(), d); c.rank() + d]).collect();
+            c.alltoallv(bufs)
+        });
+        let flat = run(&t3d_cfg(p), |c| {
+            let counts: Vec<usize> = (0..p).map(|d| c.rank() + d).collect();
+            let mut send = Vec::new();
+            for d in 0..p {
+                send.extend(std::iter::repeat_n((c.rank(), d), c.rank() + d));
+            }
+            c.alltoallv_flat(send, &counts)
+        });
+        for (me, (recv, cnts)) in flat.outputs.iter().enumerate() {
+            // Element-for-element: flat recv is the nested buffers, in src
+            // order, concatenated.
+            let want: Vec<(usize, usize)> = nested.outputs[me].iter().flatten().copied().collect();
+            assert_eq!(*recv, want);
+            let want_counts: Vec<usize> = nested.outputs[me].iter().map(Vec::len).collect();
+            assert_eq!(*cnts, want_counts);
+        }
+        assert_same_accounting(&nested.stats, &flat.stats);
+    }
+
+    #[test]
+    fn flat_allgatherv_matches_nested_and_accounting() {
+        let p = 4;
+        let nested = run(&t3d_cfg(p), |c| {
+            let mine: Vec<u32> = (0..c.rank() as u32 + 1)
+                .map(|i| c.rank() as u32 * 10 + i)
+                .collect();
+            c.allgatherv(mine)
+        });
+        let flat = run(&t3d_cfg(p), |c| {
+            let mine: Vec<u32> = (0..c.rank() as u32 + 1)
+                .map(|i| c.rank() as u32 * 10 + i)
+                .collect();
+            c.allgatherv_flat(mine)
+        });
+        for (me, (recv, cnts)) in flat.outputs.iter().enumerate() {
+            assert_eq!(*recv, nested.outputs[me]);
+            assert_eq!(*cnts, (1..=p).collect::<Vec<usize>>());
+        }
+        assert_same_accounting(&nested.stats, &flat.stats);
+    }
+
+    #[test]
+    fn scan_exclusive_with_matches_sized() {
+        let p = 6;
+        let sized = run(&t3d_cfg(p), |c| {
+            let mine = vec![c.rank() as u64 + 1; 4];
+            c.scan_exclusive_sized(mine, vec![0u64; 4], 32, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += *y;
+                }
+            })
+        });
+        let borrowed = run(&t3d_cfg(p), |c| {
+            let mine = vec![c.rank() as u64 + 1; 4];
+            let mut acc = vec![0u64; 4];
+            c.scan_exclusive_with(&mine, 32, |prev: &Vec<u64>| {
+                for (x, y) in acc.iter_mut().zip(prev) {
+                    *x += *y;
+                }
+            });
+            acc
+        });
+        assert_eq!(sized.outputs, borrowed.outputs);
+        assert_same_accounting(&sized.stats, &borrowed.stats);
+    }
+
+    #[test]
+    fn allreduce_with_matches_sized() {
+        let p = 5;
+        let sized = run(&t3d_cfg(p), |c| {
+            let mine = vec![c.rank() as u64; 3];
+            c.allreduce_sized(mine, 24, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += *y;
+                }
+            })
+        });
+        let borrowed = run(&t3d_cfg(p), |c| {
+            let mine = vec![c.rank() as u64; 3];
+            let mut acc = vec![0u64; 3];
+            c.allreduce_with(&mine, 24, |_src, other: &Vec<u64>| {
+                for (x, y) in acc.iter_mut().zip(other) {
+                    *x += *y;
+                }
+            });
+            acc
+        });
+        assert_eq!(sized.outputs, borrowed.outputs);
+        assert_same_accounting(&sized.stats, &borrowed.stats);
+    }
+
+    #[test]
+    fn flat_exchange_with_empty_regions() {
+        // Only rank 1 sends anything, and only to rank 2; every other region
+        // is zero-length.
+        let p = 4;
+        let r = run(&MachineCfg::new(p), |c| {
+            let mut counts = vec![0usize; p];
+            let send: Vec<u8> = if c.rank() == 1 {
+                counts[2] = 3;
+                vec![7, 8, 9]
+            } else {
+                Vec::new()
+            };
+            c.alltoallv_flat(send, &counts)
+        });
+        for (me, (recv, cnts)) in r.outputs.iter().enumerate() {
+            if me == 2 {
+                assert_eq!(*recv, vec![7, 8, 9]);
+                assert_eq!(*cnts, vec![0, 3, 0, 0]);
+            } else {
+                assert!(recv.is_empty());
+                assert_eq!(*cnts, vec![0; p]);
+            }
+        }
     }
 }

@@ -251,9 +251,6 @@ pub(crate) struct Shared {
     /// One deposit slot per rank, for broadcast/reduce/scan/gather-style
     /// collectives.
     pub slots: Vec<Slot>,
-    /// `procs × procs` matrix of slots for all-to-all exchanges, row-major
-    /// `[src * procs + dst]`.
-    pub mslots: Vec<Slot>,
     /// Per-rank clock board: each rank publishes its clock at collective
     /// entry; all ranks synchronize to the max plus the collective's cost.
     pub clock_board: Vec<CachePadded<AtomicU64>>,
@@ -270,7 +267,6 @@ impl Shared {
             cost: cfg.cost,
             barrier: Barrier::new(p),
             slots: (0..p).map(|_| Mutex::new(None)).collect(),
-            mslots: (0..p * p).map(|_| Mutex::new(None)).collect(),
             clock_board: (0..p)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),

@@ -75,24 +75,24 @@ where
         .collect();
 
     // Bucket by splitter: element x goes to bucket #{splitters ≤ x}. Since
-    // `local` is sorted, bucket boundaries come from binary searches.
-    let mut bufs: Vec<Vec<T>> = Vec::with_capacity(p);
+    // `local` is sorted, every bucket is a contiguous range of it — the
+    // flat exchange needs only the per-destination counts from binary
+    // searches, and `local` itself is the send buffer (no per-bucket copy).
+    let mut counts = vec![0usize; p];
     let mut start = 0usize;
-    for s in &splitters {
+    for (d, s) in splitters.iter().enumerate() {
         // First index whose element is > s.
         let end = start + local[start..].partition_point(|x| cmp(x, s) != Ordering::Greater);
-        bufs.push(local[start..end].to_vec());
+        counts[d] = end - start;
         start = end;
     }
-    bufs.push(local[start..].to_vec());
-    while bufs.len() < p {
-        bufs.push(Vec::new()); // degenerate splitter sets (tiny inputs)
-    }
+    counts[splitters.len()] = local.len() - start;
+    // Degenerate splitter sets (tiny inputs) leave trailing counts zero.
 
     // One all-to-all personalized exchange, then merge the received runs.
     // pdqsort detects the pre-sorted runs, so concatenate-and-sort performs
     // like a k-way merge without the bookkeeping.
-    let mut merged: Vec<T> = comm.alltoallv(bufs).into_iter().flatten().collect();
+    let (mut merged, _) = comm.alltoallv_flat(local, &counts);
     merged.sort_unstable_by(cmp);
     merged
 }
@@ -115,14 +115,23 @@ where
     let total = comm.allreduce(my_len, |a, b| *a += *b);
     let block = total.div_ceil(p as u64).max(1);
 
-    let mut bufs: Vec<Vec<T>> = vec![Vec::new(); p];
-    for (i, x) in local.into_iter().enumerate() {
-        let gidx = offset + i as u64;
-        let dst = ((gidx / block) as usize).min(p - 1);
-        bufs[dst].push(x);
+    // My run covers global indices [offset, offset + my_len); each rank's
+    // destination block is a contiguous sub-range of it (the last rank
+    // absorbs the tail), so the flat exchange needs only the overlap sizes
+    // and `local` itself is the send buffer.
+    let hi_bound = offset + my_len;
+    let mut counts = vec![0usize; p];
+    for (d, cnt) in counts.iter_mut().enumerate() {
+        let lo = (d as u64 * block).clamp(offset, hi_bound);
+        let hi = if d == p - 1 {
+            hi_bound
+        } else {
+            ((d as u64 + 1) * block).clamp(offset, hi_bound)
+        };
+        *cnt = (hi - lo) as usize;
     }
     // Received parts arrive in rank order = ascending global-index order.
-    comm.alltoallv(bufs).into_iter().flatten().collect()
+    comm.alltoallv_flat(local, &counts).0
 }
 
 /// Verify a distributed sequence is globally sorted under `cmp`.

@@ -1,0 +1,230 @@
+//! Steady-state allocation tests for the per-level hot-path kernels.
+//!
+//! A thread-local counting allocator wraps the system allocator; each test
+//! warms a kernel once (populating its scratch / receive buffers), then
+//! measures the allocation delta of subsequent identically-shaped rounds.
+//! The hot kernels must be allocation-free in steady state:
+//!
+//! * the continuous split-point scan allocates nothing per reset+push round;
+//! * the exact-capacity partitions allocate only the child lists themselves
+//!   (a count independent of the number of records) and never reallocate;
+//! * a distributed-table update/inquire round and a flat all-to-all exchange
+//!   perform a constant number of allocations (the simulator's per-collective
+//!   deposit box), independent of payload size.
+//!
+//! Counters are per-thread, so the measurements ignore the other test
+//! threads and the mpsim rank threads measure their own work.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dhash::DistTable;
+use dtree::gini::ContinuousScan;
+use dtree::list::{AttrList, ContEntry};
+use dtree::tree::SplitTest;
+use mpsim::run_simple;
+use scalparc::phases::{split_by_children, split_directly};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static REALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn reallocs() -> u64 {
+    REALLOCS.with(Cell::get)
+}
+
+#[test]
+fn continuous_scan_round_is_allocation_free() {
+    let classes = 3usize;
+    let n = 4096usize;
+    let mut sorted: Vec<(f32, u8)> = (0..n)
+        .map(|i| ((i as f32).sin(), (i % classes) as u8))
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = vec![0u64; classes];
+    for &(_, c) in &sorted {
+        total[c as usize] += 1;
+    }
+    let below = vec![0u64; classes];
+
+    let mut scan = ContinuousScan::fresh(total.clone());
+    // Warm-up round: the scan's internal buffers reach final capacity.
+    scan.reset(&total, &below, None);
+    for &(v, c) in &sorted {
+        scan.push(v, c);
+    }
+    assert!(scan.best().is_some());
+
+    let (a0, r0) = (allocs(), reallocs());
+    scan.reset(&total, &below, None);
+    for &(v, c) in &sorted {
+        scan.push(v, c);
+    }
+    let best = scan.best();
+    let (da, dr) = (allocs() - a0, reallocs() - r0);
+    assert!(best.is_some());
+    assert_eq!(da, 0, "scan round allocated {da} times in steady state");
+    assert_eq!(dr, 0, "scan round reallocated {dr} times in steady state");
+}
+
+fn cont_list(n: usize) -> AttrList {
+    AttrList::Continuous(
+        (0..n)
+            .map(|i| ContEntry {
+                value: (i % 97) as f32,
+                rid: i as u32,
+                class: (i % 2) as u8,
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn partition_by_children_allocates_exact_capacity_only() {
+    let measure = |n: usize| {
+        let list = cont_list(n);
+        let children: Vec<u8> = (0..n).map(|i| u8::from((i * 7) % 3 != 0)).collect();
+        let mut counts = vec![0usize; 2];
+        let (a0, r0) = (allocs(), reallocs());
+        let parts = split_by_children(list, 2, &children, &mut counts);
+        let (da, dr) = (allocs() - a0, reallocs() - r0);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(AttrList::len).sum::<usize>(), n);
+        (da, dr)
+    };
+    let (a_small, r_small) = measure(1_000);
+    let (a_large, r_large) = measure(64_000);
+    // Count-pass sizing: no reallocation ever, and the number of allocations
+    // (the child lists plus wrapper vectors) is independent of the record
+    // count — a growth-by-doubling implementation would reallocate O(log n)
+    // times per child.
+    assert_eq!(r_small, 0);
+    assert_eq!(r_large, 0);
+    assert_eq!(a_small, a_large);
+    assert!(a_small <= 4, "expected ≤4 allocations, got {a_small}");
+}
+
+#[test]
+fn partition_directly_allocates_exact_capacity_only() {
+    let test = SplitTest::Continuous {
+        attr: 0,
+        threshold: 48.0,
+    };
+    let measure = |n: usize| {
+        let list = cont_list(n);
+        let mut counts = vec![0usize; 2];
+        let (a0, r0) = (allocs(), reallocs());
+        let parts = split_directly(list, &test, 2, &mut counts);
+        let (da, dr) = (allocs() - a0, reallocs() - r0);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(AttrList::len).sum::<usize>(), n);
+        (da, dr)
+    };
+    let (a_small, r_small) = measure(1_000);
+    let (a_large, r_large) = measure(64_000);
+    assert_eq!(r_small, 0);
+    assert_eq!(r_large, 0);
+    assert_eq!(a_small, a_large);
+    assert!(a_small <= 4, "expected ≤4 allocations, got {a_small}");
+}
+
+/// Per-round allocation delta of a warm `update` + `inquire_into` pair on a
+/// single-rank machine (rank threads measure their own thread-local counts).
+fn dist_table_round_deltas(n_keys: u64, rounds: usize) -> Vec<u64> {
+    run_simple(1, move |comm| {
+        let mut table = DistTable::<u8>::new(comm, n_keys);
+        let entries: Vec<(u64, u8)> = (0..n_keys).map(|k| (k, (k % 5) as u8)).collect();
+        let keys: Vec<u64> = (0..n_keys).rev().collect();
+        let mut out = Vec::new();
+        // Warm-up: scratch and receive buffers reach final capacity.
+        table.update(comm, &entries);
+        table.inquire_into(comm, &keys, &mut out);
+        let mut deltas = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            out.clear();
+            let a0 = allocs();
+            table.update(comm, &entries);
+            table.inquire_into(comm, &keys, &mut out);
+            deltas.push(allocs() - a0);
+        }
+        assert_eq!(out.len(), n_keys as usize);
+        deltas
+    })
+    .pop()
+    .unwrap()
+}
+
+#[test]
+fn dist_table_round_allocations_are_constant() {
+    let small = dist_table_round_deltas(512, 3);
+    let large = dist_table_round_deltas(4096, 3);
+    // Every steady round costs the same fixed number of allocations (the
+    // simulator's per-collective deposit boxes), no matter the batch size:
+    // the table's scratch arena and the flat exchange buffers are reused.
+    assert!(
+        small.iter().all(|&d| d == small[0]),
+        "unsteady rounds: {small:?}"
+    );
+    assert_eq!(small, large, "allocations scale with batch size");
+    assert!(
+        small[0] <= 8,
+        "per-round overhead should be a few deposit boxes, got {}",
+        small[0]
+    );
+}
+
+#[test]
+fn flat_exchange_round_allocations_are_constant() {
+    let round_delta = |n: usize| {
+        let outs = run_simple(2, move |comm| {
+            let counts = vec![n, n];
+            let send: Vec<u64> = (0..2 * n as u64).collect();
+            let mut recv = Vec::new();
+            let mut recv_counts = Vec::new();
+            comm.alltoallv_flat_into(&send, &counts, &mut recv, &mut recv_counts);
+            let a0 = allocs();
+            comm.alltoallv_flat_into(&send, &counts, &mut recv, &mut recv_counts);
+            let delta = allocs() - a0;
+            assert_eq!(recv.len(), 2 * n);
+            delta
+        });
+        assert_eq!(outs[0], outs[1]);
+        outs[0]
+    };
+    let d_small = round_delta(256);
+    let d_large = round_delta(8192);
+    assert_eq!(
+        d_small, d_large,
+        "flat exchange allocations scale with payload"
+    );
+    assert!(
+        d_small <= 4,
+        "expected only the deposit box per call, got {d_small}"
+    );
+}

@@ -17,10 +17,7 @@ use mpsim::run_simple;
 use proptest::prelude::*;
 
 fn cases(n: u32) -> ProptestConfig {
-    ProptestConfig {
-        cases: n,
-        ..ProptestConfig::default()
-    }
+    ProptestConfig { cases: n }
 }
 
 proptest! {
@@ -191,6 +188,59 @@ proptest! {
         for (r, out) in outs.into_iter().enumerate() {
             prop_assert_eq!(out, acc);
             acc += values[r % 7];
+        }
+    }
+
+    #[test]
+    fn flat_alltoallv_equals_nested(
+        p in 1usize..6,
+        counts in prop::collection::vec(0usize..20, 36),
+    ) {
+        let c = &counts;
+        let outs = run_simple(p, move |comm| {
+            let p = comm.size();
+            let me = comm.rank();
+            let bufs: Vec<Vec<(usize, usize, usize)>> = (0..p)
+                .map(|d| {
+                    let k = c[(me * 6 + d) % 36];
+                    (0..k).map(|i| (me, d, i)).collect()
+                })
+                .collect();
+            let cnts: Vec<usize> = bufs.iter().map(Vec::len).collect();
+            let flat_send: Vec<(usize, usize, usize)> =
+                bufs.iter().flatten().copied().collect();
+            let nested = comm.alltoallv(bufs);
+            let (flat, flat_counts) = comm.alltoallv_flat(flat_send, &cnts);
+            (nested, flat, flat_counts)
+        });
+        for (nested, flat, flat_counts) in outs {
+            // Element-for-element: the flat receive buffer is the nested
+            // per-source buffers concatenated in source-rank order.
+            let want: Vec<(usize, usize, usize)> =
+                nested.iter().flatten().copied().collect();
+            prop_assert_eq!(flat, want);
+            let want_counts: Vec<usize> = nested.iter().map(Vec::len).collect();
+            prop_assert_eq!(flat_counts, want_counts);
+        }
+    }
+
+    #[test]
+    fn flat_allgatherv_equals_nested(
+        p in 1usize..6,
+        lens in prop::collection::vec(0usize..25, 6),
+    ) {
+        let l = &lens;
+        let outs = run_simple(p, move |comm| {
+            let mine: Vec<u32> = (0..l[comm.rank() % 6] as u32)
+                .map(|i| comm.rank() as u32 * 100 + i)
+                .collect();
+            let nested = comm.allgatherv(mine.clone());
+            let (flat, flat_counts) = comm.allgatherv_flat(mine);
+            (nested, flat, flat_counts)
+        });
+        for (nested, flat, flat_counts) in outs {
+            prop_assert_eq!(&flat, &nested);
+            prop_assert_eq!(flat_counts.iter().sum::<usize>(), nested.len());
         }
     }
 

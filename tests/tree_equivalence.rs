@@ -164,6 +164,31 @@ fn predictions_and_accuracy_match_across_implementations() {
 }
 
 #[test]
+fn agreement_over_full_config_grid() {
+    // Every cell of p ∈ {1,2,4,8} × blocked_updates × batched_enquiry must
+    // induce the identical tree: the four combinations exercise disjoint
+    // node-table code paths (one-shot vs round-limited updates, per-attribute
+    // vs level-batched enquiries) over the flat-buffer collectives.
+    let data = quest(450, ClassFunc::F7, 0.05, 77, Profile::Paper7);
+    let serial = sprint::induce(&data, &SprintConfig::default());
+    serial.validate();
+    for p in [1usize, 2, 4, 8] {
+        for blocked in [false, true] {
+            for batched in [false, true] {
+                let mut cfg = ParConfig::new(p);
+                cfg.induce.blocked_updates = blocked;
+                cfg.induce.batched_enquiry = batched;
+                let scal = induce(&data, &cfg);
+                assert_eq!(
+                    scal.tree, serial,
+                    "p={p} blocked_updates={blocked} batched_enquiry={batched}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn agreement_holds_with_binary_subset_splits() {
     use dtree::{CatSplitMode, SplitOptions};
     let opts = SplitOptions {
