@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the serving path: per-record oracle descent vs
+//! the flat batched kernel at several batch sizes, and the concurrent
+//! harness at 1/4/8 workers.
+//!
+//! Like `micro.rs` these measure host wall time. The tree is induced on
+//! noisy Quest data so it is large enough (thousands of nodes) that the
+//! pointer-chasing baseline pays for its cache misses — the regime the
+//! flat layout exists for.
+//!
+//! Run with `cargo bench -p scalparc-bench --bench serve`
+//! (or `-- --test` for a single unmeasured smoke pass).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::flat::FlatTree;
+use dtree::sprint::{self, SprintConfig};
+use dtree::{Dataset, DecisionTree};
+use serve::{Request, ServeConfig, Server};
+
+fn fixture(n: usize) -> (DecisionTree, Arc<Dataset>) {
+    let train = generate(&GenConfig {
+        n,
+        func: ClassFunc::F2,
+        noise: 0.10,
+        seed: 42,
+        profile: Profile::Paper7,
+    });
+    let tree = sprint::induce(&train, &SprintConfig::default());
+    let data = Arc::new(generate(&GenConfig {
+        n,
+        func: ClassFunc::F2,
+        noise: 0.0,
+        seed: 42 ^ 0x5EED,
+        profile: Profile::Paper7,
+    }));
+    (tree, data)
+}
+
+fn bench_predict_kernels(c: &mut Criterion) {
+    let (tree, data) = fixture(50_000);
+    let flat = FlatTree::compile(&tree);
+
+    let mut g = c.benchmark_group("serve_kernel");
+    g.sample_size(10);
+    for &batch in &[1_024usize, 16_384] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("per_record", batch), &batch, |b, &n| {
+            b.iter(|| {
+                let mut out = vec![0u8; n];
+                for (rid, slot) in out.iter_mut().enumerate() {
+                    *slot = tree.predict(&data, rid);
+                }
+                out
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("predict_batch", batch), &batch, |b, &n| {
+            b.iter(|| {
+                let mut out = vec![0u8; n];
+                flat.predict_range(&data, 0, n, &mut out);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let (tree, data) = fixture(50_000);
+    let flat = FlatTree::compile(&tree);
+    let batch = 4_096usize;
+
+    let mut g = c.benchmark_group("serve_harness");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for &workers in &[1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("score_50k", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let server = Server::start(
+                        flat.clone(),
+                        ServeConfig {
+                            workers,
+                            queue_depth: data.len() / batch + 2,
+                        },
+                    );
+                    let rxs: Vec<_> = (0..data.len())
+                        .step_by(batch)
+                        .map(|lo| {
+                            server
+                                .submit(Request {
+                                    data: Arc::clone(&data),
+                                    lo,
+                                    hi: (lo + batch).min(data.len()),
+                                })
+                                .expect("queue sized for the sweep")
+                        })
+                        .collect();
+                    let total: usize = rxs
+                        .iter()
+                        .map(|rx| rx.recv().unwrap().predictions.len())
+                        .sum();
+                    server.shutdown();
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict_kernels, bench_harness);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! **PREDICT** — score a trained model through the serving engine.
+//!
+//! Trains a tree on Quest data (label noise grows realistically large
+//! trees), optionally round-trips it through `model_io`, then scores a
+//! held-out dataset four ways and reports throughput for each:
+//!
+//! 1. per-record `DecisionTree::predict` (the pointer-chasing oracle);
+//! 2. `FlatTree::predict_batch` (the compiled level-synchronous kernel);
+//! 3. the concurrent harness (`serve::Server`) at each `--threads` count;
+//! 4. optionally (`--dist p`) the distributed scorer, which reports
+//!    simulated time and per-rank communication like an induction sweep.
+//!
+//! The binary asserts that every path reproduces the oracle's predictions
+//! and that the harness reports nonzero throughput, so it doubles as the
+//! CI serving smoke test.
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin predict -- \
+//!       [--n N] [--noise F] [--batch B] [--threads 1,4,8] [--dist P] \
+//!       [--model PATH] [--func F1..F10] [--seed S] [--quick]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::flat::FlatTree;
+use dtree::sprint::{self, SprintConfig};
+use dtree::{model_io, Dataset, DecisionTree};
+use mpsim::{CostModel, MachineCfg};
+use scalparc_bench::T3D_CPU_FACTOR;
+use serve::{score_distributed, Request, ServeConfig, Server};
+
+struct Opts {
+    n: usize,
+    noise: f64,
+    batch: usize,
+    threads: Vec<usize>,
+    dist: usize,
+    model: Option<String>,
+    func: ClassFunc,
+    seed: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        n: 100_000,
+        noise: 0.10,
+        batch: 4096,
+        threads: vec![1, 4, 8],
+        dist: 0,
+        model: None,
+        func: ClassFunc::F2,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.n = 20_000,
+            "--n" => opts.n = next(&mut args, "--n").parse().expect("--n wants a usize"),
+            "--noise" => {
+                opts.noise = next(&mut args, "--noise")
+                    .parse()
+                    .expect("--noise wants a float")
+            }
+            "--batch" => {
+                opts.batch = next(&mut args, "--batch")
+                    .parse()
+                    .expect("--batch wants a usize")
+            }
+            "--threads" => {
+                opts.threads = next(&mut args, "--threads")
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads wants usizes"))
+                    .collect()
+            }
+            "--dist" => {
+                opts.dist = next(&mut args, "--dist")
+                    .parse()
+                    .expect("--dist wants a usize")
+            }
+            "--model" => opts.model = Some(next(&mut args, "--model")),
+            "--func" => {
+                let f = next(&mut args, "--func");
+                opts.func = ClassFunc::parse(&f)
+                    .unwrap_or_else(|| panic!("unknown function {f:?} (want F1..F10)"));
+            }
+            "--seed" => {
+                opts.seed = next(&mut args, "--seed")
+                    .parse()
+                    .expect("--seed wants a u64")
+            }
+            other => panic!(
+                "unknown flag {other:?} (known: --quick --n --noise --batch --threads --dist --model --func --seed)"
+            ),
+        }
+    }
+    opts
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_min<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn score_per_record(tree: &DecisionTree, data: &Dataset, out: &mut [u8]) {
+    for (rid, slot) in out.iter_mut().enumerate() {
+        *slot = tree.predict(data, rid);
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let train = generate(&GenConfig {
+        n: opts.n,
+        func: opts.func,
+        noise: opts.noise,
+        seed: opts.seed,
+        profile: Profile::Paper7,
+    });
+    let mut tree = sprint::induce(&train, &SprintConfig::default());
+
+    // Optional persistence round trip: the served model is the reloaded one.
+    if let Some(path) = &opts.model {
+        let path = std::path::Path::new(path);
+        model_io::save(&tree, path).expect("save model");
+        let back = model_io::load(path).expect("reload model");
+        assert_eq!(back, tree, "model round trip changed the tree");
+        tree = back;
+        println!("# model round-tripped through {}", path.display());
+    }
+
+    let data = Arc::new(generate(&GenConfig {
+        n: opts.n,
+        func: opts.func,
+        noise: 0.0,
+        seed: opts.seed ^ 0x5EED,
+        profile: Profile::Paper7,
+    }));
+    let flat = FlatTree::compile(&tree);
+    println!(
+        "# tree: {} nodes ({} leaves, depth {}), flat form {} bytes; scoring {} records",
+        tree.nodes.len(),
+        tree.num_leaves(),
+        tree.depth(),
+        flat.heap_bytes(),
+        data.len()
+    );
+
+    let n = data.len();
+    let reps = 3;
+    let mut oracle = vec![0u8; n];
+    let t_record = time_min(reps, || score_per_record(&tree, &data, &mut oracle));
+    let mut batch_out = vec![0u8; n];
+    let t_batch = time_min(reps, || flat.predict_batch(&data, &mut batch_out));
+    assert_eq!(batch_out, oracle, "batch kernel diverged from the oracle");
+
+    let record_rps = n as f64 / t_record;
+    let batch_rps = n as f64 / t_batch;
+    println!("per-record predict : {record_rps:>12.0} records/s");
+    println!(
+        "predict_batch      : {batch_rps:>12.0} records/s  ({:.2}x single-thread)",
+        batch_rps / record_rps
+    );
+
+    for &workers in &opts.threads {
+        let server = Server::start(
+            flat.clone(),
+            ServeConfig {
+                workers,
+                queue_depth: n / opts.batch + 2,
+            },
+        );
+        let rxs: Vec<_> = (0..n)
+            .step_by(opts.batch)
+            .map(|lo| {
+                let hi = (lo + opts.batch).min(n);
+                server
+                    .submit(Request {
+                        data: Arc::clone(&data),
+                        lo,
+                        hi,
+                    })
+                    .expect("queue sized for the sweep")
+            })
+            .collect();
+        let mut served = vec![0u8; n];
+        for rx in rxs {
+            let resp = rx.recv().unwrap();
+            served[resp.lo..resp.hi].copy_from_slice(&resp.predictions);
+        }
+        let report = server.shutdown();
+        assert_eq!(served, oracle, "harness diverged from the oracle");
+        assert!(
+            report.records_per_sec > 0.0,
+            "harness reported zero throughput"
+        );
+        println!(
+            "harness {workers:>2} thread{} : {:>12.0} records/s  (batch {}, {})",
+            if workers == 1 { " " } else { "s" },
+            report.records_per_sec,
+            opts.batch,
+            report
+        );
+    }
+
+    if opts.dist > 0 {
+        let cfg = MachineCfg {
+            cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
+            ..MachineCfg::new(opts.dist)
+        };
+        let d = score_distributed(&tree, &data, &cfg);
+        assert_eq!(d.confusion.total(), n as u64);
+        println!(
+            "distributed p={:<3}  : simulated {:.6}s, {} bytes sent total, accuracy {:.4}",
+            opts.dist,
+            d.stats.time_s(),
+            d.stats.total_bytes_sent(),
+            d.accuracy
+        );
+    }
+}

@@ -2,20 +2,32 @@
 //! train/test splitting.
 
 use crate::data::{Column, Dataset};
+use crate::flat::FlatTree;
 use crate::gini::CountMatrix;
 use crate::tree::DecisionTree;
 
-/// Confusion matrix: row = true class, column = predicted class.
+/// Confusion matrix: row = true class, column = predicted class. Scores
+/// through the batched flat-tree kernel; see [`confusion_matrix_flat`] for
+/// callers that already hold a compiled tree.
 pub fn confusion_matrix(tree: &DecisionTree, data: &Dataset) -> CountMatrix {
+    confusion_matrix_flat(&FlatTree::compile(tree), data)
+}
+
+/// [`confusion_matrix`] over an already-compiled tree (the serving and
+/// distributed-scoring paths compile once and score many batches).
+pub fn confusion_matrix_flat(flat: &FlatTree, data: &Dataset) -> CountMatrix {
     let c = data.schema.num_classes as usize;
     let mut m = CountMatrix::new(c, c);
-    for rid in 0..data.len() {
-        m.add(data.labels[rid] as usize, tree.predict(data, rid) as usize);
+    let mut out = vec![0u8; data.len()];
+    flat.predict_batch(data, &mut out);
+    for (truth, pred) in data.labels.iter().zip(&out) {
+        m.add(*truth as usize, *pred as usize);
     }
     m
 }
 
-/// Misclassification rate on `data`.
+/// Misclassification rate on `data` (batched, like
+/// [`DecisionTree::accuracy`]).
 pub fn error_rate(tree: &DecisionTree, data: &Dataset) -> f64 {
     1.0 - tree.accuracy(data)
 }

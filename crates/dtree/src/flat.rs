@@ -1,0 +1,458 @@
+//! Compiled flat decision tree: a breadth-first struct-of-arrays node
+//! layout with a batched, level-synchronous scoring kernel.
+//!
+//! [`crate::tree::DecisionTree`] is an induction-friendly arena: every node
+//! carries its histogram, an `Option<SplitTest>`, and a `Vec` of child ids,
+//! so one prediction step costs two dependent pointer loads plus an enum
+//! match. That is fine for training-time bookkeeping and hopeless for
+//! serving. [`FlatTree`] is the inference-friendly form of the same tree:
+//!
+//! * nodes are renumbered **breadth-first**, so all nodes of one depth are
+//!   contiguous and a node's children are contiguous (`child_base + c`);
+//! * per-node state lives in **parallel arrays** (`kind`/`attr`/`threshold`/
+//!   `child_base`/`leaf_class`), four bytes or one byte per field, with the
+//!   rare categorical-subset masks in a side table;
+//! * [`FlatTree::predict_batch`] steps a whole batch **level-synchronously**:
+//!   the active records are kept grouped by node, each group is routed with
+//!   one branch on the node kind and one attribute column, and children are
+//!   emitted in child order, which keeps the next level grouped and the
+//!   node arrays streaming in ascending order.
+//!
+//! The kernel is exact: for every record it produces the class that
+//! [`DecisionTree::predict`] produces (the per-record walk stays as the
+//! reference oracle; a workspace proptest pins the equivalence).
+
+use crate::data::{AttrKind, Dataset, Schema};
+use crate::tree::{DecisionTree, SplitTest};
+
+/// Node kind tag of one flat node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlatKind {
+    /// Terminal node; `leaf_class` holds the prediction.
+    Leaf = 0,
+    /// `A < threshold` binary test.
+    Continuous = 1,
+    /// m-way categorical test (child = attribute value).
+    Categorical = 2,
+    /// Binary subset test; `aux` indexes the mask side table.
+    Subset = 3,
+}
+
+/// A decision tree compiled for batched inference: breadth-first
+/// struct-of-arrays node storage. Build one with [`FlatTree::compile`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatTree {
+    schema: Schema,
+    /// Node kind tags, breadth-first order; node 0 is the root.
+    kind: Vec<FlatKind>,
+    /// Attribute tested at each internal node (0 for leaves).
+    attr: Vec<u32>,
+    /// `A < threshold` threshold for continuous nodes (0.0 otherwise).
+    threshold: Vec<f32>,
+    /// Subset nodes: index into `masks`. Other kinds: 0.
+    aux: Vec<u32>,
+    /// Flat id of the first child (children are contiguous; 0 for leaves).
+    child_base: Vec<u32>,
+    /// Majority class (the prediction at leaves).
+    leaf_class: Vec<u8>,
+    /// Side table of categorical-subset left masks.
+    masks: Vec<u64>,
+}
+
+impl FlatTree {
+    /// Compile an induced tree into the flat layout. Panics if the arena is
+    /// not a tree (a shared or cyclic child would be visited twice).
+    pub fn compile(tree: &DecisionTree) -> FlatTree {
+        let n = tree.nodes.len();
+        let mut flat = FlatTree {
+            schema: tree.schema.clone(),
+            kind: Vec::with_capacity(n),
+            attr: Vec::with_capacity(n),
+            threshold: Vec::with_capacity(n),
+            aux: Vec::with_capacity(n),
+            child_base: Vec::with_capacity(n),
+            leaf_class: Vec::with_capacity(n),
+            masks: Vec::new(),
+        };
+        // Breadth-first renumbering: `order[i]` is the old id of flat node
+        // `i`. Popping in push order makes each node's children contiguous,
+        // starting at the queue length at the time the parent is visited.
+        let mut order: Vec<u32> = vec![0];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut head = 0usize;
+        while head < order.len() {
+            let node = &tree.nodes[order[head] as usize];
+            head += 1;
+            let child_base = order.len() as u32;
+            for &c in &node.children {
+                assert!(
+                    !std::mem::replace(&mut seen[c as usize], true),
+                    "node arena is not a tree: node {c} is reachable twice"
+                );
+                order.push(c);
+            }
+            let (kind, attr, threshold, aux) = match node.test {
+                None => (FlatKind::Leaf, 0, 0.0, 0),
+                Some(SplitTest::Continuous { attr, threshold }) => {
+                    (FlatKind::Continuous, attr as u32, threshold, 0)
+                }
+                Some(SplitTest::Categorical { attr }) => {
+                    (FlatKind::Categorical, attr as u32, 0.0, 0)
+                }
+                Some(SplitTest::CategoricalSubset { attr, left_mask }) => {
+                    flat.masks.push(left_mask);
+                    (
+                        FlatKind::Subset,
+                        attr as u32,
+                        0.0,
+                        (flat.masks.len() - 1) as u32,
+                    )
+                }
+            };
+            flat.kind.push(kind);
+            flat.attr.push(attr);
+            flat.threshold.push(threshold);
+            flat.aux.push(aux);
+            flat.child_base.push(child_base);
+            flat.leaf_class.push(node.majority);
+        }
+        flat
+    }
+
+    /// The schema the tree was trained under.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// True only for a tree with no nodes (never produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+
+    /// Heap bytes of the node arrays and mask table (for memory
+    /// accounting of per-rank replicas in distributed scoring).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.kind.len() * (1 + 4 + 4 + 4 + 4 + 1) + self.masks.len() * 8) as u64
+    }
+
+    /// Arity of node `i` under the schema (0 for leaves).
+    fn arity(&self, i: usize) -> usize {
+        match self.kind[i] {
+            FlatKind::Leaf => 0,
+            FlatKind::Continuous | FlatKind::Subset => 2,
+            FlatKind::Categorical => match self.schema.attrs[self.attr[i] as usize].kind {
+                AttrKind::Categorical { cardinality } => cardinality as usize,
+                AttrKind::Continuous => unreachable!("categorical test on continuous attribute"),
+            },
+        }
+    }
+
+    /// Predict one record by flat per-node descent (the low-latency
+    /// single-record path; batches should use [`FlatTree::predict_batch`]).
+    pub fn predict(&self, data: &Dataset, rid: usize) -> u8 {
+        let mut i = 0usize;
+        loop {
+            let c = match self.kind[i] {
+                FlatKind::Leaf => return self.leaf_class[i],
+                FlatKind::Continuous => usize::from(
+                    data.continuous_value(self.attr[i] as usize, rid) >= self.threshold[i],
+                ),
+                FlatKind::Categorical => {
+                    data.categorical_value(self.attr[i] as usize, rid) as usize
+                }
+                FlatKind::Subset => {
+                    let mask = self.masks[self.aux[i] as usize];
+                    let v = data.categorical_value(self.attr[i] as usize, rid);
+                    usize::from((mask >> v) & 1 == 0)
+                }
+            };
+            i = self.child_base[i] as usize + c;
+        }
+    }
+
+    /// Score every record of `data` into `out` (`out[rid]` = predicted
+    /// class). Batched equivalent of calling [`FlatTree::predict`] per
+    /// record.
+    pub fn predict_batch(&self, data: &Dataset, out: &mut [u8]) {
+        assert_eq!(out.len(), data.len(), "output slice must cover the batch");
+        self.predict_range(data, 0, data.len(), out);
+    }
+
+    /// Score the contiguous record range `[lo, hi)` of `data`;
+    /// `out[i]` receives the prediction of record `lo + i`. This is the
+    /// kernel the serving harness and the distributed scorer batch over.
+    ///
+    /// The batch advances one tree level per pass. Records are kept grouped
+    /// by their current node, nodes in ascending (= breadth-first) order, so
+    /// each pass streams the node arrays forward; each group is routed with
+    /// a single branch on the node kind and a per-child counting pass that
+    /// emits the children still grouped and ordered.
+    pub fn predict_range(&self, data: &Dataset, lo: usize, hi: usize, out: &mut [u8]) {
+        assert!(lo <= hi && hi <= data.len(), "record range out of bounds");
+        assert_eq!(out.len(), hi - lo, "output slice must cover the range");
+        if lo == hi {
+            return;
+        }
+        if self.kind[0] == FlatKind::Leaf {
+            out.fill(self.leaf_class[0]);
+            return;
+        }
+        let n = hi - lo;
+        // Active set: records and their current nodes, parallel, grouped by
+        // node with nodes ascending.
+        let mut recs: Vec<u32> = (lo as u32..hi as u32).collect();
+        let mut nodes: Vec<u32> = vec![0; n];
+        let mut next_recs: Vec<u32> = Vec::with_capacity(n);
+        let mut next_nodes: Vec<u32> = Vec::with_capacity(n);
+        let mut offsets: Vec<u32> = Vec::new(); // per-child placement scratch
+
+        while !recs.is_empty() {
+            next_recs.clear();
+            next_nodes.clear();
+            let mut i = 0usize;
+            while i < recs.len() {
+                let node = nodes[i];
+                let mut j = i + 1;
+                while j < recs.len() && nodes[j] == node {
+                    j += 1;
+                }
+                let node = node as usize;
+                let run = &recs[i..j];
+                i = j;
+                if self.kind[node] == FlatKind::Leaf {
+                    let class = self.leaf_class[node];
+                    for &r in run {
+                        out[r as usize - lo] = class;
+                    }
+                    continue;
+                }
+                let base = self.child_base[node];
+                let arity = self.arity(node);
+                let start = next_recs.len();
+                next_recs.resize(start + run.len(), 0);
+                next_nodes.resize(start + run.len(), 0);
+                offsets.clear();
+                offsets.resize(arity, 0);
+                // Count, prefix, place: two routing passes cost one extra
+                // streaming read of the run's column values and keep the
+                // next level grouped without per-child buffers.
+                match self.kind[node] {
+                    FlatKind::Continuous => {
+                        let col = data.columns[self.attr[node] as usize].as_continuous();
+                        let th = self.threshold[node];
+                        for &r in run {
+                            offsets[usize::from(col[r as usize] >= th)] += 1;
+                        }
+                        exclusive_prefix(&mut offsets);
+                        for &r in run {
+                            let c = usize::from(col[r as usize] >= th);
+                            let at = start + offsets[c] as usize;
+                            offsets[c] += 1;
+                            next_recs[at] = r;
+                            next_nodes[at] = base + c as u32;
+                        }
+                    }
+                    FlatKind::Categorical => {
+                        let col = data.columns[self.attr[node] as usize].as_categorical();
+                        for &r in run {
+                            offsets[col[r as usize] as usize] += 1;
+                        }
+                        exclusive_prefix(&mut offsets);
+                        for &r in run {
+                            let c = col[r as usize] as usize;
+                            let at = start + offsets[c] as usize;
+                            offsets[c] += 1;
+                            next_recs[at] = r;
+                            next_nodes[at] = base + c as u32;
+                        }
+                    }
+                    FlatKind::Subset => {
+                        let col = data.columns[self.attr[node] as usize].as_categorical();
+                        let mask = self.masks[self.aux[node] as usize];
+                        for &r in run {
+                            offsets[usize::from((mask >> col[r as usize]) & 1 == 0)] += 1;
+                        }
+                        exclusive_prefix(&mut offsets);
+                        for &r in run {
+                            let c = usize::from((mask >> col[r as usize]) & 1 == 0);
+                            let at = start + offsets[c] as usize;
+                            offsets[c] += 1;
+                            next_recs[at] = r;
+                            next_nodes[at] = base + c as u32;
+                        }
+                    }
+                    FlatKind::Leaf => unreachable!(),
+                }
+            }
+            std::mem::swap(&mut recs, &mut next_recs);
+            std::mem::swap(&mut nodes, &mut next_nodes);
+        }
+    }
+
+    /// Fraction of records whose label the tree predicts, through the
+    /// batched kernel.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let mut out = vec![0u8; data.len()];
+        self.predict_batch(data, &mut out);
+        let hits = out.iter().zip(&data.labels).filter(|(p, l)| p == l).count();
+        hits as f64 / data.len() as f64
+    }
+}
+
+/// In-place exclusive prefix sum of a small counts vector.
+fn exclusive_prefix(counts: &mut [u32]) {
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = acc;
+        acc += here;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrDef, Column};
+    use crate::tree::Node;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![AttrDef::continuous("x"), AttrDef::categorical("g", 3)],
+            3,
+        )
+    }
+
+    /// root: x < 2.5 → [switch g → leaf0|leaf1|leaf2] | [subset g {0,2} → leaf1|leaf2]
+    fn mixed_tree() -> DecisionTree {
+        let mk = |majority: u8, test, children: Vec<u32>| Node {
+            depth: 0, // depths unused by prediction
+            hist: vec![1, 1, 1],
+            majority,
+            test,
+            children,
+        };
+        DecisionTree {
+            schema: schema(),
+            nodes: vec![
+                mk(
+                    0,
+                    Some(SplitTest::Continuous {
+                        attr: 0,
+                        threshold: 2.5,
+                    }),
+                    vec![1, 2],
+                ),
+                mk(0, Some(SplitTest::Categorical { attr: 1 }), vec![3, 4, 5]),
+                mk(
+                    1,
+                    Some(SplitTest::CategoricalSubset {
+                        attr: 1,
+                        left_mask: 0b101,
+                    }),
+                    vec![6, 7],
+                ),
+                mk(0, None, vec![]),
+                mk(1, None, vec![]),
+                mk(2, None, vec![]),
+                mk(1, None, vec![]),
+                mk(2, None, vec![]),
+            ],
+        }
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let xs: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let gs: Vec<u32> = (0..n).map(|i| ((i * 5) % 3) as u32).collect();
+        let labels: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        Dataset::new(
+            schema(),
+            vec![Column::Continuous(xs), Column::Categorical(gs)],
+            labels,
+        )
+    }
+
+    #[test]
+    fn compile_is_breadth_first_with_contiguous_children() {
+        let flat = FlatTree::compile(&mixed_tree());
+        assert_eq!(flat.len(), 8);
+        assert_eq!(flat.kind[0], FlatKind::Continuous);
+        assert_eq!(flat.child_base[0], 1);
+        assert_eq!(flat.kind[1], FlatKind::Categorical);
+        assert_eq!(flat.child_base[1], 3);
+        assert_eq!(flat.kind[2], FlatKind::Subset);
+        assert_eq!(flat.child_base[2], 6);
+        assert_eq!(flat.masks, vec![0b101]);
+        assert!(flat.kind[3..].iter().all(|&k| k == FlatKind::Leaf));
+        assert!(flat.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_matches_per_record_oracle() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        let data = dataset(257);
+        let mut out = vec![0u8; data.len()];
+        flat.predict_batch(&data, &mut out);
+        for (rid, &got) in out.iter().enumerate() {
+            assert_eq!(got, tree.predict(&data, rid), "record {rid}");
+            assert_eq!(flat.predict(&data, rid), tree.predict(&data, rid));
+        }
+    }
+
+    #[test]
+    fn range_scoring_matches_full_batch() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        let data = dataset(100);
+        let mut full = vec![0u8; 100];
+        flat.predict_batch(&data, &mut full);
+        let mut part = vec![0u8; 40];
+        flat.predict_range(&data, 30, 70, &mut part);
+        assert_eq!(&full[30..70], &part[..]);
+        flat.predict_range(&data, 50, 50, &mut []);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = DecisionTree {
+            schema: schema(),
+            nodes: vec![Node::leaf(0, vec![1, 4, 2])],
+        };
+        let flat = FlatTree::compile(&tree);
+        let data = dataset(9);
+        let mut out = vec![9u8; 9];
+        flat.predict_batch(&data, &mut out);
+        assert!(out.iter().all(|&c| c == 1));
+        assert_eq!(flat.predict(&data, 0), 1);
+    }
+
+    #[test]
+    fn accuracy_matches_oracle_accuracy() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        let data = dataset(123);
+        let oracle = (0..data.len())
+            .filter(|&i| tree.predict(&data, i) == data.labels[i])
+            .count() as f64
+            / data.len() as f64;
+        assert_eq!(flat.accuracy(&data), oracle);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn compile_rejects_shared_children() {
+        let mut tree = mixed_tree();
+        tree.nodes[2].children = vec![3, 4]; // shares node 1's children
+        FlatTree::compile(&tree);
+    }
+}

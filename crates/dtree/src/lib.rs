@@ -11,6 +11,8 @@
 //!   a record-id → child hash table ([`list`], [`sprint`]);
 //! * the decision-tree model with prediction and validation ([`tree`],
 //!   [`eval`]);
+//! * the compiled flat-tree form with the batched scoring kernel every
+//!   evaluation path routes through ([`flat`]);
 //! * the CART/C4.5-style baseline that re-sorts at every node, used by the
 //!   presort ablation ([`cart`]);
 //! * reduced-error pruning as the documented extension covering the paper's
@@ -24,6 +26,7 @@
 pub mod cart;
 pub mod data;
 pub mod eval;
+pub mod flat;
 pub mod gini;
 pub mod hashutil;
 pub mod list;
@@ -31,9 +34,11 @@ pub mod model_io;
 pub mod prune;
 pub mod split;
 pub mod sprint;
+pub mod testgen;
 pub mod tree;
 
 pub use data::{AttrDef, AttrKind, Column, Dataset, Schema};
+pub use flat::FlatTree;
 pub use gini::Criterion;
 pub use split::{CatSplitMode, SplitOptions};
 pub use tree::{BestSplit, DecisionTree, Node, SplitTest, StopRules};

@@ -87,16 +87,17 @@ fn err(line: usize, msg: impl Into<String>) -> String {
 /// Parse a tree from the text format.
 ///
 /// # Errors
-/// Returns a line-tagged message for any structural or numeric problem; a
-/// successfully parsed tree additionally passes
+/// Every error message carries the 1-based number of the offending line
+/// (for whole-document problems like a wrong node count, the line the
+/// declaration was made on); a successfully parsed tree additionally passes
 /// [`DecisionTree::validate`]-level invariants (child counts, id bounds).
 pub fn from_text(text: &str) -> Result<DecisionTree, String> {
     let mut lines = text.lines().enumerate();
-    let (ln, header) = lines.next().ok_or("empty input")?;
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if header != "scalparc-tree v1" {
         return Err(err(ln, format!("bad header {header:?}")));
     }
-    let (ln, classes_line) = lines.next().ok_or("missing classes line")?;
+    let (ln, classes_line) = lines.next().ok_or_else(|| err(1, "missing classes line"))?;
     let num_classes: u32 = classes_line
         .strip_prefix("classes ")
         .ok_or_else(|| err(ln, "expected `classes <n>`"))?
@@ -105,7 +106,9 @@ pub fn from_text(text: &str) -> Result<DecisionTree, String> {
 
     let mut attrs: Vec<AttrDef> = Vec::new();
     let mut nodes_decl: Option<(usize, usize)> = None;
+    let mut last_ln = ln;
     for (ln, line) in lines.by_ref() {
+        last_ln = ln;
         if let Some(rest) = line.strip_prefix("attr ") {
             let mut parts = rest.split(' ');
             match (parts.next(), parts.next(), parts.next()) {
@@ -128,13 +131,14 @@ pub fn from_text(text: &str) -> Result<DecisionTree, String> {
             return Err(err(ln, "expected `attr …` or `nodes <n>`"));
         }
     }
-    let (_, n_nodes) = nodes_decl.ok_or("missing `nodes` line")?;
+    let (decl_ln, n_nodes) = nodes_decl.ok_or_else(|| err(last_ln, "missing `nodes` line"))?;
     if attrs.is_empty() {
-        return Err("no attributes declared".into());
+        return Err(err(decl_ln, "no attributes declared"));
     }
     let schema = Schema::new(attrs, num_classes);
 
     let mut nodes: Vec<Node> = Vec::with_capacity(n_nodes);
+    let mut node_lns: Vec<usize> = Vec::with_capacity(n_nodes);
     for (ln, line) in lines {
         if line.is_empty() {
             continue;
@@ -234,20 +238,21 @@ pub fn from_text(text: &str) -> Result<DecisionTree, String> {
             _ => return Err(err(ln, "expected `leaf` or `test`")),
         }
         nodes.push(node);
+        node_lns.push(ln);
     }
     if nodes.len() != n_nodes {
-        return Err(format!(
-            "declared {n_nodes} nodes but parsed {}",
-            nodes.len()
+        return Err(err(
+            decl_ln,
+            format!("declared {n_nodes} nodes but parsed {}", nodes.len()),
         ));
     }
     if nodes.is_empty() {
-        return Err("tree must have at least a root node".into());
+        return Err(err(decl_ln, "tree must have at least a root node"));
     }
-    for node in &nodes {
+    for (node, &ln) in nodes.iter().zip(&node_lns) {
         for &c in &node.children {
             if c as usize >= nodes.len() {
-                return Err(format!("child id {c} out of range"));
+                return Err(err(ln, format!("child id {c} out of range")));
             }
         }
     }
@@ -405,12 +410,64 @@ mod tests {
     }
 
     #[test]
+    fn every_error_carries_the_offending_line_number() {
+        assert!(from_text("").unwrap_err().starts_with("line 1:"));
+        let e = from_text("scalparc-tree v1\n").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        // Wrong node count points at the `nodes` declaration line.
+        let e = from_text(
+            "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 2\n\
+             node depth 0 hist 1,1 majority 0 leaf\n",
+        )
+        .unwrap_err();
+        assert!(e.starts_with("line 4:"), "{e}");
+        // An out-of-range child points at its node's line.
+        let e = from_text(
+            "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+             node depth 0 hist 1,1 majority 0 test cont 0 3f800000 children 5,6\n",
+        )
+        .unwrap_err();
+        assert!(e.starts_with("line 5:"), "{e}");
+        // A truncated document points past its last line.
+        let e = from_text("scalparc-tree v1\nclasses 2\nattr continuous x\n").unwrap_err();
+        assert!(e.starts_with("line 3:") && e.contains("nodes"), "{e}");
+    }
+
+    #[test]
     fn loaded_model_predicts_identically() {
         let data = mixed_dataset();
         let tree = sprint::induce(&data, &SprintConfig::default());
         let back = from_text(&to_text(&tree)).unwrap();
         for rid in 0..data.len() {
             assert_eq!(tree.predict(&data, rid), back.predict(&data, rid));
+        }
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_proptests {
+    use super::*;
+    use crate::flat::FlatTree;
+    use crate::testgen::{self, TestRng};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48 })]
+
+        // save → load → save is byte-identical across arbitrary tree shapes
+        // (deep chains, categorical fans, subset masks, awkward thresholds),
+        // and the reloaded model compiles to the identical flat tree — the
+        // persistence guarantee the serving path depends on.
+        #[test]
+        fn save_load_save_is_byte_identical(seed in 0u64..(1u64 << 48)) {
+            let mut rng = TestRng::new(seed);
+            let schema = testgen::random_schema(&mut rng);
+            let tree = testgen::random_tree(&schema, &mut rng, 6, 150);
+            let text = to_text(&tree);
+            let back = from_text(&text).unwrap();
+            prop_assert_eq!(&back, &tree);
+            prop_assert_eq!(to_text(&back), text);
+            prop_assert_eq!(FlatTree::compile(&back), FlatTree::compile(&tree));
         }
     }
 }

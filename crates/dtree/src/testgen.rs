@@ -1,0 +1,188 @@
+//! Randomized model and data generators for property tests.
+//!
+//! The workspace's serving-path proptests need *arbitrary* decision trees —
+//! not just trees some inducer would build — so that the batched flat
+//! kernel and the text persistence are exercised on every structural shape:
+//! deep chains, wide categorical fans, subset masks, single-leaf trees.
+//! This module generates schema-consistent random trees and datasets from a
+//! seed, deterministically, without pulling an RNG crate into `dtree`'s
+//! dependency set.
+
+use crate::data::{AttrDef, AttrKind, Column, Dataset, Schema};
+use crate::tree::{majority_class, DecisionTree, Node, SplitTest};
+
+/// SplitMix64 — the same tiny deterministic generator `eval` uses for
+/// shuffling, exposed for test-input generation.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A random schema: 1–5 attributes mixing continuous and categorical
+/// (cardinality 2–6), 2–4 classes.
+pub fn random_schema(rng: &mut TestRng) -> Schema {
+    let n_attrs = 1 + rng.below(5) as usize;
+    let attrs = (0..n_attrs)
+        .map(|i| {
+            if rng.below(2) == 0 {
+                AttrDef::continuous(&format!("c{i}"))
+            } else {
+                AttrDef::categorical(&format!("g{i}"), 2 + rng.below(5) as u32)
+            }
+        })
+        .collect();
+    Schema::new(attrs, 2 + rng.below(3) as u32)
+}
+
+/// A random schema-consistent decision tree with at most `max_nodes` nodes
+/// and depth at most `max_depth`. Node histograms are arbitrary (nonzero)
+/// counts with consistent majorities; every structural invariant prediction
+/// and persistence rely on (arity matches the test, children in-bounds,
+/// depths consistent) holds.
+pub fn random_tree(
+    schema: &Schema,
+    rng: &mut TestRng,
+    max_depth: u32,
+    max_nodes: usize,
+) -> DecisionTree {
+    let classes = schema.num_classes as usize;
+    let mut nodes: Vec<Node> = Vec::new();
+    // Queue of nodes to materialize, breadth-first: (depth, forced leaf?).
+    let mut pending: Vec<u32> = vec![0];
+    let mut head = 0usize;
+    while head < pending.len() {
+        let depth = pending[head];
+        head += 1;
+        let hist: Vec<u64> = (0..classes).map(|_| 1 + rng.below(50)).collect();
+        let mut node = Node::leaf(depth, hist);
+        node.majority = majority_class(&node.hist);
+        // Split unless out of depth or the node budget could not absorb the
+        // widest possible fan-out (6 children).
+        let budget_left = max_nodes.saturating_sub(pending.len()) >= 6;
+        if depth < max_depth && budget_left && rng.unit() < 0.7 {
+            let attr = rng.below(schema.num_attrs() as u64) as usize;
+            let test = match schema.attrs[attr].kind {
+                AttrKind::Continuous => SplitTest::Continuous {
+                    attr,
+                    threshold: (rng.unit() as f32 - 0.5) * 200.0,
+                },
+                AttrKind::Categorical { cardinality } => {
+                    if rng.below(2) == 0 {
+                        SplitTest::Categorical { attr }
+                    } else {
+                        SplitTest::CategoricalSubset {
+                            attr,
+                            left_mask: rng.next_u64() & ((1u64 << cardinality) - 1),
+                        }
+                    }
+                }
+            };
+            let arity = test.arity(schema);
+            node.test = Some(test);
+            node.children = (0..arity)
+                .map(|_| {
+                    pending.push(depth + 1);
+                    (pending.len() - 1) as u32
+                })
+                .collect();
+        }
+        nodes.push(node);
+    }
+    DecisionTree {
+        schema: schema.clone(),
+        nodes,
+    }
+}
+
+/// A random dataset of `n` records under `schema`: finite continuous values
+/// in `[-120, 120)` (quantized so threshold ties occur), in-domain
+/// categorical values, in-range labels.
+pub fn random_dataset(schema: &Schema, rng: &mut TestRng, n: usize) -> Dataset {
+    let columns = schema
+        .attrs
+        .iter()
+        .map(|a| match a.kind {
+            AttrKind::Continuous => Column::Continuous(
+                (0..n)
+                    .map(|_| (rng.below(480) as f32 - 240.0) / 2.0)
+                    .collect(),
+            ),
+            AttrKind::Categorical { cardinality } => Column::Categorical(
+                (0..n)
+                    .map(|_| rng.below(cardinality as u64) as u32)
+                    .collect(),
+            ),
+        })
+        .collect();
+    let labels = (0..n)
+        .map(|_| rng.below(schema.num_classes as u64) as u8)
+        .collect();
+    Dataset::new(schema.clone(), columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_trees_are_structurally_valid() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..50 {
+            let schema = random_schema(&mut rng);
+            let tree = random_tree(&schema, &mut rng, 6, 200);
+            assert!(tree.nodes.len() <= 200 + 6);
+            // Children in bounds and depths consistent (validate() would
+            // also demand histogram sums, which random hists don't satisfy).
+            for node in &tree.nodes {
+                if let Some(test) = node.test {
+                    assert_eq!(node.children.len(), test.arity(&schema));
+                }
+                for &c in &node.children {
+                    assert!((c as usize) < tree.nodes.len());
+                    assert_eq!(tree.nodes[c as usize].depth, node.depth + 1);
+                }
+            }
+            let data = random_dataset(&schema, &mut rng, 64);
+            assert_eq!(data.len(), 64);
+            // Prediction terminates and stays in class range.
+            for rid in 0..data.len() {
+                assert!((tree.predict(&data, rid) as u32) < schema.num_classes);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mk = || {
+            let mut rng = TestRng::new(99);
+            let schema = random_schema(&mut rng);
+            let tree = random_tree(&schema, &mut rng, 5, 100);
+            let data = random_dataset(&schema, &mut rng, 32);
+            (tree, data)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

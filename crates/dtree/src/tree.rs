@@ -250,7 +250,12 @@ impl DecisionTree {
     }
 
     /// Predict the class of record `rid` of `data` (which must share the
-    /// training schema's shape).
+    /// training schema's shape) by walking the node arena.
+    ///
+    /// This is the workspace's **reference oracle**: batch evaluation
+    /// ([`DecisionTree::accuracy`], `eval::confusion_matrix`) routes through
+    /// the compiled [`crate::flat::FlatTree`] kernel, which a proptest pins
+    /// to this walk record-for-record.
     pub fn predict(&self, data: &Dataset, rid: usize) -> u8 {
         let mut node = &self.nodes[0];
         while let Some(test) = node.test {
@@ -261,14 +266,11 @@ impl DecisionTree {
     }
 
     /// Fraction of records of `data` whose label the tree predicts.
+    /// Compiles the tree and scores through the batched flat kernel
+    /// ([`crate::flat::FlatTree::predict_batch`]); callers that already hold
+    /// a compiled tree should use [`crate::flat::FlatTree::accuracy`].
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        if data.is_empty() {
-            return 1.0;
-        }
-        let hits = (0..data.len())
-            .filter(|&i| self.predict(data, i) == data.labels[i])
-            .count();
-        hits as f64 / data.len() as f64
+        crate::flat::FlatTree::compile(self).accuracy(data)
     }
 
     /// Render an indented textual form (for examples and debugging).

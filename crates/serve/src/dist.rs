@@ -1,0 +1,139 @@
+//! Distributed scoring over `mpsim`: one flat-tree replica per rank scores
+//! a block partition of the records; the per-rank confusion matrices are
+//! all-reduced so every rank (and the caller) holds the global matrix.
+//!
+//! This is the scoring analogue of the paper's induction phase and follows
+//! the replicated-model / partitioned-data shape of distributed forest
+//! systems: the model is small and read-only (replicate it), the records
+//! are large (partition them, never move them). The only communication is
+//! one `classes × classes` all-reduce per scoring pass, charged through the
+//! same tree-collective cost model and byte accounting as induction — so a
+//! scoring sweep reports simulated time, per-rank communication volume, and
+//! per-rank peak memory exactly like a training sweep does. The replica and
+//! the prediction buffer are registered with each rank's [`mpsim::MemTracker`],
+//! making the `O(model + N/p)` per-rank memory footprint visible in the
+//! same ledger.
+
+use dtree::data::Dataset;
+use dtree::flat::FlatTree;
+use dtree::gini::CountMatrix;
+use dtree::tree::DecisionTree;
+use mpsim::{MachineCfg, RunStats};
+
+/// Result of a distributed scoring pass.
+#[derive(Clone, Debug)]
+pub struct DistScore {
+    /// Global confusion matrix (row = true class, column = predicted).
+    pub confusion: CountMatrix,
+    /// Fraction of records predicted correctly.
+    pub accuracy: f64,
+    /// Machine statistics of the pass (simulated time, communication
+    /// volume, per-rank peak memory).
+    pub stats: RunStats,
+}
+
+/// Memory-tracker category of the per-rank model replica.
+pub const MEM_REPLICA: &str = "serve-replica";
+/// Memory-tracker category of the per-rank prediction buffer.
+pub const MEM_PREDICTIONS: &str = "serve-predictions";
+
+/// Score `data` against `tree` on `cfg.procs` ranks: rank `r` compiles a
+/// local replica and scores records `[r·N/p, (r+1)·N/p)` as one batch, then
+/// the confusion matrices are summed with an all-reduce.
+pub fn score_distributed(tree: &DecisionTree, data: &Dataset, cfg: &MachineCfg) -> DistScore {
+    let classes = data.schema.num_classes as usize;
+    let n = data.len();
+    let result = mpsim::run(cfg, |comm| {
+        let (rank, p) = (comm.rank(), comm.size());
+        let (lo, hi) = (n * rank / p, n * (rank + 1) / p);
+
+        // Per-rank replica: compilation is rank-local compute, no exchange.
+        let flat = FlatTree::compile(tree);
+        comm.tracker().alloc(MEM_REPLICA, flat.heap_bytes());
+        let mut predictions = vec![0u8; hi - lo];
+        comm.tracker()
+            .alloc(MEM_PREDICTIONS, predictions.len() as u64);
+        flat.predict_range(data, lo, hi, &mut predictions);
+
+        let mut local = vec![0u64; classes * classes];
+        for (truth, pred) in data.labels[lo..hi].iter().zip(&predictions) {
+            local[*truth as usize * classes + *pred as usize] += 1;
+        }
+        comm.tracker()
+            .free(MEM_PREDICTIONS, predictions.len() as u64);
+        drop(predictions);
+
+        // One borrowed-fold all-reduce of the flat matrix; cost and byte
+        // accounting identical to induction's count-matrix reductions.
+        let mut global = vec![0u64; classes * classes];
+        let bytes = (classes * classes * std::mem::size_of::<u64>()) as u64;
+        comm.allreduce_with(&local, bytes, |_src, other: &Vec<u64>| {
+            for (g, o) in global.iter_mut().zip(other) {
+                *g += o;
+            }
+        });
+        comm.tracker().free(MEM_REPLICA, flat.heap_bytes());
+        global
+    });
+
+    let confusion = CountMatrix::from_slice(classes, classes, &result.outputs[0]);
+    debug_assert!(result.outputs.iter().all(|o| *o == result.outputs[0]));
+    let hits: u64 = (0..classes).map(|c| confusion.get(c, c)).sum();
+    let accuracy = if n == 0 { 1.0 } else { hits as f64 / n as f64 };
+    DistScore {
+        confusion,
+        accuracy,
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::eval;
+    use dtree::testgen::{self, TestRng};
+
+    fn fixture(seed: u64, n: usize) -> (DecisionTree, Dataset) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let tree = testgen::random_tree(&schema, &mut rng, 6, 150);
+        let data = testgen::random_dataset(&schema, &mut rng, n);
+        (tree, data)
+    }
+
+    #[test]
+    fn matches_serial_confusion_for_every_p() {
+        let (tree, data) = fixture(3, 500);
+        let serial = eval::confusion_matrix(&tree, &data);
+        for p in [1, 2, 3, 8] {
+            let d = score_distributed(&tree, &data, &MachineCfg::new(p));
+            assert_eq!(d.confusion, serial, "p={p}");
+            assert_eq!(d.accuracy, tree.accuracy(&data));
+        }
+    }
+
+    #[test]
+    fn charges_communication_and_memory() {
+        let (tree, data) = fixture(5, 400);
+        let d = score_distributed(&tree, &data, &MachineCfg::new(4));
+        // The all-reduce moved bytes and took simulated time.
+        assert!(d.stats.total_bytes_sent() > 0);
+        assert!(d.stats.time_ns() > 0);
+        // Each rank's peak memory saw replica + predictions.
+        for rank in &d.stats.ranks {
+            assert!(rank.peak_mem > 0);
+            assert!(rank
+                .mem_categories
+                .iter()
+                .any(|(cat, _)| *cat == MEM_REPLICA));
+        }
+    }
+
+    #[test]
+    fn empty_dataset_scores_cleanly() {
+        let (tree, data) = fixture(7, 0);
+        let d = score_distributed(&tree, &data, &MachineCfg::new(2));
+        assert_eq!(d.confusion.total(), 0);
+        assert_eq!(d.accuracy, 1.0);
+    }
+}

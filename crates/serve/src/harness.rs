@@ -1,0 +1,544 @@
+//! The concurrent scoring harness: a std-only thread-pool server loop with
+//! a bounded request queue, per-request batching, backpressure, graceful
+//! shutdown, and latency/throughput statistics.
+//!
+//! A [`Server`] owns one compiled [`FlatTree`] replica shared by all
+//! workers. Clients [`Server::submit`] a [`Request`] naming a record range
+//! of a shared dataset; the request is scored as **one batch** through
+//! [`FlatTree::predict_range`] and answered on a per-request channel.
+//! When the pending queue holds `queue_depth` requests, further submissions
+//! are **rejected** (`SubmitError::QueueFull`) instead of queued — the
+//! overload answer of a serving system is load-shedding, not unbounded
+//! buffering. [`Server::shutdown`] stops intake, lets the workers drain
+//! every queued request, joins them, and returns the final
+//! [`StatsReport`].
+//!
+//! Latency is measured enqueue → completion (it includes queue wait — the
+//! figure a client observes), and throughput is records scored over the
+//! span from first enqueue to last completion.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dtree::data::Dataset;
+use dtree::flat::FlatTree;
+
+/// Serving-harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads scoring batches (at least 1).
+    pub workers: usize,
+    /// Maximum pending (accepted, not yet started) requests; submissions
+    /// beyond this are rejected with [`SubmitError::QueueFull`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// One scoring request: records `[lo, hi)` of a shared dataset.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The dataset holding the records (shared, not copied per request).
+    pub data: Arc<Dataset>,
+    /// First record of the batch.
+    pub lo: usize,
+    /// One past the last record of the batch.
+    pub hi: usize,
+}
+
+/// Answer to one [`Request`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Echo of the request's record range.
+    pub lo: usize,
+    /// Echo of the request's record range.
+    pub hi: usize,
+    /// Predicted class per record of the range.
+    pub predictions: Vec<u8>,
+    /// Enqueue-to-completion latency of this request.
+    pub latency: Duration,
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at `queue_depth`; shed load and retry later.
+    QueueFull,
+    /// [`Server::shutdown`] has begun; no new work is accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue full"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+enum Job {
+    Score {
+        req: Request,
+        enqueued: Instant,
+        reply: Sender<Response>,
+    },
+    /// Test-only: announce pickup on the first gate, then park the worker
+    /// until the second opens, so queue-full and drain behavior can be
+    /// exercised deterministically.
+    #[cfg(test)]
+    Block {
+        entered: Arc<Gate>,
+        release: Arc<Gate>,
+    },
+}
+
+#[cfg(test)]
+struct Gate {
+    open: Mutex<bool>,
+    bell: Condvar,
+}
+
+#[cfg(test)]
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            bell: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.bell.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.bell.wait(open).unwrap();
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    latencies_ns: Vec<u64>,
+    records: u64,
+    rejected: u64,
+    first_enqueue: Option<Instant>,
+    last_completion: Option<Instant>,
+}
+
+struct Shared {
+    tree: FlatTree,
+    state: Mutex<State>,
+    job_ready: Condvar,
+    stats: Mutex<StatsInner>,
+    queue_depth: usize,
+}
+
+/// The serving harness; see the module docs for the lifecycle.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start `cfg.workers` scoring threads over one compiled tree.
+    pub fn start(tree: FlatTree, cfg: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            tree,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            job_ready: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            queue_depth: cfg.queue_depth.max(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submit a batch for scoring. On acceptance, returns the channel the
+    /// [`Response`] will arrive on; on overload or during shutdown, the
+    /// request is rejected immediately.
+    pub fn submit(&self, req: Request) -> Result<Receiver<Response>, SubmitError> {
+        assert!(
+            req.lo <= req.hi && req.hi <= req.data.len(),
+            "request range out of bounds"
+        );
+        let (reply, rx) = channel();
+        let job = Job::Score {
+            req,
+            enqueued: Instant::now(),
+            reply,
+        };
+        self.enqueue(job)?;
+        Ok(rx)
+    }
+
+    fn enqueue(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.queue_depth {
+            drop(state);
+            self.shared.stats.lock().unwrap().rejected += 1;
+            return Err(SubmitError::QueueFull);
+        }
+        state.queue.push_back(job);
+        drop(state);
+        let mut stats = self.shared.stats.lock().unwrap();
+        stats.first_enqueue.get_or_insert_with(Instant::now);
+        drop(stats);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Submit and wait for the response (convenience for callers without
+    /// their own pipelining).
+    pub fn score_blocking(&self, req: Request) -> Result<Response, SubmitError> {
+        let rx = self.submit(req)?;
+        Ok(rx.recv().expect("worker dropped a pending reply"))
+    }
+
+    /// Snapshot of the statistics so far.
+    pub fn stats(&self) -> StatsReport {
+        StatsReport::from_inner(&self.shared.stats.lock().unwrap())
+    }
+
+    /// Stop accepting work, drain every queued request, join the workers,
+    /// and return the final report. Responses to already-accepted requests
+    /// are all delivered before this returns.
+    pub fn shutdown(mut self) -> StatsReport {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            w.join().expect("serve worker panicked");
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().unwrap().shutting_down = true;
+        self.shared.job_ready.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server must not leave workers parked on
+        // the condvar forever.
+        self.begin_shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.job_ready.wait(state).unwrap();
+            }
+        };
+        match job {
+            Job::Score {
+                req,
+                enqueued,
+                reply,
+            } => {
+                let mut predictions = vec![0u8; req.hi - req.lo];
+                shared
+                    .tree
+                    .predict_range(&req.data, req.lo, req.hi, &mut predictions);
+                let latency = enqueued.elapsed();
+                {
+                    let mut stats = shared.stats.lock().unwrap();
+                    stats.latencies_ns.push(latency.as_nanos() as u64);
+                    stats.records += (req.hi - req.lo) as u64;
+                    stats.last_completion = Some(Instant::now());
+                }
+                // A client that dropped its receiver just loses the answer.
+                let _ = reply.send(Response {
+                    lo: req.lo,
+                    hi: req.hi,
+                    predictions,
+                    latency,
+                });
+            }
+            #[cfg(test)]
+            Job::Block { entered, release } => {
+                entered.open();
+                release.wait();
+            }
+        }
+    }
+}
+
+/// Latency/throughput summary of a serving run.
+#[derive(Clone, Debug)]
+pub struct StatsReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Records scored across completed requests.
+    pub records: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Median enqueue-to-completion latency.
+    pub p50: Duration,
+    /// 99th-percentile enqueue-to-completion latency.
+    pub p99: Duration,
+    /// First-enqueue to last-completion span.
+    pub elapsed: Duration,
+    /// Records per second over `elapsed`.
+    pub records_per_sec: f64,
+}
+
+impl StatsReport {
+    fn from_inner(inner: &StatsInner) -> StatsReport {
+        let mut sorted = inner.latencies_ns.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            Duration::from_nanos(sorted[idx])
+        };
+        let elapsed = match (inner.first_enqueue, inner.last_completion) {
+            (Some(t0), Some(t1)) => t1.duration_since(t0),
+            _ => Duration::ZERO,
+        };
+        let records_per_sec = if elapsed.is_zero() {
+            0.0
+        } else {
+            inner.records as f64 / elapsed.as_secs_f64()
+        };
+        StatsReport {
+            requests: inner.latencies_ns.len() as u64,
+            records: inner.records,
+            rejected: inner.rejected,
+            p50: pct(0.50),
+            p99: pct(0.99),
+            elapsed,
+            records_per_sec,
+        }
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve: {} requests, {} records ({} rejected) | latency p50 {:.1}µs p99 {:.1}µs | {:.0} records/s",
+            self.requests,
+            self.records,
+            self.rejected,
+            self.p50.as_secs_f64() * 1e6,
+            self.p99.as_secs_f64() * 1e6,
+            self.records_per_sec,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::testgen::{self, TestRng};
+
+    fn compiled_fixture(seed: u64, n: usize) -> (FlatTree, Arc<Dataset>) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let tree = testgen::random_tree(&schema, &mut rng, 7, 200);
+        let data = Arc::new(testgen::random_dataset(&schema, &mut rng, n));
+        (FlatTree::compile(&tree), data)
+    }
+
+    #[test]
+    fn serves_correct_predictions() {
+        let (flat, data) = compiled_fixture(11, 1000);
+        let mut expect = vec![0u8; data.len()];
+        flat.predict_batch(&data, &mut expect);
+
+        let server = Server::start(flat, ServeConfig::default());
+        let rxs: Vec<_> = (0..10)
+            .map(|i| {
+                let (lo, hi) = (i * 100, (i + 1) * 100);
+                server
+                    .submit(Request {
+                        data: Arc::clone(&data),
+                        lo,
+                        hi,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let resp = rx.recv().unwrap();
+            assert_eq!(resp.lo, i * 100);
+            assert_eq!(&resp.predictions[..], &expect[resp.lo..resp.hi]);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.records, 1000);
+        assert_eq!(report.rejected, 0);
+        assert!(report.records_per_sec > 0.0);
+        assert!(report.p99 >= report.p50);
+    }
+
+    #[test]
+    fn queue_full_rejects_and_recovers() {
+        let (flat, data) = compiled_fixture(13, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                queue_depth: 2,
+            },
+        );
+        // Park the only worker so the queue cannot drain.
+        let entered = Gate::new();
+        let release = Gate::new();
+        server
+            .enqueue(Job::Block {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            })
+            .unwrap();
+        entered.wait(); // the worker holds the job, the queue is empty
+
+        let req = || Request {
+            data: Arc::clone(&data),
+            lo: 0,
+            hi: 64,
+        };
+        let rx1 = server.submit(req()).unwrap();
+        let rx2 = server.submit(req()).unwrap();
+        // Queue holds 2 pending score requests: depth reached.
+        assert_eq!(server.submit(req()).unwrap_err(), SubmitError::QueueFull);
+        assert_eq!(server.submit(req()).unwrap_err(), SubmitError::QueueFull);
+
+        release.open();
+        // The parked worker drains the queue; both accepted requests answer.
+        assert_eq!(rx1.recv().unwrap().predictions.len(), 64);
+        assert_eq!(rx2.recv().unwrap().predictions.len(), 64);
+        // Capacity is available again.
+        let rx3 = server.submit(req()).unwrap();
+        rx3.recv().unwrap();
+
+        let report = server.shutdown();
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.requests, 3);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_inflight_requests() {
+        let (flat, data) = compiled_fixture(17, 512);
+        let mut expect = vec![0u8; data.len()];
+        flat.predict_batch(&data, &mut expect);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 2,
+                queue_depth: 64,
+            },
+        );
+        // Park both workers, fill the queue, then shut down: every accepted
+        // request must still be answered.
+        let release = Gate::new();
+        for _ in 0..2 {
+            let entered = Gate::new();
+            server
+                .enqueue(Job::Block {
+                    entered: Arc::clone(&entered),
+                    release: Arc::clone(&release),
+                })
+                .unwrap();
+            entered.wait();
+        }
+        let rxs: Vec<_> = (0..8)
+            .map(|i| {
+                server
+                    .submit(Request {
+                        data: Arc::clone(&data),
+                        lo: i * 64,
+                        hi: (i + 1) * 64,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        release.open();
+        let report = server.shutdown();
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.records, 512);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let resp = rx.recv().unwrap();
+            assert_eq!(&resp.predictions[..], &expect[i * 64..(i + 1) * 64]);
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let (flat, data) = compiled_fixture(19, 16);
+        let server = Server::start(flat, ServeConfig::default());
+        server.begin_shutdown();
+        assert_eq!(
+            server
+                .submit(Request {
+                    data: Arc::clone(&data),
+                    lo: 0,
+                    hi: 16
+                })
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        let report = server.shutdown();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.records_per_sec, 0.0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let (flat, data) = compiled_fixture(23, 128);
+        let server = Server::start(flat, ServeConfig::default());
+        server
+            .score_blocking(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 128,
+            })
+            .unwrap();
+        let text = server.shutdown().to_string();
+        assert!(text.contains("1 requests"), "{text}");
+        assert!(text.contains("records/s"), "{text}");
+    }
+}

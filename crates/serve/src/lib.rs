@@ -1,0 +1,31 @@
+//! `serve` — batched inference for induced decision trees.
+//!
+//! Induction produces a [`dtree::DecisionTree`]; this crate is the path
+//! from that model to scoring traffic:
+//!
+//! * **Compiled flat trees** ([`dtree::flat::FlatTree`], re-exported here):
+//!   a breadth-first struct-of-arrays layout whose batched kernel steps a
+//!   whole batch level-synchronously — cache-friendly (node arrays stream
+//!   in breadth-first order) and branch-friendly (one kind dispatch per
+//!   node group, not per record).
+//! * **A concurrent scoring harness** ([`harness::Server`]): a std-only
+//!   thread pool behind a bounded request queue with backpressure
+//!   (reject-when-full), per-request batching, graceful shutdown that
+//!   drains in-flight work, and a latency/throughput report
+//!   ([`harness::StatsReport`]).
+//! * **Distributed scoring** ([`dist::score_distributed`]): one flat-tree
+//!   replica per `mpsim` rank scores a block partition of the records and
+//!   the per-rank confusion matrices are all-reduced, so scoring carries
+//!   the same communication cost accounting and per-rank memory accounting
+//!   as induction.
+//!
+//! The kernel is pinned record-for-record to the per-record oracle
+//! `DecisionTree::predict` by a workspace proptest over random trees and
+//! Quest datasets.
+
+pub mod dist;
+pub mod harness;
+
+pub use dist::{score_distributed, DistScore};
+pub use dtree::flat::FlatTree;
+pub use harness::{Request, Response, ServeConfig, Server, StatsReport, SubmitError};

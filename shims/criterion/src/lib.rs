@@ -10,10 +10,25 @@
 //! shorter samples than upstream criterion, so absolute numbers are
 //! comparable only within this workspace.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// `cargo bench -- --test` compatibility: in test mode each benchmark body
+/// runs exactly once, unmeasured — a smoke/compile check, mirroring real
+/// criterion's `--test` flag. Set by [`criterion_main!`] from the CLI.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable `--test` mode (normally done by [`criterion_main!`]).
+pub fn set_test_mode(on: bool) {
+    TEST_MODE.store(on, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Top-level benchmark driver (normally built by [`criterion_main!`]).
 #[derive(Default)]
@@ -97,10 +112,21 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u64, f: &mut F) {
+    if test_mode() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            once: true,
+        };
+        f(&mut b);
+        println!("test {label:<44} ok");
+        return;
+    }
     // Warm-up sample, never reported.
     let mut b = Bencher {
         elapsed: Duration::ZERO,
         iters: 1,
+        once: false,
     };
     f(&mut b);
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples as usize);
@@ -108,6 +134,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u64, f: &mut F) {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 1,
+            once: false,
         };
         f(&mut b);
         per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
@@ -137,6 +164,7 @@ fn fmt_time(s: f64) -> String {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    once: bool,
 }
 
 impl Bencher {
@@ -147,6 +175,11 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed();
+        if self.once {
+            self.elapsed = once;
+            self.iters = 1;
+            return;
+        }
         let reps = if once.as_secs_f64() >= 0.02 {
             1
         } else {
@@ -179,6 +212,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::set_test_mode(std::env::args().any(|a| a == "--test"));
             $($group();)+
         }
     };

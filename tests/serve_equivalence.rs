@@ -1,0 +1,174 @@
+//! Serving-path equivalence: the compiled flat tree and every consumer of
+//! its batched kernel (the harness, the distributed scorer, the re-pointed
+//! evaluation helpers) produce exactly what the per-record oracle
+//! `DecisionTree::predict` produces.
+//!
+//! Two proptest axes:
+//! * **arbitrary trees** (`dtree::testgen`) × random datasets — covers
+//!   structural shapes no inducer builds (deep chains, wide categorical
+//!   fans, degenerate masks);
+//! * **induced trees** on Quest data (the paper's generator, with label
+//!   noise so trees grow large) scored on *held-out* Quest records —
+//!   covers the shapes real models take, on records the tree never saw.
+
+use std::sync::Arc;
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::flat::FlatTree;
+use dtree::sprint::{self, SprintConfig};
+use dtree::testgen::{self, TestRng};
+use dtree::{eval, DecisionTree};
+use mpsim::MachineCfg;
+use proptest::prelude::*;
+use serve::{score_distributed, Request, ServeConfig, Server};
+
+fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig { cases: n }
+}
+
+fn assert_flat_equals_oracle(tree: &DecisionTree, data: &dtree::Dataset) {
+    let flat = FlatTree::compile(tree);
+    let mut batch = vec![0u8; data.len()];
+    flat.predict_batch(data, &mut batch);
+    for (rid, &got) in batch.iter().enumerate() {
+        let oracle = tree.predict(data, rid);
+        assert_eq!(got, oracle, "batch kernel diverged at record {rid}");
+        assert_eq!(
+            flat.predict(data, rid),
+            oracle,
+            "flat single-record walk diverged at record {rid}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(32))]
+
+    #[test]
+    fn flat_batch_equals_oracle_on_arbitrary_trees(
+        seed in 0u64..(1u64 << 48),
+        n in 1usize..400,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let tree = testgen::random_tree(&schema, &mut rng, 7, 250);
+        let data = testgen::random_dataset(&schema, &mut rng, n);
+        assert_flat_equals_oracle(&tree, &data);
+    }
+
+    #[test]
+    fn flat_batch_equals_oracle_on_induced_quest_trees(
+        seed in 0u64..(1u64 << 32),
+        n in 200usize..1200,
+        func_pick in 0usize..4,
+    ) {
+        let func = [ClassFunc::F1, ClassFunc::F2, ClassFunc::F6, ClassFunc::F7][func_pick];
+        // Label noise makes the inducer grow deep, irregular trees.
+        let train = generate(&GenConfig { n, func, noise: 0.08, seed, profile: Profile::Paper7 });
+        let tree = sprint::induce(&train, &SprintConfig::default());
+        // Score held-out records: unseen values exercise every routing arm.
+        let test = generate(&GenConfig { n: 500, func, noise: 0.0, seed: seed ^ 0xDEAD, profile: Profile::Paper7 });
+        assert_flat_equals_oracle(&tree, &train);
+        assert_flat_equals_oracle(&tree, &test);
+    }
+
+    #[test]
+    fn distributed_scoring_equals_serial_confusion(
+        seed in 0u64..(1u64 << 32),
+        p in 1usize..6,
+        n in 1usize..300,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let tree = testgen::random_tree(&schema, &mut rng, 6, 120);
+        let data = testgen::random_dataset(&schema, &mut rng, n);
+        let serial = eval::confusion_matrix(&tree, &data);
+        let dist = score_distributed(&tree, &data, &MachineCfg::new(p));
+        prop_assert_eq!(dist.confusion, serial);
+    }
+}
+
+/// End-to-end through the concurrent harness: chunked submissions
+/// reassemble to exactly the oracle's predictions, and the report is sane.
+#[test]
+fn harness_scoring_matches_oracle_end_to_end() {
+    let train = generate(&GenConfig {
+        n: 2_000,
+        func: ClassFunc::F2,
+        noise: 0.05,
+        seed: 4242,
+        profile: Profile::Paper7,
+    });
+    let tree = sprint::induce(&train, &SprintConfig::default());
+    let data = Arc::new(generate(&GenConfig {
+        n: 3_000,
+        func: ClassFunc::F2,
+        noise: 0.0,
+        seed: 99,
+        profile: Profile::Paper7,
+    }));
+
+    let server = Server::start(
+        FlatTree::compile(&tree),
+        ServeConfig {
+            workers: 4,
+            queue_depth: 128,
+        },
+    );
+    let batch = 256;
+    let rxs: Vec<_> = (0..data.len())
+        .step_by(batch)
+        .map(|lo| {
+            let hi = (lo + batch).min(data.len());
+            server
+                .submit(Request {
+                    data: Arc::clone(&data),
+                    lo,
+                    hi,
+                })
+                .expect("queue sized for the whole sweep")
+        })
+        .collect();
+    let mut served = vec![0u8; data.len()];
+    for rx in rxs {
+        let resp = rx.recv().unwrap();
+        served[resp.lo..resp.hi].copy_from_slice(&resp.predictions);
+    }
+    let report = server.shutdown();
+
+    for (rid, &got) in served.iter().enumerate() {
+        assert_eq!(got, tree.predict(&data, rid), "record {rid}");
+    }
+    assert_eq!(report.records, data.len() as u64);
+    assert!(report.records_per_sec > 0.0);
+    assert!(report.p99 >= report.p50);
+}
+
+/// The re-pointed evaluation helpers agree with per-record counting.
+#[test]
+fn repointed_eval_matches_per_record_counting() {
+    let data = generate(&GenConfig {
+        n: 1_500,
+        func: ClassFunc::F6,
+        noise: 0.1,
+        seed: 7,
+        profile: Profile::Paper7,
+    });
+    let tree = sprint::induce(&data, &SprintConfig::default());
+
+    let hits = (0..data.len())
+        .filter(|&i| tree.predict(&data, i) == data.labels[i])
+        .count();
+    assert_eq!(tree.accuracy(&data), hits as f64 / data.len() as f64);
+    assert_eq!(
+        eval::error_rate(&tree, &data),
+        1.0 - hits as f64 / data.len() as f64
+    );
+
+    let m = eval::confusion_matrix(&tree, &data);
+    assert_eq!(m.total(), data.len() as u64);
+    let diag: u64 = (0..data.schema.num_classes as usize)
+        .map(|c| m.get(c, c))
+        .sum();
+    assert_eq!(diag, hits as u64);
+}
