@@ -36,6 +36,7 @@ fn main() {
             procs: p,
             cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
             timing: TimingMode::Measured,
+            trace: None,
             induce: Default::default(),
         };
         let plain = induce_measured(&data, &cfg, 2);

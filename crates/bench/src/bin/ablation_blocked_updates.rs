@@ -24,6 +24,7 @@ fn run(n: u64, p: usize, blocked: bool) -> (u64, u64) {
         timing: TimingMode::Free,
         compute_tokens: 0,
         replay: None,
+        trace: None,
     };
     let result = mpsim::run(&cfg, |comm| {
         let mut table = DistTable::<u8>::new(comm, n);

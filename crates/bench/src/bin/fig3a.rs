@@ -12,6 +12,7 @@
 //!
 //! Run: `cargo run --release -p scalparc-bench --bin fig3a [--full|--quick]`
 
+use mpsim::obs::Json;
 use scalparc::Algorithm;
 use scalparc_bench::{fmt_mb, print_row, BenchOpts};
 
@@ -67,4 +68,20 @@ fn main() {
             fmt_mb(last.mem_per_proc)
         );
     }
+
+    let mut doc = opts.metrics_doc("fig3a");
+    for (n, cells) in &tables {
+        let t1 = cells[0].time_s;
+        for c in cells {
+            doc.row(vec![
+                ("n", Json::U64(*n as u64)),
+                ("procs", Json::U64(c.procs as u64)),
+                ("time_s", Json::F64(c.time_s)),
+                ("speedup_vs_p1", Json::F64(t1 / c.time_s)),
+                ("mem_per_proc", Json::U64(c.mem_per_proc)),
+                ("comm_per_proc", Json::U64(c.comm_per_proc)),
+            ]);
+        }
+    }
+    opts.write_metrics(&doc);
 }

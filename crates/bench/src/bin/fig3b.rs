@@ -10,6 +10,7 @@
 //!
 //! Run: `cargo run --release -p scalparc-bench --bin fig3b [--full|--quick]`
 
+use mpsim::obs::Json;
 use scalparc::Algorithm;
 use scalparc_bench::{print_row, BenchOpts};
 
@@ -59,11 +60,27 @@ fn main() {
 
     println!();
     println!("# Per-category peaks at the largest machine (largest N):");
+    let mut doc = opts.metrics_doc("fig3b");
     if let Some((_, cells)) = tables.last() {
         let last = cells.last().unwrap();
         let worst = last.stats.ranks.iter().max_by_key(|r| r.peak_mem).unwrap();
+        let mut cats = Vec::new();
         for (cat, usage) in &worst.mem_categories {
             println!("#   {:>16}: {:.3} MB peak", cat, usage.peak as f64 / 1e6);
+            cats.push((cat.to_string(), Json::U64(usage.peak)));
+        }
+        doc.detail("category_peaks_largest_run", Json::Obj(cats));
+    }
+
+    for (n, cells) in &tables {
+        for c in cells {
+            doc.row(vec![
+                ("n", Json::U64(*n as u64)),
+                ("procs", Json::U64(c.procs as u64)),
+                ("mem_per_proc", Json::U64(c.mem_per_proc)),
+                ("comm_per_proc", Json::U64(c.comm_per_proc)),
+            ]);
         }
     }
+    opts.write_metrics(&doc);
 }

@@ -10,6 +10,7 @@
 //!
 //! Run: `cargo run --release -p scalparc-bench --bin level_profile`
 
+use mpsim::obs::Json;
 use scalparc::{induce, ParConfig};
 use scalparc_bench::{print_row, BenchOpts};
 
@@ -57,4 +58,18 @@ fn main() {
     println!(
         "# peak simultaneous nodes {peak_nodes} — why per-level batching beats per-node rounds."
     );
+
+    let mut doc = opts.metrics_doc("level_profile");
+    doc.config("n", Json::U64(n as u64));
+    for (l, info) in r.trace.iter().enumerate() {
+        doc.row(vec![
+            ("level", Json::U64(l as u64)),
+            ("active_nodes", Json::U64(info.active_nodes as u64)),
+            ("splits", Json::U64(info.splits as u64)),
+            ("records", Json::U64(info.records)),
+        ]);
+    }
+    doc.detail("majority_full_levels", Json::U64(majority_full as u64));
+    doc.detail("peak_active_nodes", Json::U64(peak_nodes as u64));
+    opts.write_metrics(&doc);
 }

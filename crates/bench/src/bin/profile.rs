@@ -1,0 +1,275 @@
+//! **PROFILE** — per-phase breakdown of Quest induction across machine
+//! sizes, in the style of the paper's Figure 3 discussion (§5): where does
+//! the simulated time go as p grows?
+//!
+//! Runs traced, measured inductions for every processor count in the sweep
+//! and prints one row per p with the inclusive simulated time of each
+//! top-level phase (setup, presort, and the four per-level phases summed
+//! over levels), taking the maximum over ranks — the honest completion-time
+//! attribution for a bulk-synchronous program.
+//!
+//! Exact accounting is asserted on **every** run: per rank, the exclusive
+//! per-phase rollups (plus the `(untracked)` residue) must sum to that
+//! rank's `RankStats` totals field for field, and the p×p communication
+//! matrix's row sums must equal the rank's `bytes_sent`/`bytes_recv`
+//! counters. Not approximately — exactly.
+//!
+//! Artifacts:
+//!
+//! * `--trace <path>` — Chrome `trace_event` JSON of the `--trace-p` run
+//!   (default p=4), loadable in Perfetto / `chrome://tracing`;
+//! * `--metrics <path>` — `scalparc-metrics/v1` document with one row per
+//!   (p, phase) plus the communication matrix of the traced run;
+//! * `--check` — re-read and validate both artifacts (well-formed JSON,
+//!   schema tag, monotone non-overlapping spans) and fail loudly otherwise.
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin profile -- \
+//!          [--quick|--full] [--n <records>] [--procs 1,4,16] \
+//!          [--trace t.json] [--metrics m.json] [--trace-p 4] [--check]`
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use mpsim::obs::{self, Json};
+use mpsim::TimingMode;
+use scalparc::{induce, ParConfig, ParResult};
+use scalparc_bench::{print_row, Scale, T3D_CPU_FACTOR};
+
+struct Opts {
+    scale: Scale,
+    func: ClassFunc,
+    seed: u64,
+    n: Option<usize>,
+    procs: Option<Vec<usize>>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    trace_p: usize,
+    check: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        scale: Scale::Default,
+        func: ClassFunc::F2,
+        seed: 42,
+        n: None,
+        procs: None,
+        trace: None,
+        metrics: None,
+        trace_p: 4,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let need = |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("{what} needs a value"));
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.scale = Scale::Full,
+            "--quick" => opts.scale = Scale::Quick,
+            "--func" => {
+                let f = need("--func", args.next());
+                opts.func = ClassFunc::parse(&f)
+                    .unwrap_or_else(|| panic!("unknown function {f:?} (want F1..F10)"));
+            }
+            "--seed" => {
+                opts.seed = need("--seed", args.next())
+                    .parse()
+                    .expect("--seed wants a u64")
+            }
+            "--n" => opts.n = Some(need("--n", args.next()).parse().expect("--n wants a usize")),
+            "--procs" => {
+                opts.procs = Some(
+                    need("--procs", args.next())
+                        .split(',')
+                        .map(|p| p.trim().parse().expect("--procs wants p1,p2,..."))
+                        .collect(),
+                );
+            }
+            "--trace" => opts.trace = Some(need("--trace", args.next()).into()),
+            "--metrics" => opts.metrics = Some(need("--metrics", args.next()).into()),
+            "--trace-p" => {
+                opts.trace_p = need("--trace-p", args.next())
+                    .parse()
+                    .expect("--trace-p wants a usize");
+            }
+            "--check" => opts.check = true,
+            other => panic!(
+                "unknown flag {other:?} (known: --full --quick --func --seed \
+                 --n --procs --trace --metrics --trace-p --check)"
+            ),
+        }
+    }
+    opts
+}
+
+/// Assert the recorder's exact-accounting contract on one traced run.
+///
+/// Per rank: the exclusive `(phase, level)` rollups plus the untracked
+/// residue sum to the rank's `RankStats` totals, field for field (the
+/// rollup itself panics if spans over-attribute any counter); and the
+/// communication matrix's row sums equal the byte counters.
+fn assert_exact_accounting(r: &ParResult) -> Vec<obs::RankRollup> {
+    let traces = r.stats.traces().expect("run was traced");
+    let matrix = obs::CommMatrix::from_traces(&traces);
+    let mut rollups = Vec::with_capacity(traces.len());
+    for (rank, (trace, stats)) in traces.iter().zip(&r.stats.ranks).enumerate() {
+        let totals = stats.totals();
+        let rollup = obs::rollup_rank(trace, &totals);
+        let sum = rollup.sum();
+        assert_eq!(sum.compute_ns, totals.compute_ns, "rank {rank} compute_ns");
+        assert_eq!(sum.comm_ns, totals.comm_ns, "rank {rank} comm_ns");
+        assert_eq!(sum.bytes_sent, totals.bytes_sent, "rank {rank} bytes_sent");
+        assert_eq!(sum.bytes_recv, totals.bytes_recv, "rank {rank} bytes_recv");
+        assert_eq!(
+            matrix.sent_total(rank),
+            stats.bytes_sent,
+            "rank {rank} comm-matrix sent row"
+        );
+        assert_eq!(
+            matrix.recv_total(rank),
+            stats.bytes_recv,
+            "rank {rank} comm-matrix recv row"
+        );
+        assert_eq!(trace.dropped_spans, 0, "rank {rank} dropped spans");
+        assert_eq!(trace.unclosed_spans, 0, "rank {rank} unclosed spans");
+        rollups.push(rollup);
+    }
+    rollups
+}
+
+/// Max-over-ranks inclusive time (compute + comm, ns) of every depth-0
+/// phase, summed over levels, in first-appearance order.
+fn phase_times(r: &ParResult) -> Vec<(&'static str, u64)> {
+    let traces = r.stats.traces().expect("run was traced");
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut per_rank: Vec<BTreeMap<&'static str, u64>> = Vec::new();
+    for trace in &traces {
+        let mut mine: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for span in trace.spans.iter().filter(|s| s.depth == 0) {
+            if !order.contains(&span.name) {
+                order.push(span.name);
+            }
+            *mine.entry(span.name).or_default() += span.incl.compute_ns + span.incl.comm_ns;
+        }
+        per_rank.push(mine);
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let worst = per_rank
+                .iter()
+                .map(|m| m.get(name).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            (name, worst)
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let n = opts.n.unwrap_or_else(|| opts.scale.dataset_sizes()[0]);
+    let procs = opts.procs.clone().unwrap_or_else(|| opts.scale.procs());
+    let data = generate(&GenConfig {
+        n,
+        func: opts.func,
+        noise: 0.0,
+        seed: opts.seed,
+        profile: Profile::Paper7,
+    });
+
+    println!("# Per-phase breakdown (max-over-ranks inclusive simulated ms)");
+    println!(
+        "# workload: Quest {:?}, N = {n}, seed {}; exact accounting asserted per rank",
+        opts.func, opts.seed
+    );
+
+    let mut doc = obs::MetricsDoc::new("profile");
+    doc.config("n", Json::U64(n as u64));
+    doc.config("func", Json::str(format!("{:?}", opts.func)));
+    doc.config("seed", Json::U64(opts.seed));
+
+    let mut header_done = false;
+    let mut traced_run: Option<(usize, ParResult)> = None;
+    for &p in &procs {
+        let cfg = ParConfig {
+            cost: mpsim::CostModel::t3d_scaled(T3D_CPU_FACTOR),
+            timing: TimingMode::Measured,
+            ..ParConfig::new(p)
+        }
+        .traced();
+        let r = induce(&data, &cfg);
+        let rollups = assert_exact_accounting(&r);
+        let phases = phase_times(&r);
+
+        if !header_done {
+            let mut header = vec!["p".to_string(), "total".to_string()];
+            header.extend(phases.iter().map(|(name, _)| name.to_string()));
+            print_row(&header);
+            header_done = true;
+        }
+        let mut row = vec![p.to_string(), format!("{:.3}", r.stats.time_s() * 1e3)];
+        row.extend(
+            phases
+                .iter()
+                .map(|(_, ns)| format!("{:.3}", *ns as f64 / 1e6)),
+        );
+        print_row(&row);
+
+        for rollup in &rollups {
+            for phase in &rollup.phases {
+                doc.row(vec![
+                    ("procs", Json::U64(p as u64)),
+                    ("rank", Json::U64(rollup.rank as u64)),
+                    ("phase", Json::str(phase.name)),
+                    ("level", Json::U64(phase.level as u64)),
+                    ("calls", Json::U64(phase.calls)),
+                    ("compute_ns", Json::U64(phase.totals.compute_ns)),
+                    ("comm_ns", Json::U64(phase.totals.comm_ns)),
+                    ("bytes_sent", Json::U64(phase.totals.bytes_sent)),
+                    ("bytes_recv", Json::U64(phase.totals.bytes_recv)),
+                ]);
+            }
+        }
+
+        if p == opts.trace_p || (traced_run.is_none() && p == *procs.last().unwrap()) {
+            traced_run = Some((p, r));
+        }
+    }
+
+    let (traced_p, traced) = traced_run.expect("at least one processor count");
+    let traces = traced.stats.traces().expect("run was traced");
+    let matrix = obs::CommMatrix::from_traces(&traces);
+    doc.detail("comm_matrix_p", Json::U64(traced_p as u64));
+    doc.detail("comm_matrix", matrix.to_json());
+
+    if let Some(path) = &opts.metrics {
+        doc.write(path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# metrics written to {}", path.display());
+    }
+    if let Some(path) = &opts.trace {
+        let text = obs::chrome_trace(&traces);
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!(
+            "# chrome trace (p={traced_p}) written to {} — open in Perfetto",
+            path.display()
+        );
+    }
+
+    if opts.check {
+        if let Some(path) = &opts.metrics {
+            let text = std::fs::read_to_string(path).expect("re-reading metrics");
+            let rows = obs::metrics::validate_metrics(&text)
+                .unwrap_or_else(|e| panic!("metrics file invalid: {e}"));
+            println!("# check: metrics OK ({rows} rows)");
+        }
+        if let Some(path) = &opts.trace {
+            let text = std::fs::read_to_string(path).expect("re-reading trace");
+            let events = obs::validate_chrome_trace(&text)
+                .unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+            println!("# check: chrome trace OK ({events} events)");
+        }
+        println!("# check: exact per-rank accounting held for all runs");
+    }
+}

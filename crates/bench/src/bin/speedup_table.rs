@@ -14,6 +14,7 @@
 //!
 //! Run: `cargo run --release -p scalparc-bench --bin speedup_table`
 
+use mpsim::obs::Json;
 use scalparc::Algorithm;
 use scalparc_bench::{print_row, BenchOpts};
 
@@ -75,4 +76,18 @@ fn main() {
             }
         );
     }
+
+    let mut doc = opts.metrics_doc("speedup_table");
+    for (i, &n) in sizes.iter().enumerate() {
+        let speedups: Vec<(String, Json)> = jumps
+            .iter()
+            .enumerate()
+            .map(|(j, (a, b))| (format!("{a}->{b}"), Json::F64(per_jump[j][i])))
+            .collect();
+        doc.row(vec![
+            ("n", Json::U64(n as u64)),
+            ("relative_speedups", Json::Obj(speedups)),
+        ]);
+    }
+    opts.write_metrics(&doc);
 }

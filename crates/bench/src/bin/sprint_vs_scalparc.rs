@@ -15,6 +15,7 @@
 //!
 //! Run: `cargo run --release -p scalparc-bench --bin sprint_vs_scalparc`
 
+use mpsim::obs::Json;
 use scalparc::Algorithm;
 use scalparc_bench::{fmt_mb, print_row, BenchOpts};
 
@@ -57,6 +58,27 @@ fn main() {
         ]);
         rows.push((p, scal.stats, spr.stats));
     }
+
+    let mut doc = opts.metrics_doc("sprint_vs_scalparc");
+    doc.config("n", Json::U64(n as u64));
+    for (p, scal, spr) in &rows {
+        doc.row(vec![
+            ("procs", Json::U64(*p as u64)),
+            ("scalparc_time_s", Json::F64(scal.time_s())),
+            ("sprint_time_s", Json::F64(spr.time_s())),
+            ("scalparc_mem_per_proc", Json::U64(scal.peak_mem_per_proc())),
+            ("sprint_mem_per_proc", Json::U64(spr.peak_mem_per_proc())),
+            (
+                "scalparc_comm_per_proc",
+                Json::U64(scal.max_comm_volume_per_proc()),
+            ),
+            (
+                "sprint_comm_per_proc",
+                Json::U64(spr.max_comm_volume_per_proc()),
+            ),
+        ]);
+    }
+    opts.write_metrics(&doc);
 
     println!();
     // Communication baselines start at the first parallel row (p = 1 has

@@ -9,10 +9,16 @@
 //!   finishing in minutes on a laptop;
 //! * `--quick` — 1/64 scale smoke run;
 //! * `--func F1..F10` — classification function (default F2);
-//! * `--seed <u64>` — dataset seed.
+//! * `--seed <u64>` — dataset seed;
+//! * `--json <path>` — also write the bin's table as a
+//!   `scalparc-metrics/v1` document (the one JSON emitter shared by every
+//!   bin; see `obs::metrics`).
+
+use std::path::PathBuf;
 
 use datagen::{generate, ClassFunc, GenConfig, Profile};
 use dtree::data::Dataset;
+use mpsim::obs::{Json, MetricsDoc};
 use mpsim::{CostModel, RunStats, TimingMode};
 use scalparc::{induce_measured, Algorithm, InduceConfig, ParConfig, ParResult};
 
@@ -65,6 +71,8 @@ pub struct BenchOpts {
     pub func: ClassFunc,
     /// Dataset seed.
     pub seed: u64,
+    /// Where to write the machine-readable metrics document, if anywhere.
+    pub json: Option<PathBuf>,
 }
 
 impl BenchOpts {
@@ -74,6 +82,7 @@ impl BenchOpts {
             scale: Scale::Default,
             func: ClassFunc::F2,
             seed: 42,
+            json: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -92,10 +101,38 @@ impl BenchOpts {
                         .parse()
                         .expect("--seed wants a u64");
                 }
-                other => panic!("unknown flag {other:?} (known: --full --quick --func --seed)"),
+                "--json" => opts.json = Some(args.next().expect("--json needs a path").into()),
+                other => {
+                    panic!("unknown flag {other:?} (known: --full --quick --func --seed --json)")
+                }
             }
         }
         opts
+    }
+
+    /// Start a metrics document stamped with this run's shared parameters.
+    pub fn metrics_doc(&self, bench: &str) -> MetricsDoc {
+        let mut doc = MetricsDoc::new(bench);
+        doc.config(
+            "scale",
+            Json::str(match self.scale {
+                Scale::Quick => "quick",
+                Scale::Default => "default",
+                Scale::Full => "full",
+            }),
+        );
+        doc.config("func", Json::str(format!("{:?}", self.func)));
+        doc.config("seed", Json::U64(self.seed));
+        doc
+    }
+
+    /// Write `doc` to the `--json` path, if one was given.
+    pub fn write_metrics(&self, doc: &MetricsDoc) {
+        if let Some(path) = &self.json {
+            doc.write(path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("# metrics written to {}", path.display());
+        }
     }
 
     /// Generate the benchmark dataset for `n` records.
@@ -138,6 +175,7 @@ pub fn run_measured(data: &Dataset, p: usize, algorithm: Algorithm) -> ParResult
         procs: p,
         cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
         timing: TimingMode::Measured,
+        trace: None,
         induce: InduceConfig {
             algorithm,
             ..Default::default()
@@ -209,6 +247,7 @@ mod tests {
             scale: Scale::Quick,
             func: ClassFunc::F1,
             seed: 1,
+            json: None,
         };
         let data = opts.dataset(2_000);
         let cells = sweep(&data, &[1, 2], Algorithm::ScalParc);

@@ -63,6 +63,10 @@ pub struct ParConfig {
     pub cost: CostModel,
     /// Computation-time accounting mode.
     pub timing: TimingMode,
+    /// Observability: `Some` enables the per-rank recorder (phase spans,
+    /// collective events, communication matrix). `None` is strictly free —
+    /// the run is byte-for-byte identical to one before tracing existed.
+    pub trace: Option<mpsim::TraceConfig>,
     /// Algorithm options.
     pub induce: InduceConfig,
 }
@@ -74,6 +78,7 @@ impl ParConfig {
             procs,
             cost: CostModel::default(),
             timing: TimingMode::Free,
+            trace: None,
             induce: InduceConfig::default(),
         }
     }
@@ -89,6 +94,12 @@ impl ParConfig {
     /// Same run with the parallel-SPRINT splitting phase.
     pub fn sprint_baseline(mut self) -> Self {
         self.induce.algorithm = Algorithm::SprintReplicated;
+        self
+    }
+
+    /// Same run with the observability recorder enabled (default capacities).
+    pub fn traced(mut self) -> Self {
+        self.trace = Some(mpsim::TraceConfig::default());
         self
     }
 }

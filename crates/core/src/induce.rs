@@ -60,6 +60,7 @@ pub fn induce_on_comm(
 ) -> (DecisionTree, ParStats) {
     let schema = local.schema.clone();
 
+    comm.phase_begin("setup", 0);
     let hist_bytes = schema.num_classes as u64 * 8;
     let root_hist = comm.allreduce_sized(local.class_hist(), hist_bytes, |a, b| {
         for (x, y) in a.iter_mut().zip(b) {
@@ -72,12 +73,15 @@ pub fn induce_on_comm(
         Algorithm::ScalParc => Some(DistTable::<u8>::new(comm, total_n.max(1))),
         Algorithm::SprintReplicated => None,
     };
+    comm.phase_end(); // setup
 
     let mut nodes = vec![Node::leaf(0, root_hist.clone())];
     let mut level: Vec<Work> = if total_n > 0 && !cfg.stop.pre_split_leaf(&root_hist, 0) {
         // Presort.
+        comm.phase_begin("presort", 0);
         let lists = build_distributed_lists(comm, &local, rid_offset);
         drop(local);
+        comm.phase_end(); // presort
         vec![Work {
             node_id: 0,
             depth: 0,
@@ -94,6 +98,7 @@ pub fn induce_on_comm(
     // the child lists that become the next level's state.
     let mut scratch = LevelScratch::new();
     while !level.is_empty() {
+        let lvl = stats.levels; // 0-based level index for the span records
         stats.levels += 1;
         stats.max_active_nodes = stats.max_active_nodes.max(level.len());
         let mut info = LevelInfo {
@@ -104,7 +109,7 @@ pub fn induce_on_comm(
         comm.tracker()
             .set(ATTR_MEM, lists_bytes(level.iter().flat_map(|w| &w.lists)));
 
-        let candidates = find_split(comm, &level, &schema, cfg.split, &mut scratch);
+        let candidates = find_split(comm, &level, &schema, cfg.split, &mut scratch, lvl);
         let decisions: Vec<Option<BestSplit>> = level
             .iter()
             .zip(&candidates)
@@ -135,6 +140,7 @@ pub fn induce_on_comm(
             total_n,
             &schema,
             &mut scratch,
+            lvl,
         );
 
         let mut next: Vec<Work> = Vec::new();

@@ -115,6 +115,7 @@ fn induce_with_replay(
         timing: cfg.timing,
         compute_tokens: 0,
         replay,
+        trace: cfg.trace,
     };
     let induce_cfg = cfg.induce;
     let result = mpsim::run(&mcfg, |comm| {

@@ -133,17 +133,21 @@ pub struct Work {
 
 /// FindSplitI + FindSplitII: the globally best split candidate per work
 /// (`None` when no attribute offers a valid split). Collective; every rank
-/// returns the same vector.
+/// returns the same vector. `level` is the tree level (root = 0), recorded
+/// on the observability spans.
 pub fn find_split(
     comm: &mut Comm,
     works: &[Work],
     schema: &Schema,
     opts: SplitOptions,
     scratch: &mut LevelScratch,
+    level: u32,
 ) -> Vec<Option<BestSplit>> {
     let classes = schema.num_classes as usize;
     let cont_attrs = schema.continuous_attrs();
     let cat_attrs = schema.categorical_attrs();
+
+    comm.phase_begin("find_split_i", level);
 
     // --- FindSplitI, continuous: one parallel prefix over all (work, attr)
     // count matrices and boundary values. The histograms live in one flat
@@ -216,8 +220,11 @@ pub fn find_split(
         });
     }
 
+    comm.phase_end(); // find_split_i
+
     // --- FindSplitII: local candidates, then a global reduction under the
     // canonical candidate order.
+    comm.phase_begin("find_split_ii", level);
     let mut cands: Vec<Option<BestSplit>> = Vec::with_capacity(works.len());
     let mut pi = 0usize;
     let mut off = 0usize;
@@ -259,11 +266,13 @@ pub fn find_split(
         cands.push(best);
     }
     let cand_bytes = (cands.len() * std::mem::size_of::<Option<BestSplit>>()) as u64;
-    comm.allreduce_sized(cands, cand_bytes, |a, b| {
+    let best = comm.allreduce_sized(cands, cand_bytes, |a, b| {
         for (x, y) in a.iter_mut().zip(b) {
             *x = BestSplit::better(*x, *y);
         }
-    })
+    });
+    comm.phase_end(); // find_split_ii
+    best
 }
 
 /// Result of splitting one work: the winning test, **global** per-child
@@ -294,10 +303,13 @@ pub fn perform_split(
     total_n: u64,
     schema: &Schema,
     scratch: &mut LevelScratch,
+    level: u32,
 ) -> Vec<Option<SplitOutcome>> {
     assert_eq!(works.len(), decisions.len());
     let p = comm.size() as u64;
     let classes = schema.num_classes as usize;
+
+    comm.phase_begin("perform_split_i", level);
 
     // --- PerformSplitI: split the splitting attributes' lists, collect the
     // record-to-child mapping and local child histograms (one flat pool,
@@ -410,11 +422,14 @@ pub fn perform_split(
         }));
     }
 
+    comm.phase_end(); // perform_split_i
+
     // --- PerformSplitII: split every attribute list. The splitting
     // attribute of each node routes directly; all other attributes enquire
     // the node table (or probe the replicated one). The paper enquires one
     // attribute at a time (§4); with `batched_enquiry` all attributes share
     // one two-step exchange (same results, fewer collective latencies).
+    comm.phase_begin("perform_split_ii", level);
     let mut works = works;
     let attr_groups: Vec<Vec<usize>> = if batched_enquiry {
         vec![(0..schema.num_attrs()).collect()]
@@ -503,6 +518,7 @@ pub fn perform_split(
     if repl_bytes > 0 {
         comm.tracker().free(REPL_HASH_MEM, repl_bytes);
     }
+    comm.phase_end(); // perform_split_ii
 
     // Note: a rank's segments of different attributes cover *different*
     // record subsets (continuous lists are distributed in sorted order,

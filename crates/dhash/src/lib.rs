@@ -152,6 +152,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
     /// send buffer, and every buffer involved is reused scratch — the steady
     /// state allocates nothing.
     pub fn update(&mut self, comm: &mut Comm, entries: &[(u64, V)]) {
+        comm.phase_begin("dhash_update", 0);
         let block = self.block;
         let s = &mut self.scratch;
 
@@ -191,6 +192,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
         for (idx, value) in s.recv_updates.drain(..) {
             self.local[idx as usize] = Some(value);
         }
+        comm.phase_end(); // dhash_update
     }
 
     /// Memory-scalable update: outgoing entries are split into rounds of at
@@ -199,6 +201,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
     /// skew case). All ranks execute the same (all-reduced) number of rounds.
     pub fn update_blocked(&mut self, comm: &mut Comm, entries: &[(u64, V)], max_per_round: usize) {
         assert!(max_per_round > 0, "round size must be positive");
+        comm.phase_begin("dhash_update_blocked", 0);
         let rounds_mine = entries.len().div_ceil(max_per_round);
         let rounds = comm.allreduce(rounds_mine as u64, |a, b| *a = (*a).max(*b)) as usize;
         for r in 0..rounds {
@@ -206,6 +209,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
             let hi = ((r + 1) * max_per_round).min(entries.len());
             self.update(comm, &entries[lo..hi]);
         }
+        comm.phase_end(); // dhash_update_blocked
     }
 
     /// Collectively look the given keys up; `out[i]` is the value for
@@ -224,6 +228,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
     /// lands at the key's flat send position — re-running the cursor scatter
     /// recovers key order without any placement table.
     pub fn inquire_into(&mut self, comm: &mut Comm, keys: &[u64], out: &mut Vec<Option<V>>) {
+        comm.phase_begin("dhash_inquire", 0);
         let block = self.block;
         let s = &mut self.scratch;
 
@@ -285,6 +290,7 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
             s.cursors[home] += 1;
             out.push(s.recv_vals[at].take());
         }
+        comm.phase_end(); // dhash_inquire
     }
 
     /// Collectively clear all slots (reused between decision-tree levels).

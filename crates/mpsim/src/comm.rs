@@ -49,6 +49,10 @@ pub struct Comm {
     bytes_sent: u64,
     bytes_recv: u64,
     msgs_sent: u64,
+    rec: obs::Recorder,
+    /// Collective in flight: name + counters at entry (set only when the
+    /// recorder is enabled; finalized in `exit`).
+    pending_coll: Option<(&'static str, obs::Counters)>,
 }
 
 fn payload_bytes<T>(len: usize) -> u64 {
@@ -129,6 +133,7 @@ impl Comm {
         tracker: Arc<MemTracker>,
         senders: Vec<Sender<PtpMsg>>,
         receivers: Vec<Receiver<PtpMsg>>,
+        rec: obs::Recorder,
     ) -> Self {
         Comm {
             rank,
@@ -140,6 +145,8 @@ impl Comm {
             bytes_sent: 0,
             bytes_recv: 0,
             msgs_sent: 0,
+            rec,
+            pending_coll: None,
         }
     }
 
@@ -169,6 +176,57 @@ impl Comm {
         self.clock.charge_compute(ns);
     }
 
+    // ----- observability ------------------------------------------------------
+
+    /// Whether this rank carries an enabled trace recorder (see
+    /// [`crate::MachineCfg::trace`]). Callers may use this to skip building
+    /// trace-only inputs; the phase API below is already a no-op when false.
+    pub fn tracing(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Snapshot of this rank's monotone counters for the recorder. Only
+    /// called on enabled-recorder paths: it locks the memory tracker and,
+    /// in measured mode, expects compute segments to be closed around it.
+    fn counters(&self) -> obs::Counters {
+        obs::Counters {
+            clock_ns: self.clock.now_ns(),
+            compute_ns: self.clock.compute_ns(),
+            comm_ns: self.clock.comm_ns(),
+            bytes_sent: self.bytes_sent,
+            bytes_recv: self.bytes_recv,
+            peak_mem: self.tracker.peak(),
+        }
+    }
+
+    /// Open an instrumentation span named `name` (by convention, `level`
+    /// carries the tree level, 0 when not applicable). Spans nest; close
+    /// each with [`Comm::phase_end`]. Strictly a no-op — no clock, segment,
+    /// or allocation effect — when tracing is disabled.
+    pub fn phase_begin(&mut self, name: &'static str, level: u32) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        // Close the open measured segment so the snapshot sees fresh time;
+        // only done when tracing, so untraced runs keep their exact
+        // segment structure.
+        self.clock.stop_compute();
+        let c = self.counters();
+        self.rec.span_begin(name, level, c);
+        self.clock.start_compute();
+    }
+
+    /// Close the innermost span opened by [`Comm::phase_begin`].
+    pub fn phase_end(&mut self) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        self.clock.stop_compute();
+        let c = self.counters();
+        self.rec.span_end(c);
+        self.clock.start_compute();
+    }
+
     // ----- machine lifecycle -------------------------------------------------
 
     pub(crate) fn pin_worker(&self) {
@@ -187,6 +245,12 @@ impl Comm {
     pub(crate) fn finish(&mut self) -> RankStats {
         self.clock.stop_compute();
         self.shared.tokens.release();
+        let trace = if self.rec.is_enabled() {
+            let final_c = self.counters();
+            std::mem::replace(&mut self.rec, obs::Recorder::disabled()).finish(final_c)
+        } else {
+            None
+        };
         RankStats {
             clock_ns: self.clock.now_ns(),
             compute_ns: self.clock.compute_ns(),
@@ -197,13 +261,19 @@ impl Comm {
             peak_mem: self.tracker.peak(),
             mem_categories: self.tracker.categories(),
             segments: self.clock.take_segments(),
+            trace,
         }
     }
 
     // ----- collective skeleton ----------------------------------------------
 
-    fn enter(&mut self, my_bytes: u64) {
+    fn enter(&mut self, my_bytes: u64, name: &'static str) {
         self.clock.stop_compute();
+        // Snapshot before the byte counters move so the event's deltas
+        // cover exactly this collective's traffic and charged time.
+        if self.rec.is_enabled() {
+            self.pending_coll = Some((name, self.counters()));
+        }
         self.shared.tokens.release();
         self.shared.clock_board[self.rank].store(self.clock.now_ns(), Ordering::Release);
         self.shared.bytes_board[self.rank].store(my_bytes, Ordering::Release);
@@ -216,6 +286,12 @@ impl Comm {
     }
 
     fn exit(&mut self) {
+        // All byte counters and the clock sync are final here; close the
+        // collective event before the barrier releases the slots.
+        if let Some((name, start)) = self.pending_coll.take() {
+            let end = self.counters();
+            self.rec.collective(name, start, end);
+        }
         self.shared.barrier.wait();
         self.shared.tokens.acquire();
         self.clock.start_compute();
@@ -288,7 +364,7 @@ impl Comm {
 
     /// Synchronize all ranks; clocks align to `max + barrier cost`.
     pub fn barrier(&mut self) {
-        self.enter(0);
+        self.enter(0, "barrier");
         self.shared.barrier.wait();
         self.sync_with_cost(CollKind::Barrier);
         self.exit();
@@ -301,7 +377,11 @@ impl Comm {
         } else {
             0
         };
-        self.enter(bytes);
+        self.enter(bytes, "bcast");
+        if self.shared.procs > 1 && self.rank == root {
+            // Tree fan-out has no single peer; diagonal bucket.
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         if self.rank == root {
             let v = value.expect("broadcast root must supply a value");
@@ -317,6 +397,7 @@ impl Comm {
         self.shared.tokens.release();
         if self.rank != root {
             self.bytes_recv += std::mem::size_of::<T>() as u64;
+            self.rec.recv(root, std::mem::size_of::<T>() as u64);
         }
         self.tracker
             .pulse(COMM_MEM, std::mem::size_of::<T>() as u64);
@@ -344,7 +425,14 @@ impl Comm {
         T: Clone + Send + Sync + 'static,
         F: Fn(&mut T, &T),
     {
-        self.enter(bytes);
+        self.enter(bytes, "reduce");
+        if self.shared.procs > 1 {
+            if self.rank == root {
+                self.rec.sent_aggregate(bytes);
+            } else {
+                self.rec.sent(root, bytes);
+            }
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(Arc::new(value))));
         self.shared.tokens.release();
@@ -357,6 +445,11 @@ impl Comm {
             }
             self.shared.tokens.release();
             self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+            if self.rec.is_enabled() {
+                for r in (0..self.shared.procs).filter(|&r| r != root) {
+                    self.rec.recv(r, bytes);
+                }
+            }
             Some(acc)
         } else {
             None
@@ -383,7 +476,10 @@ impl Comm {
         T: Clone + Send + Sync + 'static,
         F: Fn(&mut T, &T),
     {
-        self.enter(bytes);
+        self.enter(bytes, "allreduce");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(Arc::new(value))));
         self.shared.tokens.release();
@@ -396,6 +492,7 @@ impl Comm {
         self.shared.tokens.release();
         if self.shared.procs > 1 {
             self.bytes_recv += bytes;
+            self.rec.recv_aggregate(bytes);
         }
         self.sync_with_cost(CollKind::Tree);
         self.exit();
@@ -420,7 +517,10 @@ impl Comm {
         T: Clone + Send + Sync + 'static,
         F: Fn(&mut T, &T),
     {
-        self.enter(bytes);
+        self.enter(bytes, "scan");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(Arc::new(value))));
         self.shared.tokens.release();
@@ -433,6 +533,7 @@ impl Comm {
         self.shared.tokens.release();
         if self.rank > 0 {
             self.bytes_recv += bytes;
+            self.rec.recv_aggregate(bytes);
         }
         self.sync_with_cost(CollKind::Tree);
         self.exit();
@@ -446,7 +547,14 @@ impl Comm {
         value: T,
     ) -> Option<Vec<T>> {
         let bytes = std::mem::size_of::<T>() as u64;
-        self.enter(bytes);
+        self.enter(bytes, "gather");
+        if self.shared.procs > 1 {
+            if self.rank == root {
+                self.rec.sent_aggregate(bytes);
+            } else {
+                self.rec.sent(root, bytes);
+            }
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(Arc::new(value))));
         self.shared.tokens.release();
@@ -459,6 +567,11 @@ impl Comm {
             }
             self.shared.tokens.release();
             self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+            if self.rec.is_enabled() {
+                for r in (0..self.shared.procs).filter(|&r| r != root) {
+                    self.rec.recv(r, bytes);
+                }
+            }
             self.tracker
                 .pulse(COMM_MEM, bytes * self.shared.procs as u64);
             Some(v)
@@ -474,7 +587,10 @@ impl Comm {
     /// order.
     pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T) -> Vec<T> {
         let bytes = std::mem::size_of::<T>() as u64;
-        self.enter(bytes);
+        self.enter(bytes, "allgather");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(Arc::new(value))));
         self.shared.tokens.release();
@@ -486,6 +602,11 @@ impl Comm {
         }
         self.shared.tokens.release();
         self.bytes_recv += bytes * (self.shared.procs as u64 - 1);
+        if self.rec.is_enabled() {
+            for r in (0..self.shared.procs).filter(|&r| r != self.rank) {
+                self.rec.recv(r, bytes);
+            }
+        }
         self.tracker
             .pulse(COMM_MEM, bytes * self.shared.procs as u64);
         self.sync_with_cost(CollKind::Allgather);
@@ -594,7 +715,16 @@ impl Comm {
         );
         let self_bytes = payload_bytes::<T>(counts[self.rank]);
         let send_bytes = payload_bytes::<T>(total) - self_bytes;
-        self.enter(send_bytes);
+        self.enter(send_bytes, "alltoallv");
+        if self.rec.is_enabled() && self.shared.procs > 1 {
+            // Personalized exchange: destinations are exact. The per-peer
+            // payloads (minus the self region) sum to `send_bytes`.
+            for (d, &k) in counts.iter().enumerate() {
+                if d != self.rank {
+                    self.rec.sent(d, payload_bytes::<T>(k));
+                }
+            }
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(FlatView::new(send, counts))));
         self.shared.tokens.release();
@@ -611,6 +741,9 @@ impl Comm {
             recv.extend_from_slice(&view.slice()[offset..offset + k]);
             recv_counts.push(k);
             recv_bytes += payload_bytes::<T>(k);
+            if src != self.rank {
+                self.rec.recv(src, payload_bytes::<T>(k));
+            }
         }
         self.shared.tokens.release();
         self.bytes_recv += recv_bytes.saturating_sub(self_bytes);
@@ -641,7 +774,10 @@ impl Comm {
         recv_counts: &mut Vec<usize>,
     ) {
         let bytes = payload_bytes::<T>(send.len());
-        self.enter(bytes);
+        self.enter(bytes, "allgatherv");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(FlatView::new(send, &[]))));
         self.shared.tokens.release();
@@ -656,6 +792,9 @@ impl Comm {
             recv.extend_from_slice(part);
             recv_counts.push(part.len());
             total += part.len();
+            if r != self.rank {
+                self.rec.recv(r, payload_bytes::<T>(part.len()));
+            }
         }
         self.shared.tokens.release();
         self.bytes_recv += payload_bytes::<T>(total).saturating_sub(bytes);
@@ -679,7 +818,10 @@ impl Comm {
         T: Sync + 'static,
         F: FnMut(&T),
     {
-        self.enter(bytes);
+        self.enter(bytes, "scan");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(FlatRef(value as *const T))));
         self.shared.tokens.release();
@@ -695,6 +837,7 @@ impl Comm {
         self.shared.tokens.release();
         if self.rank > 0 {
             self.bytes_recv += bytes;
+            self.rec.recv_aggregate(bytes);
         }
         self.sync_with_cost(CollKind::Tree);
         self.exit();
@@ -710,7 +853,10 @@ impl Comm {
         T: Sync + 'static,
         F: FnMut(usize, &T),
     {
-        self.enter(bytes);
+        self.enter(bytes, "allreduce");
+        if self.shared.procs > 1 {
+            self.rec.sent_aggregate(bytes);
+        }
         self.shared.tokens.acquire();
         self.deposit(Some(Box::new(FlatRef(value as *const T))));
         self.shared.tokens.release();
@@ -724,6 +870,7 @@ impl Comm {
         self.shared.tokens.release();
         if self.shared.procs > 1 {
             self.bytes_recv += bytes;
+            self.rec.recv_aggregate(bytes);
         }
         self.sync_with_cost(CollKind::Tree);
         self.exit();
@@ -735,10 +882,16 @@ impl Comm {
     /// the receiver must `recv` with the matching type.
     pub fn send<T: Send + 'static>(&mut self, dst: usize, value: T) {
         let bytes = std::mem::size_of::<T>() as u64;
+        let start = self.rec.is_enabled().then(|| self.counters());
         let depart_ns = self.clock.now_ns();
         self.clock.charge_comm(self.shared.cost.ptp(bytes));
         self.bytes_sent += bytes;
         self.msgs_sent += 1;
+        if let Some(start) = start {
+            self.rec.sent(dst, bytes);
+            let end = self.counters();
+            self.rec.collective("send", start, end);
+        }
         self.senders[dst]
             .send(PtpMsg {
                 data: Box::new(value),
@@ -751,10 +904,16 @@ impl Comm {
     /// Send a vector to rank `dst` (payload-sized accounting).
     pub fn send_vec<T: Send + 'static>(&mut self, dst: usize, value: Vec<T>) {
         let bytes = payload_bytes::<T>(value.len());
+        let start = self.rec.is_enabled().then(|| self.counters());
         let depart_ns = self.clock.now_ns();
         self.clock.charge_comm(self.shared.cost.ptp(bytes));
         self.bytes_sent += bytes;
         self.msgs_sent += 1;
+        if let Some(start) = start {
+            self.rec.sent(dst, bytes);
+            let end = self.counters();
+            self.rec.collective("send", start, end);
+        }
         self.senders[dst]
             .send(PtpMsg {
                 data: Box::new(value),
@@ -767,12 +926,18 @@ impl Comm {
     /// Receive the next message from rank `src`, blocking if necessary.
     pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
         self.clock.stop_compute();
+        let start = self.rec.is_enabled().then(|| self.counters());
         self.shared.tokens.release();
         let msg = self.receivers[src].recv().expect("mpsim channel closed");
         self.clock
             .sync_to(msg.depart_ns + self.shared.cost.ptp(msg.bytes));
         self.bytes_recv += msg.bytes;
         self.tracker.pulse(COMM_MEM, msg.bytes);
+        if let Some(start) = start {
+            self.rec.recv(src, msg.bytes);
+            let end = self.counters();
+            self.rec.collective("recv", start, end);
+        }
         self.shared.tokens.acquire();
         self.clock.start_compute();
         downcast(msg.data)
@@ -1008,11 +1173,8 @@ mod tests {
     fn barrier_charges_cost_model() {
         use crate::cost::CostModel;
         let cfg = MachineCfg {
-            procs: 4,
             cost: CostModel::t3d(),
-            timing: crate::TimingMode::Free,
-            compute_tokens: 0,
-            replay: None,
+            ..MachineCfg::new(4)
         };
         let r = run(&cfg, |c| {
             c.barrier();
@@ -1070,11 +1232,8 @@ mod tests {
     /// not just byte counters.
     fn t3d_cfg(p: usize) -> MachineCfg {
         MachineCfg {
-            procs: p,
             cost: crate::cost::CostModel::t3d(),
-            timing: crate::TimingMode::Free,
-            compute_tokens: 0,
-            replay: None,
+            ..MachineCfg::new(p)
         }
     }
 

@@ -52,6 +52,13 @@ pub use machine::{run, MachineCfg, RunResult, TimingMode};
 pub use mem::MemTracker;
 pub use stats::{RankStats, RunStats};
 
+// Observability: `MachineCfg::trace` takes an [`obs::TraceConfig`]; traced
+// runs populate `RankStats::trace` with an [`obs::RankTrace`]. Re-exported
+// so downstream crates need no separate `obs` dependency for the common
+// path.
+pub use obs;
+pub use obs::TraceConfig;
+
 /// Convenience: run an SPMD closure on `p` ranks with default configuration
 /// (free-running timing, default cost model). Intended for tests.
 pub fn run_simple<T, F>(procs: usize, f: F) -> Vec<T>

@@ -31,6 +31,12 @@ pub struct MachineCfg {
     /// of several measured runs filters out host noise (CPU steal,
     /// preemption) while keeping the honest per-segment costs.
     pub replay: Option<Arc<Vec<Vec<u64>>>>,
+    /// When set, every rank carries an enabled [`obs::Recorder`] with these
+    /// buffer capacities and `RankStats::trace` is populated after the run.
+    /// `None` (the default) is strictly free: no allocation, no clock or
+    /// segment effects — simulated results are byte-identical to a build
+    /// without the recorder.
+    pub trace: Option<obs::TraceConfig>,
 }
 
 impl MachineCfg {
@@ -42,6 +48,7 @@ impl MachineCfg {
             timing: TimingMode::Free,
             compute_tokens: 0,
             replay: None,
+            trace: None,
         }
     }
 
@@ -53,7 +60,15 @@ impl MachineCfg {
             timing: TimingMode::Measured,
             compute_tokens: 0,
             replay: None,
+            trace: None,
         }
+    }
+
+    /// This configuration with per-rank tracing enabled (default recorder
+    /// capacities).
+    pub fn traced(mut self) -> Self {
+        self.trace = Some(obs::TraceConfig::default());
+        self
     }
 
     fn effective_tokens(&self) -> usize {
@@ -321,6 +336,10 @@ where
 
     let mut rank_ctx: Vec<Option<Comm>> = Vec::with_capacity(p);
     for (rank, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
+        let rec = match cfg.trace {
+            Some(tc) => obs::Recorder::enabled(rank, p, tc),
+            None => obs::Recorder::disabled(),
+        };
         let mut comm = Comm::new(
             rank,
             Arc::clone(&shared),
@@ -328,6 +347,7 @@ where
             Arc::new(MemTracker::new()),
             srow.into_iter().map(|s| s.unwrap()).collect(),
             rrow.into_iter().map(|r| r.unwrap()).collect(),
+            rec,
         );
         if let Some(replay) = &cfg.replay {
             comm.set_replay(Arc::new(replay[rank].clone()));

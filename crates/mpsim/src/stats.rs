@@ -31,6 +31,24 @@ pub struct RankStats {
     /// combined elementwise (e.g. a minimum) and replayed for a
     /// noise-filtered simulated time.
     pub segments: Vec<u64>,
+    /// The rank's observability trace; `Some` iff the run was configured
+    /// with [`crate::MachineCfg::trace`].
+    pub trace: Option<obs::RankTrace>,
+}
+
+impl RankStats {
+    /// This rank's counter totals in the form the `obs` rollup and parity
+    /// checks consume.
+    pub fn totals(&self) -> obs::RankTotals {
+        obs::RankTotals {
+            clock_ns: self.clock_ns,
+            compute_ns: self.compute_ns,
+            comm_ns: self.comm_ns,
+            bytes_sent: self.bytes_sent,
+            bytes_recv: self.bytes_recv,
+            peak_mem: self.peak_mem,
+        }
+    }
 }
 
 /// Statistics for a whole machine run.
@@ -97,8 +115,32 @@ impl RunStats {
     }
 
     /// Speedup of this run relative to a baseline run (typically `p = 1`).
+    ///
+    /// Zero-time runs (empty machines, configs that charge nothing) would
+    /// make the ratio `inf`/`NaN`; those poison downstream statistics and
+    /// serialize as `null`. Sentinels instead: if both runs took zero
+    /// simulated time the runs are indistinguishable and the speedup is
+    /// `1.0`; if exactly one did, there is no meaningful ratio and the
+    /// result is `0.0` ("no measurement"). Both are documented here and
+    /// always finite.
     pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
-        baseline.time_ns() as f64 / self.time_ns() as f64
+        match (baseline.time_ns(), self.time_ns()) {
+            (0, 0) => 1.0,
+            (0, _) | (_, 0) => 0.0,
+            (b, s) => b as f64 / s as f64,
+        }
+    }
+
+    /// Every rank's trace, when the run was traced (`None` if any rank is
+    /// missing one — i.e. the run was not configured with
+    /// [`crate::MachineCfg::trace`]).
+    pub fn traces(&self) -> Option<Vec<&obs::RankTrace>> {
+        self.ranks.iter().map(|r| r.trace.as_ref()).collect()
+    }
+
+    /// The p×p communication matrices of a traced run.
+    pub fn comm_matrix(&self) -> Option<obs::CommMatrix> {
+        self.traces().map(|t| obs::CommMatrix::from_traces(&t))
     }
 }
 
@@ -117,6 +159,7 @@ mod tests {
             peak_mem: peak,
             mem_categories: vec![],
             segments: vec![],
+            trace: None,
         }
     }
 
@@ -151,5 +194,30 @@ mod tests {
         let stats = RunStats::default();
         assert_eq!(stats.time_ns(), 0);
         assert_eq!(stats.peak_mem_per_proc(), 0);
+    }
+
+    #[test]
+    fn speedup_zero_time_sentinels_are_finite() {
+        let zero = RunStats {
+            ranks: vec![rs(0, 0, 0)],
+        };
+        let real = RunStats {
+            ranks: vec![rs(500, 0, 0)],
+        };
+        // Both zero: indistinguishable runs, speedup 1.
+        assert_eq!(zero.speedup_vs(&zero), 1.0);
+        // Either side zero: no meaningful ratio, sentinel 0 (not inf/NaN).
+        assert_eq!(real.speedup_vs(&zero), 0.0);
+        assert_eq!(zero.speedup_vs(&real), 0.0);
+        // An empty RunStats has zero time too.
+        assert_eq!(RunStats::default().speedup_vs(&real), 0.0);
+        for s in [
+            zero.speedup_vs(&zero),
+            real.speedup_vs(&zero),
+            zero.speedup_vs(&real),
+            real.speedup_vs(&real),
+        ] {
+            assert!(s.is_finite());
+        }
     }
 }

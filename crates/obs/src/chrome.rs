@@ -1,0 +1,300 @@
+//! Chrome `trace_event` export: one process (pid) per rank, thread 0 for
+//! phase spans (nesting allowed), thread 1 for communication events
+//! (disjoint). Timestamps are the **virtual** clock in microseconds
+//! (fractional, so nanosecond resolution survives), loadable in
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+
+use crate::json::{self, Json};
+use crate::recorder::RankTrace;
+
+/// Thread id of phase spans within a rank's process.
+pub const TID_PHASES: u64 = 0;
+/// Thread id of communication events within a rank's process.
+pub const TID_COMM: u64 = 1;
+
+fn micros(ns: u64) -> Json {
+    // Exact: 1 ns = 0.001 µs, and f64 holds ns counts < 2^53 exactly.
+    Json::F64(ns as f64 / 1000.0)
+}
+
+fn complete_event(
+    name: &str,
+    pid: usize,
+    tid: u64,
+    start_ns: u64,
+    end_ns: u64,
+    args: Vec<(String, Json)>,
+) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("ph".into(), Json::str("X")),
+        ("pid".into(), Json::U64(pid as u64)),
+        ("tid".into(), Json::U64(tid)),
+        ("ts".into(), micros(start_ns)),
+        ("dur".into(), micros(end_ns.saturating_sub(start_ns))),
+        ("args".into(), Json::Obj(args)),
+    ])
+}
+
+fn metadata_event(name: &str, pid: usize, tid: Option<u64>, label: &str) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::str(name)),
+        ("ph".into(), Json::str("M")),
+        ("pid".into(), Json::U64(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".into(), Json::U64(tid)));
+    }
+    fields.push((
+        "args".into(),
+        Json::Obj(vec![("name".into(), Json::str(label))]),
+    ));
+    Json::Obj(fields)
+}
+
+/// Render the traces (one per rank, indexed by rank) as a Chrome
+/// `trace_event` JSON document.
+pub fn chrome_trace(traces: &[&RankTrace]) -> String {
+    let mut events = Vec::new();
+    for (rank, t) in traces.iter().enumerate() {
+        events.push(metadata_event(
+            "process_name",
+            rank,
+            None,
+            &format!("rank {rank}"),
+        ));
+        events.push(metadata_event(
+            "thread_name",
+            rank,
+            Some(TID_PHASES),
+            "phases",
+        ));
+        events.push(metadata_event(
+            "thread_name",
+            rank,
+            Some(TID_COMM),
+            "collectives",
+        ));
+
+        // Spans are recorded in completion order (children first); sort by
+        // (start, widest-first) so parents precede their children, as the
+        // trace_event format expects for nested complete events.
+        let mut spans: Vec<_> = t.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.end_ns.cmp(&a.end_ns))
+                .then(a.depth.cmp(&b.depth))
+        });
+        for s in spans {
+            let name = if s.level > 0 {
+                format!("{} L{}", s.name, s.level)
+            } else {
+                s.name.to_string()
+            };
+            events.push(complete_event(
+                &name,
+                rank,
+                TID_PHASES,
+                s.start_ns,
+                s.end_ns,
+                vec![
+                    ("level".into(), Json::U64(s.level as u64)),
+                    ("compute_ns".into(), Json::U64(s.excl.compute_ns)),
+                    ("comm_ns".into(), Json::U64(s.excl.comm_ns)),
+                    ("bytes_sent".into(), Json::U64(s.excl.bytes_sent)),
+                    ("bytes_recv".into(), Json::U64(s.excl.bytes_recv)),
+                ],
+            ));
+        }
+        for e in &t.colls {
+            events.push(complete_event(
+                e.name,
+                rank,
+                TID_COMM,
+                e.start_ns,
+                e.end_ns,
+                vec![
+                    ("bytes_sent".into(), Json::U64(e.bytes_sent)),
+                    ("bytes_recv".into(), Json::U64(e.bytes_recv)),
+                    ("comm_ns".into(), Json::U64(e.comm_ns)),
+                ],
+            ));
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::str("ns")),
+    ])
+    .render_pretty()
+}
+
+/// Validate Chrome-trace text: well-formed JSON with a `traceEvents`
+/// array; every `"X"` event carries pid/tid/ts/dur; and per `(pid, tid)`
+/// lane, events (in start order) are monotone and either properly nested
+/// (phase lane) or non-overlapping (other lanes). Returns the number of
+/// `"X"` events checked.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+
+    // Collect complete events per (pid, tid) lane, in document order.
+    type Lane = Vec<(f64, f64, String)>;
+    let mut lanes: Vec<((u64, u64), Lane)> = Vec::new();
+    let mut checked = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        if ph != "X" {
+            continue;
+        }
+        checked += 1;
+        let field = |k: &str| {
+            ev.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric `{k}`"))
+        };
+        let (pid, tid) = (field("pid")? as u64, field("tid")? as u64);
+        let (ts, dur) = (field("ts")?, field("dur")?);
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing `name`"));
+        }
+        if !(ts >= 0.0 && dur >= 0.0) {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        let name = ev.get("name").unwrap().as_str().unwrap().to_string();
+        match lanes.iter_mut().find(|(key, _)| *key == (pid, tid)) {
+            Some((_, lane)) => lane.push((ts, dur, name)),
+            None => lanes.push(((pid, tid), vec![(ts, dur, name)])),
+        }
+    }
+
+    // ts is in µs with ns resolution; tolerate one representation ulp.
+    const EPS: f64 = 1e-6;
+    for ((pid, tid), lane) in &lanes {
+        let mut stack: Vec<(f64, f64)> = Vec::new(); // (start, end)
+        let mut last_start = f64::NEG_INFINITY;
+        for (ts, dur, name) in lane {
+            if *ts < last_start - EPS {
+                return Err(format!(
+                    "pid {pid} tid {tid}: `{name}` starts at {ts} before previous start {last_start} (not monotone)"
+                ));
+            }
+            last_start = *ts;
+            let end = ts + dur;
+            while let Some(&(_, open_end)) = stack.last() {
+                if *ts >= open_end - EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(open_start, open_end)) = stack.last() {
+                if *tid != TID_PHASES {
+                    return Err(format!(
+                        "pid {pid} tid {tid}: `{name}` overlaps the previous event"
+                    ));
+                }
+                if end > open_end + EPS || *ts < open_start - EPS {
+                    return Err(format!(
+                        "pid {pid} tid {tid}: `{name}` [{ts}, {end}] not nested in [{open_start}, {open_end}]"
+                    ));
+                }
+            }
+            stack.push((*ts, end));
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counters, Recorder, TraceConfig};
+
+    fn c(clock: u64, comm: u64, sent: u64) -> Counters {
+        Counters {
+            clock_ns: clock,
+            compute_ns: clock - comm,
+            comm_ns: comm,
+            bytes_sent: sent,
+            bytes_recv: sent,
+            peak_mem: 0,
+        }
+    }
+
+    fn two_rank_trace() -> Vec<RankTrace> {
+        (0..2)
+            .map(|rank| {
+                let mut r = Recorder::enabled(rank, 2, TraceConfig::default());
+                r.span_begin("presort", 0, c(0, 0, 0));
+                r.span_begin("sample_sort", 0, c(100, 0, 0));
+                r.collective("alltoallv", c(150, 0, 0), c(400, 250, 64));
+                r.span_end(c(500, 250, 64));
+                r.span_end(c(700, 250, 64));
+                r.span_begin("find_split", 1, c(700, 250, 64));
+                r.span_end(c(900, 300, 96));
+                r.finish(c(1000, 300, 96)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn export_is_valid_and_nested() {
+        let traces = two_rank_trace();
+        let refs: Vec<&RankTrace> = traces.iter().collect();
+        let text = chrome_trace(&refs);
+        // 2 ranks × (3 spans + 1 coll) = 8 complete events.
+        assert_eq!(validate_chrome_trace(&text), Ok(8));
+        // Levelled span names carry the level; metadata names the ranks.
+        assert!(text.contains("find_split L1"), "{text}");
+        assert!(text.contains("rank 1"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_overlap_and_non_monotone() {
+        // Overlapping (not nested) events on the phase lane.
+        let bad_nest = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0.0,"dur":10.0,"args":{}},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":5.0,"dur":10.0,"args":{}}
+        ]}"#;
+        assert!(validate_chrome_trace(bad_nest)
+            .unwrap_err()
+            .contains("not nested"));
+        // Any overlap at all on the collective lane.
+        let bad_overlap = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":10.0,"args":{}},
+            {"name":"b","ph":"X","pid":0,"tid":1,"ts":5.0,"dur":2.0,"args":{}}
+        ]}"#;
+        assert!(validate_chrome_trace(bad_overlap)
+            .unwrap_err()
+            .contains("overlaps"));
+        // Start timestamps running backwards.
+        let bad_order = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":10.0,"dur":1.0,"args":{}},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":0.0,"dur":1.0,"args":{}}
+        ]}"#;
+        assert!(validate_chrome_trace(bad_order)
+            .unwrap_err()
+            .contains("monotone"));
+        // Structurally broken documents.
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("[1").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_disjoint_lanes_across_ranks() {
+        let ok = r#"{"traceEvents":[
+            {"name":"m","ph":"M","pid":0,"args":{"name":"rank 0"}},
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0.0,"dur":10.0,"args":{}},
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":10.0,"args":{}},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":10.0,"dur":5.0,"args":{}}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(ok), Ok(3));
+    }
+}

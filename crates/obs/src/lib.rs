@@ -1,0 +1,35 @@
+//! Observability for the simulated machine: per-rank span/event recording
+//! stamped with the **virtual** clock, per-phase metric rollups, p×p
+//! communication matrices, and exporters (Chrome `trace_event` JSON for
+//! Perfetto, plus a versioned machine-readable metrics JSON).
+//!
+//! Design constraints (see DESIGN.md §7):
+//!
+//! * **Below `mpsim` in the crate graph.** The simulator owns the clocks
+//!   and byte counters; `obs` only receives [`Counters`] snapshots. This
+//!   keeps `obs` std-only and dependency-free, and lets `mpsim` depend on
+//!   it without a cycle.
+//! * **Strictly free when disabled.** Every recording method early-returns
+//!   on a disabled [`Recorder`]; a disabled recorder holds no heap memory
+//!   (`Vec::new` does not allocate) and [`Recorder::finish`] returns
+//!   `None`. Simulated time, byte accounting, and steady-state allocation
+//!   counts are byte-for-byte identical to a build without tracing.
+//! * **Zero allocation in steady state when enabled.** Span and event
+//!   storage is preallocated per rank from [`TraceConfig`] capacities;
+//!   recording past capacity drops events (counted, never reallocating).
+//! * **Exact attribution.** Span deltas are *exclusive* (self minus
+//!   children) and partition each counter's timeline, so per-phase rollups
+//!   plus the `(untracked)` residue sum to the rank totals exactly — this
+//!   is pinned by the accounting-parity tests, not approximated.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::{chrome_trace, validate_chrome_trace};
+pub use json::Json;
+pub use metrics::{
+    rollup_rank, CommMatrix, MetricsDoc, PhaseRollup, RankRollup, RankTotals, METRICS_SCHEMA,
+};
+pub use recorder::{CollRec, Counters, Deltas, RankTrace, Recorder, SpanRec, TraceConfig};

@@ -1,0 +1,416 @@
+//! Per-phase rollups, the p×p communication matrix, and the versioned
+//! metrics-JSON document used by every bench bin.
+
+use crate::json::{self, Json};
+use crate::recorder::{Deltas, RankTrace};
+
+/// Schema tag every metrics document carries; bump on breaking changes.
+pub const METRICS_SCHEMA: &str = "scalparc-metrics/v1";
+
+/// Name under which the residue (counters not covered by any span) is
+/// reported, so rollups always sum to the rank totals exactly.
+pub const UNTRACKED: &str = "(untracked)";
+
+/// A rank's end-of-run counter totals, as reported by the machine
+/// (`RankStats`). `obs` takes these as plain numbers to stay independent
+/// of the simulator's types.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankTotals {
+    /// Final virtual clock, ns.
+    pub clock_ns: u64,
+    /// Total compute time, ns.
+    pub compute_ns: u64,
+    /// Total communication + wait time, ns.
+    pub comm_ns: u64,
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_recv: u64,
+    /// Peak tracked memory, bytes.
+    pub peak_mem: u64,
+}
+
+/// Aggregated exclusive deltas of one `(phase, level)` key on one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRollup {
+    /// Phase (span) name.
+    pub name: &'static str,
+    /// Tree level (0 for level-less phases).
+    pub level: u32,
+    /// Spans aggregated into this entry.
+    pub calls: u64,
+    /// Exclusive deltas summed over those spans.
+    pub totals: Deltas,
+}
+
+/// Per-rank rollup: one entry per `(phase, level)` in first-appearance
+/// order, closed by an [`UNTRACKED`] residue entry, so the entries sum to
+/// the rank's totals exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankRollup {
+    /// The rank.
+    pub rank: usize,
+    /// Phase entries, `(untracked)` last.
+    pub phases: Vec<PhaseRollup>,
+}
+
+impl RankRollup {
+    /// Field-wise sum over all entries (equals the rank totals).
+    pub fn sum(&self) -> Deltas {
+        let mut total = Deltas::default();
+        for p in &self.phases {
+            total.add(p.totals);
+        }
+        total
+    }
+}
+
+/// Aggregate a rank's spans into per-`(phase, level)` exclusive totals plus
+/// the untracked residue.
+///
+/// Panics if the spans' exclusive deltas exceed the rank totals — that
+/// would mean the recorder's partition invariant is broken, and silently
+/// clamping would hide exactly the bug the parity tests exist to catch.
+pub fn rollup_rank(trace: &RankTrace, totals: &RankTotals) -> RankRollup {
+    let mut phases: Vec<PhaseRollup> = Vec::new();
+    for span in &trace.spans {
+        match phases
+            .iter_mut()
+            .find(|p| p.name == span.name && p.level == span.level)
+        {
+            Some(entry) => {
+                entry.calls += 1;
+                entry.totals.add(span.excl);
+            }
+            None => phases.push(PhaseRollup {
+                name: span.name,
+                level: span.level,
+                calls: 1,
+                totals: span.excl,
+            }),
+        }
+    }
+    let mut tracked = Deltas::default();
+    for p in &phases {
+        tracked.add(p.totals);
+    }
+    let residue = |total: u64, got: u64, what: &str| {
+        total.checked_sub(got).unwrap_or_else(|| {
+            panic!(
+                "obs: rank {} spans over-attribute {what}: {got} > {total}",
+                trace.rank
+            )
+        })
+    };
+    phases.push(PhaseRollup {
+        name: UNTRACKED,
+        level: 0,
+        calls: 0,
+        totals: Deltas {
+            compute_ns: residue(totals.compute_ns, tracked.compute_ns, "compute_ns"),
+            comm_ns: residue(totals.comm_ns, tracked.comm_ns, "comm_ns"),
+            bytes_sent: residue(totals.bytes_sent, tracked.bytes_sent, "bytes_sent"),
+            bytes_recv: residue(totals.bytes_recv, tracked.bytes_recv, "bytes_recv"),
+            peak_mem: residue(totals.peak_mem, tracked.peak_mem, "peak_mem"),
+        },
+    });
+    RankRollup {
+        rank: trace.rank,
+        phases,
+    }
+}
+
+/// The p×p communication matrices assembled from all ranks' traces:
+/// `sent[src][dst]` and `recv[dst][src]`. Row `r` of `sent` sums to rank
+/// r's `bytes_sent`; row `r` of `recv` sums to its `bytes_recv`. Diagonal
+/// entries hold collapsed tree-collective traffic with no single peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommMatrix {
+    /// Ranks.
+    pub procs: usize,
+    /// Row-major `sent[src * procs + dst]`.
+    pub sent: Vec<u64>,
+    /// Row-major `recv[dst * procs + src]`.
+    pub recv: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Build from one trace per rank (indexed by rank).
+    pub fn from_traces(traces: &[&RankTrace]) -> CommMatrix {
+        let procs = traces.len();
+        let mut m = CommMatrix {
+            procs,
+            sent: vec![0; procs * procs],
+            recv: vec![0; procs * procs],
+        };
+        for (r, t) in traces.iter().enumerate() {
+            assert_eq!(t.rank, r, "traces must be indexed by rank");
+            assert_eq!(t.sent_to.len(), procs);
+            m.sent[r * procs..(r + 1) * procs].copy_from_slice(&t.sent_to);
+            m.recv[r * procs..(r + 1) * procs].copy_from_slice(&t.recv_from);
+        }
+        m
+    }
+
+    /// Bytes rank `src` sent, by destination.
+    pub fn sent_row(&self, src: usize) -> &[u64] {
+        &self.sent[src * self.procs..(src + 1) * self.procs]
+    }
+
+    /// Bytes rank `dst` received, by source.
+    pub fn recv_row(&self, dst: usize) -> &[u64] {
+        &self.recv[dst * self.procs..(dst + 1) * self.procs]
+    }
+
+    /// Total bytes rank `src` sent.
+    pub fn sent_total(&self, src: usize) -> u64 {
+        self.sent_row(src).iter().sum()
+    }
+
+    /// Total bytes rank `dst` received.
+    pub fn recv_total(&self, dst: usize) -> u64 {
+        self.recv_row(dst).iter().sum()
+    }
+
+    /// JSON form: `{"procs": p, "sent": [[..]..], "recv": [[..]..]}`.
+    pub fn to_json(&self) -> Json {
+        let rows = |m: &[u64]| {
+            Json::Arr(
+                (0..self.procs)
+                    .map(|r| {
+                        Json::Arr(
+                            m[r * self.procs..(r + 1) * self.procs]
+                                .iter()
+                                .map(|&b| Json::U64(b))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("procs".into(), Json::U64(self.procs as u64)),
+            ("sent".into(), rows(&self.sent)),
+            ("recv".into(), rows(&self.recv)),
+        ])
+    }
+}
+
+/// Builder for the versioned metrics document every bench bin emits:
+///
+/// ```json
+/// {
+///   "schema": "scalparc-metrics/v1",
+///   "bench": "<bin name>",
+///   "config": { ... },       // free-form run parameters
+///   "rows": [ {..}, {..} ],  // the bin's table, one object per row
+///   "detail": { ... }        // optional bin-specific extras
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MetricsDoc {
+    bench: String,
+    config: Vec<(String, Json)>,
+    rows: Vec<Json>,
+    detail: Vec<(String, Json)>,
+}
+
+impl MetricsDoc {
+    /// Start a document for bench bin `bench`.
+    pub fn new(bench: &str) -> MetricsDoc {
+        MetricsDoc {
+            bench: bench.to_string(),
+            config: Vec::new(),
+            rows: Vec::new(),
+            detail: Vec::new(),
+        }
+    }
+
+    /// Record a run parameter under `config`.
+    pub fn config(&mut self, key: &str, value: Json) -> &mut Self {
+        self.config.push((key.to_string(), value));
+        self
+    }
+
+    /// Append one table row (an object of named cells).
+    pub fn row(&mut self, cells: Vec<(&str, Json)>) -> &mut Self {
+        self.rows.push(Json::Obj(
+            cells.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        ));
+        self
+    }
+
+    /// Attach a bin-specific section under `detail`.
+    pub fn detail(&mut self, key: &str, value: Json) -> &mut Self {
+        self.detail.push((key.to_string(), value));
+        self
+    }
+
+    /// The document as a [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema".into(), Json::str(METRICS_SCHEMA)),
+            ("bench".into(), Json::str(&self.bench)),
+            ("config".into(), Json::Obj(self.config.clone())),
+            ("rows".into(), Json::Arr(self.rows.clone())),
+        ];
+        if !self.detail.is_empty() {
+            fields.push(("detail".into(), Json::Obj(self.detail.clone())));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Render pretty-printed JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Write the document to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Validate metrics-JSON text: well-formed, carries the current schema
+/// tag, and has a `rows` array of objects. Returns the row count.
+pub fn validate_metrics(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != METRICS_SCHEMA {
+        return Err(format!("schema `{schema}`, expected `{METRICS_SCHEMA}`"));
+    }
+    doc.get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing `bench`")?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing `rows` array")?;
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Obj(_)) {
+            return Err(format!("rows[{i}] is not an object"));
+        }
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counters, Recorder, TraceConfig};
+
+    fn c(clock: u64, compute: u64, comm: u64, sent: u64, recv: u64, peak: u64) -> Counters {
+        Counters {
+            clock_ns: clock,
+            compute_ns: compute,
+            comm_ns: comm,
+            bytes_sent: sent,
+            bytes_recv: recv,
+            peak_mem: peak,
+        }
+    }
+
+    fn sample_trace() -> RankTrace {
+        let mut r = Recorder::enabled(0, 2, TraceConfig::default());
+        r.span_begin("find_split", 0, c(0, 0, 0, 0, 0, 0));
+        r.span_end(c(10, 6, 4, 32, 32, 50));
+        r.span_begin("find_split", 1, c(10, 6, 4, 32, 32, 50));
+        r.span_end(c(30, 20, 10, 96, 96, 50));
+        r.span_begin("perform_split", 1, c(30, 20, 10, 96, 96, 50));
+        r.span_end(c(50, 30, 20, 128, 128, 80));
+        r.finish(c(60, 38, 22, 128, 128, 90)).unwrap()
+    }
+
+    #[test]
+    fn rollup_sums_to_rank_totals_exactly() {
+        let trace = sample_trace();
+        let totals = RankTotals {
+            clock_ns: 60,
+            compute_ns: 38,
+            comm_ns: 22,
+            bytes_sent: 128,
+            bytes_recv: 128,
+            peak_mem: 90,
+        };
+        let rollup = rollup_rank(&trace, &totals);
+        // (find_split,0), (find_split,1), (perform_split,1), (untracked).
+        assert_eq!(rollup.phases.len(), 4);
+        assert_eq!(rollup.phases[0].calls, 1);
+        assert_eq!(rollup.phases[3].name, UNTRACKED);
+        // Residue: 60-50 clock = 8 compute + 2 comm after the last span.
+        assert_eq!(rollup.phases[3].totals.compute_ns, 8);
+        assert_eq!(rollup.phases[3].totals.comm_ns, 2);
+        assert_eq!(rollup.phases[3].totals.peak_mem, 10);
+        let sum = rollup.sum();
+        assert_eq!(sum.compute_ns, totals.compute_ns);
+        assert_eq!(sum.comm_ns, totals.comm_ns);
+        assert_eq!(sum.bytes_sent, totals.bytes_sent);
+        assert_eq!(sum.bytes_recv, totals.bytes_recv);
+        assert_eq!(sum.peak_mem, totals.peak_mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-attribute")]
+    fn rollup_panics_when_spans_exceed_totals() {
+        let trace = sample_trace();
+        let totals = RankTotals {
+            compute_ns: 1, // spans attribute 38
+            ..Default::default()
+        };
+        let _ = rollup_rank(&trace, &totals);
+    }
+
+    #[test]
+    fn comm_matrix_rows_sum_per_rank() {
+        let mut r0 = Recorder::enabled(0, 2, TraceConfig::default());
+        r0.sent(1, 100);
+        r0.sent_aggregate(8);
+        r0.recv(1, 40);
+        let t0 = r0.finish(Counters::default()).unwrap();
+        let mut r1 = Recorder::enabled(1, 2, TraceConfig::default());
+        r1.sent(0, 40);
+        r1.recv(0, 100);
+        r1.recv_aggregate(8);
+        let t1 = r1.finish(Counters::default()).unwrap();
+        let m = CommMatrix::from_traces(&[&t0, &t1]);
+        assert_eq!(m.sent_row(0), &[8, 100]);
+        assert_eq!(m.recv_row(1), &[100, 8]);
+        assert_eq!(m.sent_total(0), 108);
+        assert_eq!(m.recv_total(0), 40);
+        let j = m.to_json().render();
+        assert!(j.contains("\"procs\":2"), "{j}");
+    }
+
+    #[test]
+    fn metrics_doc_roundtrips_and_validates() {
+        let mut doc = MetricsDoc::new("fig3a");
+        doc.config("n", Json::U64(100_000))
+            .config("algorithm", Json::str("scalparc"));
+        doc.row(vec![("procs", Json::U64(4)), ("time_s", Json::F64(1.5))]);
+        doc.row(vec![("procs", Json::U64(8)), ("time_s", Json::F64(0.9))]);
+        let text = doc.render();
+        assert_eq!(validate_metrics(&text), Ok(2));
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+        assert_eq!(
+            parsed.get("config").unwrap().get("n").unwrap().as_u64(),
+            Some(100_000)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_shape() {
+        assert!(validate_metrics("{}").is_err());
+        assert!(validate_metrics(r#"{"schema":"other/v9","bench":"x","rows":[]}"#).is_err());
+        assert!(
+            validate_metrics(r#"{"schema":"scalparc-metrics/v1","bench":"x","rows":[1]}"#).is_err()
+        );
+        assert_eq!(
+            validate_metrics(r#"{"schema":"scalparc-metrics/v1","bench":"x","rows":[]}"#),
+            Ok(0)
+        );
+    }
+}

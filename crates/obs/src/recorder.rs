@@ -1,0 +1,474 @@
+//! The per-rank recorder: spans (phases, virtual-clock stamped, nesting
+//! allowed), collective events, and per-peer byte attribution.
+
+/// Monotone counter snapshot handed to the recorder by the machine at each
+/// instrumentation point. The recorder never reads clocks itself — it only
+/// differences snapshots, so it works for any monotone counter source
+/// (simulated or wall).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Virtual clock (compute + communication + wait), ns.
+    pub clock_ns: u64,
+    /// Accumulated compute time, ns.
+    pub compute_ns: u64,
+    /// Accumulated communication + synchronization time, ns.
+    pub comm_ns: u64,
+    /// Bytes sent so far.
+    pub bytes_sent: u64,
+    /// Bytes received so far.
+    pub bytes_recv: u64,
+    /// Peak tracked memory so far.
+    pub peak_mem: u64,
+}
+
+/// Differences between two [`Counters`] snapshots. `peak_mem` is a
+/// high-water delta (how much the peak rose over the interval), the rest
+/// are plain monotone differences.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deltas {
+    /// Compute time attributed to the interval, ns.
+    pub compute_ns: u64,
+    /// Communication + wait time attributed to the interval, ns.
+    pub comm_ns: u64,
+    /// Bytes sent during the interval.
+    pub bytes_sent: u64,
+    /// Bytes received during the interval.
+    pub bytes_recv: u64,
+    /// Rise of the memory high-water mark during the interval.
+    pub peak_mem: u64,
+}
+
+impl Deltas {
+    /// `later - earlier`, field-wise. Panics (in debug and release) on a
+    /// counter regression: the recorder's exactness guarantee is void if a
+    /// counter ever runs backwards, so that is a bug worth a loud stop.
+    pub fn between(earlier: Counters, later: Counters) -> Deltas {
+        let sub = |a: u64, b: u64, what: &str| {
+            a.checked_sub(b)
+                .unwrap_or_else(|| panic!("obs: counter `{what}` regressed ({a} < {b})"))
+        };
+        Deltas {
+            compute_ns: sub(later.compute_ns, earlier.compute_ns, "compute_ns"),
+            comm_ns: sub(later.comm_ns, earlier.comm_ns, "comm_ns"),
+            bytes_sent: sub(later.bytes_sent, earlier.bytes_sent, "bytes_sent"),
+            bytes_recv: sub(later.bytes_recv, earlier.bytes_recv, "bytes_recv"),
+            peak_mem: sub(later.peak_mem, earlier.peak_mem, "peak_mem"),
+        }
+    }
+
+    /// Field-wise accumulation.
+    pub fn add(&mut self, other: Deltas) {
+        self.compute_ns += other.compute_ns;
+        self.comm_ns += other.comm_ns;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recv += other.bytes_recv;
+        self.peak_mem += other.peak_mem;
+    }
+}
+
+/// One closed span: a named phase on a rank's timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Phase name (static: span names are a closed vocabulary, not data).
+    pub name: &'static str,
+    /// Caller-chosen detail, by convention the tree level (0 when n/a).
+    pub level: u32,
+    /// Nesting depth at begin (0 = top level).
+    pub depth: u16,
+    /// Virtual-clock begin, ns.
+    pub start_ns: u64,
+    /// Virtual-clock end, ns.
+    pub end_ns: u64,
+    /// Exclusive deltas: this span minus its child spans. Exclusive deltas
+    /// over all spans partition the rank's counters exactly.
+    pub excl: Deltas,
+    /// Inclusive deltas: plain begin→end difference (covers children).
+    pub incl: Deltas,
+}
+
+/// One collective (or point-to-point) communication event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollRec {
+    /// Collective kind (`"allreduce"`, `"alltoallv"`, `"send"`, …).
+    pub name: &'static str,
+    /// Virtual-clock begin (compute stopped), ns.
+    pub start_ns: u64,
+    /// Virtual-clock end (modelled cost + sync wait charged), ns.
+    pub end_ns: u64,
+    /// Bytes this rank sent in the operation.
+    pub bytes_sent: u64,
+    /// Bytes this rank received in the operation.
+    pub bytes_recv: u64,
+    /// Communication time charged: modelled cost plus synchronization
+    /// wait behind slower ranks, ns.
+    pub comm_ns: u64,
+}
+
+/// Everything one rank recorded; lives in `RankStats::trace` after a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankTrace {
+    /// The recording rank.
+    pub rank: usize,
+    /// Ranks in the run (row length of the byte vectors).
+    pub procs: usize,
+    /// Closed spans in completion order.
+    pub spans: Vec<SpanRec>,
+    /// Communication events in issue order.
+    pub colls: Vec<CollRec>,
+    /// Bytes this rank sent, by destination. The diagonal entry
+    /// (`sent_to[rank]`) aggregates collapsed tree-collective traffic whose
+    /// per-peer routing the cost model does not resolve (see DESIGN.md §7).
+    pub sent_to: Vec<u64>,
+    /// Bytes this rank received, by source; diagonal as for `sent_to`.
+    pub recv_from: Vec<u64>,
+    /// Spans dropped because `span_capacity` was reached.
+    pub dropped_spans: u64,
+    /// Events dropped because `coll_capacity` was reached.
+    pub dropped_colls: u64,
+    /// Spans still open at `finish` (0 in correct instrumentation; closed
+    /// forcibly at the final counters and counted here).
+    pub unclosed_spans: usize,
+}
+
+/// Capacities for the preallocated per-rank recording buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum spans retained per rank; extras are dropped and counted.
+    pub span_capacity: usize,
+    /// Maximum communication events retained per rank; extras are dropped
+    /// and counted. Per-peer byte attribution is never dropped.
+    pub coll_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            span_capacity: 1 << 14,
+            coll_capacity: 1 << 16,
+        }
+    }
+}
+
+/// An open span awaiting its end.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    name: &'static str,
+    level: u32,
+    start: Counters,
+    /// Counters at the last attribution boundary (own begin, or the most
+    /// recent child end): the next delta from here is *this* span's own.
+    mark: Counters,
+    /// Exclusive deltas accumulated so far.
+    acc: Deltas,
+}
+
+/// Per-rank recorder. Disabled recorders hold no heap memory and every
+/// method on them is a no-op; enabled recorders never allocate after
+/// construction (fixed capacities, drop-and-count past them).
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    trace: RankTrace,
+    open: Vec<Frame>,
+    /// Begins dropped at open-stack capacity whose matching ends are still
+    /// outstanding; those ends must be swallowed, not pop a parent frame.
+    dropped_open: u32,
+}
+
+impl Recorder {
+    /// A recorder that records nothing and owns nothing.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            trace: RankTrace::default(),
+            open: Vec::new(),
+            dropped_open: 0,
+        }
+    }
+
+    /// A recording recorder for `rank` of `procs`, with all buffers
+    /// preallocated up front.
+    pub fn enabled(rank: usize, procs: usize, cfg: TraceConfig) -> Recorder {
+        Recorder {
+            enabled: true,
+            trace: RankTrace {
+                rank,
+                procs,
+                spans: Vec::with_capacity(cfg.span_capacity),
+                colls: Vec::with_capacity(cfg.coll_capacity),
+                sent_to: vec![0; procs],
+                recv_from: vec![0; procs],
+                dropped_spans: 0,
+                dropped_colls: 0,
+                unclosed_spans: 0,
+            },
+            open: Vec::with_capacity(32),
+            dropped_open: 0,
+        }
+    }
+
+    /// Whether this recorder records anything. Callers use this to skip
+    /// snapshot work (e.g. locking the memory tracker) when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span at counters `c`.
+    pub fn span_begin(&mut self, name: &'static str, level: u32, c: Counters) {
+        if !self.enabled {
+            return;
+        }
+        // Time since the parent's mark belongs to the parent, exclusively.
+        if let Some(parent) = self.open.last_mut() {
+            parent.acc.add(Deltas::between(parent.mark, c));
+            parent.mark = c;
+        }
+        if self.open.len() == self.open.capacity() {
+            // Nesting deeper than the preallocated stack: drop the span
+            // rather than allocate. The interval lands in the parent's
+            // exclusive time; the matching end is swallowed below.
+            self.trace.dropped_spans += 1;
+            self.dropped_open += 1;
+            return;
+        }
+        self.open.push(Frame {
+            name,
+            level,
+            start: c,
+            mark: c,
+            acc: Deltas::default(),
+        });
+    }
+
+    /// Close the innermost open span at counters `c`.
+    pub fn span_end(&mut self, c: Counters) {
+        if !self.enabled {
+            return;
+        }
+        if self.dropped_open > 0 {
+            // LIFO: the innermost outstanding end matches a dropped begin.
+            self.dropped_open -= 1;
+            return;
+        }
+        let Some(mut frame) = self.open.pop() else {
+            return; // unmatched end: ignore
+        };
+        frame.acc.add(Deltas::between(frame.mark, c));
+        self.push_span(SpanRec {
+            name: frame.name,
+            level: frame.level,
+            depth: self.open.len() as u16,
+            start_ns: frame.start.clock_ns,
+            end_ns: c.clock_ns,
+            excl: frame.acc,
+            incl: Deltas::between(frame.start, c),
+        });
+        // The child's interval is spent; the parent's own time resumes now.
+        if let Some(parent) = self.open.last_mut() {
+            parent.mark = c;
+        }
+    }
+
+    fn push_span(&mut self, span: SpanRec) {
+        if self.trace.spans.len() < self.trace.spans.capacity() {
+            self.trace.spans.push(span);
+        } else {
+            self.trace.dropped_spans += 1;
+        }
+    }
+
+    /// Record one communication event spanning `start`→`end`.
+    pub fn collective(&mut self, name: &'static str, start: Counters, end: Counters) {
+        if !self.enabled {
+            return;
+        }
+        let d = Deltas::between(start, end);
+        let rec = CollRec {
+            name,
+            start_ns: start.clock_ns,
+            end_ns: end.clock_ns,
+            bytes_sent: d.bytes_sent,
+            bytes_recv: d.bytes_recv,
+            comm_ns: d.comm_ns,
+        };
+        if self.trace.colls.len() < self.trace.colls.capacity() {
+            self.trace.colls.push(rec);
+        } else {
+            self.trace.dropped_colls += 1;
+        }
+    }
+
+    /// Attribute `bytes` sent to peer `dst`.
+    #[inline]
+    pub fn sent(&mut self, dst: usize, bytes: u64) {
+        if self.enabled {
+            self.trace.sent_to[dst] += bytes;
+        }
+    }
+
+    /// Attribute `bytes` received from peer `src`.
+    #[inline]
+    pub fn recv(&mut self, src: usize, bytes: u64) {
+        if self.enabled {
+            self.trace.recv_from[src] += bytes;
+        }
+    }
+
+    /// Attribute `bytes` of collapsed collective traffic with no single
+    /// peer (tree reductions and the like) to the diagonal bucket.
+    #[inline]
+    pub fn sent_aggregate(&mut self, bytes: u64) {
+        if self.enabled {
+            let r = self.trace.rank;
+            self.trace.sent_to[r] += bytes;
+        }
+    }
+
+    /// Receive-side twin of [`Recorder::sent_aggregate`].
+    #[inline]
+    pub fn recv_aggregate(&mut self, bytes: u64) {
+        if self.enabled {
+            let r = self.trace.rank;
+            self.trace.recv_from[r] += bytes;
+        }
+    }
+
+    /// Close out the trace at the rank's final counters. Dangling spans are
+    /// force-closed (and counted in `unclosed_spans`) so the exclusive
+    /// partition of the counters stays exact. Returns `None` when disabled.
+    pub fn finish(mut self, final_c: Counters) -> Option<RankTrace> {
+        if !self.enabled {
+            return None;
+        }
+        while !self.open.is_empty() {
+            self.span_end(final_c);
+            self.trace.unclosed_spans += 1;
+        }
+        Some(self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(clock: u64, compute: u64, comm: u64, sent: u64, recv: u64, peak: u64) -> Counters {
+        Counters {
+            clock_ns: clock,
+            compute_ns: compute,
+            comm_ns: comm,
+            bytes_sent: sent,
+            bytes_recv: recv,
+            peak_mem: peak,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_owns_nothing() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        // A disabled recorder must hold no heap memory at all.
+        assert_eq!(r.trace.spans.capacity(), 0);
+        assert_eq!(r.trace.colls.capacity(), 0);
+        assert_eq!(r.trace.sent_to.capacity(), 0);
+        assert_eq!(r.trace.recv_from.capacity(), 0);
+        assert_eq!(r.open.capacity(), 0);
+        r.span_begin("phase", 3, c(0, 0, 0, 0, 0, 0));
+        r.collective("allreduce", c(0, 0, 0, 0, 0, 0), c(9, 0, 9, 8, 8, 0));
+        r.sent(0, 100);
+        r.recv(0, 100);
+        r.sent_aggregate(7);
+        r.recv_aggregate(7);
+        r.span_end(c(10, 5, 5, 8, 8, 0));
+        assert_eq!(r.trace.spans.capacity(), 0);
+        assert!(r.finish(c(10, 5, 5, 8, 8, 0)).is_none());
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusively() {
+        let mut r = Recorder::enabled(0, 1, TraceConfig::default());
+        r.span_begin("outer", 0, c(0, 0, 0, 0, 0, 0));
+        r.span_begin("inner", 1, c(10, 10, 0, 0, 0, 0));
+        r.span_end(c(30, 20, 10, 64, 64, 100)); // inner: 20ns (10c+10m), 64B
+        r.span_end(c(50, 40, 10, 64, 64, 100)); // outer resumes for 20ns compute
+        let t = r.finish(c(60, 50, 10, 64, 64, 100)).unwrap();
+        assert_eq!(t.spans.len(), 2);
+        let inner = &t.spans[0];
+        let outer = &t.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!((inner.start_ns, inner.end_ns), (10, 30));
+        assert_eq!(inner.excl.compute_ns, 10);
+        assert_eq!(inner.excl.comm_ns, 10);
+        assert_eq!(inner.excl.bytes_sent, 64);
+        assert_eq!(inner.excl.peak_mem, 100);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        // Outer exclusive = [0,10) + [30,50): 10+20 compute, no comm.
+        assert_eq!(outer.excl.compute_ns, 30);
+        assert_eq!(outer.excl.comm_ns, 0);
+        assert_eq!(outer.excl.bytes_sent, 0);
+        // Outer inclusive covers the child.
+        assert_eq!(outer.incl.compute_ns, 40);
+        assert_eq!(outer.incl.comm_ns, 10);
+        // Exclusive deltas partition the instrumented interval exactly.
+        let sum: u64 = t.spans.iter().map(|s| s.excl.compute_ns).sum();
+        assert_eq!(sum, 40);
+        assert_eq!(t.unclosed_spans, 0);
+    }
+
+    #[test]
+    fn dangling_span_is_closed_at_finish_and_counted() {
+        let mut r = Recorder::enabled(0, 1, TraceConfig::default());
+        r.span_begin("left-open", 0, c(5, 5, 0, 0, 0, 0));
+        let t = r.finish(c(25, 20, 5, 0, 0, 0)).unwrap();
+        assert_eq!(t.unclosed_spans, 1);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].end_ns, 25);
+        assert_eq!(t.spans[0].excl.compute_ns, 15);
+    }
+
+    #[test]
+    fn capacity_overflow_drops_and_counts_without_reallocating() {
+        let cfg = TraceConfig {
+            span_capacity: 2,
+            coll_capacity: 1,
+        };
+        let mut r = Recorder::enabled(0, 2, cfg);
+        for i in 0..4 {
+            let t0 = c(i * 10, i * 10, 0, 0, 0, 0);
+            let t1 = c(i * 10 + 5, i * 10 + 5, 0, 0, 0, 0);
+            r.span_begin("s", 0, t0);
+            r.span_end(t1);
+            r.collective("barrier", t1, t1);
+        }
+        let t = r.finish(c(100, 100, 0, 0, 0, 0)).unwrap();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans.capacity(), 2);
+        assert_eq!(t.dropped_spans, 2);
+        assert_eq!(t.colls.len(), 1);
+        assert_eq!(t.colls.capacity(), 1);
+        assert_eq!(t.dropped_colls, 3);
+    }
+
+    #[test]
+    fn peer_attribution_accumulates() {
+        let mut r = Recorder::enabled(1, 4, TraceConfig::default());
+        r.sent(0, 10);
+        r.sent(0, 5);
+        r.sent(3, 7);
+        r.recv(2, 11);
+        r.sent_aggregate(100);
+        r.recv_aggregate(200);
+        let t = r.finish(c(0, 0, 0, 0, 0, 0)).unwrap();
+        assert_eq!(t.sent_to, vec![15, 100, 0, 7]);
+        assert_eq!(t.recv_from, vec![0, 200, 11, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "regressed")]
+    fn counter_regression_panics() {
+        let _ = Deltas::between(c(10, 10, 0, 0, 0, 0), c(5, 5, 0, 0, 0, 0));
+    }
+}

@@ -48,8 +48,12 @@ pub fn score_distributed(tree: &DecisionTree, data: &Dataset, cfg: &MachineCfg) 
         let (lo, hi) = (n * rank / p, n * (rank + 1) / p);
 
         // Per-rank replica: compilation is rank-local compute, no exchange.
+        comm.phase_begin("serve_compile", 0);
         let flat = FlatTree::compile(tree);
         comm.tracker().alloc(MEM_REPLICA, flat.heap_bytes());
+        comm.phase_end(); // serve_compile
+
+        comm.phase_begin("serve_predict", 0);
         let mut predictions = vec![0u8; hi - lo];
         comm.tracker()
             .alloc(MEM_PREDICTIONS, predictions.len() as u64);
@@ -62,9 +66,11 @@ pub fn score_distributed(tree: &DecisionTree, data: &Dataset, cfg: &MachineCfg) 
         comm.tracker()
             .free(MEM_PREDICTIONS, predictions.len() as u64);
         drop(predictions);
+        comm.phase_end(); // serve_predict
 
         // One borrowed-fold all-reduce of the flat matrix; cost and byte
         // accounting identical to induction's count-matrix reductions.
+        comm.phase_begin("serve_confusion_reduce", 0);
         let mut global = vec![0u64; classes * classes];
         let bytes = (classes * classes * std::mem::size_of::<u64>()) as u64;
         comm.allreduce_with(&local, bytes, |_src, other: &Vec<u64>| {
@@ -73,6 +79,7 @@ pub fn score_distributed(tree: &DecisionTree, data: &Dataset, cfg: &MachineCfg) 
             }
         });
         comm.tracker().free(MEM_REPLICA, flat.heap_bytes());
+        comm.phase_end(); // serve_confusion_reduce
         global
     });
 

@@ -45,8 +45,10 @@ where
     C: Fn(&T, &T) -> Ordering + Copy,
 {
     let p = comm.size();
+    comm.phase_begin("sample_sort", 0);
     local.sort_unstable_by(cmp);
     if p == 1 {
+        comm.phase_end(); // sample_sort (single rank: local sort only)
         return local;
     }
 
@@ -94,6 +96,7 @@ where
     // like a k-way merge without the bookkeeping.
     let (mut merged, _) = comm.alltoallv_flat(local, &counts);
     merged.sort_unstable_by(cmp);
+    comm.phase_end(); // sample_sort
     merged
 }
 
@@ -109,6 +112,7 @@ where
     if p == 1 {
         return local;
     }
+    comm.phase_begin("parallel_shift", 0);
     // Global offset of my run and total size.
     let my_len = local.len() as u64;
     let offset = comm.scan_exclusive(my_len, 0u64, |a, b| *a += *b);
@@ -131,7 +135,9 @@ where
         *cnt = (hi - lo) as usize;
     }
     // Received parts arrive in rank order = ascending global-index order.
-    comm.alltoallv_flat(local, &counts).0
+    let out = comm.alltoallv_flat(local, &counts).0;
+    comm.phase_end(); // parallel_shift
+    out
 }
 
 /// Verify a distributed sequence is globally sorted under `cmp`.

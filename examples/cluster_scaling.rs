@@ -16,6 +16,7 @@ fn run(data: &dtree::Dataset, p: usize, cost: CostModel) -> (f64, f64) {
         procs: p,
         cost,
         timing: TimingMode::Measured,
+        trace: None,
         induce: Default::default(),
     };
     let r = induce_measured(data, &cfg, 2);

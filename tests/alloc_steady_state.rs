@@ -10,7 +10,10 @@
 //!   (a count independent of the number of records) and never reallocate;
 //! * a distributed-table update/inquire round and a flat all-to-all exchange
 //!   perform a constant number of allocations (the simulator's per-collective
-//!   deposit box), independent of payload size.
+//!   deposit box), independent of payload size;
+//! * with the observability recorder disabled (the default), phase spans add
+//!   exactly zero allocations around a warm collective and the run carries
+//!   no trace — tracing off is observably free.
 //!
 //! Counters are per-thread, so the measurements ignore the other test
 //! threads and the mpsim rank threads measure their own work.
@@ -22,7 +25,7 @@ use dhash::DistTable;
 use dtree::gini::ContinuousScan;
 use dtree::list::{AttrList, ContEntry};
 use dtree::tree::SplitTest;
-use mpsim::run_simple;
+use mpsim::{run, run_simple, MachineCfg};
 use scalparc::phases::{split_by_children, split_directly};
 
 struct CountingAlloc;
@@ -227,4 +230,39 @@ fn flat_exchange_round_allocations_are_constant() {
         d_small <= 4,
         "expected only the deposit box per call, got {d_small}"
     );
+}
+
+#[test]
+fn disabled_tracing_is_observably_free() {
+    // Default machine configuration: the recorder is compiled in but
+    // disabled. A phase-wrapped warm collective must cost exactly as many
+    // allocations as the bare collective — the wrapper is a strict no-op —
+    // and the run must carry no trace.
+    let result = run(&MachineCfg::new(2), |comm| {
+        let me = comm.rank() as u64;
+        // Warm-up: the collective's deposit boxes reach final capacity.
+        comm.phase_begin("warm", 0);
+        comm.allreduce(me, |a, b| *a += *b);
+        comm.phase_end();
+
+        let a0 = allocs();
+        comm.allreduce(me, |a, b| *a += *b);
+        let bare = allocs() - a0;
+
+        let a1 = allocs();
+        comm.phase_begin("round", 1);
+        comm.allreduce(me, |a, b| *a += *b);
+        comm.phase_end();
+        let wrapped = allocs() - a1;
+        (bare, wrapped)
+    });
+    for (rank, (bare, wrapped)) in result.outputs.into_iter().enumerate() {
+        assert_eq!(
+            wrapped, bare,
+            "rank {rank}: disabled phase span added allocations"
+        );
+    }
+    for (rank, rs) in result.stats.ranks.iter().enumerate() {
+        assert!(rs.trace.is_none(), "rank {rank}: untraced run has a trace");
+    }
 }

@@ -1,0 +1,153 @@
+//! Accounting-parity properties for the observability recorder.
+//!
+//! The recorder's contract is *exactness*, not approximation: for any traced
+//! run, (a) the p×p communication matrix's per-rank row sums must equal the
+//! simulator's own `bytes_sent` / `bytes_recv` counters, and (b) the
+//! exclusive per-phase rollups plus the `(untracked)` residue must sum to
+//! the rank's `compute_ns` / `comm_ns` / byte totals field for field.
+//!
+//! These are checked over a randomized grid of machine sizes × collective
+//! mixes × span nestings, including operations issued outside any span
+//! (which must land in the untracked residue, never vanish).
+
+use mpsim::obs::{self, CommMatrix};
+use mpsim::{run, MachineCfg};
+use proptest::prelude::*;
+
+/// One step of the SPMD program, drawn as `(op, k, wrap)`:
+/// `op` selects the collective, `k` scales the payload, and `wrap` is
+/// 0 = bare (untracked), 1 = one span, 2 = two nested spans.
+type Step = (u8, usize, u8);
+
+/// Issue one collective; every rank calls this with the same step, as the
+/// simulator's correctness contract requires.
+fn execute(comm: &mut mpsim::Comm, op: u8, k: usize) {
+    let p = comm.size();
+    let me = comm.rank() as u64;
+    match op {
+        0 => {
+            comm.allreduce_sized(me, 8 * k as u64, |a, b| *a = a.wrapping_add(*b));
+        }
+        1 => {
+            let counts = vec![k; p];
+            let send: Vec<u64> = (0..(p * k) as u64).map(|i| i + me).collect();
+            comm.alltoallv_flat(send, &counts);
+        }
+        2 => {
+            comm.allgatherv(vec![me; k]);
+        }
+        3 => {
+            comm.gather(0, me * 3 + k as u64);
+        }
+        4 => {
+            comm.reduce_sized(0, me, 8 * k as u64, |a, b| *a = (*a).max(*b));
+        }
+        5 => {
+            comm.barrier();
+        }
+        _ => {
+            // Point-to-point ring; a non-collective pattern so the matrix
+            // gets genuinely off-diagonal per-pair entries.
+            if p > 1 {
+                let rank = comm.rank();
+                let data: Vec<u64> = (0..k as u64).collect();
+                comm.send_vec((rank + 1) % p, data);
+                let got: Vec<u64> = comm.recv_vec((rank + p - 1) % p);
+                assert_eq!(got.len(), k);
+            }
+        }
+    }
+}
+
+/// The parity assertions shared by every case: rollup sums and comm-matrix
+/// row sums must reproduce the simulator's counters exactly.
+fn assert_parity(stats: &mpsim::RunStats) {
+    let traces = stats.traces().expect("run was traced");
+    let matrix = CommMatrix::from_traces(&traces);
+    for (rank, (trace, rs)) in traces.iter().zip(&stats.ranks).enumerate() {
+        assert_eq!(trace.dropped_spans, 0, "rank {rank} dropped spans");
+        assert_eq!(trace.unclosed_spans, 0, "rank {rank} unclosed spans");
+        let sum = obs::rollup_rank(trace, &rs.totals()).sum();
+        assert_eq!(sum.compute_ns, rs.compute_ns, "rank {rank} compute_ns");
+        assert_eq!(sum.comm_ns, rs.comm_ns, "rank {rank} comm_ns");
+        assert_eq!(sum.bytes_sent, rs.bytes_sent, "rank {rank} bytes_sent");
+        assert_eq!(sum.bytes_recv, rs.bytes_recv, "rank {rank} bytes_recv");
+        assert_eq!(
+            matrix.sent_total(rank),
+            rs.bytes_sent,
+            "rank {rank} matrix sent row"
+        );
+        assert_eq!(
+            matrix.recv_total(rank),
+            rs.bytes_recv,
+            "rank {rank} matrix recv row"
+        );
+    }
+}
+
+fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig { cases: n }
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    #[test]
+    fn rollups_and_matrix_reproduce_rank_counters(
+        p in 1usize..9,
+        steps in prop::collection::vec((0u8..7, 1usize..24, 0u8..3), 1..24),
+    ) {
+        let steps_ref: &Vec<Step> = &steps;
+        let result = run(&MachineCfg::new(p).traced(), move |comm| {
+            for (i, &(op, k, wrap)) in steps_ref.iter().enumerate() {
+                // Rotate span names so the rollup sees several phases.
+                let name = ["alpha", "beta", "gamma"][i % 3];
+                match wrap {
+                    0 => execute(comm, op, k),
+                    1 => {
+                        comm.phase_begin(name, (i % 4) as u32);
+                        execute(comm, op, k);
+                        comm.phase_end();
+                    }
+                    _ => {
+                        comm.phase_begin(name, (i % 4) as u32);
+                        comm.phase_begin("inner", (i % 4) as u32);
+                        execute(comm, op, k);
+                        comm.phase_end();
+                        execute(comm, op, k);
+                        comm.phase_end();
+                    }
+                }
+            }
+        });
+        assert_parity(&result.stats);
+    }
+
+    /// Operations issued entirely outside spans must be attributed to the
+    /// `(untracked)` residue — bytes never vanish from the rollup.
+    #[test]
+    fn bare_collectives_land_in_untracked_residue(
+        p in 2usize..7,
+        steps in prop::collection::vec((0u8..7, 1usize..24), 1..12),
+    ) {
+        let steps_ref: &Vec<(u8, usize)> = &steps;
+        let result = run(&MachineCfg::new(p).traced(), move |comm| {
+            for &(op, k) in steps_ref.iter() {
+                execute(comm, op, k);
+            }
+        });
+        assert_parity(&result.stats);
+        let traces = result.stats.traces().unwrap();
+        for (trace, rs) in traces.iter().zip(&result.stats.ranks) {
+            let rollup = obs::rollup_rank(trace, &rs.totals());
+            let untracked = rollup
+                .phases
+                .iter()
+                .find(|ph| ph.name == obs::metrics::UNTRACKED)
+                .expect("residue phase present");
+            assert_eq!(untracked.totals.bytes_sent, rs.bytes_sent);
+            assert_eq!(untracked.totals.bytes_recv, rs.bytes_recv);
+            assert_eq!(untracked.totals.comm_ns, rs.comm_ns);
+        }
+    }
+}

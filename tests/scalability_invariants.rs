@@ -116,6 +116,7 @@ fn simulated_runtime_speeds_up_and_prefers_large_n() {
             procs: p,
             cost: CostModel::t3d_scaled(64.0),
             timing: TimingMode::Measured,
+            trace: None,
             induce: Default::default(),
         };
         // Noise-filtered measurement (min-replay over 3 runs) keeps this
