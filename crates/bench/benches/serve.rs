@@ -86,6 +86,7 @@ fn bench_harness(c: &mut Criterion) {
                         ServeConfig {
                             workers,
                             queue_depth: data.len() / batch + 2,
+                            ..ServeConfig::default()
                         },
                     );
                     let rxs: Vec<_> = (0..data.len())

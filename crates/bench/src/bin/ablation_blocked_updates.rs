@@ -25,6 +25,7 @@ fn run(n: u64, p: usize, blocked: bool) -> (u64, u64) {
         compute_tokens: 0,
         replay: None,
         trace: None,
+        fault: None,
     };
     let result = mpsim::run(&cfg, |comm| {
         let mut table = DistTable::<u8>::new(comm, n);

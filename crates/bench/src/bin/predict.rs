@@ -177,6 +177,7 @@ fn main() {
             ServeConfig {
                 workers,
                 queue_depth: n / opts.batch + 2,
+                ..ServeConfig::default()
             },
         );
         let rxs: Vec<_> = (0..n)

@@ -1,0 +1,637 @@
+//! Per-tree-level checkpointing of the distributed induction state.
+//!
+//! ScalParC's level-synchronous structure gives a natural consistency
+//! point: *entering* level `l`, the whole computation is described by the
+//! replicated partial tree, each rank's active [`Work`] items (its slices
+//! of the distributed attribute lists), the run counters, and each rank's
+//! resident slots of the distributed node table. This module serializes
+//! exactly that state — one file per rank per level, in the CRC-checked
+//! section format of [`diskio::ckpt`] — plus a tiny rank-0 *manifest*
+//! naming the newest complete level.
+//!
+//! The commit protocol makes the manifest the single source of truth:
+//!
+//! 1. every rank atomically writes `level_<l>_rank_<r>.bin`;
+//! 2. a barrier — after it, *all* per-rank files of level `l` exist;
+//! 3. rank 0 atomically rewrites `MANIFEST.bin` to name level `l`.
+//!
+//! A crash anywhere in that window leaves the manifest naming the previous
+//! level, whose files are all on disk — the "last consistent level" is
+//! always recoverable. Because induction is deterministic, re-running from
+//! a restored level yields a final tree byte-identical to a fault-free run.
+//!
+//! Checkpoint I/O is charged to the *virtual* clock analytically
+//! ([`io_charge_ns`]): deterministic and proportional to bytes, so faulted
+//! runs replay to identical simulated costs.
+
+use std::path::{Path, PathBuf};
+
+use diskio::ckpt::{self, ByteReader, ByteWriter, CkptError};
+use dtree::list::{AttrList, CatEntry, ContEntry};
+use dtree::tree::{Node, SplitTest};
+
+use crate::induce::{LevelInfo, ParStats};
+use crate::phases::Work;
+
+/// Section tags of a checkpoint file.
+const SEC_META: u32 = 1;
+const SEC_NODES: u32 = 2;
+const SEC_WORKS: u32 = 3;
+const SEC_STATS: u32 = 4;
+const SEC_TABLE: u32 = 5;
+
+/// Checkpointing context handed to the induction driver: where the
+/// snapshots live.
+#[derive(Clone, Debug)]
+pub struct CheckpointCtx {
+    /// Directory holding `level_<l>_rank_<r>.bin` files and `MANIFEST.bin`.
+    pub dir: PathBuf,
+}
+
+impl CheckpointCtx {
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointCtx {
+        CheckpointCtx { dir: dir.into() }
+    }
+}
+
+/// The rank-0 manifest: newest complete level plus the run geometry it
+/// belongs to (a safety check against resuming into the wrong run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Newest level whose per-rank files are all committed.
+    pub level: u32,
+    /// Rank count of the run.
+    pub procs: u32,
+    /// Global record count of the run.
+    pub total_n: u64,
+}
+
+/// One rank's snapshot of the state *entering* a level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelState {
+    /// The level this state enters.
+    pub level: u32,
+    /// The replicated partial tree.
+    pub nodes: Vec<Node>,
+    /// This rank's active work items (distributed attribute-list slices).
+    pub works: Vec<Work>,
+    /// Run counters accumulated over levels `0..level`.
+    pub stats: ParStats,
+    /// This rank's resident slots of the distributed node table
+    /// (`None` for the replicated-SPRINT baseline, which has no table).
+    pub table_slots: Option<Vec<Option<u8>>>,
+}
+
+/// Simulated cost of writing or reading `bytes` of checkpoint data:
+/// 100 µs per file plus 0.5 ns/byte (a ~2 GB/s local disk). Analytic and
+/// deterministic, like the communication cost model.
+pub fn io_charge_ns(bytes: u64) -> u64 {
+    100_000 + bytes / 2
+}
+
+/// Path of one rank's snapshot of one level.
+pub fn state_file(dir: &Path, level: u32, rank: usize) -> PathBuf {
+    dir.join(format!("level_{level}_rank_{rank}.bin"))
+}
+
+/// Path of the manifest.
+pub fn manifest_file(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST.bin")
+}
+
+// ----- encoding -------------------------------------------------------------
+
+fn encode_split(w: &mut ByteWriter, test: &Option<SplitTest>) {
+    match test {
+        None => w.u8(0),
+        Some(SplitTest::Continuous { attr, threshold }) => {
+            w.u8(1);
+            w.u64(*attr as u64);
+            w.f32_bits(*threshold);
+        }
+        Some(SplitTest::Categorical { attr }) => {
+            w.u8(2);
+            w.u64(*attr as u64);
+        }
+        Some(SplitTest::CategoricalSubset { attr, left_mask }) => {
+            w.u8(3);
+            w.u64(*attr as u64);
+            w.u64(*left_mask);
+        }
+    }
+}
+
+fn decode_split(r: &mut ByteReader) -> Result<Option<SplitTest>, String> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(SplitTest::Continuous {
+            attr: r.u64()? as usize,
+            threshold: r.f32_bits()?,
+        }),
+        2 => Some(SplitTest::Categorical {
+            attr: r.u64()? as usize,
+        }),
+        3 => Some(SplitTest::CategoricalSubset {
+            attr: r.u64()? as usize,
+            left_mask: r.u64()?,
+        }),
+        t => return Err(format!("unknown split-test tag {t}")),
+    })
+}
+
+fn encode_hist(w: &mut ByteWriter, hist: &[u64]) {
+    w.u64(hist.len() as u64);
+    for &h in hist {
+        w.u64(h);
+    }
+}
+
+fn decode_hist(r: &mut ByteReader) -> Result<Vec<u64>, String> {
+    let n = r.u64()? as usize;
+    let mut hist = Vec::with_capacity(n);
+    for _ in 0..n {
+        hist.push(r.u64()?);
+    }
+    Ok(hist)
+}
+
+fn encode_nodes(nodes: &[Node]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(nodes.len() as u64);
+    for n in nodes {
+        w.u32(n.depth);
+        encode_hist(&mut w, &n.hist);
+        w.u8(n.majority);
+        encode_split(&mut w, &n.test);
+        w.u64(n.children.len() as u64);
+        for &c in &n.children {
+            w.u32(c);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_nodes(bytes: &[u8]) -> Result<Vec<Node>, String> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.u64()? as usize;
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let depth = r.u32()?;
+        let hist = decode_hist(&mut r)?;
+        let majority = r.u8()?;
+        let test = decode_split(&mut r)?;
+        let nc = r.u64()? as usize;
+        let mut children = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            children.push(r.u32()?);
+        }
+        nodes.push(Node {
+            depth,
+            hist,
+            majority,
+            test,
+            children,
+        });
+    }
+    if !r.is_done() {
+        return Err("trailing bytes in nodes section".into());
+    }
+    Ok(nodes)
+}
+
+fn encode_works(works: &[Work]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(works.len() as u64);
+    for work in works {
+        w.u32(work.node_id);
+        w.u32(work.depth);
+        encode_hist(&mut w, &work.hist);
+        w.u64(work.lists.len() as u64);
+        for list in &work.lists {
+            match list {
+                AttrList::Continuous(entries) => {
+                    w.u8(0);
+                    w.u64(entries.len() as u64);
+                    for e in entries {
+                        w.f32_bits(e.value);
+                        w.u32(e.rid);
+                        w.u8(e.class);
+                    }
+                }
+                AttrList::Categorical(entries) => {
+                    w.u8(1);
+                    w.u64(entries.len() as u64);
+                    for e in entries {
+                        w.u32(e.value);
+                        w.u32(e.rid);
+                        w.u8(e.class);
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_works(bytes: &[u8]) -> Result<Vec<Work>, String> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.u64()? as usize;
+    let mut works = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node_id = r.u32()?;
+        let depth = r.u32()?;
+        let hist = decode_hist(&mut r)?;
+        let nl = r.u64()? as usize;
+        let mut lists = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            let tag = r.u8()?;
+            let ne = r.u64()? as usize;
+            match tag {
+                0 => {
+                    let mut entries = Vec::with_capacity(ne);
+                    for _ in 0..ne {
+                        entries.push(ContEntry {
+                            value: r.f32_bits()?,
+                            rid: r.u32()?,
+                            class: r.u8()?,
+                        });
+                    }
+                    lists.push(AttrList::Continuous(entries));
+                }
+                1 => {
+                    let mut entries = Vec::with_capacity(ne);
+                    for _ in 0..ne {
+                        entries.push(CatEntry {
+                            value: r.u32()?,
+                            rid: r.u32()?,
+                            class: r.u8()?,
+                        });
+                    }
+                    lists.push(AttrList::Categorical(entries));
+                }
+                t => return Err(format!("unknown attribute-list tag {t}")),
+            }
+        }
+        works.push(Work {
+            node_id,
+            depth,
+            hist,
+            lists,
+        });
+    }
+    if !r.is_done() {
+        return Err("trailing bytes in works section".into());
+    }
+    Ok(works)
+}
+
+fn encode_stats(stats: &ParStats) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(stats.levels);
+    w.u64(stats.max_active_nodes as u64);
+    w.u64(stats.trace.len() as u64);
+    for t in &stats.trace {
+        w.u64(t.active_nodes as u64);
+        w.u64(t.splits as u64);
+        w.u64(t.records);
+    }
+    w.into_bytes()
+}
+
+fn decode_stats(bytes: &[u8]) -> Result<ParStats, String> {
+    let mut r = ByteReader::new(bytes);
+    let levels = r.u32()?;
+    let max_active_nodes = r.u64()? as usize;
+    let n = r.u64()? as usize;
+    let mut trace = Vec::with_capacity(n);
+    for _ in 0..n {
+        trace.push(LevelInfo {
+            active_nodes: r.u64()? as usize,
+            splits: r.u64()? as usize,
+            records: r.u64()?,
+        });
+    }
+    if !r.is_done() {
+        return Err("trailing bytes in stats section".into());
+    }
+    Ok(ParStats {
+        levels,
+        max_active_nodes,
+        trace,
+    })
+}
+
+fn encode_table(slots: Option<&[Option<u8>]>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match slots {
+        None => w.u8(0),
+        Some(slots) => {
+            w.u8(1);
+            w.u64(slots.len() as u64);
+            for s in slots {
+                match s {
+                    None => {
+                        w.u8(0);
+                        w.u8(0);
+                    }
+                    Some(v) => {
+                        w.u8(1);
+                        w.u8(*v);
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_table(bytes: &[u8]) -> Result<Option<Vec<Option<u8>>>, String> {
+    let mut r = ByteReader::new(bytes);
+    let present = r.u8()?;
+    let out = if present == 0 {
+        None
+    } else {
+        let n = r.u64()? as usize;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flag = r.u8()?;
+            let val = r.u8()?;
+            slots.push(if flag == 0 { None } else { Some(val) });
+        }
+        Some(slots)
+    };
+    if !r.is_done() {
+        return Err("trailing bytes in table section".into());
+    }
+    Ok(out)
+}
+
+/// Encode one rank's level state into checkpoint sections (exposed so the
+/// byte-identity property — encode→decode→encode yields identical bytes —
+/// is directly testable).
+pub fn encode_state(
+    level: u32,
+    rank: usize,
+    nodes: &[Node],
+    works: &[Work],
+    stats: &ParStats,
+    table_slots: Option<&[Option<u8>]>,
+) -> Vec<(u32, Vec<u8>)> {
+    let mut meta = ByteWriter::new();
+    meta.u32(level);
+    meta.u64(rank as u64);
+    vec![
+        (SEC_META, meta.into_bytes()),
+        (SEC_NODES, encode_nodes(nodes)),
+        (SEC_WORKS, encode_works(works)),
+        (SEC_STATS, encode_stats(stats)),
+        (SEC_TABLE, encode_table(table_slots)),
+    ]
+}
+
+/// Decode sections produced by [`encode_state`].
+pub fn decode_state(sections: &[(u32, Vec<u8>)]) -> Result<LevelState, String> {
+    let find = |tag: u32| -> Result<&[u8], String> {
+        sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| format!("missing section tag {tag}"))
+    };
+    let mut meta = ByteReader::new(find(SEC_META)?);
+    let level = meta.u32()?;
+    let _rank = meta.u64()?;
+    Ok(LevelState {
+        level,
+        nodes: decode_nodes(find(SEC_NODES)?)?,
+        works: decode_works(find(SEC_WORKS)?)?,
+        stats: decode_stats(find(SEC_STATS)?)?,
+        table_slots: decode_table(find(SEC_TABLE)?)?,
+    })
+}
+
+/// Atomically write one rank's snapshot of the state entering `level`.
+/// Returns the encoded payload size (the basis of the simulated I/O
+/// charge).
+#[allow(clippy::too_many_arguments)]
+pub fn save_state(
+    dir: &Path,
+    level: u32,
+    rank: usize,
+    nodes: &[Node],
+    works: &[Work],
+    stats: &ParStats,
+    table_slots: Option<&[Option<u8>]>,
+) -> Result<u64, CkptError> {
+    let sections = encode_state(level, rank, nodes, works, stats, table_slots);
+    let bytes: u64 = sections.iter().map(|(_, p)| p.len() as u64).sum();
+    let refs: Vec<(u32, &[u8])> = sections.iter().map(|(t, p)| (*t, p.as_slice())).collect();
+    ckpt::write_sections(&state_file(dir, level, rank), &refs)?;
+    Ok(bytes)
+}
+
+/// Load one rank's snapshot of `level`. Returns the state and the payload
+/// size read (for the simulated I/O charge).
+pub fn load_state(dir: &Path, level: u32, rank: usize) -> Result<(LevelState, u64), CkptError> {
+    let path = state_file(dir, level, rank);
+    let sections = ckpt::read_sections(&path)?;
+    let bytes: u64 = sections.iter().map(|(_, p)| p.len() as u64).sum();
+    let state = decode_state(&sections).map_err(|msg| CkptError {
+        path: path.clone(),
+        msg,
+    })?;
+    if state.level != level {
+        return Err(CkptError {
+            path,
+            msg: format!("file claims level {}, expected {level}", state.level),
+        });
+    }
+    Ok((state, bytes))
+}
+
+/// Atomically (re)write the manifest to name `level` as the newest
+/// complete checkpoint.
+pub fn write_manifest(dir: &Path, m: Manifest) -> Result<(), CkptError> {
+    let mut w = ByteWriter::new();
+    w.u32(m.level);
+    w.u32(m.procs);
+    w.u64(m.total_n);
+    ckpt::write_sections(&manifest_file(dir), &[(SEC_META, &w.into_bytes())])
+}
+
+/// Read the manifest. `None` when absent or unreadable — both mean "no
+/// complete checkpoint to resume from" (the atomic commit protocol makes a
+/// torn manifest impossible; garbage means a foreign file).
+pub fn read_manifest(dir: &Path) -> Option<Manifest> {
+    let sections = ckpt::read_sections(&manifest_file(dir)).ok()?;
+    let (tag, payload) = sections.first()?;
+    if *tag != SEC_META {
+        return None;
+    }
+    let mut r = ByteReader::new(payload);
+    let level = r.u32().ok()?;
+    let procs = r.u32().ok()?;
+    let total_n = r.u64().ok()?;
+    if !r.is_done() {
+        return None;
+    }
+    Some(Manifest {
+        level,
+        procs,
+        total_n,
+    })
+}
+
+/// Remove the manifest so the next induction in `dir` starts fresh. Stale
+/// level files are harmless (they are only read when the manifest names
+/// them) and get overwritten in place.
+pub fn clear_manifest(dir: &Path) {
+    let _ = std::fs::remove_file(manifest_file(dir));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> LevelState {
+        let mut root = Node::leaf(0, vec![3, 5]);
+        root.test = Some(SplitTest::Continuous {
+            attr: 1,
+            threshold: 2.5,
+        });
+        root.children = vec![1, 2];
+        let leaf = Node::leaf(1, vec![3, 0]);
+        let mut cat = Node::leaf(1, vec![0, 5]);
+        cat.test = Some(SplitTest::CategoricalSubset {
+            attr: 0,
+            left_mask: 0b101,
+        });
+        LevelState {
+            level: 1,
+            nodes: vec![root, leaf, cat],
+            works: vec![Work {
+                node_id: 2,
+                depth: 1,
+                hist: vec![0, 5],
+                lists: vec![
+                    AttrList::Continuous(vec![
+                        ContEntry {
+                            value: 1.5,
+                            rid: 4,
+                            class: 1,
+                        },
+                        ContEntry {
+                            value: f32::MIN_POSITIVE,
+                            rid: 9,
+                            class: 0,
+                        },
+                    ]),
+                    AttrList::Categorical(vec![CatEntry {
+                        value: 2,
+                        rid: 4,
+                        class: 1,
+                    }]),
+                ],
+            }],
+            stats: ParStats {
+                levels: 1,
+                max_active_nodes: 1,
+                trace: vec![LevelInfo {
+                    active_nodes: 1,
+                    splits: 1,
+                    records: 8,
+                }],
+            },
+            table_slots: Some(vec![None, Some(0), Some(1)]),
+        }
+    }
+
+    #[test]
+    fn encode_decode_encode_is_byte_identical() {
+        let st = sample_state();
+        let enc1 = encode_state(
+            st.level,
+            3,
+            &st.nodes,
+            &st.works,
+            &st.stats,
+            st.table_slots.as_deref(),
+        );
+        let back = decode_state(&enc1).unwrap();
+        assert_eq!(back, st);
+        let enc2 = encode_state(
+            back.level,
+            3,
+            &back.nodes,
+            &back.works,
+            &back.stats,
+            back.table_slots.as_deref(),
+        );
+        assert_eq!(enc1, enc2, "save→load→save must be byte-identical");
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("scalparc-state-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let st = sample_state();
+        let written = save_state(
+            &dir,
+            st.level,
+            3,
+            &st.nodes,
+            &st.works,
+            &st.stats,
+            st.table_slots.as_deref(),
+        )
+        .unwrap();
+        let (back, read) = load_state(&dir, st.level, 3).unwrap();
+        assert_eq!(back, st);
+        assert_eq!(written, read);
+        // On-disk byte identity too: saving the loaded state reproduces
+        // the file exactly.
+        let f1 = std::fs::read(state_file(&dir, st.level, 3)).unwrap();
+        save_state(
+            &dir,
+            back.level,
+            3,
+            &back.nodes,
+            &back.works,
+            &back.stats,
+            back.table_slots.as_deref(),
+        )
+        .unwrap();
+        assert_eq!(f1, std::fs::read(state_file(&dir, st.level, 3)).unwrap());
+        // Wrong level is rejected.
+        assert!(load_state(&dir, 7, 3).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_absence() {
+        let dir = std::env::temp_dir().join(format!("scalparc-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_manifest(&dir), None, "no manifest yet");
+        let m = Manifest {
+            level: 4,
+            procs: 8,
+            total_n: 4000,
+        };
+        write_manifest(&dir, m).unwrap();
+        assert_eq!(read_manifest(&dir), Some(m));
+        // Garbage is treated as absent, not a crash.
+        std::fs::write(manifest_file(&dir), b"not a checkpoint").unwrap();
+        assert_eq!(read_manifest(&dir), None);
+        write_manifest(&dir, m).unwrap();
+        clear_manifest(&dir);
+        assert_eq!(read_manifest(&dir), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_charge_is_monotone_and_deterministic() {
+        assert_eq!(io_charge_ns(0), 100_000);
+        assert_eq!(io_charge_ns(2_000_000), 100_000 + 1_000_000);
+        assert!(io_charge_ns(10) < io_charge_ns(1 << 20));
+    }
+}

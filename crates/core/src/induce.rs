@@ -20,6 +20,7 @@ use dtree::data::Dataset;
 use dtree::tree::{BestSplit, DecisionTree, Node};
 use mpsim::Comm;
 
+use crate::checkpoint::{self, CheckpointCtx, Manifest};
 use crate::config::{Algorithm, InduceConfig};
 use crate::dist::{build_distributed_lists, lists_bytes, ATTR_MEM};
 use crate::phases::{find_split, perform_split, LevelScratch, Work};
@@ -58,47 +59,152 @@ pub fn induce_on_comm(
     total_n: u64,
     cfg: &InduceConfig,
 ) -> (DecisionTree, ParStats) {
+    induce_on_comm_ckpt(comm, local, rid_offset, total_n, cfg, None)
+}
+
+/// [`induce_on_comm`] with optional per-level checkpointing.
+///
+/// When `ckpt` is `Some`, the state *entering* every level is snapshotted
+/// (per-rank file, barrier, rank-0 manifest — see [`crate::checkpoint`])
+/// before the level's phases run, and a run finding a valid manifest in
+/// the directory resumes from it, skipping setup and presort. Induction is
+/// deterministic, so a resumed run produces the tree a fault-free run
+/// would have. With `ckpt == None` the collective sequence is exactly the
+/// non-checkpointed one (no extra cost is charged).
+pub fn induce_on_comm_ckpt(
+    comm: &mut Comm,
+    local: Dataset,
+    rid_offset: u32,
+    total_n: u64,
+    cfg: &InduceConfig,
+    ckpt: Option<&CheckpointCtx>,
+) -> (DecisionTree, ParStats) {
     let schema = local.schema.clone();
 
-    comm.phase_begin("setup", 0);
-    let hist_bytes = schema.num_classes as u64 * 8;
-    let root_hist = comm.allreduce_sized(local.class_hist(), hist_bytes, |a, b| {
-        for (x, y) in a.iter_mut().zip(b) {
-            *x += *y;
+    // Resume decision. Rank 0 alone reads the manifest and broadcasts the
+    // verdict so every rank takes the same branch even if the filesystem
+    // view were to differ between them. A manifest from a different
+    // geometry (procs / record count) is ignored, not an error.
+    let resume_level: Option<u32> = match ckpt {
+        Some(ctx) => {
+            let mine = if comm.rank() == 0 {
+                Some(checkpoint::read_manifest(&ctx.dir).and_then(|m| {
+                    (m.procs as usize == comm.size() && m.total_n == total_n).then_some(m.level)
+                }))
+            } else {
+                None
+            };
+            comm.bcast(0, mine)
         }
-    });
-    debug_assert_eq!(root_hist.iter().sum::<u64>(), total_n);
-
-    let mut table = match cfg.algorithm {
-        Algorithm::ScalParc => Some(DistTable::<u8>::new(comm, total_n.max(1))),
-        Algorithm::SprintReplicated => None,
+        None => None,
     };
-    comm.phase_end(); // setup
 
-    let mut nodes = vec![Node::leaf(0, root_hist.clone())];
-    let mut level: Vec<Work> = if total_n > 0 && !cfg.stop.pre_split_leaf(&root_hist, 0) {
-        // Presort.
-        comm.phase_begin("presort", 0);
-        let lists = build_distributed_lists(comm, &local, rid_offset);
-        drop(local);
-        comm.phase_end(); // presort
-        vec![Work {
-            node_id: 0,
-            depth: 0,
-            hist: root_hist,
-            lists,
-        }]
+    // Restore attempt: every rank loads its own level file, and an
+    // allreduce confirms they *all* succeeded — one missing or corrupt
+    // file falls the whole run back to a fresh start, collectively.
+    let mut restored: Option<checkpoint::LevelState> = None;
+    if let (Some(ctx), Some(rl)) = (ckpt, resume_level) {
+        comm.phase_begin("restore", rl);
+        let loaded = checkpoint::load_state(&ctx.dir, rl, comm.rank()).ok();
+        let all_ok = comm.allreduce(loaded.is_some() as u64, |a, b| *a = (*a).min(*b)) == 1;
+        if all_ok {
+            let (st, bytes) = loaded.unwrap();
+            comm.charge_compute(checkpoint::io_charge_ns(bytes));
+            restored = Some(st);
+        }
+        comm.phase_end(); // restore
+    }
+
+    let (mut nodes, mut level, mut stats, mut table) = if let Some(st) = restored {
+        let table = match cfg.algorithm {
+            Algorithm::ScalParc => {
+                // `DistTable::new` is not collective; recreate the
+                // geometry, then drop the restored slots back in.
+                let mut t = DistTable::<u8>::new(comm, total_n.max(1));
+                if let Some(slots) = st.table_slots {
+                    t.set_local_slots(slots);
+                }
+                Some(t)
+            }
+            Algorithm::SprintReplicated => None,
+        };
+        drop(local); // the checkpointed lists supersede the raw fragment
+        (st.nodes, st.works, st.stats, table)
     } else {
-        Vec::new()
+        comm.phase_begin("setup", 0);
+        let hist_bytes = schema.num_classes as u64 * 8;
+        let root_hist = comm.allreduce_sized(local.class_hist(), hist_bytes, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        });
+        debug_assert_eq!(root_hist.iter().sum::<u64>(), total_n);
+
+        let table = match cfg.algorithm {
+            Algorithm::ScalParc => Some(DistTable::<u8>::new(comm, total_n.max(1))),
+            Algorithm::SprintReplicated => None,
+        };
+        comm.phase_end(); // setup
+
+        let nodes = vec![Node::leaf(0, root_hist.clone())];
+        let level: Vec<Work> = if total_n > 0 && !cfg.stop.pre_split_leaf(&root_hist, 0) {
+            // Presort.
+            comm.phase_begin("presort", 0);
+            let lists = build_distributed_lists(comm, &local, rid_offset);
+            drop(local);
+            comm.phase_end(); // presort
+            vec![Work {
+                node_id: 0,
+                depth: 0,
+                hist: root_hist,
+                lists,
+            }]
+        } else {
+            Vec::new()
+        };
+        (nodes, level, ParStats::default(), table)
     };
 
-    let mut stats = ParStats::default();
     // Per-level working buffers, reused across levels (cleared, never
     // shrunk): after the widest level the per-level phases allocate only
     // the child lists that become the next level's state.
     let mut scratch = LevelScratch::new();
     while !level.is_empty() {
         let lvl = stats.levels; // 0-based level index for the span records
+        if let Some(ctx) = ckpt {
+            // Commit protocol: per-rank files, barrier (all files exist),
+            // then the rank-0 manifest names the level. Checkpoint I/O is
+            // charged to the virtual clock analytically.
+            comm.phase_begin("checkpoint", lvl);
+            let bytes = checkpoint::save_state(
+                &ctx.dir,
+                lvl,
+                comm.rank(),
+                &nodes,
+                &level,
+                &stats,
+                table.as_ref().map(|t| t.local_slots()),
+            )
+            .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
+            comm.charge_compute(checkpoint::io_charge_ns(bytes));
+            comm.barrier();
+            if comm.rank() == 0 {
+                checkpoint::write_manifest(
+                    &ctx.dir,
+                    Manifest {
+                        level: lvl,
+                        procs: comm.size() as u32,
+                        total_n,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("rank 0: {e}"));
+                comm.charge_compute(checkpoint::io_charge_ns(16));
+            }
+            comm.phase_end(); // checkpoint
+        }
+        // From here to the next checkpoint commit, a crash rolls back to
+        // the manifest just written (or a fresh start at level 0).
+        comm.mark_level(lvl);
         stats.levels += 1;
         stats.max_active_nodes = stats.max_active_nodes.max(level.len());
         let mut info = LevelInfo {

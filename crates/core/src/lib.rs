@@ -30,6 +30,7 @@
 //! (parallel baseline), and ScalParC itself — induces the **identical
 //! tree** on identical data.
 
+pub mod checkpoint;
 pub mod config;
 pub mod dist;
 pub mod induce;
@@ -37,14 +38,16 @@ pub mod phases;
 
 pub mod analysis;
 
+pub use checkpoint::CheckpointCtx;
 pub use config::{Algorithm, InduceConfig, ParConfig};
-pub use induce::{induce_on_comm, LevelInfo, ParStats};
+pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
 
+use std::path::Path;
 use std::sync::Arc;
 
 use dtree::data::Dataset;
 use dtree::tree::DecisionTree;
-use mpsim::{MachineCfg, RunStats, TimingMode};
+use mpsim::{Crash, FaultPlan, MachineCfg, RunStats, TimingMode};
 
 /// Outcome of a simulated parallel induction run.
 #[derive(Debug)]
@@ -106,6 +109,21 @@ fn induce_with_replay(
     cfg: &ParConfig,
     replay: Option<Arc<Vec<Vec<u64>>>>,
 ) -> ParResult {
+    match induce_attempt(data, cfg, replay, None, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("no fault plan installed, so no crash can fire"),
+    }
+}
+
+/// One machine run: the common body of [`induce`], [`try_induce`], and the
+/// recovery driver. A crash can only surface when `fault` carries one.
+fn induce_attempt(
+    data: &Dataset,
+    cfg: &ParConfig,
+    replay: Option<Arc<Vec<Vec<u64>>>>,
+    fault: Option<Arc<FaultPlan>>,
+    ckpt: Option<&CheckpointCtx>,
+) -> Result<ParResult, Crash> {
     assert!(cfg.procs >= 1);
     let n = data.len();
     let block = n.div_ceil(cfg.procs).max(1);
@@ -116,22 +134,133 @@ fn induce_with_replay(
         compute_tokens: 0,
         replay,
         trace: cfg.trace,
+        fault,
     };
     let induce_cfg = cfg.induce;
-    let result = mpsim::run(&mcfg, |comm| {
+    let result = mpsim::try_run(&mcfg, |comm| {
         let lo = (comm.rank() * block).min(n);
         let hi = ((comm.rank() + 1) * block).min(n);
         let local = data.slice(lo, hi);
-        induce_on_comm(comm, local, lo as u32, n as u64, &induce_cfg)
-    });
+        induce_on_comm_ckpt(comm, local, lo as u32, n as u64, &induce_cfg, ckpt)
+    })?;
     let mut outputs = result.outputs;
     let (tree, ps) = outputs.swap_remove(0);
-    ParResult {
+    Ok(ParResult {
         tree,
         levels: ps.levels,
         max_active_nodes: ps.max_active_nodes,
         trace: ps.trace,
         stats: result.stats,
+    })
+}
+
+/// Like [`induce`], but under an optional fault plan and with optional
+/// per-level checkpointing. An injected crash surfaces as `Err` carrying
+/// the crash site and the aborted attempt's partial statistics; drop,
+/// corrupt, and straggler faults are absorbed by the simulated transport
+/// (they cost time, never correctness) and the run completes normally.
+pub fn try_induce(
+    data: &Dataset,
+    cfg: &ParConfig,
+    fault: Option<Arc<FaultPlan>>,
+    ckpt: Option<&CheckpointCtx>,
+) -> Result<ParResult, Crash> {
+    induce_attempt(data, cfg, None, fault, ckpt)
+}
+
+/// One observed crash-and-restart cycle of [`induce_with_recovery`].
+#[derive(Clone, Copy, Debug)]
+pub struct CrashEvent {
+    /// The rank the fault plan killed.
+    pub rank: usize,
+    /// Collective sequence number of the crash site.
+    pub coll_seq: u64,
+    /// Name of the collective the rank died entering.
+    pub coll: &'static str,
+    /// Tree level at the crash (`u32::MAX` = during setup/presort).
+    pub level: u32,
+    /// Checkpoint level the retry resumed from (`None` = fresh start).
+    pub resumed_from: Option<u32>,
+}
+
+/// What recovery cost, over and above the final successful attempt.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Machine runs launched (successful attempt included), so `1` means
+    /// no crash fired.
+    pub attempts: u32,
+    /// Every crash observed, in order.
+    pub crashes: Vec<CrashEvent>,
+    /// Tree levels executed more than once because a crash rolled the run
+    /// back to an earlier checkpoint.
+    pub reexecuted_levels: u32,
+    /// Communication volume of the aborted attempts (re-paid work).
+    pub wasted_bytes: u64,
+    /// Simulated time of the aborted attempts (the recovery overhead a
+    /// real cluster would observe as lost wall-clock).
+    pub wasted_time_ns: u64,
+}
+
+/// A recovered induction run: the (fault-free-identical) result plus what
+/// the crashes cost.
+#[derive(Debug)]
+pub struct RecoveryResult {
+    /// The final successful run — byte-identical tree to a fault-free run.
+    pub result: ParResult,
+    /// Recovery accounting across all attempts.
+    pub report: RecoveryReport,
+}
+
+/// Induce under a fault plan with per-level checkpoints in `ckpt_dir`,
+/// restarting after every injected crash until an attempt completes.
+///
+/// Each restart resumes from the newest complete checkpoint (the rank-0
+/// manifest), so only the levels at or after the crash are re-executed.
+/// The crash spec that fired is disarmed before the retry — mirroring a
+/// real cluster, where the faulty node is replaced rather than allowed to
+/// kill every subsequent attempt at the same instruction — so the loop
+/// terminates after at most `plan.crashes.len() + 1` attempts. Determinism
+/// guarantee: the returned tree is byte-identical (via `model_io`
+/// serialization) to a fault-free run's, and repeated calls with the same
+/// seed and plan reproduce the same report.
+///
+/// Any stale manifest in `ckpt_dir` is cleared first: this drives a fresh
+/// run, not a resume of an earlier one.
+pub fn induce_with_recovery(
+    data: &Dataset,
+    cfg: &ParConfig,
+    fault: Option<Arc<FaultPlan>>,
+    ckpt_dir: &Path,
+) -> RecoveryResult {
+    let ctx = CheckpointCtx::new(ckpt_dir);
+    checkpoint::clear_manifest(ckpt_dir);
+    let mut plan = fault;
+    let mut report = RecoveryReport::default();
+    loop {
+        report.attempts += 1;
+        match induce_attempt(data, cfg, None, plan.clone(), Some(&ctx)) {
+            Ok(result) => return RecoveryResult { result, report },
+            Err(crash) => {
+                let sig = crash.signal;
+                report.wasted_bytes += crash.stats.total_bytes_sent();
+                report.wasted_time_ns += crash.stats.time_ns();
+                let resumed_from = checkpoint::read_manifest(ckpt_dir).map(|m| m.level);
+                if sig.level != u32::MAX {
+                    // Levels `resumed_from..=crash level` run again; a
+                    // setup/presort crash re-executes no *levels*.
+                    report.reexecuted_levels +=
+                        sig.level.saturating_sub(resumed_from.unwrap_or(0)) + 1;
+                }
+                report.crashes.push(CrashEvent {
+                    rank: sig.rank,
+                    coll_seq: sig.coll_seq,
+                    coll: sig.coll,
+                    level: sig.level,
+                    resumed_from,
+                });
+                plan = plan.map(|p| Arc::new(p.without_crash(sig.spec)));
+            }
+        }
     }
 }
 
@@ -380,6 +509,45 @@ mod tests {
         // Entropy and gini generally choose different thresholds somewhere.
         let gini_tree = induce(&data, &ParConfig::new(4)).tree;
         assert_ne!(par.tree, gini_tree, "criteria should differ on this data");
+    }
+
+    #[test]
+    fn recovery_after_crash_matches_fault_free() {
+        use mpsim::{CrashPoint, FaultPlan};
+        let data = quest(240, ClassFunc::F2, 21);
+        let want = induce(&data, &ParConfig::new(4)).tree;
+        let dir = std::env::temp_dir().join(format!("scalparc-rec-{}", std::process::id()));
+        let plan = FaultPlan::new().with_crash(2, CrashPoint::Level(1));
+        let rec = induce_with_recovery(&data, &ParConfig::new(4), Some(Arc::new(plan)), &dir);
+        assert_eq!(rec.result.tree, want, "recovered tree must be identical");
+        assert_eq!(rec.report.attempts, 2);
+        assert_eq!(rec.report.crashes.len(), 1);
+        let ev = rec.report.crashes[0];
+        assert_eq!(ev.rank, 2);
+        assert_eq!(ev.level, 1);
+        assert_eq!(
+            ev.resumed_from,
+            Some(1),
+            "level-1 checkpoint committed before the crash"
+        );
+        assert_eq!(rec.report.reexecuted_levels, 1);
+        assert!(rec.report.wasted_time_ns > 0 || rec.report.wasted_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_run_without_faults_matches_plain() {
+        let data = quest(300, ClassFunc::F3, 22);
+        let want = induce(&data, &ParConfig::new(3));
+        let dir = std::env::temp_dir().join(format!("scalparc-ckpt-plain-{}", std::process::id()));
+        let ctx = CheckpointCtx::new(&dir);
+        let got = try_induce(&data, &ParConfig::new(3), None, Some(&ctx)).unwrap();
+        assert_eq!(got.tree, want.tree);
+        assert_eq!(got.trace, want.trace);
+        // The run left a manifest naming its last level.
+        let m = checkpoint::read_manifest(&dir).unwrap();
+        assert_eq!(m.level, want.levels - 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

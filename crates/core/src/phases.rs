@@ -120,6 +120,7 @@ pub const REPL_HASH_MEM: &str = "replicated-hash";
 
 /// One active (still-splittable) node at the current level: global class
 /// histogram plus this rank's segments of every attribute list.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Work {
     /// Tree node id this work belongs to.
     pub node_id: u32,

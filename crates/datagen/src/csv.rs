@@ -7,9 +7,51 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use dtree::{AttrKind, Column, Dataset, Schema};
+
+/// A malformed CSV input, located exactly: file (when read from one),
+/// 1-based line, and 1-based column (when the problem is one field rather
+/// than the whole row). Structured so callers can report or skip precisely
+/// instead of grepping a string — and nothing here panics on bad input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// Source file, when parsing came from [`read_csv`].
+    pub file: Option<PathBuf>,
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// 1-based column (field) number; `None` for whole-line problems.
+    pub column: Option<usize>,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl CsvError {
+    fn new(line: usize, column: Option<usize>, msg: impl Into<String>) -> CsvError {
+        CsvError {
+            file: None,
+            line,
+            column,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{}:", file.display())?;
+        }
+        write!(f, "line {}", self.line)?;
+        if let Some(col) = self.column {
+            write!(f, ", column {col}")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+impl std::error::Error for CsvError {}
 
 /// Serialize a dataset to CSV text.
 pub fn to_csv(data: &Dataset) -> String {
@@ -44,16 +86,23 @@ pub fn write_csv(data: &Dataset, path: &Path) -> io::Result<()> {
 /// Parse CSV text against a known schema.
 ///
 /// # Errors
-/// Returns an error for a malformed header, wrong column count, or an
-/// unparsable value.
-pub fn from_csv(text: &str, schema: &Schema) -> Result<Dataset, String> {
+/// Returns a [`CsvError`] naming the exact line (and field, where
+/// applicable) for a malformed header, wrong column count, or an
+/// unparsable value. Malformed input never panics.
+pub fn from_csv(text: &str, schema: &Schema) -> Result<Dataset, CsvError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or("empty file")?;
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::new(1, None, "empty file"))?;
     let mut expect: Vec<&str> = schema.attrs.iter().map(|a| a.name.as_str()).collect();
     expect.push("class");
     let got: Vec<&str> = header.split(',').collect();
     if got != expect {
-        return Err(format!("header mismatch: expected {expect:?}, got {got:?}"));
+        return Err(CsvError::new(
+            1,
+            None,
+            format!("header mismatch: expected {expect:?}, got {got:?}"),
+        ));
     }
 
     let mut columns: Vec<Column> = schema
@@ -67,40 +116,60 @@ pub fn from_csv(text: &str, schema: &Schema) -> Result<Dataset, String> {
     let mut labels = Vec::new();
 
     for (lineno, line) in lines.enumerate() {
+        let ln = lineno + 2; // 1-based; line 1 was the header
         if line.is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != schema.num_attrs() + 1 {
-            return Err(format!("line {}: wrong field count", lineno + 2));
+            return Err(CsvError::new(
+                ln,
+                None,
+                format!(
+                    "wrong field count: expected {}, got {}",
+                    schema.num_attrs() + 1,
+                    fields.len()
+                ),
+            ));
         }
-        for (field, col) in fields[..schema.num_attrs()].iter().zip(&mut columns) {
+        for (ci, (field, col)) in fields[..schema.num_attrs()]
+            .iter()
+            .zip(&mut columns)
+            .enumerate()
+        {
             match col {
-                Column::Continuous(v) => v.push(
-                    field
-                        .parse::<f32>()
-                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
-                ),
-                Column::Categorical(v) => v.push(
-                    field
-                        .parse::<u32>()
-                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
-                ),
+                Column::Continuous(v) => v.push(field.parse::<f32>().map_err(|e| {
+                    CsvError::new(ln, Some(ci + 1), format!("bad value {field:?}: {e}"))
+                })?),
+                Column::Categorical(v) => v.push(field.parse::<u32>().map_err(|e| {
+                    CsvError::new(ln, Some(ci + 1), format!("bad value {field:?}: {e}"))
+                })?),
             }
         }
-        labels.push(
-            fields[schema.num_attrs()]
-                .parse::<u8>()
-                .map_err(|e| format!("line {}: {e}", lineno + 2))?,
-        );
+        let class_field = fields[schema.num_attrs()];
+        labels.push(class_field.parse::<u8>().map_err(|e| {
+            CsvError::new(
+                ln,
+                Some(schema.num_attrs() + 1),
+                format!("bad class {class_field:?}: {e}"),
+            )
+        })?);
     }
     Ok(Dataset::new(schema.clone(), columns, labels))
 }
 
-/// Read a dataset from a CSV file.
-pub fn read_csv(path: &Path, schema: &Schema) -> Result<Dataset, String> {
-    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
-    from_csv(&text, schema)
+/// Read a dataset from a CSV file; errors carry the file path.
+pub fn read_csv(path: &Path, schema: &Schema) -> Result<Dataset, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| CsvError {
+        file: Some(path.to_path_buf()),
+        line: 0,
+        column: None,
+        msg: format!("read: {e}"),
+    })?;
+    from_csv(&text, schema).map_err(|mut e| {
+        e.file = Some(path.to_path_buf());
+        e
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +209,8 @@ mod tests {
     fn rejects_bad_header() {
         let d = small();
         let err = from_csv("a,b,class\n", &d.schema).unwrap_err();
-        assert!(err.contains("header mismatch"));
+        assert!(err.msg.contains("header mismatch"), "{err}");
+        assert_eq!(err.line, 1);
     }
 
     #[test]
@@ -149,7 +219,56 @@ mod tests {
         let mut text = to_csv(&d);
         text.push_str("1.0,2.0\n");
         let err = from_csv(&text, &d.schema).unwrap_err();
-        assert!(err.contains("wrong field count"));
+        assert!(err.msg.contains("wrong field count"), "{err}");
+        assert_eq!(err.line, 66, "header + 64 data rows + the bad one");
+        assert_eq!(err.column, None);
+    }
+
+    #[test]
+    fn bad_field_is_located_by_line_and_column() {
+        let d = small();
+        let mut text = to_csv(&d);
+        // Corrupt the 2nd field of the first data row.
+        let good_row = text.lines().nth(1).unwrap().to_string();
+        let fields: Vec<&str> = good_row.split(',').collect();
+        let mut bad = fields.clone();
+        bad[1] = "not-a-number";
+        text = text.replacen(&good_row, &bad.join(","), 1);
+        let err = from_csv(&text, &d.schema).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, Some(2));
+        assert!(err.msg.contains("not-a-number"), "{err}");
+        assert_eq!(err.file, None);
+        // Bad class label points one past the attributes.
+        let mut bad_class = fields.clone();
+        let last = bad_class.len() - 1;
+        bad_class[last] = "banana";
+        let text2 = to_csv(&d).replacen(&good_row, &bad_class.join(","), 1);
+        let err = from_csv(&text2, &d.schema).unwrap_err();
+        assert_eq!(err.column, Some(d.schema.num_attrs() + 1));
+        assert!(err.msg.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn file_errors_carry_the_path() {
+        let d = small();
+        let dir = std::env::temp_dir().join("scalparc-csv-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        let mut text = to_csv(&d);
+        text.push_str("oops\n");
+        std::fs::write(&path, &text).unwrap();
+        let err = read_csv(&path, &d.schema).unwrap_err();
+        assert_eq!(err.file.as_deref(), Some(path.as_path()));
+        let shown = err.to_string();
+        assert!(
+            shown.contains("bad.csv") && shown.contains("line 66"),
+            "{shown}"
+        );
+        // Missing file: structured too, not a panic.
+        let err = read_csv(&dir.join("absent.csv"), &d.schema).unwrap_err();
+        assert!(err.msg.contains("read:"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use dtree::{AttrDef, Column, Dataset, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub use csv::CsvError;
 pub use quest::{ClassFunc, QuestRecord};
 
 /// Which attributes the generated dataset exposes.

@@ -142,6 +142,27 @@ impl<V: Clone + Send + Sync + 'static> DistTable<V> {
         self.local[idx].as_ref()
     }
 
+    /// This rank's resident slots, in local-index order — what a checkpoint
+    /// of the distributed table snapshots.
+    pub fn local_slots(&self) -> &[Option<V>] {
+        &self.local
+    }
+
+    /// Restore this rank's resident slots from a checkpoint taken with
+    /// [`DistTable::local_slots`] on a table of identical geometry
+    /// (`total_keys`, `procs`).
+    ///
+    /// # Panics
+    /// Panics if `slots` does not match this rank's slot count.
+    pub fn set_local_slots(&mut self, slots: Vec<Option<V>>) {
+        assert_eq!(
+            slots.len(),
+            self.local.len(),
+            "checkpointed slot count does not match table geometry"
+        );
+        self.local = slots;
+    }
+
     /// Collectively apply `(key, value)` updates, one all-to-all step.
     ///
     /// Each rank may pass any number of entries; keys may target any rank.

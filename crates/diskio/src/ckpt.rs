@@ -1,0 +1,303 @@
+//! Versioned, CRC-checked checkpoint files.
+//!
+//! The on-disk format is deliberately dumb — a fixed header followed by
+//! tagged sections, everything little-endian:
+//!
+//! ```text
+//! [magic  u32 = "SCPK"] [version u32 = 1] [section count u32]
+//! section := [tag u32] [len u64] [payload: len bytes] [crc32 u32]
+//! ```
+//!
+//! Each section's CRC-32 covers tag, length, and payload, so a torn or
+//! bit-flipped file is *detected* (a structured [`CkptError`]), never
+//! silently deserialized. Writers are atomic: payload goes to a `.tmp`
+//! sibling which is fsynced and renamed into place, so a crash mid-write
+//! leaves either the old file or the new one, never a hybrid. Values are
+//! encoded via [`ByteWriter`]/[`ByteReader`] (floats as raw bits, so a
+//! save→load→save cycle is byte-identical).
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// `"SCPK"` in little-endian byte order.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"SCPK");
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Why a checkpoint file could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptError {
+    /// The offending file.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint {}: {}", self.path.display(), self.msg)
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+fn err(path: &Path, msg: impl Into<String>) -> CkptError {
+    CkptError {
+        path: path.to_path_buf(),
+        msg: msg.into(),
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — checkpoint I/O is not a hot
+/// path and a table-free implementation keeps the crate std-only and small.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Write `sections` (tag, payload) as one checkpoint file, atomically:
+/// the bytes land in `<path>.tmp`, are fsynced, and renamed over `path`.
+pub fn write_sections(path: &Path, sections: &[(u32, &[u8])]) -> Result<(), CkptError> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| err(path, format!("create dir: {e}")))?;
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for &(tag, payload) in sections {
+        let start = buf.len();
+        buf.extend_from_slice(&tag.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let crc = crc32(&buf[start..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+    }
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp).map_err(|e| err(&tmp, format!("create: {e}")))?;
+        f.write_all(&buf)
+            .map_err(|e| err(&tmp, format!("write: {e}")))?;
+        f.sync_all().map_err(|e| err(&tmp, format!("fsync: {e}")))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| err(path, format!("rename into place: {e}")))
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Read a checkpoint file back into its `(tag, payload)` sections,
+/// verifying magic, version, and every section CRC.
+pub fn read_sections(path: &Path) -> Result<Vec<(u32, Vec<u8>)>, CkptError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| err(path, format!("read: {e}")))?;
+    let mut r = ByteReader::new(&bytes);
+    let magic = r.u32().map_err(|e| err(path, e))?;
+    if magic != MAGIC {
+        return Err(err(path, format!("bad magic {magic:#010x}")));
+    }
+    let version = r.u32().map_err(|e| err(path, e))?;
+    if version != VERSION {
+        return Err(err(path, format!("unsupported version {version}")));
+    }
+    let count = r.u32().map_err(|e| err(path, e))? as usize;
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = r.pos;
+        let tag = r.u32().map_err(|e| err(path, e))?;
+        let len = r.u64().map_err(|e| err(path, e))? as usize;
+        let payload = r
+            .bytes(len)
+            .map_err(|e| err(path, format!("section {i}: {e}")))?
+            .to_vec();
+        let stored = r.u32().map_err(|e| err(path, e))?;
+        let computed = crc32(&bytes[start..start + 4 + 8 + len]);
+        if stored != computed {
+            return Err(err(
+                path,
+                format!("section {i} (tag {tag}): CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+            ));
+        }
+        sections.push((tag, payload));
+    }
+    if r.pos != bytes.len() {
+        return Err(err(
+            path,
+            format!("{} trailing bytes after last section", bytes.len() - r.pos),
+        ));
+    }
+    Ok(sections)
+}
+
+/// Little-endian value encoder for checkpoint payloads.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Floats are stored as raw bits: save→load→save is byte-identical,
+    /// NaN payloads and signed zeros included.
+    pub fn f32_bits(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian value decoder; every accessor is bounds-checked and
+/// returns a message (not a panic) on truncation.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32_bits(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scalparc-ckpt-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_sections_bytewise() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("a.bin");
+        let s1: &[u8] = b"hello";
+        let s2: &[u8] = &[0u8, 255, 7];
+        write_sections(&path, &[(1, s1), (9, s2), (2, b"")]).unwrap();
+        let back = read_sections(&path).unwrap();
+        assert_eq!(
+            back,
+            vec![(1, s1.to_vec()), (9, s2.to_vec()), (2, Vec::new())]
+        );
+        // Writing the same sections again produces the identical file.
+        let bytes1 = fs::read(&path).unwrap();
+        write_sections(&path, &[(1, s1), (9, s2), (2, b"")]).unwrap();
+        assert_eq!(bytes1, fs::read(&path).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("a.bin");
+        write_sections(&path, &[(1, b"payload-bytes")]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload bit.
+        let n = bytes.len();
+        bytes[n - 8] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let e = read_sections(&path).unwrap_err();
+        assert!(e.msg.contains("CRC mismatch"), "{e}");
+        // Truncation is detected too.
+        fs::write(&path, &bytes[..n - 2]).unwrap();
+        assert!(read_sections(&path).is_err());
+        // Wrong magic.
+        fs::write(&path, b"XXXXYYYYZZZZ").unwrap();
+        let e = read_sections(&path).unwrap_err();
+        assert!(e.msg.contains("bad magic"), "{e}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_writer_reader_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f32_bits(f32::NAN);
+        w.f32_bits(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.f32_bits().unwrap().is_nan());
+        assert_eq!(r.f32_bits().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.is_done());
+        assert!(r.u8().is_err(), "reads past the end are errors");
+    }
+}

@@ -27,11 +27,13 @@
 //! The induced tree is identical to the in-memory classifiers' for every
 //! budget; only the I/O differs.
 
+pub mod ckpt;
 pub mod file;
 pub mod record;
 pub mod sprint_ooc;
 pub mod stats;
 
+pub use ckpt::{read_sections, write_sections, ByteReader, ByteWriter, CkptError};
 pub use file::DiskVec;
 pub use record::Record;
 pub use sprint_ooc::{induce_ooc, OocConfig, OocStats};

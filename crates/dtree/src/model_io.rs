@@ -195,13 +195,17 @@ pub fn from_text(text: &str) -> Result<DecisionTree, String> {
                             16,
                         )
                         .map_err(|e| err(ln, format!("bad threshold bits: {e}")))?;
-                        (
-                            SplitTest::Continuous {
-                                attr,
-                                threshold: f32::from_bits(bits),
-                            },
-                            11,
-                        )
+                        let threshold = f32::from_bits(bits);
+                        if !threshold.is_finite() {
+                            return Err(err(
+                                ln,
+                                format!(
+                                    "non-finite split threshold {threshold} (bits {bits:08x}); \
+                                     no classifier in this workspace emits one"
+                                ),
+                            ));
+                        }
+                        (SplitTest::Continuous { attr, threshold }, 11)
                     }
                     "cat" => (SplitTest::Categorical { attr }, 10),
                     "subset" => {
@@ -376,6 +380,22 @@ mod tests {
         let text = "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
                     node depth 0 hist 1,1 majority 0 test cont 0 3f800000 children 5,6\n";
         assert!(from_text(text).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_non_finite_thresholds_with_line_number() {
+        // 7fc00000 = NaN, 7f800000 = +inf, ff800000 = -inf.
+        for bits in ["7fc00000", "7f800000", "ff800000"] {
+            let text = format!(
+                "scalparc-tree v1\nclasses 2\nattr continuous x\nnodes 3\n\
+                 node depth 0 hist 1,1 majority 0 test cont 0 {bits} children 1,2\n\
+                 node depth 1 hist 1,0 majority 0 leaf\n\
+                 node depth 1 hist 0,1 majority 1 leaf\n"
+            );
+            let e = from_text(&text).unwrap_err();
+            assert!(e.starts_with("line 5:"), "{e}");
+            assert!(e.contains("non-finite"), "{e}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::sync::mpsc::{Receiver, Sender};
 
 use crate::clock::SimClock;
+use crate::fault::{CrashSignal, FaultKind, FaultPlan};
 use crate::machine::{PtpMsg, Shared};
 use crate::mem::MemTracker;
 use crate::stats::RankStats;
@@ -53,6 +54,30 @@ pub struct Comm {
     /// Collective in flight: name + counters at entry (set only when the
     /// recorder is enabled; finalized in `exit`).
     pending_coll: Option<(&'static str, obs::Counters)>,
+    /// Injected fault schedule; `None` (the default) keeps every fault hook
+    /// down to a single `Option` check (see [`crate::fault`]).
+    fault: Option<Arc<FaultPlan>>,
+    /// 1-based count of collectives entered — in lockstep across ranks by
+    /// the MPI ordering contract, which is what makes sequence-keyed faults
+    /// fire at the same program point on every rank. Point-to-point
+    /// operations do not advance it.
+    coll_seq: u64,
+    /// Payload bytes of the collective currently in flight (for
+    /// retransmission accounting).
+    pending_bytes: u64,
+    /// Tree level marked via [`Comm::mark_level`]; `u32::MAX` before the
+    /// first mark (setup/presort).
+    current_level: u32,
+    /// Virtual clock at the previous collective entry — the base of the
+    /// straggler slowdown window.
+    last_enter_ns: u64,
+    /// Collectives re-run after a detected drop/corrupt fault.
+    retransmits: u64,
+    /// Payload bytes this rank re-sent in those retransmissions.
+    resent_bytes: u64,
+    /// Total virtual nanoseconds this rank lost to injected faults
+    /// (straggler slowdown + retransmission cost).
+    fault_delay_ns: u64,
 }
 
 fn payload_bytes<T>(len: usize) -> u64 {
@@ -147,6 +172,14 @@ impl Comm {
             msgs_sent: 0,
             rec,
             pending_coll: None,
+            fault: None,
+            coll_seq: 0,
+            pending_bytes: 0,
+            current_level: u32::MAX,
+            last_enter_ns: 0,
+            retransmits: 0,
+            resent_bytes: 0,
+            fault_delay_ns: 0,
         }
     }
 
@@ -174,6 +207,20 @@ impl Comm {
     /// Explicitly charge computation time (for analytic work models).
     pub fn charge_compute(&mut self, ns: u64) {
         self.clock.charge_compute(ns);
+    }
+
+    /// Mark the tree level subsequent collectives belong to, so
+    /// level-targeted faults ([`crate::fault::CrashPoint::Level`]) know
+    /// where they are. Before the first call the level is `u32::MAX`
+    /// (setup/presort). Free when no fault plan is set.
+    pub fn mark_level(&mut self, level: u32) {
+        self.current_level = level;
+    }
+
+    /// 1-based count of collectives this rank has entered (lockstep across
+    /// ranks; point-to-point traffic not included).
+    pub fn coll_seq(&self) -> u64 {
+        self.coll_seq
     }
 
     // ----- observability ------------------------------------------------------
@@ -237,6 +284,10 @@ impl Comm {
         self.clock.set_replay(durations);
     }
 
+    pub(crate) fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
+    }
+
     pub(crate) fn begin(&mut self) {
         self.shared.tokens.acquire();
         self.clock.start_compute();
@@ -262,6 +313,9 @@ impl Comm {
             mem_categories: self.tracker.categories(),
             segments: self.clock.take_segments(),
             trace,
+            retransmits: self.retransmits,
+            resent_bytes: self.resent_bytes,
+            fault_delay_ns: self.fault_delay_ns,
         }
     }
 
@@ -274,6 +328,42 @@ impl Comm {
         if self.rec.is_enabled() {
             self.pending_coll = Some((name, self.counters()));
         }
+        self.coll_seq += 1;
+        self.pending_bytes = my_bytes;
+        if let Some(plan) = &self.fault {
+            if let Some((spec, c)) = plan.crash_at(self.coll_seq, self.current_level) {
+                let signal = CrashSignal {
+                    rank: c.rank,
+                    coll_seq: self.coll_seq,
+                    coll: name,
+                    level: self.current_level,
+                    spec,
+                };
+                // Every rank reaches this collective (MPI ordering contract)
+                // and unwinds here, before any barrier wait — a silent
+                // single-rank exit would deadlock the machine instead.
+                // Release the compute token first so peers still blocked in
+                // `tokens.acquire` can reach their own crash point; the
+                // extra `release` in `finish` only over-credits a machine
+                // that is already dead. `resume_unwind` (not `panic_any`)
+                // keeps the panic hook quiet: a planned crash is data, not
+                // a bug report.
+                self.shared.tokens.release();
+                std::panic::resume_unwind(Box::new(signal));
+            }
+            // Straggler: inflate the time since the previous collective and
+            // charge it *before* publishing the entry clock, so every peer
+            // waits for the slow rank under the usual max-sync rule.
+            let elapsed = self.clock.now_ns().saturating_sub(self.last_enter_ns);
+            let extra = plan.straggler_extra(self.rank, self.coll_seq, elapsed);
+            if extra > 0 {
+                let at = self.clock.now_ns();
+                self.clock.charge_comm(extra);
+                self.fault_delay_ns += extra;
+                self.rec.fault("straggler", self.coll_seq, at, extra);
+            }
+        }
+        self.last_enter_ns = self.clock.now_ns();
         self.shared.tokens.release();
         self.shared.clock_board[self.rank].store(self.clock.now_ns(), Ordering::Release);
         self.shared.bytes_board[self.rank].store(my_bytes, Ordering::Release);
@@ -306,7 +396,31 @@ impl Comm {
             CollKind::Allgather => self.shared.cost.allgather(p, max_bytes),
             CollKind::Alltoall => self.shared.cost.alltoall(p, max_bytes),
         };
-        self.clock.sync_to(max_clock + cost);
+        // Detected message fault: receivers CRC-verify payloads, so a
+        // corrupted payload costs one re-run of the collective and a
+        // dropped one additionally costs a detection timeout (modelled as
+        // one more collective). Every rank charges the identical extra —
+        // the retransmission is itself a collective — and the delivered
+        // data is the correct retransmitted copy, so results are unchanged.
+        let mut fault_hit: Option<&'static str> = None;
+        let mut extra = 0u64;
+        if let Some(plan) = &self.fault {
+            if let Some(f) = plan.comm_fault_at(self.coll_seq) {
+                (fault_hit, extra) = match f.kind {
+                    FaultKind::Drop => (Some("drop"), cost.saturating_mul(2)),
+                    FaultKind::Corrupt => (Some("corrupt"), cost),
+                };
+                self.retransmits += 1;
+                self.resent_bytes += self.pending_bytes;
+                self.fault_delay_ns += extra;
+            }
+        }
+        self.clock.sync_to(max_clock + cost + extra);
+        if let Some(name) = fault_hit {
+            let end = self.clock.now_ns();
+            self.rec
+                .fault(name, self.coll_seq, end.saturating_sub(extra), extra);
+        }
     }
 
     fn deposit(&self, value: Option<Box<dyn Any + Send>>) {

@@ -1,0 +1,376 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! A [`FaultPlan`] is a *seeded, replayable* description of everything that
+//! goes wrong during a run: fail-stop rank crashes, dropped or corrupted
+//! collective messages (detected by CRC and recovered by retransmission),
+//! and straggler slowdowns. The plan is pure data — injecting the same plan
+//! into the same program yields the identical simulated clocks, identical
+//! fault-event log, and identical results, run after run.
+//!
+//! # Where faults fire
+//!
+//! Faults are injected inside the [`Comm`](crate::Comm) collective skeleton,
+//! keyed on the **collective sequence number**: every rank of an mpsim
+//! machine calls every collective in the same order (the MPI contract), so
+//! the per-rank sequence counter is in lockstep across ranks and every rank
+//! observes a fault at the same point of the program. Point-to-point
+//! send/recv does not advance the sequence and is not a fault site.
+//!
+//! * **Crash** ([`CrashSpec`]) — fail-stop of one rank at a collective
+//!   entry, before any barrier. Because a silently-missing rank would
+//!   deadlock the remaining ranks at the next barrier, the simulator models
+//!   the *machine-level consequence* directly: all ranks unwind with a
+//!   [`CrashSignal`] at the same collective, and
+//!   [`try_run`](crate::try_run) reports which rank crashed plus the
+//!   partial per-rank statistics of the aborted attempt (the wasted work a
+//!   recovery layer must pay for).
+//! * **Drop / corrupt** ([`CommFault`]) — a collective payload is lost or
+//!   arrives with a bad checksum. Receivers CRC-verify payloads, so both
+//!   faults are *detected*; recovery is a collective-wide retransmission
+//!   whose extra cost (one retry, plus a timeout for a silent drop) is
+//!   charged to every rank identically. Delivered data is the retransmitted
+//!   — correct — copy, which is what keeps faulted runs bit-identical in
+//!   their *results* while differing in cost and counters.
+//! * **Straggler** ([`StragglerSpec`]) — one rank runs slow over a window
+//!   of collectives: its time since the previous collective is inflated by
+//!   a multiplier before it publishes its entry clock, so every peer waits
+//!   for it under the usual max-sync rule.
+//!
+//! With [`MachineCfg::fault`](crate::MachineCfg::fault) set to `None` the
+//! fault layer is strictly free: no checks beyond one `Option` test, no
+//! charges, byte-for-byte identical simulated costs to a build without it.
+
+use std::sync::Arc;
+
+/// Where a crash fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// First collective entered after the program marked this tree level
+    /// via [`Comm::mark_level`](crate::Comm::mark_level).
+    Level(u32),
+    /// The `n`-th collective of the run (1-based; level-independent —
+    /// setup and presort collectives count too).
+    CollSeq(u64),
+}
+
+/// Fail-stop crash of one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The rank that dies (reported in the [`CrashSignal`]; the machine
+    /// aborts as a whole either way).
+    pub rank: usize,
+    /// When it dies.
+    pub at: CrashPoint,
+}
+
+/// What happens to a collective payload in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The payload never arrives; detected by timeout, recovered by a
+    /// retransmission. Costs a timeout plus one retry of the collective.
+    Drop,
+    /// The payload arrives with a CRC mismatch; detected immediately,
+    /// recovered by one retransmission. Costs one retry of the collective.
+    Corrupt,
+}
+
+/// One dropped/corrupted collective message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommFault {
+    /// Collective sequence number (1-based) the fault hits.
+    pub at_seq: u64,
+    /// Drop or corrupt.
+    pub kind: FaultKind,
+}
+
+/// Straggler window: `rank` is slowed by `slowdown_milli / 1000` over
+/// collectives `from_seq ..= to_seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StragglerSpec {
+    /// The slow rank.
+    pub rank: usize,
+    /// First collective (1-based, inclusive) of the slow window.
+    pub from_seq: u64,
+    /// Last collective (inclusive) of the slow window.
+    pub to_seq: u64,
+    /// Slowdown multiplier in thousandths (`1500` = 1.5×). Values at or
+    /// below `1000` mean "not slow" and charge nothing.
+    pub slowdown_milli: u64,
+}
+
+impl StragglerSpec {
+    /// Extra nanoseconds charged at a collective entry, given the virtual
+    /// time this rank spent since its previous collective. Integer
+    /// arithmetic on the virtual clock — deterministic by construction.
+    pub fn extra_ns(&self, elapsed_ns: u64) -> u64 {
+        let over = self.slowdown_milli.saturating_sub(1000);
+        elapsed_ns.saturating_mul(over) / 1000
+    }
+}
+
+/// A seeded, replayable fault schedule. See the module docs for semantics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Fail-stop crashes. The earliest matching spec fires (the machine
+    /// dies with it, so at most one fires per attempt).
+    pub crashes: Vec<CrashSpec>,
+    /// Dropped/corrupted collective payloads, any order.
+    pub comm_faults: Vec<CommFault>,
+    /// Straggler windows, any order.
+    pub stragglers: Vec<StragglerSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; still exercises the fault code path).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// This plan with a crash of `rank` at `at` added.
+    pub fn with_crash(mut self, rank: usize, at: CrashPoint) -> FaultPlan {
+        self.crashes.push(CrashSpec { rank, at });
+        self
+    }
+
+    /// This plan with a drop/corrupt fault at collective `at_seq` added.
+    pub fn with_comm_fault(mut self, at_seq: u64, kind: FaultKind) -> FaultPlan {
+        self.comm_faults.push(CommFault { at_seq, kind });
+        self
+    }
+
+    /// This plan with a straggler window added.
+    pub fn with_straggler(
+        mut self,
+        rank: usize,
+        from_seq: u64,
+        to_seq: u64,
+        slowdown_milli: u64,
+    ) -> FaultPlan {
+        self.stragglers.push(StragglerSpec {
+            rank,
+            from_seq,
+            to_seq,
+            slowdown_milli,
+        });
+        self
+    }
+
+    /// Seeded message-fault schedule: each of the first `horizon`
+    /// collectives is independently hit with probability
+    /// `rate_permille / 1000`, alternating deterministically between drop
+    /// and corrupt. Same seed → same schedule, forever.
+    pub fn random_comm(seed: u64, rate_permille: u64, horizon: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for seq in 1..=horizon {
+            if rng.next() % 1000 < rate_permille {
+                let kind = if rng.next().is_multiple_of(2) {
+                    FaultKind::Drop
+                } else {
+                    FaultKind::Corrupt
+                };
+                plan.comm_faults.push(CommFault { at_seq: seq, kind });
+            }
+        }
+        plan
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.comm_faults.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// This plan minus crash spec `idx` — what a recovery driver runs after
+    /// that crash has fired (the failed rank has been replaced; the rest of
+    /// the schedule still applies).
+    pub fn without_crash(&self, idx: usize) -> FaultPlan {
+        let mut plan = self.clone();
+        if idx < plan.crashes.len() {
+            plan.crashes.remove(idx);
+        }
+        plan
+    }
+
+    /// The earliest-indexed crash spec matching this collective, if any.
+    /// All ranks evaluate this with identical `(seq, level)` arguments, so
+    /// all agree.
+    pub fn crash_at(&self, seq: u64, level: u32) -> Option<(usize, &CrashSpec)> {
+        self.crashes.iter().enumerate().find(|(_, c)| match c.at {
+            CrashPoint::CollSeq(s) => s == seq,
+            CrashPoint::Level(l) => level == l,
+        })
+    }
+
+    /// The message fault hitting collective `seq`, if any.
+    pub fn comm_fault_at(&self, seq: u64) -> Option<&CommFault> {
+        self.comm_faults.iter().find(|f| f.at_seq == seq)
+    }
+
+    /// Extra straggler nanoseconds for `rank` at collective `seq`, given
+    /// the virtual time elapsed since its previous collective.
+    pub fn straggler_extra(&self, rank: usize, seq: u64, elapsed_ns: u64) -> u64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.rank == rank && (s.from_seq..=s.to_seq).contains(&seq))
+            .map(|s| s.extra_ns(elapsed_ns))
+            .sum()
+    }
+
+    /// CRC-32 fingerprint of the plan (order-sensitive), so logs and
+    /// metrics can name the exact schedule a run used.
+    pub fn fingerprint(&self) -> u32 {
+        let mut bytes = Vec::new();
+        for c in &self.crashes {
+            bytes.extend_from_slice(&(c.rank as u64).to_le_bytes());
+            match c.at {
+                CrashPoint::Level(l) => {
+                    bytes.push(0);
+                    bytes.extend_from_slice(&u64::from(l).to_le_bytes());
+                }
+                CrashPoint::CollSeq(s) => {
+                    bytes.push(1);
+                    bytes.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+        }
+        for f in &self.comm_faults {
+            bytes.extend_from_slice(&f.at_seq.to_le_bytes());
+            bytes.push(match f.kind {
+                FaultKind::Drop => 2,
+                FaultKind::Corrupt => 3,
+            });
+        }
+        for s in &self.stragglers {
+            bytes.extend_from_slice(&(s.rank as u64).to_le_bytes());
+            bytes.extend_from_slice(&s.from_seq.to_le_bytes());
+            bytes.extend_from_slice(&s.to_seq.to_le_bytes());
+            bytes.extend_from_slice(&s.slowdown_milli.to_le_bytes());
+        }
+        crc32(&bytes)
+    }
+}
+
+/// The panic payload carried by a machine-level crash. Raised on every rank
+/// at the same collective (see the module docs for why) and caught by
+/// [`try_run`](crate::try_run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSignal {
+    /// The rank the plan killed.
+    pub rank: usize,
+    /// Collective sequence number at which it died.
+    pub coll_seq: u64,
+    /// Name of the collective it died entering.
+    pub coll: &'static str,
+    /// Tree level the program had marked (`u32::MAX` before the first
+    /// [`Comm::mark_level`](crate::Comm::mark_level) call).
+    pub level: u32,
+    /// Index of the firing spec in [`FaultPlan::crashes`].
+    pub spec: usize,
+}
+
+/// A machine run aborted by an injected crash: which rank died where, plus
+/// the partial per-rank statistics of the aborted attempt (the work and
+/// communication a recovery layer re-pays).
+#[derive(Debug)]
+pub struct Crash {
+    /// The crash that fired.
+    pub signal: CrashSignal,
+    /// Per-rank statistics accumulated up to the crash point.
+    pub stats: crate::RunStats,
+}
+
+/// A plan behind an `Arc` so the machine config stays cheaply cloneable.
+pub type FaultPlanRef = Arc<FaultPlan>;
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — small and table-free; fault
+/// detection and plan fingerprinting are far off any hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// SplitMix64: tiny, seedable, and stable across platforms — all the plan
+/// generator needs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_comm_is_replayable() {
+        let a = FaultPlan::random_comm(42, 100, 500);
+        let b = FaultPlan::random_comm(42, 100, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = FaultPlan::random_comm(43, 100, 500);
+        assert_ne!(a, c, "different seeds must differ");
+        // Rate 100/1000 over 500 collectives: roughly 50 faults.
+        assert!(a.comm_faults.len() > 20 && a.comm_faults.len() < 100);
+        // Zero rate injects nothing.
+        assert!(FaultPlan::random_comm(1, 0, 500).is_empty());
+    }
+
+    #[test]
+    fn crash_matching() {
+        let plan = FaultPlan::new()
+            .with_crash(2, CrashPoint::Level(3))
+            .with_crash(0, CrashPoint::CollSeq(7));
+        assert_eq!(plan.crash_at(7, u32::MAX).unwrap().0, 1);
+        assert_eq!(plan.crash_at(1, 3).unwrap().1.rank, 2);
+        assert!(plan.crash_at(1, 0).is_none());
+        let without = plan.without_crash(0);
+        assert!(without.crash_at(1, 3).is_none());
+        assert!(without.crash_at(7, u32::MAX).is_some());
+    }
+
+    #[test]
+    fn straggler_extra_is_proportional() {
+        let s = StragglerSpec {
+            rank: 1,
+            from_seq: 1,
+            to_seq: 10,
+            slowdown_milli: 1500,
+        };
+        assert_eq!(s.extra_ns(1000), 500);
+        assert_eq!(s.extra_ns(0), 0);
+        // Multiplier ≤ 1× charges nothing.
+        let none = StragglerSpec {
+            slowdown_milli: 1000,
+            ..s
+        };
+        assert_eq!(none.extra_ns(1000), 0);
+        let plan = FaultPlan::new().with_straggler(1, 5, 8, 2000);
+        assert_eq!(plan.straggler_extra(1, 6, 100), 100);
+        assert_eq!(plan.straggler_extra(1, 9, 100), 0, "outside window");
+        assert_eq!(plan.straggler_extra(0, 6, 100), 0, "other rank");
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

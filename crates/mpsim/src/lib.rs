@@ -42,13 +42,17 @@
 pub mod clock;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod stats;
 
 pub use comm::Comm;
 pub use cost::CostModel;
-pub use machine::{run, MachineCfg, RunResult, TimingMode};
+pub use fault::{
+    CommFault, Crash, CrashPoint, CrashSignal, CrashSpec, FaultKind, FaultPlan, StragglerSpec,
+};
+pub use machine::{run, try_run, MachineCfg, RunResult, TimingMode};
 pub use mem::MemTracker;
 pub use stats::{RankStats, RunStats};
 

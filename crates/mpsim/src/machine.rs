@@ -10,6 +10,7 @@ use crate::clock::SimClock;
 pub use crate::clock::TimingMode;
 use crate::comm::Comm;
 use crate::cost::CostModel;
+use crate::fault::{Crash, CrashSignal, FaultPlan};
 use crate::mem::MemTracker;
 use crate::stats::{RankStats, RunStats};
 
@@ -37,6 +38,12 @@ pub struct MachineCfg {
     /// segment effects — simulated results are byte-identical to a build
     /// without the recorder.
     pub trace: Option<obs::TraceConfig>,
+    /// Deterministic fault schedule injected inside the collectives (see
+    /// [`crate::fault`]). `None` (the default) is strictly free: one
+    /// `Option` check per collective, no charges, byte-identical simulated
+    /// costs to a build without the fault layer. Plans with crashes must be
+    /// run through [`try_run`]; [`run`] panics if one fires.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl MachineCfg {
@@ -49,6 +56,7 @@ impl MachineCfg {
             compute_tokens: 0,
             replay: None,
             trace: None,
+            fault: None,
         }
     }
 
@@ -61,6 +69,7 @@ impl MachineCfg {
             compute_tokens: 0,
             replay: None,
             trace: None,
+            fault: None,
         }
     }
 
@@ -310,11 +319,46 @@ pub struct RunResult<T> {
     pub stats: RunStats,
 }
 
+/// How one rank thread ended.
+enum RankEnd<T> {
+    /// Normal completion.
+    Done(T, RankStats),
+    /// Unwound with an injected [`CrashSignal`]; statistics cover the work
+    /// up to the crash point.
+    Crashed(CrashSignal, RankStats),
+    /// Unwound with an ordinary panic — a real bug, re-raised by the driver.
+    Panicked(Box<dyn Any + Send>),
+}
+
 /// Run `f` as an SPMD program on `cfg.procs` virtual processors.
 ///
 /// `f` is invoked once per rank with that rank's [`Comm`] handle. The
 /// returned outputs are ordered by rank. Panics in any rank propagate.
+/// A crash injected by [`MachineCfg::fault`] panics too — use [`try_run`]
+/// to observe crashes as values.
 pub fn run<T, F>(cfg: &MachineCfg, f: F) -> RunResult<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    match try_run(cfg, f) {
+        Ok(result) => result,
+        Err(crash) => panic!(
+            "mpsim: injected crash of rank {} at collective #{} ({}, level {}); \
+             use try_run to handle crashes",
+            crash.signal.rank, crash.signal.coll_seq, crash.signal.coll, crash.signal.level
+        ),
+    }
+}
+
+/// Run `f` as an SPMD program, reporting an injected rank crash as an
+/// `Err(Crash)` value instead of panicking.
+///
+/// An injected crash is machine-wide (see [`crate::fault`]): every rank
+/// unwinds at the same collective, and the returned [`Crash`] carries the
+/// per-rank statistics accumulated up to that point — the wasted work a
+/// recovery driver re-pays. Ordinary panics in `f` still propagate.
+pub fn try_run<T, F>(cfg: &MachineCfg, f: F) -> Result<RunResult<T>, Crash>
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
@@ -352,10 +396,13 @@ where
         if let Some(replay) = &cfg.replay {
             comm.set_replay(Arc::new(replay[rank].clone()));
         }
+        if let Some(fault) = &cfg.fault {
+            comm.set_fault_plan(Arc::clone(fault));
+        }
         rank_ctx.push(Some(comm));
     }
 
-    let mut results: Vec<Option<(T, RankStats)>> = (0..p).map(|_| None).collect();
+    let mut results: Vec<Option<RankEnd<T>>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, (ctx, out)) in rank_ctx.iter_mut().zip(results.iter_mut()).enumerate() {
@@ -367,30 +414,58 @@ where
                     .spawn_scoped(scope, move || {
                         comm.pin_worker();
                         comm.begin();
-                        let value = fref(&mut comm);
-                        let stats = comm.finish();
-                        *out = Some((value, stats));
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            fref(&mut comm)
+                        }));
+                        *out = Some(match caught {
+                            Ok(value) => RankEnd::Done(value, comm.finish()),
+                            Err(payload) => match payload.downcast::<CrashSignal>() {
+                                // A crash stops compute and releases tokens
+                                // before unwinding, so the partial statistics
+                                // are still collectable.
+                                Ok(sig) => RankEnd::Crashed(*sig, comm.finish()),
+                                Err(other) => RankEnd::Panicked(other),
+                            },
+                        });
+                        // Hand the comm back so point-to-point channels stay
+                        // open until every rank has finished: a rank still
+                        // sending must not observe a crashed peer's closed
+                        // channel (which would panic with a channel error
+                        // instead of its own crash signal).
+                        comm
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
+        let mut comms = Vec::with_capacity(p);
         for h in handles {
-            if let Err(e) = h.join() {
-                std::panic::resume_unwind(e);
+            match h.join() {
+                Ok(comm) => comms.push(comm),
+                Err(e) => std::panic::resume_unwind(e),
             }
         }
     });
 
     let mut outputs = Vec::with_capacity(p);
     let mut ranks = Vec::with_capacity(p);
-    for slot in results {
-        let (v, s) = slot.expect("rank produced no output");
-        outputs.push(v);
-        ranks.push(s);
+    let mut crash: Option<CrashSignal> = None;
+    for slot in &mut results {
+        match slot.take().expect("rank produced no output") {
+            RankEnd::Done(v, s) => {
+                outputs.push(v);
+                ranks.push(s);
+            }
+            RankEnd::Crashed(sig, s) => {
+                crash.get_or_insert(sig);
+                ranks.push(s);
+            }
+            RankEnd::Panicked(payload) => std::panic::resume_unwind(payload),
+        }
     }
-    RunResult {
-        outputs,
-        stats: RunStats { ranks },
+    let stats = RunStats { ranks };
+    match crash {
+        Some(signal) => Err(Crash { signal, stats }),
+        None => Ok(RunResult { outputs, stats }),
     }
 }
 
@@ -455,6 +530,169 @@ mod tests {
             // deadlocks instead of propagating. Plain return is fine.
             0
         });
+    }
+
+    #[test]
+    fn injected_crash_is_reported_with_partial_stats() {
+        use crate::fault::{CrashPoint, FaultPlan};
+        let mut cfg = MachineCfg::new(4);
+        cfg.cost = CostModel::t3d();
+        cfg.fault = Some(Arc::new(
+            FaultPlan::new().with_crash(2, CrashPoint::CollSeq(3)),
+        ));
+        let r = try_run(&cfg, |c| {
+            for _ in 0..10 {
+                c.allreduce(1u64, |a, b| *a += *b);
+            }
+            0u64
+        });
+        let crash = r.expect_err("crash must surface as Err");
+        assert_eq!(crash.signal.rank, 2);
+        assert_eq!(crash.signal.coll_seq, 3);
+        assert_eq!(crash.signal.level, u32::MAX, "no level was marked");
+        // Partial statistics cover the two completed collectives on every
+        // rank: clocks advanced, payload bytes were sent.
+        assert_eq!(crash.stats.procs(), 4);
+        for rs in &crash.stats.ranks {
+            assert!(rs.clock_ns > 0);
+            assert_eq!(rs.bytes_sent, 16, "two allreduces of one u64");
+        }
+    }
+
+    #[test]
+    fn crash_at_marked_level_fires_on_every_rank() {
+        use crate::fault::{CrashPoint, FaultPlan};
+        let mut cfg = MachineCfg::new(2);
+        cfg.fault = Some(Arc::new(
+            FaultPlan::new().with_crash(0, CrashPoint::Level(1)),
+        ));
+        let r = try_run(&cfg, |c| {
+            for level in 0..4u32 {
+                c.mark_level(level);
+                c.barrier();
+            }
+        });
+        let crash = r.expect_err("level-keyed crash must fire");
+        assert_eq!(crash.signal.level, 1);
+        assert_eq!(crash.signal.coll_seq, 2, "second barrier");
+    }
+
+    #[test]
+    fn unmatched_fault_plan_run_completes_with_identical_costs() {
+        use crate::fault::FaultPlan;
+        let body = |c: &mut Comm| {
+            for _ in 0..5 {
+                c.allreduce(2u64, |a, b| *a += *b);
+            }
+            c.barrier();
+        };
+        let mut plain = MachineCfg::new(4);
+        plain.cost = CostModel::t3d();
+        let mut armed = plain.clone();
+        // A plan whose crash point is past the end of the program: the
+        // fault layer is exercised on every collective but never fires.
+        armed.fault = Some(Arc::new(
+            FaultPlan::new().with_crash(0, crate::fault::CrashPoint::CollSeq(1000)),
+        ));
+        let a = run(&plain, body);
+        let b = try_run(&armed, body).expect("no fault fires");
+        for (x, y) in a.stats.ranks.iter().zip(&b.stats.ranks) {
+            assert_eq!(x.clock_ns, y.clock_ns);
+            assert_eq!(x.comm_ns, y.comm_ns);
+            assert_eq!(x.bytes_sent, y.bytes_sent);
+            assert_eq!(y.retransmits, 0);
+            assert_eq!(y.fault_delay_ns, 0);
+        }
+    }
+
+    #[test]
+    fn drop_and_corrupt_charge_identically_on_all_ranks() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let body = |c: &mut Comm| {
+            for _ in 0..4 {
+                c.allreduce(3u64, |a, b| *a += *b);
+            }
+        };
+        let mut clean = MachineCfg::new(4);
+        clean.cost = CostModel::t3d();
+        let mut faulty = clean.clone();
+        faulty.fault = Some(Arc::new(
+            FaultPlan::new()
+                .with_comm_fault(2, FaultKind::Corrupt)
+                .with_comm_fault(3, FaultKind::Drop),
+        ));
+        let a = run(&clean, body);
+        let b = run(&faulty, body);
+        // Results identical (retransmission delivers the correct copy);
+        // costs strictly higher; counters identical across ranks.
+        let delay = b.stats.ranks[0].fault_delay_ns;
+        assert!(delay > 0);
+        for (x, y) in a.stats.ranks.iter().zip(&b.stats.ranks) {
+            assert_eq!(y.retransmits, 2);
+            assert_eq!(y.resent_bytes, 16, "two faulted allreduces of one u64 each");
+            assert_eq!(y.fault_delay_ns, delay);
+            assert_eq!(y.clock_ns, x.clock_ns + delay);
+            assert_eq!(y.bytes_sent, x.bytes_sent, "logical traffic unchanged");
+        }
+        // Determinism: the same plan replays to identical counters.
+        let c2 = run(&faulty, body);
+        for (x, y) in b.stats.ranks.iter().zip(&c2.stats.ranks) {
+            assert_eq!(x.clock_ns, y.clock_ns);
+            assert_eq!(x.fault_delay_ns, y.fault_delay_ns);
+        }
+    }
+
+    #[test]
+    fn straggler_slows_one_rank_and_everyone_waits() {
+        use crate::fault::FaultPlan;
+        let body = |c: &mut Comm| {
+            for _ in 0..3 {
+                c.charge_compute(1000);
+                c.barrier();
+            }
+        };
+        let mut clean = MachineCfg::new(2);
+        clean.cost = CostModel::t3d();
+        let mut slow = clean.clone();
+        // Rank 1 runs at 2× cost over the whole run.
+        slow.fault = Some(Arc::new(FaultPlan::new().with_straggler(1, 1, 100, 2000)));
+        let a = run(&clean, body);
+        let b = run(&slow, body);
+        assert!(b.stats.time_ns() > a.stats.time_ns());
+        assert_eq!(b.stats.ranks[0].retransmits, 0);
+        assert!(b.stats.ranks[1].fault_delay_ns >= 3000, "3×1000ns doubled");
+        // Max-sync: both ranks end at the same clock, waiting on the slow one.
+        assert_eq!(b.stats.ranks[0].clock_ns, b.stats.ranks[1].clock_ns);
+    }
+
+    #[test]
+    fn traced_fault_run_logs_events_deterministically() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let body = |c: &mut Comm| {
+            for _ in 0..4 {
+                c.allreduce(1u64, |a, b| *a += *b);
+            }
+        };
+        let mut cfg = MachineCfg::new(2).traced();
+        cfg.cost = CostModel::t3d();
+        cfg.fault = Some(Arc::new(
+            FaultPlan::new()
+                .with_comm_fault(2, FaultKind::Drop)
+                .with_straggler(1, 3, 3, 3000),
+        ));
+        let a = run(&cfg, body);
+        let b = run(&cfg, body);
+        let ta = a.stats.traces().unwrap();
+        let tb = b.stats.traces().unwrap();
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x.faults, y.faults, "fault-event log must replay exactly");
+        }
+        // Rank 0 sees the drop; rank 1 sees the drop and its own slowdown.
+        assert_eq!(ta[0].faults.len(), 1);
+        assert_eq!(ta[0].faults[0].kind, "drop");
+        assert_eq!(ta[0].faults[0].coll_seq, 2);
+        assert_eq!(ta[1].faults.len(), 2);
+        assert!(ta[1].faults.iter().any(|f| f.kind == "straggler"));
     }
 
     #[test]

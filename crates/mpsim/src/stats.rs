@@ -34,6 +34,15 @@ pub struct RankStats {
     /// The rank's observability trace; `Some` iff the run was configured
     /// with [`crate::MachineCfg::trace`].
     pub trace: Option<obs::RankTrace>,
+    /// Collectives re-run after a detected drop/corrupt fault (see
+    /// [`crate::fault`]); zero when no fault plan is set.
+    pub retransmits: u64,
+    /// Payload bytes this rank re-sent in those retransmissions (not
+    /// included in `bytes_sent`, which counts logical traffic only).
+    pub resent_bytes: u64,
+    /// Virtual nanoseconds lost to injected faults (straggler slowdown +
+    /// retransmission cost); included in `comm_ns`.
+    pub fault_delay_ns: u64,
 }
 
 impl RankStats {
@@ -114,6 +123,25 @@ impl RunStats {
         self.ranks.iter().map(|r| r.comm_ns).max().unwrap_or(0)
     }
 
+    /// Total collective retransmissions across ranks (injected faults).
+    pub fn total_retransmits(&self) -> u64 {
+        self.ranks.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// Total payload bytes re-sent after injected faults, across ranks.
+    pub fn total_resent_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.resent_bytes).sum()
+    }
+
+    /// Maximum per-rank virtual time lost to injected faults.
+    pub fn max_fault_delay_ns(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.fault_delay_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Speedup of this run relative to a baseline run (typically `p = 1`).
     ///
     /// Zero-time runs (empty machines, configs that charge nothing) would
@@ -160,6 +188,9 @@ mod tests {
             mem_categories: vec![],
             segments: vec![],
             trace: None,
+            retransmits: 0,
+            resent_bytes: 0,
+            fault_delay_ns: 0,
         }
     }
 

@@ -11,6 +11,9 @@ use crate::recorder::RankTrace;
 pub const TID_PHASES: u64 = 0;
 /// Thread id of communication events within a rank's process.
 pub const TID_COMM: u64 = 1;
+/// Thread id of injected fault events within a rank's process (present
+/// only when the rank observed faults).
+pub const TID_FAULTS: u64 = 2;
 
 fn micros(ns: u64) -> Json {
     // Exact: 1 ns = 0.001 µs, and f64 holds ns counts < 2^53 exactly.
@@ -120,6 +123,30 @@ pub fn chrome_trace(traces: &[&RankTrace]) -> String {
                     ("comm_ns".into(), Json::U64(e.comm_ns)),
                 ],
             ));
+        }
+        // Injected faults get their own lane so the delay they add is
+        // visible against the phase/collective timelines; the lane (and its
+        // name) only exists on ranks that observed faults.
+        if !t.faults.is_empty() {
+            events.push(metadata_event(
+                "thread_name",
+                rank,
+                Some(TID_FAULTS),
+                "faults",
+            ));
+            for f in &t.faults {
+                events.push(complete_event(
+                    f.kind,
+                    rank,
+                    TID_FAULTS,
+                    f.start_ns,
+                    f.start_ns + f.delay_ns,
+                    vec![
+                        ("coll_seq".into(), Json::U64(f.coll_seq)),
+                        ("delay_ns".into(), Json::U64(f.delay_ns)),
+                    ],
+                ));
+            }
         }
     }
     Json::Obj(vec![

@@ -32,4 +32,6 @@ pub use json::Json;
 pub use metrics::{
     rollup_rank, CommMatrix, MetricsDoc, PhaseRollup, RankRollup, RankTotals, METRICS_SCHEMA,
 };
-pub use recorder::{CollRec, Counters, Deltas, RankTrace, Recorder, SpanRec, TraceConfig};
+pub use recorder::{
+    CollRec, Counters, Deltas, FaultRec, RankTrace, Recorder, SpanRec, TraceConfig,
+};

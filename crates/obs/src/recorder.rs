@@ -104,6 +104,22 @@ pub struct CollRec {
     pub comm_ns: u64,
 }
 
+/// One injected fault observed by a rank (straggler delay, detected
+/// drop/corrupt retransmission). Crashes never appear here: a crashed
+/// attempt's trace dies with the machine; fault logs come from runs that
+/// survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRec {
+    /// Fault kind (`"straggler"`, `"drop"`, `"corrupt"`).
+    pub kind: &'static str,
+    /// 1-based collective sequence number the fault hit.
+    pub coll_seq: u64,
+    /// Virtual-clock start of the injected delay, ns.
+    pub start_ns: u64,
+    /// Injected delay, ns.
+    pub delay_ns: u64,
+}
+
 /// Everything one rank recorded; lives in `RankStats::trace` after a run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankTrace {
@@ -121,10 +137,14 @@ pub struct RankTrace {
     pub sent_to: Vec<u64>,
     /// Bytes this rank received, by source; diagonal as for `sent_to`.
     pub recv_from: Vec<u64>,
+    /// Injected fault events in occurrence order.
+    pub faults: Vec<FaultRec>,
     /// Spans dropped because `span_capacity` was reached.
     pub dropped_spans: u64,
     /// Events dropped because `coll_capacity` was reached.
     pub dropped_colls: u64,
+    /// Fault events dropped because `fault_capacity` was reached.
+    pub dropped_faults: u64,
     /// Spans still open at `finish` (0 in correct instrumentation; closed
     /// forcibly at the final counters and counted here).
     pub unclosed_spans: usize,
@@ -138,6 +158,9 @@ pub struct TraceConfig {
     /// Maximum communication events retained per rank; extras are dropped
     /// and counted. Per-peer byte attribution is never dropped.
     pub coll_capacity: usize,
+    /// Maximum injected-fault events retained per rank; extras are dropped
+    /// and counted.
+    pub fault_capacity: usize,
 }
 
 impl Default for TraceConfig {
@@ -145,6 +168,7 @@ impl Default for TraceConfig {
         TraceConfig {
             span_capacity: 1 << 14,
             coll_capacity: 1 << 16,
+            fault_capacity: 1 << 12,
         }
     }
 }
@@ -198,8 +222,10 @@ impl Recorder {
                 colls: Vec::with_capacity(cfg.coll_capacity),
                 sent_to: vec![0; procs],
                 recv_from: vec![0; procs],
+                faults: Vec::with_capacity(cfg.fault_capacity),
                 dropped_spans: 0,
                 dropped_colls: 0,
+                dropped_faults: 0,
                 unclosed_spans: 0,
             },
             open: Vec::with_capacity(32),
@@ -299,6 +325,25 @@ impl Recorder {
         }
     }
 
+    /// Record one injected fault (straggler delay or detected
+    /// drop/corrupt retransmission) spanning
+    /// `start_ns → start_ns + delay_ns`.
+    pub fn fault(&mut self, kind: &'static str, coll_seq: u64, start_ns: u64, delay_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.trace.faults.len() < self.trace.faults.capacity() {
+            self.trace.faults.push(FaultRec {
+                kind,
+                coll_seq,
+                start_ns,
+                delay_ns,
+            });
+        } else {
+            self.trace.dropped_faults += 1;
+        }
+    }
+
     /// Attribute `bytes` sent to peer `dst`.
     #[inline]
     pub fn sent(&mut self, dst: usize, bytes: u64) {
@@ -373,6 +418,7 @@ mod tests {
         assert_eq!(r.trace.colls.capacity(), 0);
         assert_eq!(r.trace.sent_to.capacity(), 0);
         assert_eq!(r.trace.recv_from.capacity(), 0);
+        assert_eq!(r.trace.faults.capacity(), 0);
         assert_eq!(r.open.capacity(), 0);
         r.span_begin("phase", 3, c(0, 0, 0, 0, 0, 0));
         r.collective("allreduce", c(0, 0, 0, 0, 0, 0), c(9, 0, 9, 8, 8, 0));
@@ -380,8 +426,10 @@ mod tests {
         r.recv(0, 100);
         r.sent_aggregate(7);
         r.recv_aggregate(7);
+        r.fault("drop", 1, 0, 9);
         r.span_end(c(10, 5, 5, 8, 8, 0));
         assert_eq!(r.trace.spans.capacity(), 0);
+        assert_eq!(r.trace.faults.capacity(), 0);
         assert!(r.finish(c(10, 5, 5, 8, 8, 0)).is_none());
     }
 
@@ -434,6 +482,7 @@ mod tests {
         let cfg = TraceConfig {
             span_capacity: 2,
             coll_capacity: 1,
+            fault_capacity: 1,
         };
         let mut r = Recorder::enabled(0, 2, cfg);
         for i in 0..4 {
@@ -442,6 +491,7 @@ mod tests {
             r.span_begin("s", 0, t0);
             r.span_end(t1);
             r.collective("barrier", t1, t1);
+            r.fault("corrupt", i + 1, i * 10, 1);
         }
         let t = r.finish(c(100, 100, 0, 0, 0, 0)).unwrap();
         assert_eq!(t.spans.len(), 2);
@@ -450,6 +500,9 @@ mod tests {
         assert_eq!(t.colls.len(), 1);
         assert_eq!(t.colls.capacity(), 1);
         assert_eq!(t.dropped_colls, 3);
+        assert_eq!(t.faults.len(), 1);
+        assert_eq!(t.faults.capacity(), 1);
+        assert_eq!(t.dropped_faults, 3);
     }
 
     #[test]

@@ -16,9 +16,32 @@
 //! Latency is measured enqueue → completion (it includes queue wait — the
 //! figure a client observes), and throughput is records scored over the
 //! span from first enqueue to last completion.
+//!
+//! # Degradation under faults and overload
+//!
+//! Three hardening layers keep an unhealthy server answering instead of
+//! collapsing, each surfaced as a counter in [`StatsReport`]:
+//!
+//! * **Deadlines** — with [`ServeConfig::deadline`] set, a request whose
+//!   queue wait has already blown the deadline when a worker picks it up is
+//!   answered immediately with [`ResponseStatus::TimedOut`] (no scoring):
+//!   under overload, stale work is discarded rather than allowed to delay
+//!   fresh work further.
+//! * **Bounded retry** — a transiently failing scoring attempt (injected
+//!   via [`Server::inject_failures`]; real deployments would map I/O or
+//!   accelerator hiccups here) is retried up to
+//!   [`ServeConfig::max_retries`] times with exponential backoff, then
+//!   answered [`ResponseStatus::Failed`] — an error is a response, not a
+//!   hang.
+//! * **Degraded mode** — when the queue reaches
+//!   [`ServeConfig::shed_high`], the server sheds *all* new submissions
+//!   ([`SubmitError::Degraded`]) until the queue drains to
+//!   [`ServeConfig::shed_low`]; the hysteresis gap prevents flapping at
+//!   the boundary.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -35,6 +58,23 @@ pub struct ServeConfig {
     /// Maximum pending (accepted, not yet started) requests; submissions
     /// beyond this are rejected with [`SubmitError::QueueFull`].
     pub queue_depth: usize,
+    /// Per-request deadline, measured from enqueue. A request picked up
+    /// after its deadline is answered [`ResponseStatus::TimedOut`] without
+    /// being scored. `None` (the default) disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Retries per request on transient scoring failure before answering
+    /// [`ResponseStatus::Failed`].
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+    /// Queue length at which the server enters degraded mode and sheds all
+    /// new submissions ([`SubmitError::Degraded`]). `None` (the default)
+    /// disables degraded mode.
+    pub shed_high: Option<usize>,
+    /// Queue length the degraded server must drain to before accepting
+    /// again. Keep below `shed_high` — the hysteresis gap stops the mode
+    /// from flapping at the boundary.
+    pub shed_low: usize,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +82,11 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_depth: 64,
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            shed_high: None,
+            shed_low: 0,
         }
     }
 }
@@ -57,6 +102,17 @@ pub struct Request {
     pub hi: usize,
 }
 
+/// How a [`Request`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Scored; `predictions` holds one class per record.
+    Ok,
+    /// Deadline expired in the queue; the batch was never scored.
+    TimedOut,
+    /// Every retry hit a transient failure; the batch was not scored.
+    Failed,
+}
+
 /// Answer to one [`Request`].
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -64,6 +120,8 @@ pub struct Response {
     pub lo: usize,
     /// Echo of the request's record range.
     pub hi: usize,
+    /// How the request ended; `predictions` is empty unless `Ok`.
+    pub status: ResponseStatus,
     /// Predicted class per record of the range.
     pub predictions: Vec<u8>,
     /// Enqueue-to-completion latency of this request.
@@ -75,6 +133,9 @@ pub struct Response {
 pub enum SubmitError {
     /// The pending queue is at `queue_depth`; shed load and retry later.
     QueueFull,
+    /// Degraded mode: the queue crossed [`ServeConfig::shed_high`] and has
+    /// not yet drained to [`ServeConfig::shed_low`].
+    Degraded,
     /// [`Server::shutdown`] has begun; no new work is accepted.
     ShuttingDown,
 }
@@ -83,6 +144,7 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "request queue full"),
+            SubmitError::Degraded => write!(f, "server degraded, shedding load"),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -135,6 +197,7 @@ impl Gate {
 struct State {
     queue: VecDeque<Job>,
     shutting_down: bool,
+    degraded: bool,
 }
 
 #[derive(Default)]
@@ -142,6 +205,10 @@ struct StatsInner {
     latencies_ns: Vec<u64>,
     records: u64,
     rejected: u64,
+    timeouts: u64,
+    retries: u64,
+    shed: u64,
+    failed: u64,
     first_enqueue: Option<Instant>,
     last_completion: Option<Instant>,
 }
@@ -152,6 +219,10 @@ struct Shared {
     job_ready: Condvar,
     stats: Mutex<StatsInner>,
     queue_depth: usize,
+    cfg: ServeConfig,
+    /// Pending injected transient failures: each scoring attempt that
+    /// successfully decrements this fails once (chaos/test hook).
+    fail_budget: AtomicU64,
 }
 
 /// The serving harness; see the module docs for the lifecycle.
@@ -168,10 +239,13 @@ impl Server {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutting_down: false,
+                degraded: false,
             }),
             job_ready: Condvar::new(),
             stats: Mutex::new(StatsInner::default()),
             queue_depth: cfg.queue_depth.max(1),
+            cfg,
+            fail_budget: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -200,10 +274,34 @@ impl Server {
         Ok(rx)
     }
 
+    /// Make the next `n` scoring attempts fail transiently (chaos/test
+    /// hook: the stand-in for I/O or accelerator hiccups). Each failed
+    /// attempt consumes one unit, so a request retried to success drains
+    /// several.
+    pub fn inject_failures(&self, n: u64) {
+        self.shared.fail_budget.fetch_add(n, Ordering::SeqCst);
+    }
+
     fn enqueue(&self, job: Job) -> Result<(), SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
         if state.shutting_down {
             return Err(SubmitError::ShuttingDown);
+        }
+        if let Some(high) = self.shared.cfg.shed_high {
+            // Hysteresis: trip at `high`, re-arm only once drained to
+            // `shed_low`.
+            if state.degraded {
+                if state.queue.len() <= self.shared.cfg.shed_low {
+                    state.degraded = false;
+                }
+            } else if state.queue.len() >= high {
+                state.degraded = true;
+            }
+            if state.degraded {
+                drop(state);
+                self.shared.stats.lock().unwrap().shed += 1;
+                return Err(SubmitError::Degraded);
+            }
         }
         if state.queue.len() >= self.shared.queue_depth {
             drop(state);
@@ -276,6 +374,57 @@ fn worker_loop(shared: &Shared) {
                 enqueued,
                 reply,
             } => {
+                // A request that already blew its deadline in the queue is
+                // answered without scoring: under overload, stale work is
+                // dropped rather than allowed to delay fresh work.
+                if let Some(deadline) = shared.cfg.deadline {
+                    if enqueued.elapsed() > deadline {
+                        shared.stats.lock().unwrap().timeouts += 1;
+                        let _ = reply.send(Response {
+                            lo: req.lo,
+                            hi: req.hi,
+                            status: ResponseStatus::TimedOut,
+                            predictions: Vec::new(),
+                            latency: enqueued.elapsed(),
+                        });
+                        continue;
+                    }
+                }
+
+                // Transient failures are retried with exponential backoff;
+                // exhausting the budget yields a Failed *response*, never a
+                // hang or a dead worker.
+                let mut attempt: u32 = 0;
+                let failed = loop {
+                    if take_injected_failure(shared) {
+                        if attempt >= shared.cfg.max_retries {
+                            break true;
+                        }
+                        let backoff = shared
+                            .cfg
+                            .retry_backoff
+                            .saturating_mul(1u32 << attempt.min(16));
+                        attempt += 1;
+                        shared.stats.lock().unwrap().retries += 1;
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        continue;
+                    }
+                    break false;
+                };
+                if failed {
+                    shared.stats.lock().unwrap().failed += 1;
+                    let _ = reply.send(Response {
+                        lo: req.lo,
+                        hi: req.hi,
+                        status: ResponseStatus::Failed,
+                        predictions: Vec::new(),
+                        latency: enqueued.elapsed(),
+                    });
+                    continue;
+                }
+
                 let mut predictions = vec![0u8; req.hi - req.lo];
                 shared
                     .tree
@@ -291,6 +440,7 @@ fn worker_loop(shared: &Shared) {
                 let _ = reply.send(Response {
                     lo: req.lo,
                     hi: req.hi,
+                    status: ResponseStatus::Ok,
                     predictions,
                     latency,
                 });
@@ -304,15 +454,31 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// One scoring attempt consumes one unit of the injected-failure budget.
+fn take_injected_failure(shared: &Shared) -> bool {
+    shared
+        .fail_budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
 /// Latency/throughput summary of a serving run.
 #[derive(Clone, Debug)]
 pub struct StatsReport {
-    /// Completed requests.
+    /// Completed (successfully scored) requests.
     pub requests: u64,
     /// Records scored across completed requests.
     pub records: u64,
     /// Submissions rejected by backpressure.
     pub rejected: u64,
+    /// Submissions shed in degraded mode.
+    pub shed: u64,
+    /// Accepted requests answered `TimedOut` (deadline blown in queue).
+    pub timeouts: u64,
+    /// Scoring retries after transient failures (attempts, not requests).
+    pub retries: u64,
+    /// Accepted requests answered `Failed` (retry budget exhausted).
+    pub failed: u64,
     /// Median enqueue-to-completion latency.
     pub p50: Duration,
     /// 99th-percentile enqueue-to-completion latency.
@@ -347,6 +513,10 @@ impl StatsReport {
             requests: inner.latencies_ns.len() as u64,
             records: inner.records,
             rejected: inner.rejected,
+            shed: inner.shed,
+            timeouts: inner.timeouts,
+            retries: inner.retries,
+            failed: inner.failed,
             p50: pct(0.50),
             p99: pct(0.99),
             elapsed,
@@ -359,10 +529,14 @@ impl fmt::Display for StatsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "serve: {} requests, {} records ({} rejected) | latency p50 {:.1}µs p99 {:.1}µs | {:.0} records/s",
+            "serve: {} requests, {} records ({} rejected, {} shed, {} timed out, {} failed, {} retries) | latency p50 {:.1}µs p99 {:.1}µs | {:.0} records/s",
             self.requests,
             self.records,
             self.rejected,
+            self.shed,
+            self.timeouts,
+            self.failed,
+            self.retries,
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
             self.records_per_sec,
@@ -423,6 +597,7 @@ mod tests {
             ServeConfig {
                 workers: 1,
                 queue_depth: 2,
+                ..ServeConfig::default()
             },
         );
         // Park the only worker so the queue cannot drain.
@@ -470,6 +645,7 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 queue_depth: 64,
+                ..ServeConfig::default()
             },
         );
         // Park both workers, fill the queue, then shut down: every accepted
@@ -524,6 +700,161 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.requests, 0);
         assert_eq!(report.records_per_sec, 0.0);
+    }
+
+    #[test]
+    fn deadline_blown_in_queue_times_out_without_scoring() {
+        let (flat, data) = compiled_fixture(29, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                deadline: Some(Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        // Park the only worker past the deadline, then submit.
+        let entered = Gate::new();
+        let release = Gate::new();
+        server
+            .enqueue(Job::Block {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            })
+            .unwrap();
+        entered.wait();
+        let rx = server
+            .submit(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        release.open();
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.status, ResponseStatus::TimedOut);
+        assert!(resp.predictions.is_empty());
+        assert!(resp.latency >= Duration::from_millis(1));
+        let report = server.shutdown();
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.requests, 0, "timed-out requests are not completions");
+        assert_eq!(report.records, 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let (flat, data) = compiled_fixture(31, 64);
+        let mut expect = vec![0u8; data.len()];
+        flat.predict_batch(&data, &mut expect);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                max_retries: 3,
+                retry_backoff: Duration::from_micros(10),
+                ..ServeConfig::default()
+            },
+        );
+        server.inject_failures(2);
+        let resp = server
+            .score_blocking(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        assert_eq!(&resp.predictions[..], &expect[..64]);
+        let report = server.shutdown();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_answer_failed() {
+        let (flat, data) = compiled_fixture(37, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                max_retries: 1,
+                retry_backoff: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        server.inject_failures(10);
+        let resp = server
+            .score_blocking(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        assert_eq!(resp.status, ResponseStatus::Failed);
+        assert!(resp.predictions.is_empty());
+        let report = server.shutdown();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.retries, 1, "one retry, then the budget is spent");
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn degraded_mode_sheds_until_drained() {
+        let (flat, data) = compiled_fixture(41, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                queue_depth: 64,
+                shed_high: Some(2),
+                shed_low: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let entered = Gate::new();
+        let release = Gate::new();
+        server
+            .enqueue(Job::Block {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            })
+            .unwrap();
+        entered.wait();
+        let req = || Request {
+            data: Arc::clone(&data),
+            lo: 0,
+            hi: 64,
+        };
+        let rx1 = server.submit(req()).unwrap();
+        let rx2 = server.submit(req()).unwrap();
+        // Queue length hit shed_high: degraded mode trips and holds even
+        // though queue_depth is far away.
+        assert_eq!(server.submit(req()).unwrap_err(), SubmitError::Degraded);
+        assert_eq!(server.submit(req()).unwrap_err(), SubmitError::Degraded);
+        release.open();
+        rx1.recv().unwrap();
+        rx2.recv().unwrap();
+        // Drained to shed_low: accepting again.
+        let rx3 = server.submit(req()).unwrap();
+        assert_eq!(rx3.recv().unwrap().status, ResponseStatus::Ok);
+        let report = server.shutdown();
+        assert_eq!(report.shed, 2);
+        assert_eq!(report.rejected, 0, "degraded sheds are counted separately");
+        assert_eq!(report.requests, 3);
+    }
+
+    #[test]
+    fn empty_report_has_zero_percentiles() {
+        let (flat, _) = compiled_fixture(43, 8);
+        let server = Server::start(flat, ServeConfig::default());
+        let report = server.shutdown();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.p50, Duration::ZERO);
+        assert_eq!(report.p99, Duration::ZERO);
+        assert_eq!(report.records_per_sec, 0.0);
+        assert_eq!(report.elapsed, Duration::ZERO);
     }
 
     #[test]

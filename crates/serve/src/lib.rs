@@ -28,4 +28,6 @@ pub mod harness;
 
 pub use dist::{score_distributed, DistScore};
 pub use dtree::flat::FlatTree;
-pub use harness::{Request, Response, ServeConfig, Server, StatsReport, SubmitError};
+pub use harness::{
+    Request, Response, ResponseStatus, ServeConfig, Server, StatsReport, SubmitError,
+};

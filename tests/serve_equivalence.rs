@@ -113,6 +113,7 @@ fn harness_scoring_matches_oracle_end_to_end() {
         ServeConfig {
             workers: 4,
             queue_depth: 128,
+            ..ServeConfig::default()
         },
     );
     let batch = 256;
