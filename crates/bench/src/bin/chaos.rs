@@ -32,20 +32,35 @@
 //!   asserting recovery equivalence and run-to-run determinism; exits
 //!   nonzero on any violation. CI runs this.
 //!
+//! Elastic-recovery modes (run instead of the main sweep; CI's
+//! `rescale-smoke` step drives both):
+//!
+//! * `--rescale` — restore-grid: checkpoints written at each `p` of the
+//!   sweep are restored and completed at every other `p'`, asserting the
+//!   final tree matches the fault-free baseline; plus a crash-then-shrink
+//!   run under `RecoveryPolicy::Shrink`. Rows report `redistribution_bytes`
+//!   (the surplus restore I/O of re-blocking) per (write-p, restore-p').
+//! * `--storage-faults` — silent checkpoint corruption: a bit-flipped
+//!   newest generation must be skipped (restore lands one generation
+//!   back), and an all-corrupt directory must fall back to a clean fresh
+//!   start. Rows report `generations_walked`.
+//!
 //! Run: `cargo run --release -p scalparc-bench --bin chaos -- \
 //!          [--quick|--full] [--n <records>] [--procs 2,4,8] \
 //!          [--rates 0,10,50] [--metrics m.json] [--trace t.json] \
-//!          [--trace-p 4] [--check] [--smoke]`
+//!          [--trace-p 4] [--check] [--smoke] [--rescale] [--storage-faults]`
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use datagen::{generate, ClassFunc, GenConfig, Profile};
 use dtree::model_io;
+use dtree::Dataset;
 use mpsim::obs::{self, Json};
-use mpsim::{CostModel, CrashPoint, FaultKind, FaultPlan};
+use mpsim::{CostModel, CrashPoint, FaultKind, FaultPlan, StorageFaultKind};
 use scalparc::{
-    induce, induce_with_recovery, try_induce, CheckpointCtx, ParConfig, ParResult, RecoveryResult,
+    checkpoint, induce, induce_with_recovery, induce_with_recovery_policy, try_induce,
+    CheckpointCtx, ParConfig, ParResult, RecoveryPolicy, RecoveryResult,
 };
 use scalparc_bench::{print_row, Scale, T3D_CPU_FACTOR};
 
@@ -65,6 +80,8 @@ struct Opts {
     trace_p: usize,
     check: bool,
     smoke: bool,
+    rescale: bool,
+    storage_faults: bool,
 }
 
 fn parse_args() -> Opts {
@@ -80,6 +97,8 @@ fn parse_args() -> Opts {
         trace_p: 4,
         check: false,
         smoke: false,
+        rescale: false,
+        storage_faults: false,
     };
     let mut args = std::env::args().skip(1);
     let need = |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("{what} needs a value"));
@@ -125,9 +144,12 @@ fn parse_args() -> Opts {
             }
             "--check" => opts.check = true,
             "--smoke" => opts.smoke = true,
+            "--rescale" => opts.rescale = true,
+            "--storage-faults" => opts.storage_faults = true,
             other => panic!(
                 "unknown flag {other:?} (known: --full --quick --func --seed --n \
-                 --procs --rates --metrics --trace --trace-p --check --smoke)"
+                 --procs --rates --metrics --trace --trace-p --check --smoke \
+                 --rescale --storage-faults)"
             ),
         }
     }
@@ -172,6 +194,10 @@ fn main() {
     let opts = parse_args();
     if opts.smoke {
         smoke(&opts);
+        return;
+    }
+    if opts.rescale || opts.storage_faults {
+        elastic(&opts);
         return;
     }
 
@@ -469,4 +495,268 @@ fn smoke(opts: &Opts) {
         rec1.report.wasted_bytes,
         msg_run.stats.total_retransmits(),
     );
+}
+
+/// Leave a checkpoint directory holding every generation of a `p`-rank run
+/// up to (and including) `upto_level`, by crashing a checkpointed run just
+/// after that level's commit. Returns the crash-verified level count.
+fn write_generations(data: &Dataset, p: usize, upto_level: u32, dir: &PathBuf) {
+    let plan = FaultPlan::new().with_crash(0, CrashPoint::Level(upto_level));
+    let err = try_induce(
+        data,
+        &chaos_cfg(p),
+        Some(Arc::new(plan)),
+        Some(&CheckpointCtx::new(dir)),
+    )
+    .expect_err("the writer run is supposed to crash");
+    assert_eq!(err.signal.level, upto_level);
+}
+
+/// `--rescale` / `--storage-faults`: the elastic-recovery sweeps. Runs
+/// instead of the main chaos sweep; every restored or shrunk run must
+/// reproduce the fault-free baseline tree byte-for-byte.
+fn elastic(opts: &Opts) {
+    let n = opts.n.unwrap_or(2_000);
+    let procs = opts.procs.clone().unwrap_or_else(|| vec![2, 4, 8]);
+    let data = generate(&GenConfig {
+        n,
+        func: opts.func,
+        noise: 0.0,
+        seed: opts.seed,
+        profile: Profile::Paper7,
+    });
+    // Tree shape is geometry-independent (asserted per restore below), so
+    // one baseline text serves every p'.
+    let baseline = induce(&data, &chaos_cfg(procs[0]));
+    let base_text = model_io::to_text(&baseline.tree);
+    assert!(
+        baseline.levels >= 3,
+        "elastic workload too shallow to be interesting"
+    );
+    let mid = baseline.levels / 2;
+
+    let mut doc = obs::MetricsDoc::new("chaos-elastic");
+    doc.config("n", Json::U64(n as u64));
+    doc.config("func", Json::str(format!("{:?}", opts.func)));
+    doc.config("seed", Json::U64(opts.seed));
+
+    if opts.rescale {
+        println!("# Rescale-on-restore grid: write at p, complete at p'");
+        print_row(&[
+            "write_p".into(),
+            "restore_p".into(),
+            "resumed_lvl".into(),
+            "redist_bytes".into(),
+            "time_ms".into(),
+        ]);
+        for &p in &procs {
+            for &p2 in &procs {
+                let dir = tmp_dir(&format!("rescale-{p}-{p2}"));
+                write_generations(&data, p, mid, &dir);
+                let gen_bytes = checkpoint::generation_payload_bytes(&dir, mid, p)
+                    .expect("writer left an intact newest generation");
+                let redistribution = if p2 == p {
+                    0
+                } else {
+                    gen_bytes * (p2 as u64 - 1)
+                };
+                let run = try_induce(&data, &chaos_cfg(p2), None, Some(&CheckpointCtx::new(&dir)))
+                    .expect("no fault plan, no crash");
+                let _ = std::fs::remove_dir_all(&dir);
+                assert_tree_matches(&run, &base_text, "rescaled restore");
+                print_row(&[
+                    p.to_string(),
+                    p2.to_string(),
+                    mid.to_string(),
+                    redistribution.to_string(),
+                    format!("{:.3}", run.stats.time_ns() as f64 / 1e6),
+                ]);
+                doc.row(vec![
+                    ("scenario", Json::str("rescale_restore")),
+                    ("write_procs", Json::U64(p as u64)),
+                    ("restore_procs", Json::U64(p2 as u64)),
+                    ("resumed_level", Json::U64(mid as u64)),
+                    ("redistribution_bytes", Json::U64(redistribution)),
+                    ("generations_walked", Json::U64(0)),
+                    ("time_ns", Json::U64(run.stats.time_ns())),
+                ]);
+            }
+        }
+
+        // Crash-then-shrink: the largest p loses one rank per crash and
+        // finishes on the survivors.
+        let p = *procs.iter().max().unwrap();
+        if p >= 2 {
+            let plan = FaultPlan::new()
+                .with_crash(p - 1, CrashPoint::Level(mid))
+                .with_crash(0, CrashPoint::Level(mid + 1));
+            let dir = tmp_dir(&format!("shrink-{p}"));
+            let rec = induce_with_recovery_policy(
+                &data,
+                &chaos_cfg(p),
+                Some(Arc::new(plan)),
+                &CheckpointCtx::new(&dir),
+                RecoveryPolicy::Shrink { min_procs: 1 },
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_tree_matches(&rec.result, &base_text, "shrink recovery");
+            assert_eq!(rec.report.final_procs as usize, p - 2);
+            assert!(rec.report.redistribution_bytes > 0);
+            println!(
+                "# shrink: p={p} survived {} crashes, finished on {} ranks, \
+                 {} redistribution bytes",
+                rec.report.crashes.len(),
+                rec.report.final_procs,
+                rec.report.redistribution_bytes
+            );
+            doc.row(vec![
+                ("scenario", Json::str("shrink_recovery")),
+                ("write_procs", Json::U64(p as u64)),
+                ("restore_procs", Json::U64(rec.report.final_procs as u64)),
+                (
+                    "resumed_level",
+                    Json::U64(rec.report.crashes[0].resumed_from.unwrap_or(0) as u64),
+                ),
+                (
+                    "redistribution_bytes",
+                    Json::U64(rec.report.redistribution_bytes),
+                ),
+                (
+                    "generations_walked",
+                    Json::U64(rec.report.generations_walked as u64),
+                ),
+                (
+                    "time_ns",
+                    Json::U64(rec.report.wasted_time_ns + rec.result.stats.time_ns()),
+                ),
+            ]);
+        }
+    }
+
+    if opts.storage_faults {
+        println!("# Storage faults: corrupt generations are walked past, never fatal");
+        for &p in &procs {
+            // Bit-flip the newest generation (the level-`mid` commit is
+            // checkpoint sequence mid+1): restore must land on `mid - 1`.
+            let plan = FaultPlan::new()
+                .with_crash(0, CrashPoint::Level(mid))
+                .with_storage_fault(p - 1, u64::from(mid) + 1, StorageFaultKind::BitFlip);
+            let dir = tmp_dir(&format!("storage-walk-{p}"));
+            let rec = induce_with_recovery(&data, &chaos_cfg(p), Some(Arc::new(plan)), &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_tree_matches(&rec.result, &base_text, "storage-fault walk");
+            assert_eq!(rec.report.crashes[0].resumed_from, Some(mid - 1));
+            assert_eq!(rec.report.generations_walked, 1);
+            println!(
+                "# p={p}: bit-flipped generation {mid} skipped, resumed from {}",
+                mid - 1
+            );
+            doc.row(vec![
+                ("scenario", Json::str("storage_fault_walk")),
+                ("write_procs", Json::U64(p as u64)),
+                ("restore_procs", Json::U64(p as u64)),
+                ("resumed_level", Json::U64((mid - 1) as u64)),
+                ("redistribution_bytes", Json::U64(0)),
+                (
+                    "generations_walked",
+                    Json::U64(rec.report.generations_walked as u64),
+                ),
+                (
+                    "time_ns",
+                    Json::U64(rec.report.wasted_time_ns + rec.result.stats.time_ns()),
+                ),
+            ]);
+
+            // Every generation's rank-0 file torn: nothing intact remains,
+            // so the retry is a clean fresh start — never a panic.
+            let mut plan = FaultPlan::new().with_crash(0, CrashPoint::Level(mid));
+            for seq in 1..=u64::from(mid) + 1 {
+                plan = plan.with_storage_fault(0, seq, StorageFaultKind::TornWrite);
+            }
+            let dir = tmp_dir(&format!("storage-fresh-{p}"));
+            let rec = induce_with_recovery(&data, &chaos_cfg(p), Some(Arc::new(plan)), &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_tree_matches(&rec.result, &base_text, "storage-fault fresh start");
+            assert_eq!(rec.report.crashes[0].resumed_from, None);
+            println!("# p={p}: all generations corrupt, clean fresh start");
+            doc.row(vec![
+                ("scenario", Json::str("storage_fault_fresh_start")),
+                ("write_procs", Json::U64(p as u64)),
+                ("restore_procs", Json::U64(p as u64)),
+                ("resumed_level", Json::U64(0)),
+                ("redistribution_bytes", Json::U64(0)),
+                ("generations_walked", Json::U64(0)),
+                (
+                    "time_ns",
+                    Json::U64(rec.report.wasted_time_ns + rec.result.stats.time_ns()),
+                ),
+            ]);
+        }
+
+        // A traced storage-fault run records `ckpt_*` events, which the
+        // Chrome export places on their own "storage faults" track.
+        let p = procs[0];
+        let plan = FaultPlan::new()
+            .with_crash(0, CrashPoint::Level(mid))
+            .with_storage_fault(0, u64::from(mid) + 1, StorageFaultKind::BitFlip);
+        let dir = tmp_dir("storage-traced");
+        let err = try_induce(
+            &data,
+            &chaos_cfg(p).traced(),
+            Some(Arc::new(plan)),
+            Some(&CheckpointCtx::new(&dir)),
+        )
+        .expect_err("the traced writer run is supposed to crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        let traces = err.stats.traces().expect("run was traced");
+        let storage_events: usize = traces
+            .iter()
+            .flat_map(|t| &t.faults)
+            .filter(|f| f.kind.starts_with("ckpt_"))
+            .count();
+        assert!(storage_events > 0, "no storage-fault events recorded");
+        let text = obs::chrome_trace(&traces);
+        assert!(
+            text.contains("\"storage faults\""),
+            "chrome trace is missing the storage-fault track"
+        );
+        if let Some(path) = &opts.trace {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("# chrome trace (p={p}) written to {}", path.display());
+        }
+        doc.detail(
+            "storage_fault_trace_events",
+            Json::U64(storage_events as u64),
+        );
+        println!("# traced: {storage_events} storage-fault events on their own track");
+    }
+
+    if let Some(path) = &opts.metrics {
+        doc.write(path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# metrics written to {}", path.display());
+    }
+    if opts.check {
+        if let Some(path) = &opts.metrics {
+            let text = std::fs::read_to_string(path).expect("re-reading metrics");
+            let rows = obs::metrics::validate_metrics(&text)
+                .unwrap_or_else(|e| panic!("metrics file invalid: {e}"));
+            println!("# check: metrics OK ({rows} rows)");
+        }
+        // The trace artifact only exists when the storage-fault mode ran
+        // its traced scenario.
+        if let (Some(path), true) = (&opts.trace, opts.storage_faults) {
+            let text = std::fs::read_to_string(path).expect("re-reading trace");
+            let events = obs::validate_chrome_trace(&text)
+                .unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+            assert!(
+                text.contains("\"storage faults\""),
+                "chrome trace is missing the storage-fault track"
+            );
+            println!("# check: chrome trace OK ({events} events, storage-fault track present)");
+        }
+        println!("# check: every restored run reproduced the baseline tree");
+    }
+    println!("CHAOS-ELASTIC OK");
 }

@@ -13,22 +13,49 @@
 //!
 //! 1. every rank atomically writes `level_<l>_rank_<r>.bin`;
 //! 2. a barrier — after it, *all* per-rank files of level `l` exist;
-//! 3. rank 0 atomically rewrites `MANIFEST.bin` to name level `l`.
+//! 3. rank 0 atomically writes `MANIFEST_<l>.bin` to commit generation `l`.
 //!
-//! A crash anywhere in that window leaves the manifest naming the previous
-//! level, whose files are all on disk — the "last consistent level" is
-//! always recoverable. Because induction is deterministic, re-running from
-//! a restored level yields a final tree byte-identical to a fault-free run.
+//! A crash anywhere in that window leaves the newest committed manifest
+//! naming the previous level, whose files are all on disk — the "last
+//! consistent level" is always recoverable. Because induction is
+//! deterministic, re-running from a restored level yields a final tree
+//! byte-identical to a fault-free run.
+//!
+//! # Generations and corruption tolerance
+//!
+//! Manifests are *generational*: each committed level keeps its own
+//! `MANIFEST_<l>.bin` (subject to keep-last-K GC, see
+//! [`CheckpointCtx::keep`]), so a snapshot silently corrupted *after* its
+//! commit — bit rot, a torn flush, a lost file — costs one generation, not
+//! the run. [`scan_restore`] walks generations newest→oldest, CRC-verifying
+//! the manifest *and every rank file* of each, and reports the newest fully
+//! intact generation as a typed [`RestoreVerdict`]; only when nothing
+//! intact remains does the run fall back to a fresh start.
+//!
+//! # Rescale on restore
+//!
+//! A checkpoint written at `p` ranks restores onto any `p'`
+//! ([`load_rescaled`]): attribute-list slices are concatenated in old rank
+//! order — entries never migrate between ranks during splits, so this
+//! reproduces the global per-node list order — and re-blocked into `p'`
+//! contiguous shards; node-table slots are re-sharded to the new
+//! `owner_of` mapping the same way. Split decisions are taken from global
+//! reductions (block boundaries are handled by the prefix-carried
+//! boundary values in FindSplitI), so the induced tree is independent of
+//! the blocking and matches a fault-free `p'` run byte for byte.
 //!
 //! Checkpoint I/O is charged to the *virtual* clock analytically
 //! ([`io_charge_ns`]): deterministic and proportional to bytes, so faulted
-//! runs replay to identical simulated costs.
+//! runs replay to identical simulated costs. Rescaled restores read the
+//! whole snapshot on every rank, so their (higher) redistribution cost is
+//! charged by the same rule.
 
 use std::path::{Path, PathBuf};
 
 use diskio::ckpt::{self, ByteReader, ByteWriter, CkptError};
 use dtree::list::{AttrList, CatEntry, ContEntry};
 use dtree::tree::{Node, SplitTest};
+use mpsim::StorageFaultKind;
 
 use crate::induce::{LevelInfo, ParStats};
 use crate::phases::Work;
@@ -41,16 +68,33 @@ const SEC_STATS: u32 = 4;
 const SEC_TABLE: u32 = 5;
 
 /// Checkpointing context handed to the induction driver: where the
-/// snapshots live.
+/// snapshots live and how many generations to retain.
 #[derive(Clone, Debug)]
 pub struct CheckpointCtx {
-    /// Directory holding `level_<l>_rank_<r>.bin` files and `MANIFEST.bin`.
+    /// Directory holding `level_<l>_rank_<r>.bin` files and per-generation
+    /// `MANIFEST_<l>.bin` manifests.
     pub dir: PathBuf,
+    /// Keep-last-K retention: after committing generation `l`, rank 0
+    /// garbage-collects manifests and rank files of generations `< l+1-K`.
+    /// `None` (the default) retains everything. GC is host-side filesystem
+    /// work outside the simulated machine, so the knob never changes
+    /// simulated costs.
+    pub keep: Option<usize>,
 }
 
 impl CheckpointCtx {
     pub fn new(dir: impl Into<PathBuf>) -> CheckpointCtx {
-        CheckpointCtx { dir: dir.into() }
+        CheckpointCtx {
+            dir: dir.into(),
+            keep: None,
+        }
+    }
+
+    /// This context with keep-last-K retention (clamped to at least 1:
+    /// dropping the newest generation would defeat the checkpoint).
+    pub fn with_keep(mut self, k: usize) -> CheckpointCtx {
+        self.keep = Some(k.max(1));
+        self
     }
 }
 
@@ -64,6 +108,62 @@ pub struct Manifest {
     pub procs: u32,
     /// Global record count of the run.
     pub total_n: u64,
+}
+
+/// Outcome of reading one generation's manifest — distinguishing "nothing
+/// there" from "there, but damaged", which drive different recoveries
+/// (fresh start vs. fall back one generation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestRead {
+    /// Decoded and CRC-verified.
+    Ok(Manifest),
+    /// No such manifest file.
+    Absent,
+    /// The file exists but fails CRC, decode, or shape checks.
+    Corrupt(String),
+}
+
+/// What a restore scan found in a checkpoint directory — the typed verdict
+/// the recovery driver acts on (and surfaces in its report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreVerdict {
+    /// `manifest` names the newest generation whose manifest and *all*
+    /// rank files are intact; `skipped_corrupt` newer generations were
+    /// walked past to find it.
+    Usable {
+        manifest: Manifest,
+        skipped_corrupt: u32,
+    },
+    /// No manifest of any generation exists: nothing was ever committed
+    /// here (or it was cleared). Fresh start.
+    NoCheckpoint,
+    /// Manifests exist but every intact one belongs to a run with a
+    /// different record count. Fresh start, without disturbing the
+    /// foreign files.
+    ForeignRun { generations: u32 },
+    /// Every generation present is corrupt (manifest or rank files).
+    /// Fresh start — degraded, but never a panic.
+    AllCorrupt { generations: u32 },
+}
+
+impl RestoreVerdict {
+    /// The level to resume from, when the verdict allows one.
+    pub fn resume_level(&self) -> Option<u32> {
+        match self {
+            RestoreVerdict::Usable { manifest, .. } => Some(manifest.level),
+            _ => None,
+        }
+    }
+
+    /// Corrupt generations walked past (0 unless `Usable` skipped some).
+    pub fn generations_walked(&self) -> u32 {
+        match self {
+            RestoreVerdict::Usable {
+                skipped_corrupt, ..
+            } => *skipped_corrupt,
+            _ => 0,
+        }
+    }
 }
 
 /// One rank's snapshot of the state *entering* a level.
@@ -94,9 +194,9 @@ pub fn state_file(dir: &Path, level: u32, rank: usize) -> PathBuf {
     dir.join(format!("level_{level}_rank_{rank}.bin"))
 }
 
-/// Path of the manifest.
-pub fn manifest_file(dir: &Path) -> PathBuf {
-    dir.join("MANIFEST.bin")
+/// Path of generation `level`'s manifest.
+pub fn manifest_file(dir: &Path, level: u32) -> PathBuf {
+    dir.join(format!("MANIFEST_{level}.bin"))
 }
 
 // ----- encoding -------------------------------------------------------------
@@ -449,44 +549,297 @@ pub fn load_state(dir: &Path, level: u32, rank: usize) -> Result<(LevelState, u6
     Ok((state, bytes))
 }
 
-/// Atomically (re)write the manifest to name `level` as the newest
-/// complete checkpoint.
+/// Atomically commit generation `m.level`: write its `MANIFEST_<l>.bin`.
 pub fn write_manifest(dir: &Path, m: Manifest) -> Result<(), CkptError> {
     let mut w = ByteWriter::new();
     w.u32(m.level);
     w.u32(m.procs);
     w.u64(m.total_n);
-    ckpt::write_sections(&manifest_file(dir), &[(SEC_META, &w.into_bytes())])
+    ckpt::write_sections(&manifest_file(dir, m.level), &[(SEC_META, &w.into_bytes())])
 }
 
-/// Read the manifest. `None` when absent or unreadable — both mean "no
-/// complete checkpoint to resume from" (the atomic commit protocol makes a
-/// torn manifest impossible; garbage means a foreign file).
-pub fn read_manifest(dir: &Path) -> Option<Manifest> {
-    let sections = ckpt::read_sections(&manifest_file(dir)).ok()?;
-    let (tag, payload) = sections.first()?;
+/// Read generation `level`'s manifest, with a typed verdict: absent,
+/// corrupt, and intact are three different situations to a recovery driver
+/// (fresh start / walk back a generation / resume).
+pub fn read_manifest(dir: &Path, level: u32) -> ManifestRead {
+    let path = manifest_file(dir, level);
+    if !path.exists() {
+        return ManifestRead::Absent;
+    }
+    let sections = match ckpt::read_sections(&path) {
+        Ok(s) => s,
+        Err(e) => return ManifestRead::Corrupt(e.msg),
+    };
+    let Some((tag, payload)) = sections.first() else {
+        return ManifestRead::Corrupt("no sections".into());
+    };
     if *tag != SEC_META {
-        return None;
+        return ManifestRead::Corrupt(format!("unexpected section tag {tag}"));
     }
     let mut r = ByteReader::new(payload);
-    let level = r.u32().ok()?;
-    let procs = r.u32().ok()?;
-    let total_n = r.u64().ok()?;
-    if !r.is_done() {
-        return None;
+    let decode = |r: &mut ByteReader| -> Result<Manifest, String> {
+        Ok(Manifest {
+            level: r.u32()?,
+            procs: r.u32()?,
+            total_n: r.u64()?,
+        })
+    };
+    match decode(&mut r) {
+        Err(msg) => ManifestRead::Corrupt(msg),
+        Ok(_) if !r.is_done() => ManifestRead::Corrupt("trailing bytes".into()),
+        Ok(m) if m.level != level => {
+            ManifestRead::Corrupt(format!("claims level {}, expected {level}", m.level))
+        }
+        Ok(m) => ManifestRead::Ok(m),
     }
-    Some(Manifest {
-        level,
-        procs,
-        total_n,
-    })
 }
 
-/// Remove the manifest so the next induction in `dir` starts fresh. Stale
-/// level files are harmless (they are only read when the manifest names
-/// them) and get overwritten in place.
-pub fn clear_manifest(dir: &Path) {
-    let _ = std::fs::remove_file(manifest_file(dir));
+/// Generation levels present in `dir` (by manifest file name, decoded or
+/// not), newest first.
+pub fn list_generations(dir: &Path) -> Vec<u32> {
+    let mut levels: Vec<u32> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_prefix("MANIFEST_")?
+                    .strip_suffix(".bin")?
+                    .parse()
+                    .ok()
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    levels.sort_unstable_by(|a, b| b.cmp(a));
+    levels.dedup();
+    levels
+}
+
+/// Walk generations newest→oldest and report the newest one that is
+/// *fully* intact — manifest decoded, record count matching `want_n`, and
+/// every one of its `procs` rank files CRC-clean and decodable to the
+/// manifest's level. Host-side filesystem work (the restore collective
+/// charges the actual state reads separately); called by rank 0 before the
+/// resume broadcast, and by the recovery driver for its report.
+pub fn scan_restore(dir: &Path, want_n: u64) -> RestoreVerdict {
+    let generations = list_generations(dir);
+    if generations.is_empty() {
+        return RestoreVerdict::NoCheckpoint;
+    }
+    let total = generations.len() as u32;
+    let mut skipped_corrupt = 0u32;
+    let mut foreign = 0u32;
+    for level in generations {
+        let m = match read_manifest(dir, level) {
+            ManifestRead::Ok(m) => m,
+            ManifestRead::Absent | ManifestRead::Corrupt(_) => {
+                skipped_corrupt += 1;
+                continue;
+            }
+        };
+        if m.total_n != want_n {
+            foreign += 1;
+            continue;
+        }
+        let all_ranks_intact = (0..m.procs as usize).all(|r| load_state(dir, level, r).is_ok());
+        if all_ranks_intact {
+            return RestoreVerdict::Usable {
+                manifest: m,
+                skipped_corrupt,
+            };
+        }
+        skipped_corrupt += 1;
+    }
+    if foreign > 0 && skipped_corrupt == 0 {
+        RestoreVerdict::ForeignRun { generations: total }
+    } else {
+        RestoreVerdict::AllCorrupt { generations: total }
+    }
+}
+
+/// Remove every generation's manifest so the next induction in `dir`
+/// starts fresh. Stale level files are harmless (they are only read when a
+/// manifest names them) and get overwritten in place.
+pub fn clear_manifests(dir: &Path) {
+    for level in list_generations(dir) {
+        let _ = std::fs::remove_file(manifest_file(dir, level));
+    }
+}
+
+/// Keep-last-K garbage collection after committing generation `newest`:
+/// remove manifests and rank files of every generation older than
+/// `newest + 1 - keep`. Host-side filesystem work, uncharged — retention
+/// policy never changes simulated costs.
+pub fn gc_generations(dir: &Path, newest: u32, keep: usize) {
+    let floor = (u64::from(newest) + 1).saturating_sub(keep as u64);
+    for level in list_generations(dir) {
+        if u64::from(level) >= floor {
+            continue;
+        }
+        let _ = std::fs::remove_file(manifest_file(dir, level));
+        remove_rank_files(dir, level);
+    }
+}
+
+/// Remove all `level_<level>_rank_*.bin` files of one generation,
+/// whatever rank count wrote them.
+fn remove_rank_files(dir: &Path, level: u32) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("level_{level}_rank_");
+    for e in rd.flatten() {
+        if let Ok(name) = e.file_name().into_string() {
+            if name.starts_with(&prefix) && name.ends_with(".bin") {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+// ----- rescale on restore ---------------------------------------------------
+
+/// Re-block a level's state from `states.len()` old ranks onto `new_procs`
+/// ranks and return new-rank `rank`'s shard. `states` holds every old
+/// rank's snapshot of the same level, in rank order.
+///
+/// Replicated state (tree, counters, per-work metadata) is taken from old
+/// rank 0. Each work item's attribute lists are concatenated over old
+/// ranks — entries never migrate between ranks during splits, so old rank
+/// order *is* the global per-node order (sorted for continuous attributes,
+/// record order for categorical) — then cut into `new_procs` contiguous
+/// shards. Node-table slots are concatenated to the global array and
+/// re-sliced at the new `⌈N/p'⌉` block geometry, matching
+/// [`dhash::DistTable`]'s `owner_of` mapping at `new_procs`.
+pub fn rescale_state(
+    states: &[LevelState],
+    rank: usize,
+    new_procs: usize,
+    total_n: u64,
+) -> LevelState {
+    assert!(!states.is_empty() && rank < new_procs);
+    let first = &states[0];
+    let works = (0..first.works.len())
+        .map(|wi| {
+            let proto = &first.works[wi];
+            let lists = (0..proto.lists.len())
+                .map(|li| shard_list(states, wi, li, rank, new_procs))
+                .collect();
+            Work {
+                node_id: proto.node_id,
+                depth: proto.depth,
+                hist: proto.hist.clone(),
+                lists,
+            }
+        })
+        .collect();
+    let table_slots = first.table_slots.as_ref().map(|_| {
+        let global: Vec<Option<u8>> = states
+            .iter()
+            .flat_map(|s| s.table_slots.as_deref().unwrap_or(&[]).iter().cloned())
+            .collect();
+        let n = total_n.max(1) as usize;
+        debug_assert_eq!(global.len(), n, "table slots must cover every record");
+        let block = n.div_ceil(new_procs).max(1);
+        let lo = (rank * block).min(n);
+        let hi = ((rank + 1) * block).min(n);
+        global[lo..hi].to_vec()
+    });
+    LevelState {
+        level: first.level,
+        nodes: first.nodes.clone(),
+        works,
+        stats: first.stats.clone(),
+        table_slots,
+    }
+}
+
+/// New-rank `rank`'s contiguous shard of work `wi`'s list `li`, from the
+/// concatenation of every old rank's segment.
+fn shard_list(
+    states: &[LevelState],
+    wi: usize,
+    li: usize,
+    rank: usize,
+    new_procs: usize,
+) -> AttrList {
+    let continuous = matches!(states[0].works[wi].lists[li], AttrList::Continuous(_));
+    let bounds = |len: usize| {
+        let block = len.div_ceil(new_procs).max(1);
+        ((rank * block).min(len), ((rank + 1) * block).min(len))
+    };
+    if continuous {
+        let global: Vec<ContEntry> = states
+            .iter()
+            .flat_map(|s| match &s.works[wi].lists[li] {
+                AttrList::Continuous(e) => e.as_slice(),
+                AttrList::Categorical(_) => panic!("list {li} changes kind across ranks"),
+            })
+            .copied()
+            .collect();
+        let (lo, hi) = bounds(global.len());
+        AttrList::Continuous(global[lo..hi].to_vec())
+    } else {
+        let global: Vec<CatEntry> = states
+            .iter()
+            .flat_map(|s| match &s.works[wi].lists[li] {
+                AttrList::Categorical(e) => e.as_slice(),
+                AttrList::Continuous(_) => panic!("list {li} changes kind across ranks"),
+            })
+            .copied()
+            .collect();
+        let (lo, hi) = bounds(global.len());
+        AttrList::Categorical(global[lo..hi].to_vec())
+    }
+}
+
+/// Load a level snapshot written at `from_procs` ranks and re-block it for
+/// new-rank `rank` of `new_procs`. Every rank reads the *whole* generation
+/// (all `from_procs` files), so the returned byte count — the basis of the
+/// simulated I/O charge — prices the redistribution honestly: `p'`× the
+/// snapshot, versus 1× for a same-geometry restore.
+pub fn load_rescaled(
+    dir: &Path,
+    level: u32,
+    rank: usize,
+    new_procs: usize,
+    from_procs: usize,
+    total_n: u64,
+) -> Result<(LevelState, u64), CkptError> {
+    let mut states = Vec::with_capacity(from_procs);
+    let mut bytes = 0u64;
+    for r in 0..from_procs {
+        let (st, b) = load_state(dir, level, r)?;
+        states.push(st);
+        bytes += b;
+    }
+    Ok((rescale_state(&states, rank, new_procs, total_n), bytes))
+}
+
+/// Total encoded payload bytes of generation `level` (all `procs` rank
+/// files) — what one full read of the snapshot costs, and the unit of
+/// redistribution-byte accounting.
+pub fn generation_payload_bytes(dir: &Path, level: u32, procs: usize) -> Result<u64, CkptError> {
+    let mut bytes = 0u64;
+    for r in 0..procs {
+        let sections = ckpt::read_sections(&state_file(dir, level, r))?;
+        bytes += sections.iter().map(|(_, p)| p.len() as u64).sum::<u64>();
+    }
+    Ok(bytes)
+}
+
+/// Damage one rank's committed state file the way `kind` describes —
+/// called by the induction driver when an installed
+/// [`FaultPlan`](mpsim::FaultPlan) schedules a storage fault on this
+/// checkpoint commit. Host filesystem work; silent (the commit already
+/// succeeded), so nothing is charged at injection time.
+pub fn apply_storage_fault(dir: &Path, level: u32, rank: usize, kind: StorageFaultKind) {
+    let path = state_file(dir, level, rank);
+    let _ = match kind {
+        StorageFaultKind::TornWrite => ckpt::damage_truncate_tail(&path),
+        StorageFaultKind::BitFlip => ckpt::damage_flip_bit(&path),
+        StorageFaultKind::MissingFile => ckpt::damage_remove(&path),
+    };
 }
 
 #[cfg(test)]
@@ -608,23 +961,242 @@ mod tests {
     }
 
     #[test]
-    fn manifest_roundtrip_and_absence() {
+    fn manifest_verdicts_distinguish_absent_corrupt_intact() {
         let dir = std::env::temp_dir().join(format!("scalparc-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        assert_eq!(read_manifest(&dir), None, "no manifest yet");
+        assert_eq!(
+            read_manifest(&dir, 4),
+            ManifestRead::Absent,
+            "no manifest yet"
+        );
         let m = Manifest {
             level: 4,
             procs: 8,
             total_n: 4000,
         };
         write_manifest(&dir, m).unwrap();
-        assert_eq!(read_manifest(&dir), Some(m));
-        // Garbage is treated as absent, not a crash.
-        std::fs::write(manifest_file(&dir), b"not a checkpoint").unwrap();
-        assert_eq!(read_manifest(&dir), None);
+        assert_eq!(read_manifest(&dir, 4), ManifestRead::Ok(m));
+        assert_eq!(
+            read_manifest(&dir, 3),
+            ManifestRead::Absent,
+            "other generation"
+        );
+        // Garbage is Corrupt — not Absent, and not a crash.
+        std::fs::write(manifest_file(&dir, 4), b"not a checkpoint").unwrap();
+        assert!(matches!(read_manifest(&dir, 4), ManifestRead::Corrupt(_)));
         write_manifest(&dir, m).unwrap();
-        clear_manifest(&dir);
-        assert_eq!(read_manifest(&dir), None);
+        clear_manifests(&dir);
+        assert_eq!(read_manifest(&dir, 4), ManifestRead::Absent);
+        assert!(list_generations(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Write one rank's state + manifest for a synthetic generation.
+    fn commit_generation(dir: &Path, level: u32, procs: u32, total_n: u64) {
+        let mut st = sample_state();
+        st.level = level;
+        for rank in 0..procs as usize {
+            save_state(
+                dir,
+                level,
+                rank,
+                &st.nodes,
+                &st.works,
+                &st.stats,
+                st.table_slots.as_deref(),
+            )
+            .unwrap();
+        }
+        write_manifest(
+            dir,
+            Manifest {
+                level,
+                procs,
+                total_n,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn scan_walks_past_corrupt_generations_to_newest_intact() {
+        let dir = std::env::temp_dir().join(format!("scalparc-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(scan_restore(&dir, 99), RestoreVerdict::NoCheckpoint);
+        commit_generation(&dir, 0, 2, 99);
+        commit_generation(&dir, 1, 2, 99);
+        commit_generation(&dir, 2, 2, 99);
+        let newest = Manifest {
+            level: 2,
+            procs: 2,
+            total_n: 99,
+        };
+        assert_eq!(
+            scan_restore(&dir, 99),
+            RestoreVerdict::Usable {
+                manifest: newest,
+                skipped_corrupt: 0
+            }
+        );
+        // Bit-flip a rank file of generation 2: the scan lands on 1.
+        apply_storage_fault(&dir, 2, 1, StorageFaultKind::BitFlip);
+        assert_eq!(
+            scan_restore(&dir, 99),
+            RestoreVerdict::Usable {
+                manifest: Manifest { level: 1, ..newest },
+                skipped_corrupt: 1
+            }
+        );
+        // Tear generation 1's manifest too: the scan lands on 0.
+        ckpt::damage_truncate_tail(&manifest_file(&dir, 1)).unwrap();
+        assert_eq!(
+            scan_restore(&dir, 99),
+            RestoreVerdict::Usable {
+                manifest: Manifest { level: 0, ..newest },
+                skipped_corrupt: 2
+            }
+        );
+        // Remove generation 0's rank file: nothing intact remains.
+        apply_storage_fault(&dir, 0, 0, StorageFaultKind::MissingFile);
+        assert_eq!(
+            scan_restore(&dir, 99),
+            RestoreVerdict::AllCorrupt { generations: 3 }
+        );
+        // A different record count is Foreign, not corrupt.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        commit_generation(&dir, 0, 2, 50);
+        assert_eq!(
+            scan_restore(&dir, 99),
+            RestoreVerdict::ForeignRun { generations: 1 }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_last_k_generations() {
+        let dir = std::env::temp_dir().join(format!("scalparc-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for level in 0..5 {
+            commit_generation(&dir, level, 2, 99);
+            gc_generations(&dir, level, 2);
+        }
+        assert_eq!(list_generations(&dir), vec![4, 3]);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 2 * (2 + 1), "2 generations × (manifest + 2 ranks)");
+        assert!(!state_file(&dir, 0, 0).exists());
+        // keep=1 collapses to the newest only; GC below level 0 is a no-op.
+        gc_generations(&dir, 4, 1);
+        assert_eq!(list_generations(&dir), vec![4]);
+        gc_generations(&dir, 0, 3);
+        assert_eq!(list_generations(&dir), vec![4], "floor underflow is safe");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Build a two-rank synthetic level state with distinct entries, so
+    /// rescaling has real segment boundaries to get right.
+    fn two_rank_states() -> Vec<LevelState> {
+        let base = sample_state();
+        let mut a = base.clone();
+        let mut b = base;
+        // Rank 0 holds the lower half of the sorted continuous list and
+        // table slots [0, 2); rank 1 the upper half and slot [2, 3).
+        let cont = |v: f32, rid: u32| ContEntry {
+            value: v,
+            rid,
+            class: (rid % 2) as u8,
+        };
+        let cat = |v: u32, rid: u32| CatEntry {
+            value: v,
+            rid,
+            class: (rid % 2) as u8,
+        };
+        a.works[0].lists = vec![
+            AttrList::Continuous(vec![cont(1.0, 0), cont(2.0, 1)]),
+            AttrList::Categorical(vec![cat(7, 0), cat(8, 1)]),
+        ];
+        b.works[0].lists = vec![
+            AttrList::Continuous(vec![cont(3.0, 2)]),
+            AttrList::Categorical(vec![cat(9, 2)]),
+        ];
+        a.table_slots = Some(vec![Some(0), Some(1)]);
+        b.table_slots = Some(vec![Some(2)]);
+        vec![a, b]
+    }
+
+    #[test]
+    fn rescale_reblocks_lists_and_reshards_table() {
+        let states = two_rank_states();
+        // 2 → 3 ranks: 3 global entries re-block to 1 per rank; the table's
+        // 3 slots re-shard to block 1.
+        let total_n = 3u64;
+        for rank in 0..3 {
+            let st = rescale_state(&states, rank, 3, total_n);
+            assert_eq!(st.nodes, states[0].nodes);
+            assert_eq!(st.stats, states[0].stats);
+            let AttrList::Continuous(c) = &st.works[0].lists[0] else {
+                panic!("kind must be preserved")
+            };
+            assert_eq!(c.len(), 1);
+            assert_eq!(c[0].rid, rank as u32, "global order preserved");
+            assert_eq!(st.table_slots.as_ref().unwrap().len(), 1);
+            assert_eq!(st.table_slots.unwrap()[0], Some(rank as u8));
+        }
+        // 2 → 1 rank: everything concatenates onto the single survivor.
+        let st = rescale_state(&states, 0, 1, total_n);
+        let AttrList::Continuous(c) = &st.works[0].lists[0] else {
+            panic!()
+        };
+        assert_eq!(
+            c.iter().map(|e| e.rid).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "concatenation in old rank order"
+        );
+        let AttrList::Categorical(k) = &st.works[0].lists[1] else {
+            panic!()
+        };
+        assert_eq!(k.iter().map(|e| e.value).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(
+            st.table_slots.unwrap(),
+            vec![Some(0), Some(1), Some(2)],
+            "global table array reassembled"
+        );
+        // Identity rescale (2 → 2) reproduces each rank's own shard for
+        // the block-geometry table; lists re-block to ⌈3/2⌉ = 2 + 1.
+        let st0 = rescale_state(&states, 0, 2, total_n);
+        let AttrList::Continuous(c0) = &st0.works[0].lists[0] else {
+            panic!()
+        };
+        assert_eq!(c0.len(), 2);
+        assert_eq!(st0.table_slots.unwrap(), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn load_rescaled_reads_whole_generation_and_charges_it() {
+        let dir = std::env::temp_dir().join(format!("scalparc-rescale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let states = two_rank_states();
+        for (rank, st) in states.iter().enumerate() {
+            save_state(
+                &dir,
+                st.level,
+                rank,
+                &st.nodes,
+                &st.works,
+                &st.stats,
+                st.table_slots.as_deref(),
+            )
+            .unwrap();
+        }
+        let level = states[0].level;
+        let total = generation_payload_bytes(&dir, level, 2).unwrap();
+        let (st, bytes) = load_rescaled(&dir, level, 0, 1, 2, 3).unwrap();
+        assert_eq!(bytes, total, "a rescaled restore reads every rank file");
+        assert_eq!(st, rescale_state(&states, 0, 1, 3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

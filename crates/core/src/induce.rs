@@ -81,16 +81,22 @@ pub fn induce_on_comm_ckpt(
 ) -> (DecisionTree, ParStats) {
     let schema = local.schema.clone();
 
-    // Resume decision. Rank 0 alone reads the manifest and broadcasts the
-    // verdict so every rank takes the same branch even if the filesystem
-    // view were to differ between them. A manifest from a different
-    // geometry (procs / record count) is ignored, not an error.
-    let resume_level: Option<u32> = match ckpt {
+    // Resume decision. Rank 0 alone scans the checkpoint directory —
+    // walking generations newest→oldest past any corrupt one to the newest
+    // fully intact level (see [`checkpoint::scan_restore`]) — and
+    // broadcasts the verdict so every rank takes the same branch even if
+    // the filesystem view were to differ between them. A checkpoint from a
+    // different rank count is *usable* (restore re-blocks it); only a
+    // different record count marks a foreign run and is ignored.
+    let resume: Option<(u32, u32)> = match ckpt {
         Some(ctx) => {
             let mine = if comm.rank() == 0 {
-                Some(checkpoint::read_manifest(&ctx.dir).and_then(|m| {
-                    (m.procs as usize == comm.size() && m.total_n == total_n).then_some(m.level)
-                }))
+                Some(match checkpoint::scan_restore(&ctx.dir, total_n) {
+                    checkpoint::RestoreVerdict::Usable { manifest, .. } => {
+                        Some((manifest.level, manifest.procs))
+                    }
+                    _ => None,
+                })
             } else {
                 None
             };
@@ -99,13 +105,27 @@ pub fn induce_on_comm_ckpt(
         None => None,
     };
 
-    // Restore attempt: every rank loads its own level file, and an
-    // allreduce confirms they *all* succeeded — one missing or corrupt
-    // file falls the whole run back to a fresh start, collectively.
+    // Restore attempt: every rank loads its shard — its own level file at
+    // matching geometry, or a re-blocked shard of the whole generation
+    // when the checkpoint was written at a different rank count — and an
+    // allreduce confirms they *all* succeeded; one failure falls the whole
+    // run back to a fresh start, collectively.
     let mut restored: Option<checkpoint::LevelState> = None;
-    if let (Some(ctx), Some(rl)) = (ckpt, resume_level) {
+    if let (Some(ctx), Some((rl, from_procs))) = (ckpt, resume) {
         comm.phase_begin("restore", rl);
-        let loaded = checkpoint::load_state(&ctx.dir, rl, comm.rank()).ok();
+        let loaded = if from_procs as usize == comm.size() {
+            checkpoint::load_state(&ctx.dir, rl, comm.rank()).ok()
+        } else {
+            checkpoint::load_rescaled(
+                &ctx.dir,
+                rl,
+                comm.rank(),
+                comm.size(),
+                from_procs as usize,
+                total_n,
+            )
+            .ok()
+        };
         let all_ok = comm.allreduce(loaded.is_some() as u64, |a, b| *a = (*a).min(*b)) == 1;
         if all_ok {
             let (st, bytes) = loaded.unwrap();
@@ -169,13 +189,15 @@ pub fn induce_on_comm_ckpt(
     // shrunk): after the widest level the per-level phases allocate only
     // the child lists that become the next level's state.
     let mut scratch = LevelScratch::new();
+    let mut ckpt_seq = 0u64; // 1-based checkpoint commits this attempt
     while !level.is_empty() {
         let lvl = stats.levels; // 0-based level index for the span records
         if let Some(ctx) = ckpt {
             // Commit protocol: per-rank files, barrier (all files exist),
-            // then the rank-0 manifest names the level. Checkpoint I/O is
-            // charged to the virtual clock analytically.
+            // then the rank-0 manifest commits the generation. Checkpoint
+            // I/O is charged to the virtual clock analytically.
             comm.phase_begin("checkpoint", lvl);
+            ckpt_seq += 1;
             let bytes = checkpoint::save_state(
                 &ctx.dir,
                 lvl,
@@ -187,6 +209,18 @@ pub fn induce_on_comm_ckpt(
             )
             .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
             comm.charge_compute(checkpoint::io_charge_ns(bytes));
+            // Scheduled storage faults damage the committed file *after*
+            // the write succeeded — silent corruption nobody observes
+            // until a later restore scan CRC-checks the generation. Free
+            // at injection time (logged for the trace); paid at recovery.
+            let hit = comm
+                .fault_plan()
+                .and_then(|p| p.storage_fault_at(comm.rank(), ckpt_seq))
+                .copied();
+            if let Some(f) = hit {
+                checkpoint::apply_storage_fault(&ctx.dir, lvl, comm.rank(), f.kind);
+                comm.record_fault(f.kind.label(), 0);
+            }
             comm.barrier();
             if comm.rank() == 0 {
                 checkpoint::write_manifest(
@@ -199,6 +233,12 @@ pub fn induce_on_comm_ckpt(
                 )
                 .unwrap_or_else(|e| panic!("rank 0: {e}"));
                 comm.charge_compute(checkpoint::io_charge_ns(16));
+                if let Some(keep) = ctx.keep {
+                    // Host-side retention, outside the simulated machine:
+                    // uncharged, so keep-K and keep-everything runs are
+                    // cost-identical.
+                    checkpoint::gc_generations(&ctx.dir, lvl, keep);
+                }
             }
             comm.phase_end(); // checkpoint
         }

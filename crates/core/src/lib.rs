@@ -38,7 +38,7 @@ pub mod phases;
 
 pub mod analysis;
 
-pub use checkpoint::CheckpointCtx;
+pub use checkpoint::{CheckpointCtx, RestoreVerdict};
 pub use config::{Algorithm, InduceConfig, ParConfig};
 pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
 
@@ -179,8 +179,32 @@ pub struct CrashEvent {
     pub coll: &'static str,
     /// Tree level at the crash (`u32::MAX` = during setup/presort).
     pub level: u32,
+    /// Rank count of the attempt that crashed.
+    pub procs: u32,
     /// Checkpoint level the retry resumed from (`None` = fresh start).
     pub resumed_from: Option<u32>,
+    /// What the post-crash restore scan found in the checkpoint directory
+    /// — intact generation, nothing committed, foreign run, or every
+    /// generation corrupt.
+    pub restore: RestoreVerdict,
+}
+
+/// One geometry change under [`RecoveryPolicy::Shrink`]: the retry ran on
+/// fewer ranks than the attempt that crashed.
+#[derive(Clone, Copy, Debug)]
+pub struct RescaleEvent {
+    /// Rank count of the crashed attempt.
+    pub from_procs: u32,
+    /// Rank count of the retry (the survivors).
+    pub to_procs: u32,
+    /// Checkpoint level the shrunk retry restored from (`None` = fresh
+    /// start at the new geometry).
+    pub level: Option<u32>,
+    /// Extra checkpoint bytes the rescaled restore reads beyond a
+    /// same-geometry restore: every surviving rank reads the *whole*
+    /// generation to re-block it, so the surplus is
+    /// `(to_procs − 1) × generation size`.
+    pub redistribution_bytes: u64,
 }
 
 /// What recovery cost, over and above the final successful attempt.
@@ -191,6 +215,8 @@ pub struct RecoveryReport {
     pub attempts: u32,
     /// Every crash observed, in order.
     pub crashes: Vec<CrashEvent>,
+    /// Every shrink the policy performed, in order.
+    pub rescales: Vec<RescaleEvent>,
     /// Tree levels executed more than once because a crash rolled the run
     /// back to an earlier checkpoint.
     pub reexecuted_levels: u32,
@@ -199,6 +225,31 @@ pub struct RecoveryReport {
     /// Simulated time of the aborted attempts (the recovery overhead a
     /// real cluster would observe as lost wall-clock).
     pub wasted_time_ns: u64,
+    /// Total surplus restore I/O of rescaled restores (the sum over
+    /// [`RescaleEvent::redistribution_bytes`]).
+    pub redistribution_bytes: u64,
+    /// Corrupt checkpoint generations restore scans walked past, summed
+    /// over all restarts.
+    pub generations_walked: u32,
+    /// Rank count of the attempt that completed.
+    pub final_procs: u32,
+}
+
+/// How [`induce_with_recovery_policy`] reacts to an injected crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Retry at the full original rank count (the failed node is assumed
+    /// replaced). This is [`induce_with_recovery`]'s behaviour.
+    #[default]
+    Retry,
+    /// Continue on the `p − 1` survivors: each crash shrinks the machine
+    /// by one rank, re-blocking the restored checkpoint onto the new
+    /// geometry, down to (and never below) `min_procs`. Once at the
+    /// floor, further crashes retry at the floor.
+    Shrink {
+        /// Smallest rank count to shrink to (clamped to at least 1).
+        min_procs: usize,
+    },
 }
 
 /// A recovered induction run: the (fault-free-identical) result plus what
@@ -224,27 +275,59 @@ pub struct RecoveryResult {
 /// serialization) to a fault-free run's, and repeated calls with the same
 /// seed and plan reproduce the same report.
 ///
-/// Any stale manifest in `ckpt_dir` is cleared first: this drives a fresh
-/// run, not a resume of an earlier one.
+/// Any stale manifests in `ckpt_dir` are cleared first: this drives a
+/// fresh run, not a resume of an earlier one.
 pub fn induce_with_recovery(
     data: &Dataset,
     cfg: &ParConfig,
     fault: Option<Arc<FaultPlan>>,
     ckpt_dir: &Path,
 ) -> RecoveryResult {
-    let ctx = CheckpointCtx::new(ckpt_dir);
-    checkpoint::clear_manifest(ckpt_dir);
+    induce_with_recovery_policy(
+        data,
+        cfg,
+        fault,
+        &CheckpointCtx::new(ckpt_dir),
+        RecoveryPolicy::Retry,
+    )
+}
+
+/// [`induce_with_recovery`] with an explicit [`RecoveryPolicy`] and
+/// checkpoint context (retention knob included). Under
+/// [`RecoveryPolicy::Shrink`] each crash drops one rank: the retry builds
+/// a new machine at the shrunk geometry and its restore re-blocks the last
+/// intact checkpoint generation onto the survivors, with the surplus
+/// restore I/O accounted as [`RescaleEvent::redistribution_bytes`]. The
+/// final tree is byte-identical to a fault-free run at whatever rank count
+/// finished — tree shape is geometry-independent by construction.
+pub fn induce_with_recovery_policy(
+    data: &Dataset,
+    cfg: &ParConfig,
+    fault: Option<Arc<FaultPlan>>,
+    ckpt: &CheckpointCtx,
+    policy: RecoveryPolicy,
+) -> RecoveryResult {
+    checkpoint::clear_manifests(&ckpt.dir);
+    let total_n = data.len() as u64;
     let mut plan = fault;
     let mut report = RecoveryReport::default();
+    let mut cur = *cfg;
     loop {
         report.attempts += 1;
-        match induce_attempt(data, cfg, None, plan.clone(), Some(&ctx)) {
-            Ok(result) => return RecoveryResult { result, report },
+        match induce_attempt(data, &cur, None, plan.clone(), Some(ckpt)) {
+            Ok(result) => {
+                report.final_procs = cur.procs as u32;
+                return RecoveryResult { result, report };
+            }
             Err(crash) => {
                 let sig = crash.signal;
                 report.wasted_bytes += crash.stats.total_bytes_sent();
                 report.wasted_time_ns += crash.stats.time_ns();
-                let resumed_from = checkpoint::read_manifest(ckpt_dir).map(|m| m.level);
+                // The same scan the retry's rank 0 will perform: what is
+                // on disk now decides where the next attempt resumes.
+                let restore = checkpoint::scan_restore(&ckpt.dir, total_n);
+                let resumed_from = restore.resume_level();
+                report.generations_walked += restore.generations_walked();
                 if sig.level != u32::MAX {
                     // Levels `resumed_from..=crash level` run again; a
                     // setup/presort crash re-executes no *levels*.
@@ -256,9 +339,42 @@ pub fn induce_with_recovery(
                     coll_seq: sig.coll_seq,
                     coll: sig.coll,
                     level: sig.level,
+                    procs: cur.procs as u32,
                     resumed_from,
+                    restore,
                 });
                 plan = plan.map(|p| Arc::new(p.without_crash(sig.spec)));
+                if let RecoveryPolicy::Shrink { min_procs } = policy {
+                    let floor = min_procs.max(1);
+                    if cur.procs > floor {
+                        let to = cur.procs - 1;
+                        let redistribution_bytes = match restore {
+                            // A same-geometry restore reads the generation
+                            // once in total; a rescaled one reads it once
+                            // *per surviving rank*.
+                            RestoreVerdict::Usable { manifest, .. }
+                                if manifest.procs as usize != to =>
+                            {
+                                checkpoint::generation_payload_bytes(
+                                    &ckpt.dir,
+                                    manifest.level,
+                                    manifest.procs as usize,
+                                )
+                                .map(|total| total.saturating_mul(to as u64 - 1))
+                                .unwrap_or(0)
+                            }
+                            _ => 0,
+                        };
+                        report.rescales.push(RescaleEvent {
+                            from_procs: cur.procs as u32,
+                            to_procs: to as u32,
+                            level: resumed_from,
+                            redistribution_bytes,
+                        });
+                        report.redistribution_bytes += redistribution_bytes;
+                        cur.procs = to;
+                    }
+                }
             }
         }
     }
@@ -544,9 +660,17 @@ mod tests {
         let got = try_induce(&data, &ParConfig::new(3), None, Some(&ctx)).unwrap();
         assert_eq!(got.tree, want.tree);
         assert_eq!(got.trace, want.trace);
-        // The run left a manifest naming its last level.
-        let m = checkpoint::read_manifest(&dir).unwrap();
-        assert_eq!(m.level, want.levels - 1);
+        // The run left one generation per level, the newest intact.
+        assert_eq!(
+            checkpoint::list_generations(&dir),
+            (0..want.levels).rev().collect::<Vec<_>>()
+        );
+        match checkpoint::scan_restore(&dir, data.len() as u64) {
+            RestoreVerdict::Usable { manifest, .. } => {
+                assert_eq!(manifest.level, want.levels - 1)
+            }
+            v => panic!("expected a usable checkpoint, got {v:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

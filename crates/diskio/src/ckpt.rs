@@ -142,6 +142,40 @@ pub fn read_sections(path: &Path) -> Result<Vec<(u32, Vec<u8>)>, CkptError> {
     Ok(sections)
 }
 
+// ----- deterministic damage (fault injection) ------------------------------
+//
+// Chaos harnesses need to damage checkpoint files the way real storage
+// does, repeatably. These primitives bypass the atomic-write path on
+// purpose: they model corruption *after* a successful commit (bit rot, a
+// torn flush the rename already acknowledged, a lost file), which is
+// exactly what the CRC layer above exists to detect.
+
+/// Drop the trailing quarter of the file (at least one byte): the classic
+/// torn write. `read_sections` reports truncation or a CRC mismatch.
+pub fn damage_truncate_tail(path: &Path) -> Result<(), CkptError> {
+    let bytes = fs::read(path).map_err(|e| err(path, format!("read: {e}")))?;
+    let keep = bytes.len().saturating_sub((bytes.len() / 4).max(1));
+    fs::write(path, &bytes[..keep]).map_err(|e| err(path, format!("write: {e}")))
+}
+
+/// Flip one bit in the middle of the file: silent media corruption.
+/// `read_sections` reports a CRC mismatch (or bad magic, for tiny files).
+pub fn damage_flip_bit(path: &Path) -> Result<(), CkptError> {
+    let mut bytes = fs::read(path).map_err(|e| err(path, format!("read: {e}")))?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(path, &bytes).map_err(|e| err(path, format!("write: {e}")))
+}
+
+/// Remove the file entirely (lost volume, operator error). Missing files
+/// are already an error from `read_sections`.
+pub fn damage_remove(path: &Path) -> Result<(), CkptError> {
+    fs::remove_file(path).map_err(|e| err(path, format!("remove: {e}")))
+}
+
 /// Little-endian value encoder for checkpoint payloads.
 #[derive(Default)]
 pub struct ByteWriter {
@@ -279,6 +313,30 @@ mod tests {
         fs::write(&path, b"XXXXYYYYZZZZ").unwrap();
         let e = read_sections(&path).unwrap_err();
         assert!(e.msg.contains("bad magic"), "{e}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_primitives_defeat_reads_detectably() {
+        let dir = tmp_dir("damage");
+        let payload = vec![0xabu8; 256];
+        for (name, damage) in [
+            (
+                "torn",
+                damage_truncate_tail as fn(&Path) -> Result<(), CkptError>,
+            ),
+            ("flip", damage_flip_bit),
+            ("gone", damage_remove),
+        ] {
+            let path = dir.join(format!("{name}.bin"));
+            write_sections(&path, &[(1, &payload)]).unwrap();
+            assert!(read_sections(&path).is_ok());
+            damage(&path).unwrap();
+            assert!(
+                read_sections(&path).is_err(),
+                "{name}: damage must be detected, never silently decoded"
+            );
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -223,6 +223,22 @@ impl Comm {
         self.coll_seq
     }
 
+    /// The installed fault schedule, if any. Lets program-level layers
+    /// (e.g. a checkpoint writer honouring storage faults) consult the same
+    /// plan the collective skeleton uses, keeping one source of truth.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_deref()
+    }
+
+    /// Record a program-level injected fault (e.g. a checkpoint-file
+    /// corruption) on this rank's fault log, at the current clock and
+    /// collective sequence. No cost is charged — silent faults are free at
+    /// injection time and paid for at detection. No-op when untraced.
+    pub fn record_fault(&mut self, kind: &'static str, delay_ns: u64) {
+        self.rec
+            .fault(kind, self.coll_seq, self.clock.now_ns(), delay_ns);
+    }
+
     // ----- observability ------------------------------------------------------
 
     /// Whether this rank carries an enabled trace recorder (see

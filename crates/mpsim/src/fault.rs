@@ -108,6 +108,48 @@ impl StragglerSpec {
     }
 }
 
+/// What happens to a checkpoint file on stable storage.
+///
+/// Unlike message faults these are *silent*: the writer's commit succeeds
+/// and nobody notices until a later restore CRC-verifies the file. The
+/// restore path must therefore walk back generation by generation to the
+/// newest intact snapshot rather than trusting the newest manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// The tail of the file is lost (power cut mid-flush after the commit
+    /// was acknowledged): the file exists but fails CRC/decode.
+    TornWrite,
+    /// A single bit of the payload flips at rest; detected by CRC on read.
+    BitFlip,
+    /// The file vanishes entirely (operator error, lost volume).
+    MissingFile,
+}
+
+/// One silent corruption of a rank's checkpoint file, keyed to the
+/// **checkpoint sequence** — the 1-based count of checkpoint commits the
+/// program has performed this attempt (level-synchronous programs commit
+/// once per level, so sequence `n` is the `n`-th checkpointed level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageFault {
+    /// The rank whose file is damaged.
+    pub rank: usize,
+    /// Which checkpoint commit (1-based within the attempt) is hit.
+    pub at_ckpt_seq: u64,
+    /// How the file is damaged.
+    pub kind: StorageFaultKind,
+}
+
+impl StorageFaultKind {
+    /// Stable label for traces and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageFaultKind::TornWrite => "ckpt_torn_write",
+            StorageFaultKind::BitFlip => "ckpt_bit_flip",
+            StorageFaultKind::MissingFile => "ckpt_missing_file",
+        }
+    }
+}
+
 /// A seeded, replayable fault schedule. See the module docs for semantics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
@@ -118,6 +160,8 @@ pub struct FaultPlan {
     pub comm_faults: Vec<CommFault>,
     /// Straggler windows, any order.
     pub stragglers: Vec<StragglerSpec>,
+    /// Silent checkpoint-file corruptions, any order.
+    pub storage_faults: Vec<StorageFault>,
 }
 
 impl FaultPlan {
@@ -175,9 +219,28 @@ impl FaultPlan {
         plan
     }
 
+    /// This plan with a silent checkpoint corruption added: `rank`'s file
+    /// from the `at_ckpt_seq`-th commit (1-based) is damaged as `kind`.
+    pub fn with_storage_fault(
+        mut self,
+        rank: usize,
+        at_ckpt_seq: u64,
+        kind: StorageFaultKind,
+    ) -> FaultPlan {
+        self.storage_faults.push(StorageFault {
+            rank,
+            at_ckpt_seq,
+            kind,
+        });
+        self
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.comm_faults.is_empty() && self.stragglers.is_empty()
+        self.crashes.is_empty()
+            && self.comm_faults.is_empty()
+            && self.stragglers.is_empty()
+            && self.storage_faults.is_empty()
     }
 
     /// This plan minus crash spec `idx` — what a recovery driver runs after
@@ -204,6 +267,14 @@ impl FaultPlan {
     /// The message fault hitting collective `seq`, if any.
     pub fn comm_fault_at(&self, seq: u64) -> Option<&CommFault> {
         self.comm_faults.iter().find(|f| f.at_seq == seq)
+    }
+
+    /// The storage fault hitting `rank`'s file of checkpoint commit
+    /// `ckpt_seq` (1-based within the attempt), if any.
+    pub fn storage_fault_at(&self, rank: usize, ckpt_seq: u64) -> Option<&StorageFault> {
+        self.storage_faults
+            .iter()
+            .find(|f| f.rank == rank && f.at_ckpt_seq == ckpt_seq)
     }
 
     /// Extra straggler nanoseconds for `rank` at collective `seq`, given
@@ -245,6 +316,15 @@ impl FaultPlan {
             bytes.extend_from_slice(&s.from_seq.to_le_bytes());
             bytes.extend_from_slice(&s.to_seq.to_le_bytes());
             bytes.extend_from_slice(&s.slowdown_milli.to_le_bytes());
+        }
+        for f in &self.storage_faults {
+            bytes.extend_from_slice(&(f.rank as u64).to_le_bytes());
+            bytes.extend_from_slice(&f.at_ckpt_seq.to_le_bytes());
+            bytes.push(match f.kind {
+                StorageFaultKind::TornWrite => 4,
+                StorageFaultKind::BitFlip => 5,
+                StorageFaultKind::MissingFile => 6,
+            });
         }
         crc32(&bytes)
     }
@@ -365,6 +445,29 @@ mod tests {
         assert_eq!(plan.straggler_extra(1, 6, 100), 100);
         assert_eq!(plan.straggler_extra(1, 9, 100), 0, "outside window");
         assert_eq!(plan.straggler_extra(0, 6, 100), 0, "other rank");
+    }
+
+    #[test]
+    fn storage_fault_matching() {
+        let plan = FaultPlan::new()
+            .with_storage_fault(1, 2, StorageFaultKind::BitFlip)
+            .with_storage_fault(0, 3, StorageFaultKind::TornWrite);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.storage_fault_at(1, 2).unwrap().kind,
+            StorageFaultKind::BitFlip
+        );
+        assert!(plan.storage_fault_at(1, 3).is_none(), "wrong seq");
+        assert!(plan.storage_fault_at(2, 2).is_none(), "wrong rank");
+        // Fingerprint distinguishes storage schedules.
+        assert_ne!(plan.fingerprint(), FaultPlan::new().fingerprint());
+        assert_ne!(
+            plan.fingerprint(),
+            FaultPlan::new()
+                .with_storage_fault(1, 2, StorageFaultKind::MissingFile)
+                .with_storage_fault(0, 3, StorageFaultKind::TornWrite)
+                .fingerprint()
+        );
     }
 
     #[test]

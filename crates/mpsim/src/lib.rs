@@ -50,7 +50,8 @@ pub mod stats;
 pub use comm::Comm;
 pub use cost::CostModel;
 pub use fault::{
-    CommFault, Crash, CrashPoint, CrashSignal, CrashSpec, FaultKind, FaultPlan, StragglerSpec,
+    CommFault, Crash, CrashPoint, CrashSignal, CrashSpec, FaultKind, FaultPlan, StorageFault,
+    StorageFaultKind, StragglerSpec,
 };
 pub use machine::{run, try_run, MachineCfg, RunResult, TimingMode};
 pub use mem::MemTracker;

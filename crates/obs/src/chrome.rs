@@ -14,6 +14,11 @@ pub const TID_COMM: u64 = 1;
 /// Thread id of injected fault events within a rank's process (present
 /// only when the rank observed faults).
 pub const TID_FAULTS: u64 = 2;
+/// Thread id of injected *storage* fault events (checkpoint-file
+/// corruption, `ckpt_*` kinds) within a rank's process — their own track,
+/// so snapshot damage reads separately from transport faults (present only
+/// when the rank observed storage faults).
+pub const TID_STORAGE_FAULTS: u64 = 3;
 
 fn micros(ns: u64) -> Json {
     // Exact: 1 ns = 0.001 µs, and f64 holds ns counts < 2^53 exactly.
@@ -125,20 +130,30 @@ pub fn chrome_trace(traces: &[&RankTrace]) -> String {
             ));
         }
         // Injected faults get their own lane so the delay they add is
-        // visible against the phase/collective timelines; the lane (and its
-        // name) only exists on ranks that observed faults.
-        if !t.faults.is_empty() {
-            events.push(metadata_event(
-                "thread_name",
-                rank,
-                Some(TID_FAULTS),
-                "faults",
-            ));
-            for f in &t.faults {
+        // visible against the phase/collective timelines; storage faults
+        // (checkpoint-file corruption, `ckpt_*` kinds) get a further lane
+        // of their own, since they damage snapshots rather than messages.
+        // Each lane (and its name) only exists on ranks that observed
+        // faults of that kind.
+        let is_storage = |kind: &str| kind.starts_with("ckpt_");
+        for (tid, lane) in [
+            (TID_FAULTS, "faults"),
+            (TID_STORAGE_FAULTS, "storage faults"),
+        ] {
+            let mut named = false;
+            for f in t
+                .faults
+                .iter()
+                .filter(|f| (tid == TID_STORAGE_FAULTS) == is_storage(f.kind))
+            {
+                if !named {
+                    events.push(metadata_event("thread_name", rank, Some(tid), lane));
+                    named = true;
+                }
                 events.push(complete_event(
                     f.kind,
                     rank,
-                    TID_FAULTS,
+                    tid,
                     f.start_ns,
                     f.start_ns + f.delay_ns,
                     vec![

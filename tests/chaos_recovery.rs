@@ -13,10 +13,13 @@ use std::sync::Arc;
 use datagen::{generate, ClassFunc, GenConfig, Profile};
 use dtree::eval::confusion_matrix;
 use dtree::{model_io, Dataset};
-use mpsim::{CrashPoint, FaultKind, FaultPlan};
+use mpsim::{CrashPoint, FaultKind, FaultPlan, StorageFaultKind};
 use proptest::prelude::*;
-use scalparc::checkpoint::{self, CheckpointCtx};
-use scalparc::{induce, induce_with_recovery, try_induce, ParConfig};
+use scalparc::checkpoint::{self, CheckpointCtx, RestoreVerdict};
+use scalparc::{
+    induce, induce_with_recovery, induce_with_recovery_policy, try_induce, ParConfig,
+    RecoveryPolicy,
+};
 
 fn quest(n: usize, func: ClassFunc, seed: u64) -> Dataset {
     generate(&GenConfig {
@@ -196,6 +199,289 @@ fn checkpoint_save_load_save_is_byte_identical() {
     assert!(checked >= 9, "expected at least 3 levels × 3 ranks");
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&resave);
+}
+
+/// Copy a checkpoint directory, so one written generation set can be
+/// restored at several geometries without the restores contaminating each
+/// other (a completed restore commits new generations of its own).
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap().flatten() {
+        std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+    }
+}
+
+/// Crash a checkpointed `p`-rank run right after level `upto`'s commit,
+/// leaving generations `0..=upto` in `dir`.
+fn write_generations(data: &Dataset, p: usize, upto: u32, dir: &std::path::Path) {
+    let plan = FaultPlan::new().with_crash(0, CrashPoint::Level(upto));
+    let err = try_induce(
+        data,
+        &ParConfig::new(p),
+        Some(Arc::new(plan)),
+        Some(&CheckpointCtx::new(dir)),
+    )
+    .expect_err("writer run is supposed to crash");
+    assert_eq!(err.signal.level, upto);
+}
+
+/// The elastic-recovery guarantee, exhaustively: a checkpoint written at
+/// `p ∈ {2, 4, 8}`, interrupted at *every* level, restores and completes
+/// at every `p' ≤ 8` — the final tree and its confusion matrix equal a
+/// fault-free `p'` run's. (`p = 8 → p' = 4` and `4 → 8` from the
+/// acceptance criteria are grid points of this sweep.)
+#[test]
+fn restore_grid_rescales_across_geometries() {
+    let data = quest(240, ClassFunc::F2, 7);
+    let wants: Vec<_> = (1..=8usize)
+        .map(|p2| {
+            let w = induce(&data, &ParConfig::new(p2));
+            (model_io::to_text(&w.tree), confusion_matrix(&w.tree, &data))
+        })
+        .collect();
+    let levels = induce(&data, &ParConfig::new(2)).levels;
+    assert!(levels >= 3, "workload too shallow to be interesting");
+    for p in [2usize, 4, 8] {
+        for level in 0..levels {
+            let master = tmp_dir(&format!("regrid-{p}-{level}"));
+            write_generations(&data, p, level, &master);
+            for p2 in 1..=8usize {
+                let dir = tmp_dir(&format!("regrid-{p}-{level}-{p2}"));
+                copy_dir(&master, &dir);
+                let run = try_induce(
+                    &data,
+                    &ParConfig::new(p2),
+                    None,
+                    Some(&CheckpointCtx::new(&dir)),
+                )
+                .expect("no fault plan, no crash");
+                let _ = std::fs::remove_dir_all(&dir);
+                let (want_text, want_conf) = &wants[p2 - 1];
+                assert_eq!(
+                    &model_io::to_text(&run.tree),
+                    want_text,
+                    "write p={p} crash level={level} restore p'={p2}: tree differs"
+                );
+                assert_eq!(
+                    &confusion_matrix(&run.tree, &data),
+                    want_conf,
+                    "write p={p} crash level={level} restore p'={p2}: confusion differs"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&master);
+        }
+    }
+}
+
+/// `RecoveryPolicy::Shrink`: each crash drops one rank, the restored
+/// checkpoint is re-blocked onto the survivors, redistribution I/O is
+/// accounted, and the final tree matches a fault-free run.
+#[test]
+fn shrink_policy_completes_on_survivors() {
+    let data = quest(300, ClassFunc::F6, 29);
+    let p = 5usize;
+    let want = induce(&data, &ParConfig::new(p));
+    assert!(want.levels >= 4);
+    let plan = FaultPlan::new()
+        .with_crash(p - 1, CrashPoint::Level(1))
+        .with_crash(0, CrashPoint::Level(2));
+    let dir = tmp_dir("shrink");
+    let rec = induce_with_recovery_policy(
+        &data,
+        &ParConfig::new(p),
+        Some(Arc::new(plan.clone())),
+        &CheckpointCtx::new(&dir),
+        RecoveryPolicy::Shrink { min_procs: 1 },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        model_io::to_text(&rec.result.tree),
+        model_io::to_text(&want.tree)
+    );
+    assert_eq!(rec.report.attempts, 3);
+    assert_eq!(
+        rec.report.final_procs as usize,
+        p - 2,
+        "two crashes, two shrinks"
+    );
+    assert_eq!(rec.report.crashes[0].procs as usize, p);
+    assert_eq!(rec.report.crashes[1].procs as usize, p - 1);
+    assert_eq!(rec.report.rescales.len(), 2);
+    assert_eq!(rec.report.rescales[0].from_procs as usize, p);
+    assert_eq!(rec.report.rescales[0].to_procs as usize, p - 1);
+    assert!(
+        rec.report.redistribution_bytes > 0,
+        "re-blocking a restored generation costs surplus restore I/O"
+    );
+    assert_eq!(
+        rec.report.redistribution_bytes,
+        rec.report
+            .rescales
+            .iter()
+            .map(|r| r.redistribution_bytes)
+            .sum::<u64>()
+    );
+
+    // A floor above 1: repeated crashes shrink to it and no further.
+    let dir = tmp_dir("shrink-floor");
+    let rec = induce_with_recovery_policy(
+        &data,
+        &ParConfig::new(p),
+        Some(Arc::new(plan)),
+        &CheckpointCtx::new(&dir),
+        RecoveryPolicy::Shrink { min_procs: p - 1 },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        model_io::to_text(&rec.result.tree),
+        model_io::to_text(&want.tree)
+    );
+    assert_eq!(
+        rec.report.final_procs as usize,
+        p - 1,
+        "clamped at the floor"
+    );
+    assert_eq!(
+        rec.report.rescales.len(),
+        1,
+        "the second crash retried in place"
+    );
+}
+
+/// A bit-flipped (or torn) newest generation is detected by the restore
+/// scan and skipped: recovery lands on the previous intact generation,
+/// reports the walk, and still reproduces the fault-free tree.
+#[test]
+fn storage_fault_walks_to_previous_generation() {
+    let data = quest(260, ClassFunc::F2, 33);
+    let p = 3usize;
+    let want = induce(&data, &ParConfig::new(p));
+    let want_text = model_io::to_text(&want.tree);
+    let want_conf = confusion_matrix(&want.tree, &data);
+    assert!(want.levels >= 3);
+    for kind in [StorageFaultKind::BitFlip, StorageFaultKind::TornWrite] {
+        // Level 2's commit is checkpoint sequence 3; damaging rank 1's
+        // file leaves generation 2 unusable, generation 1 intact.
+        let plan = FaultPlan::new()
+            .with_crash(0, CrashPoint::Level(2))
+            .with_storage_fault(1, 3, kind);
+        let dir = tmp_dir(&format!("walk-{kind:?}"));
+        let rec = induce_with_recovery(&data, &ParConfig::new(p), Some(Arc::new(plan)), &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(model_io::to_text(&rec.result.tree), want_text, "{kind:?}");
+        assert_eq!(confusion_matrix(&rec.result.tree, &data), want_conf);
+        assert_eq!(rec.report.crashes[0].resumed_from, Some(1), "{kind:?}");
+        assert_eq!(rec.report.generations_walked, 1, "{kind:?}");
+        assert!(
+            matches!(
+                rec.report.crashes[0].restore,
+                RestoreVerdict::Usable {
+                    skipped_corrupt: 1,
+                    ..
+                }
+            ),
+            "{kind:?}: {:?}",
+            rec.report.crashes[0].restore
+        );
+    }
+}
+
+/// Every generation corrupt: the restore scan reports `AllCorrupt` and
+/// recovery falls back to a clean fresh start — degraded, never a panic.
+#[test]
+fn all_generations_corrupt_falls_back_to_fresh_start() {
+    let data = quest(260, ClassFunc::F2, 37);
+    let p = 3usize;
+    let want = induce(&data, &ParConfig::new(p));
+    let mut plan = FaultPlan::new().with_crash(0, CrashPoint::Level(2));
+    for seq in 1..=3u64 {
+        plan = plan.with_storage_fault(0, seq, StorageFaultKind::MissingFile);
+    }
+    let dir = tmp_dir("all-corrupt");
+    let rec = induce_with_recovery(&data, &ParConfig::new(p), Some(Arc::new(plan)), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(rec.result.tree, want.tree);
+    assert_eq!(rec.report.attempts, 2);
+    assert_eq!(rec.report.crashes[0].resumed_from, None);
+    assert!(
+        matches!(
+            rec.report.crashes[0].restore,
+            RestoreVerdict::AllCorrupt { generations: 3 }
+        ),
+        "{:?}",
+        rec.report.crashes[0].restore
+    );
+}
+
+/// Keep-last-K retention: a checkpointed run with `with_keep(2)` leaves
+/// exactly two generations on disk — `K × (manifest + p rank files)` at
+/// steady state — while an unlimited run keeps one generation per level.
+#[test]
+fn gc_retains_keep_last_k_files() {
+    let data = quest(280, ClassFunc::F2, 41);
+    let p = 3usize;
+    let dir = tmp_dir("gc");
+    let run = try_induce(
+        &data,
+        &ParConfig::new(p),
+        None,
+        Some(&CheckpointCtx::new(&dir).with_keep(2)),
+    )
+    .unwrap();
+    assert!(
+        run.levels >= 3,
+        "need more levels than the retention window"
+    );
+    let last = run.levels - 1;
+    assert_eq!(checkpoint::list_generations(&dir), vec![last, last - 1]);
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(
+        files,
+        2 * (p + 1),
+        "steady state: 2 generations × (manifest + {p} rank files)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cost parity: the retention knob and the storage-fault hook are free.
+/// A checkpointed run charges byte-for-byte identical simulated costs
+/// whether retention is unlimited or keep-K, and whether the fault layer
+/// is uninstalled or installed-but-idle.
+#[test]
+fn retention_and_idle_fault_layer_are_cost_free() {
+    let data = quest(300, ClassFunc::F2, 43);
+    let p = 4usize;
+    let dir = tmp_dir("parity-base");
+    let base = try_induce(
+        &data,
+        &ParConfig::new(p),
+        None,
+        Some(&CheckpointCtx::new(&dir)),
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    type Variant = (&'static str, Option<Arc<FaultPlan>>, Option<usize>);
+    let variants: [Variant; 3] = [
+        ("keep=2", None, Some(2)),
+        ("keep=1", None, Some(1)),
+        ("empty plan", Some(Arc::new(FaultPlan::new())), None),
+    ];
+    for (what, fault, keep) in variants {
+        let dir = tmp_dir(&format!("parity-{what}"));
+        let mut ctx = CheckpointCtx::new(&dir);
+        if let Some(k) = keep {
+            ctx = ctx.with_keep(k);
+        }
+        let run = try_induce(&data, &ParConfig::new(p), fault, Some(&ctx)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(run.tree, base.tree, "{what}");
+        assert_eq!(run.stats.time_ns(), base.stats.time_ns(), "{what}");
+        for (a, b) in base.stats.ranks.iter().zip(&run.stats.ranks) {
+            assert_eq!(a.bytes_sent, b.bytes_sent, "{what}");
+            assert_eq!(a.comm_ns, b.comm_ns, "{what}");
+            assert_eq!(a.compute_ns, b.compute_ns, "{what}");
+        }
+    }
 }
 
 proptest! {
