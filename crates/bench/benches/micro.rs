@@ -43,6 +43,25 @@ fn bench_gini_scan(c: &mut Criterion) {
             scan.best()
         })
     });
+    // Same scan over the packed 10-byte records via the run-chunked kernel
+    // (boundary work only at value changes, per-class tallies inside runs) —
+    // the shape the out-of-core chunks stream through.
+    let packed: Vec<dtree::list::ContEntry> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(value, class))| dtree::list::ContEntry {
+            value,
+            rid: i as u32,
+            class: class as u16,
+        })
+        .collect();
+    g.bench_function("scan_packed_100k", |b| {
+        b.iter(|| {
+            let mut scan = ContinuousScan::fresh(total.clone());
+            scan.scan_packed(&packed);
+            scan.best()
+        })
+    });
     g.finish();
 }
 
@@ -134,7 +153,9 @@ fn bench_alltoallv_flat(c: &mut Criterion) {
 fn bench_partition(c: &mut Criterion) {
     use dtree::list::{AttrList, ContEntry};
     use dtree::tree::SplitTest;
-    use scalparc::phases::{split_by_children, split_directly};
+    use scalparc::phases::{
+        split_by_children, split_by_children_ref, split_directly, split_directly_ref,
+    };
 
     let n = 100_000usize;
     let list = AttrList::Continuous(
@@ -142,7 +163,7 @@ fn bench_partition(c: &mut Criterion) {
             .map(|i| ContEntry {
                 value: (i % 97) as f32,
                 rid: i as u32,
-                class: (i % 2) as u8,
+                class: (i % 2) as u16,
             })
             .collect(),
     );
@@ -161,6 +182,17 @@ fn bench_partition(c: &mut Criterion) {
     let mut counts2 = Vec::new();
     g.bench_function("split_directly_100k", |b| {
         b.iter(|| split_directly(list.clone(), &test, 2, &mut counts2).len())
+    });
+    // Reference partitions (per-record Vec::push into per-child buffers) —
+    // the baseline the count-pass + cursor-scatter kernels are measured
+    // against; kept benchable so regressions in either side are visible.
+    let mut counts3 = Vec::new();
+    g.bench_function("split_by_children_ref_100k", |b| {
+        b.iter(|| split_by_children_ref(list.clone(), 2, &children, &mut counts3).len())
+    });
+    let mut counts4 = Vec::new();
+    g.bench_function("split_directly_ref_100k", |b| {
+        b.iter(|| split_directly_ref(list.clone(), &test, 2, &mut counts4).len())
     });
     g.finish();
 }

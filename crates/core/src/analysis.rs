@@ -67,7 +67,7 @@ impl AnalyticModel {
         // Presort: per continuous attribute, one sample allgather
         // (p−1 samples each), one all-to-all of the full list, and the
         // parallel shift's scan + allreduce + all-to-all.
-        let entry = 12u64; // ContEntry payload
+        let entry = dtree::list::PACKED_ENTRY_BYTES as u64; // ContEntry payload
         for _ in 0..n_cont {
             total += self.cost.allgather(p, (p as u64 - 1) * entry);
             total += self.cost.alltoall(p, (n / p as u64) * entry);

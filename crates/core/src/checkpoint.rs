@@ -315,7 +315,7 @@ fn encode_works(works: &[Work]) -> Vec<u8> {
                     for e in entries {
                         w.f32_bits(e.value);
                         w.u32(e.rid);
-                        w.u8(e.class);
+                        w.u16(e.class);
                     }
                 }
                 AttrList::Categorical(entries) => {
@@ -324,7 +324,7 @@ fn encode_works(works: &[Work]) -> Vec<u8> {
                     for e in entries {
                         w.u32(e.value);
                         w.u32(e.rid);
-                        w.u8(e.class);
+                        w.u16(e.class);
                     }
                 }
             }
@@ -353,7 +353,7 @@ fn decode_works(bytes: &[u8]) -> Result<Vec<Work>, String> {
                         entries.push(ContEntry {
                             value: r.f32_bits()?,
                             rid: r.u32()?,
-                            class: r.u8()?,
+                            class: r.u16()?,
                         });
                     }
                     lists.push(AttrList::Continuous(entries));
@@ -364,7 +364,7 @@ fn decode_works(bytes: &[u8]) -> Result<Vec<Work>, String> {
                         entries.push(CatEntry {
                             value: r.u32()?,
                             rid: r.u32()?,
-                            class: r.u8()?,
+                            class: r.u16()?,
                         });
                     }
                     lists.push(AttrList::Categorical(entries));
@@ -1107,12 +1107,12 @@ mod tests {
         let cont = |v: f32, rid: u32| ContEntry {
             value: v,
             rid,
-            class: (rid % 2) as u8,
+            class: (rid % 2) as u16,
         };
         let cat = |v: u32, rid: u32| CatEntry {
             value: v,
             rid,
-            class: (rid % 2) as u8,
+            class: (rid % 2) as u16,
         };
         a.works[0].lists = vec![
             AttrList::Continuous(vec![cont(1.0, 0), cont(2.0, 1)]),
@@ -1141,7 +1141,8 @@ mod tests {
                 panic!("kind must be preserved")
             };
             assert_eq!(c.len(), 1);
-            assert_eq!(c[0].rid, rank as u32, "global order preserved");
+            let rid0 = c[0].rid;
+            assert_eq!(rid0, rank as u32, "global order preserved");
             assert_eq!(st.table_slots.as_ref().unwrap().len(), 1);
             assert_eq!(st.table_slots.unwrap()[0], Some(rank as u8));
         }

@@ -31,11 +31,12 @@ pub fn build_distributed_lists(comm: &mut Comm, local: &Dataset, rid_offset: u32
                     .map(|(i, &value)| ContEntry {
                         value,
                         rid: rid_offset + i as u32,
-                        class: local.labels[i],
+                        class: local.labels[i] as u16,
                     })
                     .collect();
                 let sorted = sortp::sample_sort(comm, entries, |a, b| {
-                    a.value.total_cmp(&b.value).then(a.rid.cmp(&b.rid))
+                    let (av, bv, ar, br) = (a.value, b.value, a.rid, b.rid);
+                    av.total_cmp(&bv).then(ar.cmp(&br))
                 });
                 AttrList::Continuous(sorted)
             }
@@ -45,7 +46,7 @@ pub fn build_distributed_lists(comm: &mut Comm, local: &Dataset, rid_offset: u32
                     .map(|(i, &value)| CatEntry {
                         value,
                         rid: rid_offset + i as u32,
-                        class: local.labels[i],
+                        class: local.labels[i] as u16,
                     })
                     .collect(),
             ),
@@ -116,7 +117,8 @@ mod tests {
             for (r, lists) in outs.iter().enumerate() {
                 let lo = (r * block).min(n) as u32;
                 for (i, e) in lists[1].as_categorical().iter().enumerate() {
-                    assert_eq!(e.rid, lo + i as u32);
+                    let rid = e.rid;
+                    assert_eq!(rid, lo + i as u32);
                 }
             }
         }

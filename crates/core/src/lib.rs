@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod dist;
 pub mod induce;
+pub mod ooc;
 pub mod phases;
 
 pub mod analysis;
@@ -41,6 +42,7 @@ pub mod analysis;
 pub use checkpoint::{CheckpointCtx, RestoreVerdict};
 pub use config::{Algorithm, InduceConfig, ParConfig};
 pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
+pub use ooc::{induce_on_comm_ooc, OocOptions};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -70,6 +72,41 @@ pub struct ParResult {
 /// (paper §3.1) and each virtual processor runs the SPMD algorithm.
 pub fn induce(data: &Dataset, cfg: &ParConfig) -> ParResult {
     induce_with_replay(data, cfg, None)
+}
+
+/// [`induce`] with out-of-core attribute lists: every rank keeps its list
+/// segments on disk under `opts.dir` and streams them in `opts.chunk`-record
+/// chunks, so per-rank resident list memory is O(chunk) instead of O(N/p).
+/// The induced tree is identical to [`induce`]'s at the same `cfg.procs`.
+pub fn induce_ooc(data: &Dataset, cfg: &ParConfig, opts: &ooc::OocOptions) -> ParResult {
+    assert!(cfg.procs >= 1);
+    let n = data.len();
+    let block = n.div_ceil(cfg.procs).max(1);
+    let mcfg = MachineCfg {
+        procs: cfg.procs,
+        cost: cfg.cost,
+        timing: cfg.timing,
+        compute_tokens: 0,
+        replay: None,
+        trace: cfg.trace,
+        fault: None,
+    };
+    let induce_cfg = cfg.induce;
+    let result = mpsim::run(&mcfg, |comm| {
+        let lo = (comm.rank() * block).min(n);
+        let hi = ((comm.rank() + 1) * block).min(n);
+        let local = data.slice(lo, hi);
+        induce_on_comm_ooc(comm, local, lo as u32, n as u64, &induce_cfg, opts)
+    });
+    let mut outputs = result.outputs;
+    let (tree, ps) = outputs.swap_remove(0);
+    ParResult {
+        tree,
+        levels: ps.levels,
+        max_active_nodes: ps.max_active_nodes,
+        trace: ps.trace,
+        stats: result.stats,
+    }
 }
 
 /// Like [`induce()`] in [`TimingMode::Measured`], with host-noise filtering:

@@ -237,9 +237,7 @@ pub fn find_split(
             let last = scratch.prefix_lasts[pi];
             pi += 1;
             scratch.cont_scan.reset(&w.hist, below, last);
-            for e in w.lists[a].as_continuous() {
-                scratch.cont_scan.push(e.value, e.class);
-            }
+            scratch.cont_scan.scan_packed(w.lists[a].as_continuous());
             best = BestSplit::better(
                 best,
                 scratch.cont_scan.best().map(|c| BestSplit {
@@ -531,15 +529,132 @@ pub fn perform_split(
     outcomes
 }
 
+/// Count pass + cursor scatter: stable partition of `entries` into `arity`
+/// exact-capacity vectors, entry `i` going to child `child_of(i, entry)`.
+///
+/// The count pass sizes every child (bounds-checking `child_of`'s verdicts
+/// in the process); the scatter then writes each record through a raw
+/// per-child cursor into the uninitialized capacity. The hot loop carries
+/// no `Vec::push` capacity check and no growth path — one load, one
+/// verdict, one store per record — which is the shape the autovectorizer
+/// and the store pipeline want on 10-byte packed records.
+fn scatter_partition<T: Copy>(
+    entries: Vec<T>,
+    arity: usize,
+    counts: &mut Vec<usize>,
+    child_of: impl Fn(usize, T) -> usize,
+) -> Vec<Vec<T>> {
+    counts.clear();
+    counts.resize(arity, 0);
+    for (i, &e) in entries.iter().enumerate() {
+        // Bounds-checked: a verdict >= arity panics here, before any
+        // unchecked write below can rely on it.
+        counts[child_of(i, e)] += 1;
+    }
+    let mut parts: Vec<Vec<T>> = counts.iter().map(|&n| Vec::with_capacity(n)).collect();
+    // Reuse `counts` as the write cursors so the scatter adds no allocation
+    // on top of the child lists themselves.
+    counts.iter_mut().for_each(|c| *c = 0);
+    for (i, &e) in entries.iter().enumerate() {
+        let c = child_of(i, e);
+        // SAFETY: the count pass proved c < arity and sized each part at
+        // exactly the number of records routed to it; `child_of` is a pure
+        // function of (i, entry), so the replayed verdicts match and each
+        // cursor stays within its part's capacity.
+        unsafe {
+            let off = *counts.get_unchecked(c);
+            parts.get_unchecked_mut(c).as_mut_ptr().add(off).write(e);
+            *counts.get_unchecked_mut(c) = off + 1;
+        }
+    }
+    for (p, &n) in parts.iter_mut().zip(counts.iter()) {
+        // SAFETY: exactly `n` elements were written contiguously from the
+        // start of each part's buffer.
+        unsafe { p.set_len(n) };
+    }
+    parts
+}
+
 /// Stable partition by a per-entry child verdict (aligned with the list).
 ///
 /// A counting pass sizes every child first, so each child list is allocated
 /// at its exact final capacity — no doubling growth, no copy-on-realloc,
-/// no over-allocation held by the next level. `counts` is reused scratch.
+/// no over-allocation held by the next level — and the scatter pass routes
+/// through raw cursors ([`scatter_partition`]) with no per-record branches.
+/// `counts` is reused scratch. Verified record-identical to
+/// [`split_by_children_ref`] by the kernel-equivalence tests.
 ///
 /// Public for the allocation tests and kernel benchmarks; not part of the
 /// stable API surface.
 pub fn split_by_children(
+    list: AttrList,
+    arity: usize,
+    children: &[u8],
+    counts: &mut Vec<usize>,
+) -> Vec<AttrList> {
+    assert_eq!(list.len(), children.len());
+    match list {
+        AttrList::Continuous(entries) => {
+            scatter_partition(entries, arity, counts, |i, _| children[i] as usize)
+                .into_iter()
+                .map(AttrList::Continuous)
+                .collect()
+        }
+        AttrList::Categorical(entries) => {
+            scatter_partition(entries, arity, counts, |i, _| children[i] as usize)
+                .into_iter()
+                .map(AttrList::Categorical)
+                .collect()
+        }
+    }
+}
+
+/// Stable partition of the splitting attribute's own list, with the same
+/// count-pass + cursor-scatter kernel as [`split_by_children`]. The routing
+/// predicates (`value >= threshold`, domain index, subset-mask bit) are all
+/// branch-free integer expressions, so the scatter loop stays unpredicated.
+///
+/// Public for the allocation tests and kernel benchmarks; not part of the
+/// stable API surface.
+pub fn split_directly(
+    list: AttrList,
+    test: &SplitTest,
+    arity: usize,
+    counts: &mut Vec<usize>,
+) -> Vec<AttrList> {
+    match (list, test) {
+        (AttrList::Continuous(entries), SplitTest::Continuous { threshold, .. }) => {
+            let t = *threshold;
+            scatter_partition(entries, arity, counts, |_, e: ContEntry| {
+                usize::from(e.value >= t)
+            })
+            .into_iter()
+            .map(AttrList::Continuous)
+            .collect()
+        }
+        (AttrList::Categorical(entries), SplitTest::Categorical { .. }) => {
+            scatter_partition(entries, arity, counts, |_, e: CatEntry| e.value as usize)
+                .into_iter()
+                .map(AttrList::Categorical)
+                .collect()
+        }
+        (AttrList::Categorical(entries), SplitTest::CategoricalSubset { left_mask, .. }) => {
+            let mask = *left_mask;
+            scatter_partition(entries, arity, counts, |_, e: CatEntry| {
+                usize::from((mask >> e.value) & 1 == 0)
+            })
+            .into_iter()
+            .map(AttrList::Categorical)
+            .collect()
+        }
+        _ => unreachable!("splitting list kind matches the test"),
+    }
+}
+
+/// Reference implementation of [`split_by_children`]: the straightforward
+/// count-then-push partition. Kept for the kernel-equivalence tests and as
+/// the baseline in the criterion kernel benchmarks.
+pub fn split_by_children_ref(
     list: AttrList,
     arity: usize,
     children: &[u8],
@@ -572,12 +687,9 @@ pub fn split_by_children(
     }
 }
 
-/// Stable partition of the splitting attribute's own list, with the same
-/// pre-counted exact-capacity allocation as [`split_by_children`].
-///
-/// Public for the allocation tests and kernel benchmarks; not part of the
-/// stable API surface.
-pub fn split_directly(
+/// Reference implementation of [`split_directly`]; see
+/// [`split_by_children_ref`].
+pub fn split_directly_ref(
     list: AttrList,
     test: &SplitTest,
     arity: usize,
@@ -588,12 +700,14 @@ pub fn split_directly(
     match (list, test) {
         (AttrList::Continuous(entries), SplitTest::Continuous { threshold, .. }) => {
             for e in &entries {
-                counts[usize::from(e.value >= *threshold)] += 1;
+                let v = e.value;
+                counts[usize::from(v >= *threshold)] += 1;
             }
             let mut parts: Vec<Vec<ContEntry>> =
                 counts.iter().map(|&n| Vec::with_capacity(n)).collect();
             for e in entries {
-                parts[usize::from(e.value >= *threshold)].push(e);
+                let v = e.value;
+                parts[usize::from(v >= *threshold)].push(e);
             }
             parts.into_iter().map(AttrList::Continuous).collect()
         }

@@ -86,6 +86,124 @@ impl GenConfig {
     }
 }
 
+/// Index-addressable Quest generator: record `i` is sampled from its own
+/// RNG stream derived from `(seed, i)`, so any block `[lo, hi)` of the
+/// virtual dataset can be produced independently, in any order, without
+/// materializing the rest. Concatenating blocks reproduces the whole
+/// dataset exactly regardless of the block boundaries — the property the
+/// out-of-core scale experiments rely on to give each simulated processor
+/// its `⌈N/p⌉` fragment without ever holding all `N` records in memory.
+///
+/// The per-index derivation necessarily differs from [`generate`]'s single
+/// sequential stream, so `StreamingGen::new(cfg).block(0, cfg.n)` is a
+/// *different* (equally distributed) dataset than `generate(&cfg)`; within
+/// the streaming family, equal configs are bit-identical.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingGen {
+    cfg: GenConfig,
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive indices into
+/// independent-looking per-record seeds.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StreamingGen {
+    /// A generator over the virtual dataset described by `cfg`.
+    pub fn new(cfg: GenConfig) -> Self {
+        StreamingGen { cfg }
+    }
+
+    /// Total number of records in the virtual dataset.
+    pub fn len(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// True when the virtual dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.n == 0
+    }
+
+    /// The schema of every produced block.
+    pub fn schema(&self) -> Schema {
+        self.cfg.profile.schema()
+    }
+
+    /// Sample record `i` and its (possibly noise-flipped) label.
+    pub fn record(&self, i: usize) -> (QuestRecord, u8) {
+        debug_assert!(i < self.cfg.n, "index {i} out of {}", self.cfg.n);
+        let mut rng = StdRng::seed_from_u64(mix(self.cfg.seed, i as u64));
+        let r = QuestRecord::sample(&mut rng);
+        let mut class = u8::from(!self.cfg.func.classify(&r));
+        if self.cfg.noise > 0.0 {
+            // Separate per-record stream: noise flips labels only and never
+            // shifts the attribute draws (mirrors `generate`).
+            let mut noise_rng =
+                StdRng::seed_from_u64(mix(self.cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF, i as u64));
+            if noise_rng.gen_bool(self.cfg.noise) {
+                class ^= 1;
+            }
+        }
+        (r, class)
+    }
+
+    /// Materialize records `[lo, hi)` as a dataset (clamped to the end).
+    pub fn block(&self, lo: usize, hi: usize) -> Dataset {
+        let lo = lo.min(self.cfg.n);
+        let hi = hi.min(self.cfg.n).max(lo);
+        let m = hi - lo;
+        let mut salary = Vec::with_capacity(m);
+        let mut commission = Vec::with_capacity(m);
+        let mut age = Vec::with_capacity(m);
+        let mut elevel = Vec::with_capacity(m);
+        let mut car = Vec::with_capacity(m);
+        let mut zipcode = Vec::with_capacity(m);
+        let mut hvalue = Vec::with_capacity(m);
+        let mut hyears = Vec::with_capacity(m);
+        let mut loan = Vec::with_capacity(m);
+        let mut labels = Vec::with_capacity(m);
+        for i in lo..hi {
+            let (r, class) = self.record(i);
+            salary.push(r.salary);
+            commission.push(r.commission);
+            age.push(r.age);
+            elevel.push(r.elevel);
+            car.push(r.car);
+            zipcode.push(r.zipcode);
+            hvalue.push(r.hvalue);
+            hyears.push(r.hyears);
+            loan.push(r.loan);
+            labels.push(class);
+        }
+        let mut columns = vec![
+            Column::Continuous(salary),
+            Column::Continuous(commission),
+            Column::Continuous(age),
+            Column::Categorical(elevel),
+        ];
+        if self.cfg.profile == Profile::Full9 {
+            columns.push(Column::Categorical(car));
+            columns.push(Column::Categorical(zipcode));
+        }
+        columns.push(Column::Continuous(hvalue));
+        columns.push(Column::Continuous(hyears));
+        columns.push(Column::Continuous(loan));
+        Dataset::new(self.cfg.profile.schema(), columns, labels)
+    }
+
+    /// Iterate the virtual dataset as consecutive blocks of up to `chunk`
+    /// records — at most one block is materialized at a time.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = Dataset> + '_ {
+        assert!(chunk > 0, "chunk must be positive");
+        let n = self.cfg.n;
+        (0..n.div_ceil(chunk)).map(move |b| self.block(b * chunk, (b + 1) * chunk))
+    }
+}
+
 /// Generate a dataset.
 pub fn generate(cfg: &GenConfig) -> Dataset {
     let schema = cfg.profile.schema();
@@ -212,6 +330,105 @@ mod tests {
         let d = generate(&GenConfig::paper(2000, 1));
         let h = d.class_hist();
         assert!(h[0] > 100 && h[1] > 100, "{h:?}");
+    }
+
+    fn concat(parts: Vec<Dataset>) -> Dataset {
+        let schema = parts[0].schema.clone();
+        let attrs = schema.num_attrs();
+        let mut columns: Vec<Column> = (0..attrs)
+            .map(|a| match &parts[0].columns[a] {
+                Column::Continuous(_) => Column::Continuous(Vec::new()),
+                Column::Categorical(_) => Column::Categorical(Vec::new()),
+            })
+            .collect();
+        let mut labels = Vec::new();
+        for p in parts {
+            for (dst, src) in columns.iter_mut().zip(&p.columns) {
+                match (dst, src) {
+                    (Column::Continuous(d), Column::Continuous(s)) => d.extend_from_slice(s),
+                    (Column::Categorical(d), Column::Categorical(s)) => d.extend_from_slice(s),
+                    _ => unreachable!("schema fixed"),
+                }
+            }
+            labels.extend_from_slice(&p.labels);
+        }
+        Dataset::new(schema, columns, labels)
+    }
+
+    #[test]
+    fn streaming_blocks_concatenate_identically() {
+        let cfg = GenConfig::paper(1000, 17);
+        let gen = StreamingGen::new(cfg);
+        let whole = gen.block(0, 1000);
+        assert_eq!(whole.len(), 1000);
+        // Any chunking reproduces the whole dataset bit-for-bit.
+        for chunk in [1, 7, 128, 999, 1000, 4096] {
+            let parts: Vec<Dataset> = gen.chunks(chunk).collect();
+            assert_eq!(concat(parts), whole, "chunk={chunk}");
+        }
+        // Arbitrary block boundaries too.
+        let split = concat(vec![
+            gen.block(0, 333),
+            gen.block(333, 700),
+            gen.block(700, 1000),
+        ]);
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn streaming_is_deterministic_and_seed_sensitive() {
+        let a = StreamingGen::new(GenConfig::paper(200, 1)).block(0, 200);
+        let b = StreamingGen::new(GenConfig::paper(200, 1)).block(0, 200);
+        let c = StreamingGen::new(GenConfig::paper(200, 2)).block(0, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streaming_labels_match_function() {
+        let gen = StreamingGen::new(GenConfig::paper(500, 19));
+        for i in (0..500).step_by(13) {
+            let (r, class) = gen.record(i);
+            assert_eq!(class, u8::from(!ClassFunc::F2.classify(&r)), "record {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_noise_flips_labels_only() {
+        let clean = StreamingGen::new(GenConfig::paper(2000, 21)).block(0, 2000);
+        let noisy = StreamingGen::new(GenConfig {
+            noise: 0.25,
+            ..GenConfig::paper(2000, 21)
+        })
+        .block(0, 2000);
+        assert_eq!(clean.columns, noisy.columns);
+        let flips = clean
+            .labels
+            .iter()
+            .zip(&noisy.labels)
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = flips as f64 / 2000.0;
+        assert!((0.18..0.32).contains(&frac), "flip fraction {frac}");
+    }
+
+    #[test]
+    fn streaming_concept_is_learnable() {
+        use dtree::sprint::{self, SprintConfig};
+        let gen = StreamingGen::new(GenConfig::paper(2000, 23));
+        let d = gen.block(0, 2000);
+        let h = d.class_hist();
+        assert!(h[0] > 100 && h[1] > 100, "{h:?}");
+        let tree = sprint::induce(&d, &SprintConfig::default());
+        assert!(tree.accuracy(&d) > 0.99);
+    }
+
+    #[test]
+    fn streaming_clamps_out_of_range_blocks() {
+        let gen = StreamingGen::new(GenConfig::paper(10, 25));
+        assert_eq!(gen.block(8, 200).len(), 2);
+        assert_eq!(gen.block(50, 60).len(), 0);
+        assert_eq!(gen.len(), 10);
     }
 
     #[test]

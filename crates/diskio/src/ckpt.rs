@@ -191,6 +191,10 @@ impl ByteWriter {
         self.buf.push(v);
     }
 
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -245,6 +249,10 @@ impl<'a> ByteReader<'a> {
 
     pub fn u8(&mut self) -> Result<u8, String> {
         Ok(self.bytes(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
     }
 
     pub fn u32(&mut self) -> Result<u32, String> {

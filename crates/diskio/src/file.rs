@@ -83,6 +83,24 @@ impl<T: Record> DiskVec<T> {
         Ok(())
     }
 
+    /// Bulk-append a slice of records (one stats update for the whole
+    /// batch; the encoding still goes through the buffered writer).
+    pub fn extend_from_slice(&mut self, items: &[T]) -> std::io::Result<()> {
+        let w = self
+            .writer
+            .as_mut()
+            .expect("DiskVec already sealed for reading");
+        let mut buf = [0u8; 64];
+        assert!(T::SIZE <= 64, "record too large for the stack buffer");
+        for v in items {
+            v.write(&mut buf[..T::SIZE]);
+            w.write_all(&buf[..T::SIZE])?;
+        }
+        self.len += items.len();
+        self.stats.add_written((items.len() * T::SIZE) as u64);
+        Ok(())
+    }
+
     /// Finish writing and return a sequential reader over the records.
     /// Counts one read pass in the stats.
     pub fn iter(&mut self) -> std::io::Result<DiskIter<'_, T>> {
@@ -93,6 +111,26 @@ impl<T: Record> DiskVec<T> {
         Ok(DiskIter {
             reader: BufReader::with_capacity(1 << 16, file),
             remaining: self.len,
+            stats: &self.stats,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Finish writing and return a chunked sequential reader that fills a
+    /// caller-owned buffer with up to `chunk` records per call — the
+    /// out-of-core streaming primitive: resident memory is one chunk, not
+    /// the list. Counts one read pass in the stats.
+    pub fn chunks(&mut self, chunk: usize) -> std::io::Result<DiskChunks<'_, T>> {
+        assert!(chunk > 0, "chunk must be positive");
+        self.flush()?;
+        self.stats.add_pass();
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(0))?;
+        Ok(DiskChunks {
+            reader: BufReader::with_capacity(1 << 16, file),
+            remaining: self.len,
+            chunk,
+            bytes: Vec::new(),
             stats: &self.stats,
             _marker: std::marker::PhantomData,
         })
@@ -134,6 +172,43 @@ impl<T: Record> Iterator for DiskIter<'_, T> {
     }
 }
 
+/// Chunked sequential reader over a [`DiskVec`]: decodes up to `chunk`
+/// records per [`DiskChunks::next_into`] call into a reusable buffer.
+pub struct DiskChunks<'a, T: Record> {
+    reader: BufReader<File>,
+    remaining: usize,
+    chunk: usize,
+    bytes: Vec<u8>,
+    stats: &'a Arc<IoStats>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Record> DiskChunks<'_, T> {
+    /// Fill `buf` (cleared first) with the next chunk. Returns the number
+    /// of records read; `0` means the list is exhausted.
+    pub fn next_into(&mut self, buf: &mut Vec<T>) -> std::io::Result<usize> {
+        buf.clear();
+        let n = self.chunk.min(self.remaining);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.bytes.resize(n * T::SIZE, 0);
+        self.reader.read_exact(&mut self.bytes)?;
+        buf.reserve(n);
+        for rec in self.bytes.chunks_exact(T::SIZE) {
+            buf.push(T::read(rec));
+        }
+        self.remaining -= n;
+        self.stats.add_read((n * T::SIZE) as u64);
+        Ok(n)
+    }
+
+    /// Records not yet read.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,18 +227,18 @@ mod tests {
             .map(|i| ContEntry {
                 value: i as f32 / 2.0,
                 rid: i,
-                class: (i % 2) as u8,
+                class: (i % 2) as u16,
             })
             .collect();
         for e in &entries {
             v.push(e).unwrap();
         }
         assert_eq!(v.len(), 100);
-        assert_eq!(v.bytes(), 900);
+        assert_eq!(v.bytes(), 1000);
         let back: Vec<ContEntry> = v.iter().unwrap().collect();
         assert_eq!(back, entries);
-        assert_eq!(stats.bytes_written(), 900);
-        assert_eq!(stats.bytes_read(), 900);
+        assert_eq!(stats.bytes_written(), 1000);
+        assert_eq!(stats.bytes_read(), 1000);
         assert_eq!(stats.read_passes(), 1);
         v.remove().unwrap();
     }
@@ -185,7 +260,7 @@ mod tests {
             assert_eq!(v.iter().unwrap().count(), 10);
         }
         assert_eq!(stats.read_passes(), 3);
-        assert_eq!(stats.bytes_read(), 3 * 90);
+        assert_eq!(stats.bytes_read(), 3 * 100);
         v.remove().unwrap();
     }
 

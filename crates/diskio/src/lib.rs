@@ -29,12 +29,14 @@
 
 pub mod ckpt;
 pub mod file;
+pub mod ooc_store;
 pub mod record;
 pub mod sprint_ooc;
 pub mod stats;
 
 pub use ckpt::{read_sections, write_sections, ByteReader, ByteWriter, CkptError};
-pub use file::DiskVec;
+pub use file::{DiskChunks, DiskVec};
+pub use ooc_store::{OocAttrStore, OocList};
 pub use record::Record;
 pub use sprint_ooc::{induce_ooc, OocConfig, OocStats};
 pub use stats::IoStats;

@@ -1,0 +1,208 @@
+//! General out-of-core attribute-list store.
+//!
+//! [`sprint_ooc`](crate::sprint_ooc) is the *serial* memory-budgeted SPRINT
+//! used to motivate ScalParC; this module is the storage layer for the
+//! **parallel** out-of-core formulation: each rank owns one
+//! [`OocAttrStore`] — a scratch directory of [`DiskVec`] files plus shared
+//! [`IoStats`] — and keeps every attribute-list segment on disk, streaming
+//! it through chunk-sized buffers ([`crate::file::DiskChunks`]) during the
+//! per-level phases. Resident memory per rank is then O(chunk) regardless
+//! of the training-set size; the spill/read traffic is byte-exact in the
+//! store's stats so the driver can charge it to the simulated cost model.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dtree::data::AttrKind;
+use dtree::list::{AttrList, CatEntry, ContEntry};
+
+use crate::file::DiskVec;
+use crate::stats::IoStats;
+
+/// One disk-resident attribute-list segment.
+pub enum OocList {
+    /// Sorted-by-value continuous segment.
+    Continuous(DiskVec<ContEntry>),
+    /// Categorical segment in record order.
+    Categorical(DiskVec<CatEntry>),
+}
+
+impl OocList {
+    /// Number of records in the segment.
+    pub fn len(&self) -> usize {
+        match self {
+            OocList::Continuous(v) => v.len(),
+            OocList::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes on disk (the packed record size times the length).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            OocList::Continuous(v) => v.bytes(),
+            OocList::Categorical(v) => v.bytes(),
+        }
+    }
+
+    /// Delete the backing file.
+    pub fn remove(self) -> std::io::Result<()> {
+        match self {
+            OocList::Continuous(v) => v.remove(),
+            OocList::Categorical(v) => v.remove(),
+        }
+    }
+}
+
+/// Per-rank store of disk-resident attribute-list files.
+///
+/// Owns the scratch directory (one per rank — paths never collide between
+/// ranks) and the file-name sequence; every file it creates shares one
+/// [`IoStats`], so `stats()` is the rank's exact spill/read ledger.
+pub struct OocAttrStore {
+    dir: PathBuf,
+    seq: u64,
+    stats: Arc<IoStats>,
+}
+
+impl OocAttrStore {
+    /// Open a store rooted at `dir` (created if absent) with fresh stats.
+    pub fn new(dir: &Path) -> std::io::Result<Self> {
+        Self::with_stats(dir, IoStats::new())
+    }
+
+    /// Open a store rooted at `dir` that accounts into shared `stats`.
+    pub fn with_stats(dir: &Path, stats: Arc<IoStats>) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(OocAttrStore {
+            dir: dir.to_path_buf(),
+            seq: 0,
+            stats,
+        })
+    }
+
+    /// The store's I/O ledger.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Total bytes moved to or from disk so far.
+    pub fn io_bytes(&self) -> u64 {
+        self.stats.bytes_read() + self.stats.bytes_written()
+    }
+
+    fn next_path(&mut self) -> PathBuf {
+        let p = self.dir.join(format!("list-{:08}.bin", self.seq));
+        self.seq += 1;
+        p
+    }
+
+    /// Create an empty continuous list file.
+    pub fn create_cont(&mut self) -> std::io::Result<DiskVec<ContEntry>> {
+        DiskVec::create(&self.next_path(), Arc::clone(&self.stats))
+    }
+
+    /// Create an empty categorical list file.
+    pub fn create_cat(&mut self) -> std::io::Result<DiskVec<CatEntry>> {
+        DiskVec::create(&self.next_path(), Arc::clone(&self.stats))
+    }
+
+    /// Create an empty list of the given attribute kind.
+    pub fn create(&mut self, kind: AttrKind) -> std::io::Result<OocList> {
+        Ok(match kind {
+            AttrKind::Continuous => OocList::Continuous(self.create_cont()?),
+            AttrKind::Categorical { .. } => OocList::Categorical(self.create_cat()?),
+        })
+    }
+
+    /// Spill an in-memory attribute list to disk (bulk write).
+    pub fn spill(&mut self, list: &AttrList) -> std::io::Result<OocList> {
+        Ok(match list {
+            AttrList::Continuous(entries) => {
+                let mut v = self.create_cont()?;
+                v.extend_from_slice(entries)?;
+                v.flush()?;
+                OocList::Continuous(v)
+            }
+            AttrList::Categorical(entries) => {
+                let mut v = self.create_cat()?;
+                v.extend_from_slice(entries)?;
+                v.flush()?;
+                OocList::Categorical(v)
+            }
+        })
+    }
+
+    /// Remove the scratch directory and everything in it.
+    pub fn destroy(self) -> std::io::Result<()> {
+        std::fs::remove_dir_all(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtree::list::PACKED_ENTRY_BYTES;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("scalparc-ooc-store-test")
+            .join(name)
+    }
+
+    #[test]
+    fn spill_and_chunked_readback() {
+        let mut store = OocAttrStore::new(&tmp("spill")).unwrap();
+        let entries: Vec<ContEntry> = (0..257)
+            .map(|i| ContEntry {
+                value: i as f32,
+                rid: i,
+                class: (i % 3) as u16,
+            })
+            .collect();
+        let list = AttrList::Continuous(entries.clone());
+        let mut spilled = store.spill(&list).unwrap();
+        assert_eq!(spilled.len(), 257);
+        assert_eq!(spilled.bytes(), 257 * PACKED_ENTRY_BYTES as u64);
+
+        let OocList::Continuous(v) = &mut spilled else {
+            panic!("kind preserved")
+        };
+        let mut buf = Vec::new();
+        let mut back: Vec<ContEntry> = Vec::new();
+        let mut chunks = v.chunks(100).unwrap();
+        let mut sizes = Vec::new();
+        loop {
+            let n = chunks.next_into(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+            back.extend_from_slice(&buf);
+        }
+        assert_eq!(sizes, vec![100, 100, 57]);
+        assert_eq!(back, entries);
+        assert_eq!(store.stats().bytes_read(), 257 * PACKED_ENTRY_BYTES as u64);
+        spilled.remove().unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn create_by_kind_and_sequence_names() {
+        let mut store = OocAttrStore::new(&tmp("kinds")).unwrap();
+        let a = store.create(AttrKind::Continuous).unwrap();
+        let b = store
+            .create(AttrKind::Categorical { cardinality: 4 })
+            .unwrap();
+        assert!(matches!(a, OocList::Continuous(_)));
+        assert!(matches!(b, OocList::Categorical(_)));
+        assert!(a.is_empty() && b.is_empty());
+        a.remove().unwrap();
+        b.remove().unwrap();
+        store.destroy().unwrap();
+    }
+}

@@ -1,9 +1,12 @@
 //! Fixed-size binary encoding of attribute-list entries.
 //!
 //! Hand-rolled little-endian encoding (no serde): out-of-core lists must be
-//! byte-exact and schema-stable, and the entries are trivial PODs.
+//! byte-exact and schema-stable, and the entries are trivial PODs. Since the
+//! in-memory layout became `#[repr(C, packed(2))]` the disk encoding is the
+//! little-endian image of the in-memory bytes: both are exactly
+//! [`PACKED_ENTRY_BYTES`] wide with no padding.
 
-use dtree::list::{CatEntry, ContEntry};
+use dtree::list::{CatEntry, ContEntry, PACKED_ENTRY_BYTES};
 
 /// A fixed-size record that can live in a [`crate::DiskVec`].
 pub trait Record: Copy {
@@ -16,37 +19,39 @@ pub trait Record: Copy {
 }
 
 impl Record for ContEntry {
-    const SIZE: usize = 9;
+    const SIZE: usize = PACKED_ENTRY_BYTES;
 
     fn write(&self, buf: &mut [u8]) {
-        buf[0..4].copy_from_slice(&self.value.to_le_bytes());
-        buf[4..8].copy_from_slice(&self.rid.to_le_bytes());
-        buf[8] = self.class;
+        let (value, rid, class) = (self.value, self.rid, self.class);
+        buf[0..4].copy_from_slice(&value.to_le_bytes());
+        buf[4..8].copy_from_slice(&rid.to_le_bytes());
+        buf[8..10].copy_from_slice(&class.to_le_bytes());
     }
 
     fn read(buf: &[u8]) -> Self {
         ContEntry {
             value: f32::from_le_bytes(buf[0..4].try_into().unwrap()),
             rid: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
-            class: buf[8],
+            class: u16::from_le_bytes(buf[8..10].try_into().unwrap()),
         }
     }
 }
 
 impl Record for CatEntry {
-    const SIZE: usize = 9;
+    const SIZE: usize = PACKED_ENTRY_BYTES;
 
     fn write(&self, buf: &mut [u8]) {
-        buf[0..4].copy_from_slice(&self.value.to_le_bytes());
-        buf[4..8].copy_from_slice(&self.rid.to_le_bytes());
-        buf[8] = self.class;
+        let (value, rid, class) = (self.value, self.rid, self.class);
+        buf[0..4].copy_from_slice(&value.to_le_bytes());
+        buf[4..8].copy_from_slice(&rid.to_le_bytes());
+        buf[8..10].copy_from_slice(&class.to_le_bytes());
     }
 
     fn read(buf: &[u8]) -> Self {
         CatEntry {
             value: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
             rid: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
-            class: buf[8],
+            class: u16::from_le_bytes(buf[8..10].try_into().unwrap()),
         }
     }
 }
@@ -62,7 +67,7 @@ mod tests {
             rid: 0xDEAD_BEEF,
             class: 7,
         };
-        let mut buf = [0u8; 9];
+        let mut buf = [0u8; 10];
         e.write(&mut buf);
         assert_eq!(ContEntry::read(&buf), e);
     }
@@ -74,15 +79,15 @@ mod tests {
             rid: 42,
             class: 1,
         };
-        let mut buf = [0u8; 9];
+        let mut buf = [0u8; 10];
         e.write(&mut buf);
         assert_eq!(CatEntry::read(&buf), e);
     }
 
     #[test]
     fn encoded_size_is_packed() {
-        // 4 + 4 + 1 — no padding on disk, unlike the in-memory layout.
-        assert_eq!(ContEntry::SIZE, 9);
-        assert!(ContEntry::SIZE < std::mem::size_of::<ContEntry>());
+        // 4 + 4 + 2 — disk encoding and in-memory layout agree byte for byte.
+        assert_eq!(ContEntry::SIZE, 10);
+        assert_eq!(ContEntry::SIZE, std::mem::size_of::<ContEntry>());
     }
 }

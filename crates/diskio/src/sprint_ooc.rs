@@ -227,7 +227,7 @@ fn find_best_split(schema: &Schema, work: &mut Work, opts: SplitOptions) -> Opti
                 let mut scan =
                     ContinuousScan::fresh(work.hist.clone()).with_criterion(opts.criterion);
                 for e in v.iter().expect("read") {
-                    scan.push(e.value, e.class);
+                    scan.push(e.value, e.class as u8);
                 }
                 scan.best().map(|c| BestSplit {
                     gini: c.gini,
@@ -335,7 +335,8 @@ fn staged_split(
             match list {
                 DiskList::Continuous(v) => {
                     for e in v.iter().expect("read") {
-                        if let Some(&c) = table.get(&e.rid) {
+                        let rid = e.rid;
+                        if let Some(&c) = table.get(&rid) {
                             match &mut outs[c as usize] {
                                 DiskList::Continuous(o) => o.push(&e).expect("write"),
                                 _ => unreachable!(),
@@ -345,7 +346,8 @@ fn staged_split(
                 }
                 DiskList::Categorical(v) => {
                     for e in v.iter().expect("read") {
-                        if let Some(&c) = table.get(&e.rid) {
+                        let rid = e.rid;
+                        if let Some(&c) = table.get(&rid) {
                             match &mut outs[c as usize] {
                                 DiskList::Categorical(o) => o.push(&e).expect("write"),
                                 _ => unreachable!(),
@@ -416,10 +418,8 @@ fn merge_stage_files(
                             None => true,
                             Some(b) => {
                                 let cur = *iters[b].peek().unwrap();
-                                cand.value
-                                    .total_cmp(&cur.value)
-                                    .then(cand.rid.cmp(&cur.rid))
-                                    .is_lt()
+                                let (cv, uv, cr, ur) = (cand.value, cur.value, cand.rid, cur.rid);
+                                cv.total_cmp(&uv).then(cr.cmp(&ur)).is_lt()
                             }
                         };
                         if better {

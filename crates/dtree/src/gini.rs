@@ -405,6 +405,44 @@ impl ContinuousScan {
         self.prev = Some(value);
     }
 
+    /// Branch-light scan of a value-sorted packed segment.
+    ///
+    /// Semantically identical to pushing every entry of `seg` in order, but
+    /// restructured run-by-run: boundary logic runs once per *distinct*
+    /// value, and the per-record inner loop over each equal-value run is a
+    /// pure class-count accumulation with no comparisons against the
+    /// previous value — the shape the autovectorizer can take. NaN values
+    /// (never equal to themselves) degenerate to runs of one, matching
+    /// [`ContinuousScan::push`] exactly, so the two kernels produce
+    /// bit-identical candidates on any input.
+    pub fn scan_packed(&mut self, seg: &[crate::list::ContEntry]) {
+        let mut i = 0usize;
+        while i < seg.len() {
+            let v = seg[i].value;
+            if let Some(pv) = self.prev {
+                debug_assert!(v >= pv, "scan input not sorted");
+                if v != pv {
+                    // Threshold strictly above pv so pv-records stay below.
+                    let mid = (pv + v) * 0.5;
+                    let thr = if mid > pv { mid } else { v };
+                    self.consider_boundary(thr);
+                }
+            }
+            // Extend the run of entries sharing this value.
+            let mut j = i + 1;
+            while j < seg.len() && seg[j].value == v {
+                j += 1;
+            }
+            // Count classes over the run — no per-record boundary checks.
+            for e in &seg[i..j] {
+                self.below[e.class as usize] += 1;
+            }
+            self.n_below += (j - i) as u64;
+            self.prev = Some(v);
+            i = j;
+        }
+    }
+
     /// Best candidate seen, if any boundary was evaluable.
     pub fn best(&self) -> Option<ContSplit> {
         self.best
@@ -915,5 +953,90 @@ mod subset_tests {
         let m = matrix(&[&[2, 2], &[2, 2], &[2, 2]]);
         let s = best_subset_split(&m).unwrap();
         assert_eq!(s.left_mask, 0b001);
+    }
+}
+
+#[cfg(test)]
+mod packed_scan_tests {
+    use super::*;
+    use crate::list::ContEntry;
+
+    /// Deterministic pseudo-random (value, class) streams with heavy ties.
+    fn stream(seed: u64, n: usize, classes: usize) -> Vec<ContEntry> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut v: Vec<ContEntry> = (0..n)
+            .map(|i| ContEntry {
+                // Small domain => many equal-value runs.
+                value: (next() % 17) as f32 / 4.0,
+                rid: i as u32,
+                class: (next() % classes as u64) as u16,
+            })
+            .collect();
+        crate::list::sort_cont(&mut v);
+        v
+    }
+
+    #[test]
+    fn scan_packed_matches_push_bit_for_bit() {
+        for seed in 0..24u64 {
+            let classes = 2 + (seed % 3) as usize;
+            let n = 1 + (seed as usize * 13) % 300;
+            let seg = stream(seed, n, classes);
+            let total = {
+                let mut h = vec![0u64; classes];
+                for e in &seg {
+                    h[e.class as usize] += 1;
+                }
+                h
+            };
+            let mut pushed = ContinuousScan::fresh(total.clone());
+            for e in &seg {
+                pushed.push(e.value, e.class as u8);
+            }
+            let mut packed = ContinuousScan::fresh(total);
+            packed.scan_packed(&seg);
+            assert_eq!(pushed.best(), packed.best(), "seed {seed}");
+            assert_eq!(pushed.below(), packed.below(), "seed {seed}");
+            assert_eq!(
+                pushed.prev_value().map(f32::to_bits),
+                packed.prev_value().map(f32::to_bits),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_packed_mid_list_resume_matches_push() {
+        // The parallel formulation starts scans mid-list with prior counts.
+        let seg = stream(7, 200, 2);
+        let total = {
+            let mut h = vec![0u64; 2];
+            for e in &seg {
+                h[e.class as usize] += 1;
+            }
+            h
+        };
+        for cut in [1usize, 50, 199] {
+            let (lo, hi) = seg.split_at(cut);
+            let mut below = vec![0u64; 2];
+            for e in lo {
+                below[e.class as usize] += 1;
+            }
+            let prev = lo.last().map(|e| e.value);
+            let mut pushed = ContinuousScan::new(total.clone(), below.clone(), prev);
+            for e in hi {
+                pushed.push(e.value, e.class as u8);
+            }
+            let mut packed = ContinuousScan::new(total.clone(), below, prev);
+            packed.scan_packed(hi);
+            assert_eq!(pushed.best(), packed.best(), "cut {cut}");
+            assert_eq!(pushed.below(), packed.below(), "cut {cut}");
+        }
     }
 }

@@ -5,27 +5,49 @@
 
 use crate::data::{AttrKind, Column, Dataset};
 
+/// Bytes of one packed attribute-list record: 4 (value) + 4 (rid) +
+/// 2 (class) with no padding. The in-memory layout, the collective wire
+/// format (`size_of`-based charging in mpsim), and the out-of-core disk
+/// encoding all share this size, so the memory ledgers, the comm-volume
+/// ledgers, and the spill files agree byte for byte.
+pub const PACKED_ENTRY_BYTES: usize = 10;
+
 /// Entry of a continuous attribute list.
+///
+/// One packed `#[repr(C)]` layout shared with [`CatEntry`] (only the value
+/// field's interpretation differs): `packed(2)` drops the natural 4-byte
+/// alignment so the u16 class field does not pad the record back to 12
+/// bytes. Fields must therefore be read by copy (`let v = e.value;`), never
+/// by reference — the compiler rejects misaligned borrows.
+#[repr(C, packed(2))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ContEntry {
     /// Attribute value.
     pub value: f32,
     /// Global record id.
     pub rid: u32,
-    /// Class label of the record.
-    pub class: u8,
+    /// Class label of the record (u8 range; u16 keeps 2-byte alignment).
+    pub class: u16,
 }
 
-/// Entry of a categorical attribute list.
+/// Entry of a categorical attribute list (same packed layout as
+/// [`ContEntry`], value is the domain index).
+#[repr(C, packed(2))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CatEntry {
     /// Attribute value (domain index).
     pub value: u32,
     /// Global record id.
     pub rid: u32,
-    /// Class label of the record.
-    pub class: u8,
+    /// Class label of the record (u8 range; u16 keeps 2-byte alignment).
+    pub class: u16,
 }
+
+// The packed size is load-bearing for every byte ledger; lock it down.
+const _: () = assert!(std::mem::size_of::<ContEntry>() == PACKED_ENTRY_BYTES);
+const _: () = assert!(std::mem::size_of::<CatEntry>() == PACKED_ENTRY_BYTES);
+const _: () = assert!(std::mem::align_of::<ContEntry>() == 2);
+const _: () = assert!(std::mem::align_of::<CatEntry>() == 2);
 
 /// One attribute list.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,12 +72,10 @@ impl AttrList {
         self.len() == 0
     }
 
-    /// Payload bytes (for memory accounting).
+    /// Payload bytes (for memory accounting): the packed record size, which
+    /// `size_of` now reports exactly (no padding), times the entry count.
     pub fn bytes(&self) -> u64 {
-        match self {
-            AttrList::Continuous(v) => std::mem::size_of_val(v.as_slice()) as u64,
-            AttrList::Categorical(v) => std::mem::size_of_val(v.as_slice()) as u64,
-        }
+        (self.len() * PACKED_ENTRY_BYTES) as u64
     }
 
     /// The continuous entries; panics on a categorical list.
@@ -86,7 +106,10 @@ impl AttrList {
     pub fn assert_sorted(&self) {
         if let AttrList::Continuous(v) = self {
             assert!(
-                v.windows(2).all(|w| w[0].value <= w[1].value),
+                v.windows(2).all(|w| {
+                    let (a, b) = (w[0].value, w[1].value);
+                    a <= b
+                }),
                 "continuous attribute list lost its sort order"
             );
         }
@@ -96,7 +119,10 @@ impl AttrList {
 /// Sort a continuous list by `(value, rid)` — the canonical presort order
 /// (the rid tiebreak makes every implementation bit-deterministic).
 pub fn sort_cont(entries: &mut [ContEntry]) {
-    entries.sort_unstable_by(|a, b| a.value.total_cmp(&b.value).then(a.rid.cmp(&b.rid)));
+    entries.sort_unstable_by(|a, b| {
+        let (av, bv, ar, br) = (a.value, b.value, a.rid, b.rid);
+        av.total_cmp(&bv).then(ar.cmp(&br))
+    });
 }
 
 /// Build the attribute lists of `data`, assigning record ids
@@ -115,7 +141,7 @@ pub fn build_lists(data: &Dataset, rid_offset: u32, presort: bool) -> Vec<AttrLi
                     .map(|(i, &value)| ContEntry {
                         value,
                         rid: rid_offset + i as u32,
-                        class: data.labels[i],
+                        class: data.labels[i] as u16,
                     })
                     .collect();
                 if presort {
@@ -129,7 +155,7 @@ pub fn build_lists(data: &Dataset, rid_offset: u32, presort: bool) -> Vec<AttrLi
                     .map(|(i, &value)| CatEntry {
                         value,
                         rid: rid_offset + i as u32,
-                        class: data.labels[i],
+                        class: data.labels[i] as u16,
                     })
                     .collect(),
             ),

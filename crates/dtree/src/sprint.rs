@@ -153,7 +153,7 @@ fn find_best_split(schema: &Schema, work: &Work, opts: SplitOptions) -> Option<B
                 let mut scan =
                     ContinuousScan::fresh(work.hist.clone()).with_criterion(opts.criterion);
                 for e in entries {
-                    scan.push(e.value, e.class);
+                    scan.push(e.value, e.class as u8);
                 }
                 scan.best().map(|c| BestSplit {
                     gini: c.gini,

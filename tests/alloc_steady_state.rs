@@ -102,7 +102,7 @@ fn cont_list(n: usize) -> AttrList {
             .map(|i| ContEntry {
                 value: (i % 97) as f32,
                 rid: i as u32,
-                class: (i % 2) as u8,
+                class: (i % 2) as u16,
             })
             .collect(),
     )

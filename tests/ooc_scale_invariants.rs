@@ -1,0 +1,245 @@
+//! Out-of-core and packed-kernel invariants:
+//!
+//! * out-of-core induction produces the identical tree to the in-core path
+//!   across a grid of processor counts, seeds, and classification functions;
+//! * out-of-core resident memory is O(chunk): the chunk-buffer budget is
+//!   independent of N, and the per-rank peak stays far below the in-core
+//!   peak (whose attribute lists are O(N/p) resident);
+//! * the branch-light scatter kernels (`split_by_children`,
+//!   `split_directly`) are record-identical to the straightforward
+//!   reference partitions under arbitrary inputs (proptest).
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::list::{AttrList, CatEntry, ContEntry, PACKED_ENTRY_BYTES};
+use dtree::tree::SplitTest;
+use dtree::Dataset;
+use proptest::prelude::*;
+use scalparc::ooc::{OocOptions, OOC_BUF_MEM};
+use scalparc::phases::{
+    split_by_children, split_by_children_ref, split_directly, split_directly_ref,
+};
+use scalparc::{induce, induce_ooc, ParConfig};
+
+fn quest(n: usize, func: ClassFunc, seed: u64) -> Dataset {
+    generate(&GenConfig {
+        n,
+        func,
+        noise: 0.0,
+        seed,
+        profile: Profile::Paper7,
+    })
+}
+
+fn ooc_opts(chunk: usize, tag: &str) -> OocOptions {
+    OocOptions {
+        chunk,
+        dir: std::env::temp_dir()
+            .join("scalparc-ooc-invariants")
+            .join(format!("{tag}-{}", std::process::id())),
+    }
+}
+
+#[test]
+fn ooc_tree_identical_to_in_core_across_grid() {
+    // The packed OOC pipeline (chunked scans, round-aligned table traffic,
+    // streamed routing) must not change a single split anywhere in the
+    // grid; accuracy identity follows from tree identity but is asserted
+    // separately as the end-to-end observable.
+    for (func, seed) in [
+        (ClassFunc::F2, 11u64),
+        (ClassFunc::F3, 12),
+        (ClassFunc::F7, 13),
+    ] {
+        let d = quest(260, func, seed);
+        for p in [1usize, 2, 4] {
+            let want = induce(&d, &ParConfig::new(p));
+            let got = induce_ooc(
+                &d,
+                &ParConfig::new(p),
+                &ooc_opts(37, &format!("grid-{func:?}-{seed}-{p}")),
+            );
+            assert_eq!(got.tree, want.tree, "{func:?} seed={seed} p={p}");
+            assert_eq!(
+                got.tree.accuracy(&d),
+                want.tree.accuracy(&d),
+                "{func:?} seed={seed} p={p}"
+            );
+        }
+    }
+}
+
+fn category_peak(stats: &mpsim::RunStats, cat: &str) -> u64 {
+    stats
+        .ranks
+        .iter()
+        .map(|r| {
+            r.mem_categories
+                .iter()
+                .find(|(c, _)| *c == cat)
+                .map(|(_, u)| u.peak)
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn ooc_chunk_buffers_are_n_independent() {
+    // The chunk-buffer ledger must depend on the chunk size only — the
+    // whole point of streaming: growing the dataset 4x leaves the
+    // O(chunk) buffer budget untouched.
+    let chunk = 64;
+    let small = induce_ooc(
+        &quest(500, ClassFunc::F2, 21),
+        &ParConfig::new(2),
+        &ooc_opts(chunk, "buf-small"),
+    );
+    let large = induce_ooc(
+        &quest(2_000, ClassFunc::F2, 21),
+        &ParConfig::new(2),
+        &ooc_opts(chunk, "buf-large"),
+    );
+    let bs = category_peak(&small.stats, OOC_BUF_MEM);
+    let bl = category_peak(&large.stats, OOC_BUF_MEM);
+    assert!(bs > 0, "chunk buffers must be accounted");
+    assert_eq!(bs, bl, "chunk-buffer budget grew with N: {bs} → {bl}");
+}
+
+#[test]
+fn ooc_resident_peak_beats_in_core() {
+    // In-core holds all 7 attribute lists resident (O(N/p) each); the OOC
+    // run holds one attribute during presort plus O(chunk) buffers, so its
+    // per-rank peak must come in well below at identical (N, p).
+    let d = quest(8_000, ClassFunc::F2, 22);
+    let p = 2;
+    let in_core = induce(&d, &ParConfig::new(p));
+    let ooc = induce_ooc(&d, &ParConfig::new(p), &ooc_opts(128, "peak"));
+    let mi = in_core.stats.peak_mem_per_proc();
+    let mo = ooc.stats.peak_mem_per_proc();
+    assert!(
+        (mo as f64) < 0.6 * mi as f64,
+        "ooc peak {mo} not clearly below in-core {mi}"
+    );
+    // Attribute-list category: 7 resident lists in-core vs one presort
+    // attribute at a time out-of-core.
+    let ai = category_peak(&in_core.stats, scalparc::dist::ATTR_MEM);
+    let ao = category_peak(&ooc.stats, scalparc::dist::ATTR_MEM);
+    assert!(
+        (ao as f64) < 0.3 * ai as f64,
+        "ooc attr-lists {ao} vs in-core {ai}"
+    );
+}
+
+#[test]
+fn ooc_list_residency_scales_with_chunk_not_n() {
+    // Fixing N and shrinking the chunk must shrink the buffer ledger
+    // proportionally (the budget is a linear function of chunk records).
+    let d = quest(1_500, ClassFunc::F2, 23);
+    let big = induce_ooc(&d, &ParConfig::new(2), &ooc_opts(512, "c-big"));
+    let small = induce_ooc(&d, &ParConfig::new(2), &ooc_opts(64, "c-small"));
+    let bb = category_peak(&big.stats, OOC_BUF_MEM);
+    let bs = category_peak(&small.stats, OOC_BUF_MEM);
+    assert_eq!(
+        bb / bs,
+        8,
+        "buffer budget must scale linearly: {bb} vs {bs}"
+    );
+    assert_eq!(big.tree, small.tree, "chunk size must not affect the tree");
+}
+
+#[test]
+fn packed_entry_is_ten_bytes_everywhere() {
+    // The packed layout contract the cost ledgers rely on.
+    assert_eq!(PACKED_ENTRY_BYTES, 10);
+    assert_eq!(std::mem::size_of::<ContEntry>(), PACKED_ENTRY_BYTES);
+    assert_eq!(std::mem::size_of::<CatEntry>(), PACKED_ENTRY_BYTES);
+    assert_eq!(
+        <ContEntry as diskio::Record>::SIZE,
+        PACKED_ENTRY_BYTES,
+        "disk encoding must equal the in-memory packed size"
+    );
+}
+
+fn cont_list(values: Vec<(f32, u32, u8)>) -> AttrList {
+    AttrList::Continuous(
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, (value, rid, class))| ContEntry {
+                value,
+                rid: rid ^ i as u32, // mostly-unique rids, determinism irrelevant
+                class: class as u16 % 4,
+            })
+            .collect(),
+    )
+}
+
+fn cat_list(values: Vec<(u32, u32, u8)>, card: u32) -> AttrList {
+    AttrList::Categorical(
+        values
+            .into_iter()
+            .map(|(value, rid, class)| CatEntry {
+                value: value % card,
+                rid,
+                class: class as u16 % 4,
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    #[test]
+    fn scatter_split_by_children_matches_reference(
+        entries in prop::collection::vec((-1.0e6f32..1.0e6, 0u32..1_000_000, 0u8..4), 0..300),
+        arity in 1usize..6,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let n = entries.len();
+        let list = cont_list(entries);
+        // Arbitrary-but-valid verdict per record.
+        let children: Vec<u8> = (0..n)
+            .map(|i| ((seed >> (i % 57)) as usize % arity) as u8)
+            .collect();
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        let fast = split_by_children(list.clone(), arity, &children, &mut c1);
+        let refr = split_by_children_ref(list, arity, &children, &mut c2);
+        prop_assert_eq!(fast, refr);
+    }
+
+    #[test]
+    fn scatter_split_directly_continuous_matches_reference(
+        entries in prop::collection::vec((-1.0e6f32..1.0e6, 0u32..1_000_000, 0u8..4), 0..300),
+        threshold in -1.0e6f32..1.0e6,
+    ) {
+        let list = cont_list(entries);
+        let test = SplitTest::Continuous { attr: 0, threshold };
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        let fast = split_directly(list.clone(), &test, 2, &mut c1);
+        let refr = split_directly_ref(list, &test, 2, &mut c2);
+        prop_assert_eq!(fast, refr);
+    }
+
+    #[test]
+    fn scatter_split_directly_categorical_matches_reference(
+        entries in prop::collection::vec((0u32..64, 0u32..1_000_000, 0u8..4), 0..300),
+        card in 1u32..6,
+        subset in any::<bool>(),
+        mask in 0u64..=u64::MAX,
+    ) {
+        let list = cat_list(entries, card);
+        let (test, arity) = if subset {
+            (SplitTest::CategoricalSubset { attr: 0, left_mask: mask }, 2)
+        } else {
+            (SplitTest::Categorical { attr: 0 }, card as usize)
+        };
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        let fast = split_directly(list.clone(), &test, arity, &mut c1);
+        let refr = split_directly_ref(list, &test, arity, &mut c2);
+        prop_assert_eq!(fast, refr);
+    }
+}
