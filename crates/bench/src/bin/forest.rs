@@ -1,0 +1,322 @@
+//! **FOREST** — distributed random-forest induction and serving over the
+//! simulated machine: the two curves a forest engine owes its users, plus
+//! the determinism contract that makes the scheduler trustworthy.
+//!
+//! * **Layout identity** — the same seeds must induce the byte-identical
+//!   forest (via `model_io::forest_to_text`) whether the machine runs
+//!   serial, data-parallel, tree-parallel, or the hybrid round-robin
+//!   layout. Asserted before anything is measured.
+//! * **Accuracy vs tree count** — bagged majority voting on a noisy Quest
+//!   training set, evaluated on a clean held-out test set, against the
+//!   single-tree baseline.
+//! * **Train time vs processors** — measured simulated time of a fixed
+//!   forest as p grows, under the scaled T3D cost model; the scheduler
+//!   moves from data-parallel to tree-parallel as p crosses the tree count.
+//! * **Serving parity** — the distributed `FlatForest` scoring pass must
+//!   reproduce the serial confusion matrix exactly, at every p.
+//! * **Per-tree attribution** — a traced run shows each tree's simulated
+//!   time and communication (every induction span rides in a `("tree", t)`
+//!   obs phase).
+//!
+//! Run: `cargo run --release -p scalparc-bench --bin forest
+//!       [--full|--quick] [--func F1..F10] [--seed <u64>] [--json BENCH_forest.json]`
+
+use datagen::{generate, GenConfig, Profile};
+use dtree::flat_forest::{FlatForest, VoteReduce};
+use dtree::model_io;
+use mpsim::obs::Json;
+use mpsim::{CostModel, MachineCfg, TimingMode};
+use scalparc::forest::{train_forest, ForestConfig, ForestSchedule};
+use scalparc::ParConfig;
+use scalparc_bench::{fmt_mb, print_row, BenchOpts, Scale, T3D_CPU_FACTOR};
+use serve::score_forest_distributed;
+
+/// Training-set noise: bagging only has something to average away when the
+/// labels are imperfect (the paper's Quest generator is noiseless, where a
+/// single tree is already near-perfect).
+const TRAIN_NOISE: f64 = 0.08;
+
+fn measured_par(p: usize) -> ParConfig {
+    ParConfig {
+        cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
+        timing: TimingMode::Measured,
+        ..ParConfig::new(p)
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (n_train, n_test, tree_counts, procs): (usize, usize, Vec<usize>, Vec<usize>) =
+        match opts.scale {
+            Scale::Quick => (1_500, 1_500, vec![1, 2, 4, 8], vec![1, 2, 4, 8]),
+            Scale::Default => (6_000, 6_000, vec![1, 2, 4, 8, 16], vec![1, 2, 4, 8, 16]),
+            Scale::Full => (
+                25_000,
+                25_000,
+                vec![1, 2, 4, 8, 16, 32],
+                vec![1, 2, 4, 8, 16, 32],
+            ),
+        };
+    let train = generate(&GenConfig {
+        n: n_train,
+        func: opts.func,
+        noise: TRAIN_NOISE,
+        seed: opts.seed,
+        profile: Profile::Paper7,
+    });
+    let test = generate(&GenConfig {
+        n: n_test,
+        func: opts.func,
+        noise: 0.0,
+        seed: opts.seed ^ 0x5EED_7E57,
+        profile: Profile::Paper7,
+    });
+    let base = ForestConfig {
+        bootstrap: 1.0,
+        feature_frac: 0.8,
+        seed: opts.seed,
+        ..ForestConfig::default()
+    };
+
+    println!("# FOREST: bagged ScalParC forests — induction scheduling and FlatForest serving");
+    println!(
+        "# workload: Quest {:?}, {} train records ({}% label noise), {} clean test records, seed {}",
+        opts.func,
+        n_train,
+        (TRAIN_NOISE * 100.0) as u32,
+        n_test,
+        opts.seed
+    );
+    println!();
+
+    // Determinism first: the same seeds must give the byte-identical forest
+    // under every scheduling layout. `forest_to_text` covers structure,
+    // thresholds (exact hex IEEE-754), histograms, and schema.
+    let idcfg = ForestConfig { n_trees: 4, ..base };
+    let reference = train_forest(
+        &train,
+        &ForestConfig {
+            schedule: ForestSchedule::Serial,
+            ..idcfg
+        },
+        &ParConfig::new(1),
+    );
+    let want = model_io::forest_to_text(&reference.trees);
+    let layouts = [
+        (ForestSchedule::DataParallel, 4usize),
+        (ForestSchedule::TreeParallel, 8),
+        (ForestSchedule::TreeParallel, 3), // hybrid: 4 trees on 3 groups
+        (ForestSchedule::Auto, 6),
+    ];
+    for (schedule, p) in layouts {
+        let got = train_forest(
+            &train,
+            &ForestConfig { schedule, ..idcfg },
+            &ParConfig::new(p),
+        );
+        assert_eq!(
+            model_io::forest_to_text(&got.trees),
+            want,
+            "forest diverged under {schedule:?} at p={p}"
+        );
+    }
+    println!(
+        "# identity: {}-tree forest byte-identical across serial, data-parallel, tree-parallel, and hybrid layouts",
+        idcfg.n_trees
+    );
+    println!();
+
+    // Curve 1: accuracy vs tree count (bagged majority vote on held-out
+    // clean data, single tree = the first row).
+    println!("# accuracy vs tree count (majority vote, clean held-out test set)");
+    print_row(&["trees".into(), "train acc".into(), "test acc".into()]);
+    let mut acc_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &k in &tree_counts {
+        let cfg = ForestConfig { n_trees: k, ..base };
+        let r = train_forest(&train, &cfg, &ParConfig::new(k.min(8)));
+        let flat = FlatForest::compile(&r.trees, VoteReduce::Majority);
+        let (acc_train, acc_test) = (flat.accuracy(&train), flat.accuracy(&test));
+        print_row(&[
+            k.to_string(),
+            format!("{acc_train:.4}"),
+            format!("{acc_test:.4}"),
+        ]);
+        acc_rows.push((k, acc_train, acc_test));
+    }
+    let single = acc_rows[0].2;
+    let best = acc_rows
+        .iter()
+        .map(|r| r.2)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best > 0.5,
+        "forest should beat a coin on held-out Quest data: {best}"
+    );
+    println!("# single tree {single:.4} → best forest {best:.4} on the clean test set");
+    println!();
+
+    // Curve 2: train time vs processors at a fixed tree count, measured
+    // under the scaled T3D cost model. The Auto schedule flips from
+    // data-parallel to tree-parallel once p reaches the tree count.
+    let k_fixed = *tree_counts.last().unwrap().min(&8);
+    println!("# train time vs processors ({k_fixed} trees, measured, scaled-T3D cost model)");
+    print_row(&[
+        "p".into(),
+        "layout".into(),
+        "time_s".into(),
+        "MB sent".into(),
+        "MB/proc".into(),
+    ]);
+    let mut time_rows: Vec<(usize, String, f64, u64, u64)> = Vec::new();
+    for &p in &procs {
+        let cfg = ForestConfig {
+            n_trees: k_fixed,
+            ..base
+        };
+        let r = train_forest(&train, &cfg, &measured_par(p));
+        let label = r.plan.label();
+        let (t, sent, mem) = (
+            r.train_time_s(),
+            r.total_bytes_sent(),
+            r.peak_mem_per_proc(),
+        );
+        print_row(&[
+            p.to_string(),
+            label.clone(),
+            format!("{t:.4}"),
+            fmt_mb(sent),
+            fmt_mb(mem),
+        ]);
+        time_rows.push((p, label, t, sent, mem));
+    }
+    println!();
+
+    // Per-tree attribution: a traced run carries every induction span
+    // inside a ("tree", t) phase, so profile-style rollups can split time
+    // by tree. Shown here from the per-tree machine stats directly.
+    let traced = train_forest(
+        &train,
+        &ForestConfig { n_trees: 4, ..base },
+        &ParConfig {
+            cost: CostModel::t3d_scaled(T3D_CPU_FACTOR),
+            timing: TimingMode::Measured,
+            ..ParConfig::new(4).traced()
+        },
+    );
+    println!("# per-tree breakdown (traced, tree-parallel at p=4)");
+    print_row(&[
+        "tree".into(),
+        "group".into(),
+        "procs".into(),
+        "nodes".into(),
+        "levels".into(),
+        "time_s".into(),
+    ]);
+    for s in &traced.per_tree {
+        print_row(&[
+            s.tree.to_string(),
+            s.group.to_string(),
+            s.procs.to_string(),
+            s.nodes.to_string(),
+            s.levels.to_string(),
+            format!("{:.4}", s.run.time_ns() as f64 / 1e9),
+        ]);
+        // The obs contract: every rank of every tree's machine wraps its
+        // whole induction in a ("tree", t) span.
+        let traces = s.run.traces().expect("traced run");
+        for trace in traces {
+            assert!(
+                trace
+                    .spans
+                    .iter()
+                    .any(|sp| sp.name == "tree" && sp.level == s.tree as u32),
+                "tree {} left no (tree, {}) span",
+                s.tree,
+                s.tree
+            );
+        }
+    }
+    println!();
+
+    // Serving parity: distributed FlatForest scoring must reproduce the
+    // serial confusion matrix exactly at every p.
+    let forest8 = train_forest(
+        &train,
+        &ForestConfig {
+            n_trees: k_fixed,
+            ..base
+        },
+        &ParConfig::new(4),
+    );
+    let flat = FlatForest::compile(&forest8.trees, VoteReduce::Majority);
+    let serial_conf = {
+        let classes = test.schema.num_classes as usize;
+        let mut preds = vec![0u8; test.len()];
+        flat.predict_batch(&test, &mut preds);
+        let mut m = vec![0u64; classes * classes];
+        for (t, p) in test.labels.iter().zip(&preds) {
+            m[*t as usize * classes + *p as usize] += 1;
+        }
+        m
+    };
+    for p in [1usize, 4, 16] {
+        let d = score_forest_distributed(
+            &forest8.trees,
+            VoteReduce::Majority,
+            &test,
+            &MachineCfg::new(p),
+        );
+        let classes = test.schema.num_classes as usize;
+        let got: Vec<u64> = (0..classes)
+            .flat_map(|r| (0..classes).map(move |c| (r, c)))
+            .map(|(r, c)| d.confusion.get(r, c))
+            .collect();
+        assert_eq!(got, serial_conf, "distributed confusion diverged at p={p}");
+    }
+    println!("# serving: distributed FlatForest confusion == serial at p in {{1, 4, 16}}");
+    println!();
+    println!(
+        "# headline: {k_fixed} trees on {} processors in {:.4} simulated seconds ({}), test accuracy {best:.4} vs single tree {single:.4}",
+        time_rows.last().unwrap().0,
+        time_rows.last().unwrap().2,
+        time_rows.last().unwrap().1,
+    );
+
+    let mut doc = opts.metrics_doc("forest");
+    doc.config("n_train", Json::U64(n_train as u64));
+    doc.config("n_test", Json::U64(n_test as u64));
+    doc.config("train_noise", Json::F64(TRAIN_NOISE));
+    doc.config("bootstrap", Json::F64(base.bootstrap));
+    doc.config("feature_frac", Json::F64(base.feature_frac));
+    doc.detail("layouts_identical", Json::Bool(true));
+    doc.detail("dist_confusion_matches_serial", Json::Bool(true));
+    doc.detail("single_tree_test_accuracy", Json::F64(single));
+    doc.detail("best_forest_test_accuracy", Json::F64(best));
+    for (k, acc_train, acc_test) in &acc_rows {
+        doc.row(vec![
+            ("curve", Json::str("accuracy_vs_trees")),
+            ("trees", Json::U64(*k as u64)),
+            ("train_accuracy", Json::F64(*acc_train)),
+            ("test_accuracy", Json::F64(*acc_test)),
+        ]);
+    }
+    for (p, layout, t, sent, mem) in &time_rows {
+        doc.row(vec![
+            ("curve", Json::str("time_vs_procs")),
+            ("procs", Json::U64(*p as u64)),
+            ("layout", Json::str(layout.as_str())),
+            ("trees", Json::U64(k_fixed as u64)),
+            ("train_time_s", Json::F64(*t)),
+            ("bytes_sent", Json::U64(*sent)),
+            ("mem_per_proc", Json::U64(*mem)),
+        ]);
+    }
+    opts.write_metrics(&doc);
+    if let Some(path) = &opts.json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("re-reading {}: {e}", path.display()));
+        let rows = mpsim::obs::metrics::validate_metrics(&text)
+            .unwrap_or_else(|e| panic!("{} failed schema validation: {e}", path.display()));
+        println!("# metrics validated: scalparc-metrics/v1, {rows} rows");
+    }
+}

@@ -1,0 +1,620 @@
+//! Forest engine: bagged random-forest induction scheduled over the
+//! simulated machine, following the joint tree-/data-parallel design of
+//! exact distributed random-forest training.
+//!
+//! # Scheduling
+//!
+//! The `p` virtual processors are split into **tree groups**
+//! ([`ForestSchedule`]): when `p ≥ n_trees` each tree gets its own group of
+//! `⌊p/n_trees⌋`-or-one-more ranks (tree-parallel — every group is a full
+//! ScalParC machine inducing its tree), otherwise all `p` ranks work on one
+//! tree at a time (data-parallel). Groups never communicate during
+//! induction, so each group runs as its own [`mpsim`] machine; the forest's
+//! simulated train time is the **maximum over groups** of each group's
+//! per-tree sum — exactly what a space-shared machine whose rank sets are
+//! disjoint would observe.
+//!
+//! # Determinism
+//!
+//! The bagged sample of tree `t` is never materialized globally: bagged
+//! index `i` sources training record `mix(bag_seed_t, i) mod N` via a
+//! `datagen::StreamingGen`-style per-index SplitMix64 hash, so any rank
+//! regenerates exactly its `⌈m/g⌉` block from `(seed, t, i)` alone —
+//! independent of `p` or the group shape. Per-tree feature subsets are
+//! drawn (sorted ascending) from a per-tree seeded generator, and the
+//! sorted order makes the subset→global attribute remap **monotone**, which
+//! preserves ScalParC's split tie-break order (gini, then lowest attribute
+//! index). Combined with ScalParC's geometry-invariance (the induced tree
+//! does not depend on the rank count), the whole forest is **byte-identical
+//! across scheduling layouts** for fixed seeds — asserted by the
+//! `forest_equivalence` integration tests and the `forest` bench bin.
+
+use std::path::Path;
+
+use dtree::data::{Dataset, Schema};
+use dtree::testgen::TestRng;
+use dtree::tree::{DecisionTree, SplitTest};
+use dtree::{eval, model_io};
+use mpsim::{MachineCfg, RunStats};
+
+use crate::config::ParConfig;
+use crate::induce::induce_on_comm;
+
+/// How trees are laid out over the machine's ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForestSchedule {
+    /// Tree-parallel when `p ≥ n_trees`, data-parallel otherwise.
+    #[default]
+    Auto,
+    /// `min(p, n_trees)` groups, trees dealt round-robin: one tree per
+    /// group when `p ≥ n_trees`, several sequential trees per group (of at
+    /// least one rank each) otherwise.
+    TreeParallel,
+    /// One group of all `p` ranks inducing the trees sequentially.
+    DataParallel,
+    /// One group of one rank (the serial reference layout).
+    Serial,
+}
+
+/// Forest training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Bootstrap-sample size as a fraction of `N` (sampling is with
+    /// replacement; `1.0` is the classic bootstrap).
+    pub bootstrap: f64,
+    /// Fraction of the attributes each tree trains on (at least one
+    /// attribute is always kept; `1.0` disables feature subsetting).
+    pub feature_frac: f64,
+    /// Master seed: bagging and feature subsets of every tree derive from
+    /// it by per-tree SplitMix64 decorrelation.
+    pub seed: u64,
+    /// Rank layout.
+    pub schedule: ForestSchedule,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 8,
+            bootstrap: 1.0,
+            feature_frac: 1.0,
+            seed: 42,
+            schedule: ForestSchedule::Auto,
+        }
+    }
+}
+
+/// One tree group of a [`ForestPlan`]: a disjoint set of ranks inducing
+/// `trees` sequentially.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForestGroup {
+    /// Ranks in the group (each group is its own simulated machine).
+    pub procs: usize,
+    /// Trees the group induces, in order.
+    pub trees: Vec<usize>,
+}
+
+/// The resolved rank layout of a forest run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForestPlan {
+    /// Disjoint tree groups; `Σ procs ≤ p` and every tree appears exactly
+    /// once.
+    pub groups: Vec<ForestGroup>,
+}
+
+impl ForestPlan {
+    /// A short human-readable layout label, e.g. `tree-parallel 4×2`.
+    pub fn label(&self) -> String {
+        let g = self.groups.len();
+        if g == 1 {
+            let procs = self.groups[0].procs;
+            if procs == 1 {
+                "serial 1×1".to_string()
+            } else {
+                format!("data-parallel 1×{procs}")
+            }
+        } else {
+            let lo = self.groups.iter().map(|x| x.procs).min().unwrap_or(1);
+            let hi = self.groups.iter().map(|x| x.procs).max().unwrap_or(1);
+            if lo == hi {
+                format!("tree-parallel {g}×{lo}")
+            } else {
+                format!("tree-parallel {g}×{lo}..{hi}")
+            }
+        }
+    }
+}
+
+/// Resolve a schedule into tree groups over `procs` ranks.
+pub fn plan(n_trees: usize, procs: usize, schedule: ForestSchedule) -> ForestPlan {
+    assert!(n_trees >= 1, "a forest needs at least one tree");
+    let procs = procs.max(1);
+    let schedule = match schedule {
+        ForestSchedule::Auto if procs >= n_trees && n_trees > 1 => ForestSchedule::TreeParallel,
+        ForestSchedule::Auto => ForestSchedule::DataParallel,
+        s => s,
+    };
+    let groups = match schedule {
+        ForestSchedule::Serial => vec![ForestGroup {
+            procs: 1,
+            trees: (0..n_trees).collect(),
+        }],
+        ForestSchedule::DataParallel => vec![ForestGroup {
+            procs,
+            trees: (0..n_trees).collect(),
+        }],
+        ForestSchedule::TreeParallel => {
+            let g = procs.min(n_trees);
+            (0..g)
+                .map(|i| ForestGroup {
+                    // First `procs % g` groups take the extra rank.
+                    procs: procs / g + usize::from(i < procs % g),
+                    trees: (i..n_trees).step_by(g).collect(),
+                })
+                .collect()
+        }
+        ForestSchedule::Auto => unreachable!("resolved above"),
+    };
+    ForestPlan { groups }
+}
+
+/// Per-tree training statistics.
+#[derive(Clone, Debug)]
+pub struct TreeStat {
+    /// Tree index in the forest.
+    pub tree: usize,
+    /// Index of the group that induced it.
+    pub group: usize,
+    /// Rank count of that group's machine.
+    pub procs: usize,
+    /// Nodes in the induced tree.
+    pub nodes: usize,
+    /// Levels the induction processed.
+    pub levels: u32,
+    /// Full machine statistics of the tree's run (simulated time,
+    /// communication volume, memory peaks, traces when enabled).
+    pub run: RunStats,
+}
+
+/// A trained forest plus schedule-aware accounting.
+#[derive(Clone, Debug)]
+pub struct ForestResult {
+    /// The member trees, in index order, attributes remapped to the full
+    /// training schema.
+    pub trees: Vec<DecisionTree>,
+    /// The rank layout that trained them.
+    pub plan: ForestPlan,
+    /// Per-tree statistics, in tree order.
+    pub per_tree: Vec<TreeStat>,
+}
+
+impl ForestResult {
+    /// Simulated train time of the whole forest: groups run concurrently
+    /// on disjoint ranks, trees within a group sequentially — so the
+    /// forest finishes when the slowest group's per-tree times have summed.
+    pub fn train_time_ns(&self) -> u64 {
+        self.plan
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(gi, _)| {
+                self.per_tree
+                    .iter()
+                    .filter(|s| s.group == gi)
+                    .map(|s| s.run.time_ns())
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Simulated train time in seconds.
+    pub fn train_time_s(&self) -> f64 {
+        self.train_time_ns() as f64 / 1e9
+    }
+
+    /// Total bytes sent across all trees' machines.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_tree.iter().map(|s| s.run.total_bytes_sent()).sum()
+    }
+
+    /// Peak per-rank memory across all trees' machines.
+    pub fn peak_mem_per_proc(&self) -> u64 {
+        self.per_tree
+            .iter()
+            .map(|s| s.run.peak_mem_per_proc())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, i)` — the same per-index derivation
+/// `datagen::StreamingGen` uses, so any rank regenerates any bagged index
+/// without materializing the bootstrap.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed-space salts decorrelating the per-tree bagging and feature streams.
+const BAG_SALT: u64 = 0xB001_57A9_0000_0001;
+const FEAT_SALT: u64 = 0xFEA7_0000_0000_0002;
+
+/// Number of bagged records per tree.
+fn bag_size(n: usize, bootstrap: f64) -> usize {
+    if n == 0 {
+        0
+    } else {
+        ((n as f64 * bootstrap).round() as usize).max(1)
+    }
+}
+
+/// Materialize bagged indices `[lo, hi)` of tree `t`'s bootstrap: bagged
+/// index `i` sources record `mix(bag_seed, i) mod N`. Pure in
+/// `(seed, t, i)` — identical on any rank, under any layout.
+fn bag_block(data: &Dataset, bag_seed: u64, lo: usize, hi: usize) -> Dataset {
+    let n = data.len() as u64;
+    let src: Vec<usize> = (lo..hi)
+        .map(|i| (mix(bag_seed, i as u64) % n) as usize)
+        .collect();
+    eval::select(data, &src)
+}
+
+/// Tree `t`'s feature subset: a sorted draw of `⌈frac·A⌉`-clamped-to-`[1,A]`
+/// attributes. Sorting keeps the subset→global remap monotone, preserving
+/// the lowest-attribute-index split tie-break.
+fn feature_subset(schema: &Schema, feat_seed: u64, frac: f64) -> Vec<usize> {
+    let a = schema.num_attrs();
+    let k = ((a as f64 * frac).round() as usize).clamp(1, a);
+    let mut idx: Vec<usize> = (0..a).collect();
+    let mut rng = TestRng::new(feat_seed);
+    // Partial Fisher–Yates: the first k entries are a uniform draw.
+    for i in 0..k {
+        let j = i + rng.below((a - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Project a dataset onto an attribute subset (columns and schema).
+fn project(data: &Dataset, subset: &[usize]) -> Dataset {
+    let attrs = subset
+        .iter()
+        .map(|&a| data.schema.attrs[a].clone())
+        .collect();
+    let columns = subset.iter().map(|&a| data.columns[a].clone()).collect();
+    Dataset {
+        schema: Schema::new(attrs, data.schema.num_classes),
+        columns,
+        labels: data.labels.clone(),
+    }
+}
+
+/// Remap a tree induced under a feature subset back onto the full schema.
+fn remap_attrs(tree: &mut DecisionTree, subset: &[usize], schema: &Schema) {
+    for node in &mut tree.nodes {
+        match &mut node.test {
+            Some(SplitTest::Continuous { attr, .. })
+            | Some(SplitTest::Categorical { attr })
+            | Some(SplitTest::CategoricalSubset { attr, .. }) => *attr = subset[*attr],
+            None => {}
+        }
+    }
+    tree.schema = schema.clone();
+}
+
+/// Train a bagged forest of ScalParC trees over the simulated machine.
+///
+/// Each group of the resolved [`ForestPlan`] runs as its own machine of
+/// `group.procs` ranks; within it, every tree is one `induce_on_comm`
+/// collective over that tree's regenerated bagged block, wrapped in a
+/// `("tree", t)` obs phase so traced runs attribute every span to its tree.
+/// The trees (and therefore the whole forest) are byte-identical across
+/// schedules and rank counts for a fixed `fcfg.seed`.
+pub fn train_forest(data: &Dataset, fcfg: &ForestConfig, par: &ParConfig) -> ForestResult {
+    assert!(fcfg.n_trees >= 1, "a forest needs at least one tree");
+    assert!(fcfg.bootstrap > 0.0, "bootstrap fraction must be positive");
+    assert!(
+        fcfg.feature_frac > 0.0 && fcfg.feature_frac <= 1.0,
+        "feature fraction must be in (0, 1]"
+    );
+    let plan = plan(fcfg.n_trees, par.procs, fcfg.schedule);
+    let m = bag_size(data.len(), fcfg.bootstrap);
+    let induce_cfg = par.induce;
+
+    let mut trees: Vec<Option<DecisionTree>> = (0..fcfg.n_trees).map(|_| None).collect();
+    let mut per_tree: Vec<Option<TreeStat>> = (0..fcfg.n_trees).map(|_| None).collect();
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let mcfg = MachineCfg {
+            procs: group.procs,
+            cost: par.cost,
+            timing: par.timing,
+            compute_tokens: 0,
+            replay: None,
+            trace: par.trace,
+            fault: None,
+        };
+        for &t in &group.trees {
+            let bag_seed = mix(fcfg.seed ^ BAG_SALT, t as u64);
+            let subset = feature_subset(
+                &data.schema,
+                mix(fcfg.seed ^ FEAT_SALT, t as u64),
+                fcfg.feature_frac,
+            );
+            let block = m.div_ceil(group.procs).max(1);
+            let subset_ref = &subset;
+            let result = mpsim::run(&mcfg, |comm| {
+                comm.phase_begin("tree", t as u32);
+                let lo = (comm.rank() * block).min(m);
+                let hi = ((comm.rank() + 1) * block).min(m);
+                let local = if data.is_empty() {
+                    project(&data.slice(0, 0), subset_ref)
+                } else {
+                    project(&bag_block(data, bag_seed, lo, hi), subset_ref)
+                };
+                let out = induce_on_comm(comm, local, lo as u32, m as u64, &induce_cfg);
+                comm.phase_end(); // tree
+                out
+            });
+            let mut outputs = result.outputs;
+            let (mut tree, ps) = outputs.swap_remove(0);
+            remap_attrs(&mut tree, &subset, &data.schema);
+            per_tree[t] = Some(TreeStat {
+                tree: t,
+                group: gi,
+                procs: group.procs,
+                nodes: tree.nodes.len(),
+                levels: ps.levels,
+                run: result.stats,
+            });
+            trees[t] = Some(tree);
+        }
+    }
+    ForestResult {
+        trees: trees
+            .into_iter()
+            .map(|t| t.expect("every tree planned"))
+            .collect(),
+        plan,
+        per_tree: per_tree
+            .into_iter()
+            .map(|s| s.expect("every tree planned"))
+            .collect(),
+    }
+}
+
+/// Section tag of the forest payload inside the CRC'd container.
+pub const FOREST_SECTION: u32 = u32::from_le_bytes(*b"FRST");
+
+/// Write a forest to a versioned, CRC-guarded container file (the
+/// `diskio::ckpt` section format around the `model_io` forest text): a
+/// torn or bit-flipped file is detected on load, never silently parsed,
+/// and the write is atomic (tmp + rename).
+pub fn save_forest(trees: &[DecisionTree], path: &Path) -> Result<(), String> {
+    let text = model_io::forest_to_text(trees);
+    diskio::ckpt::write_sections(path, &[(FOREST_SECTION, text.as_bytes())])
+        .map_err(|e| e.to_string())
+}
+
+/// Read a forest back from a [`save_forest`] container, verifying the
+/// envelope CRC before parsing.
+pub fn load_forest(path: &Path) -> Result<Vec<DecisionTree>, String> {
+    let sections = diskio::ckpt::read_sections(path).map_err(|e| e.to_string())?;
+    let payload = sections
+        .iter()
+        .find(|(tag, _)| *tag == FOREST_SECTION)
+        .map(|(_, bytes)| bytes)
+        .ok_or_else(|| format!("{}: no forest section in container", path.display()))?;
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| format!("{}: forest payload is not UTF-8: {e}", path.display()))?;
+    model_io::forest_from_text(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, ClassFunc, GenConfig, Profile};
+
+    fn quest(n: usize, seed: u64) -> Dataset {
+        generate(&GenConfig {
+            n,
+            func: ClassFunc::F2,
+            noise: 0.05,
+            seed,
+            profile: Profile::Paper7,
+        })
+    }
+
+    #[test]
+    fn plan_layouts() {
+        // Tree-parallel: 8 ranks over 4 trees → 4 groups of 2.
+        let p = plan(4, 8, ForestSchedule::TreeParallel);
+        assert_eq!(p.groups.len(), 4);
+        assert!(p.groups.iter().all(|g| g.procs == 2 && g.trees.len() == 1));
+        assert_eq!(p.label(), "tree-parallel 4×2");
+        // Uneven split: 7 ranks over 3 trees → 3,2,2.
+        let p = plan(3, 7, ForestSchedule::TreeParallel);
+        assert_eq!(
+            p.groups.iter().map(|g| g.procs).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        // Hybrid: more trees than ranks → round-robin over rank-1 groups.
+        let p = plan(5, 2, ForestSchedule::TreeParallel);
+        assert_eq!(p.groups.len(), 2);
+        assert_eq!(p.groups[0].trees, vec![0, 2, 4]);
+        assert_eq!(p.groups[1].trees, vec![1, 3]);
+        // Auto resolves by p vs n_trees.
+        assert_eq!(
+            plan(4, 8, ForestSchedule::Auto),
+            plan(4, 8, ForestSchedule::TreeParallel)
+        );
+        assert_eq!(
+            plan(8, 4, ForestSchedule::Auto),
+            plan(8, 4, ForestSchedule::DataParallel)
+        );
+        // Serial is one rank regardless of p.
+        let p = plan(3, 8, ForestSchedule::Serial);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].procs, 1);
+        assert_eq!(p.label(), "serial 1×1");
+        assert_eq!(
+            plan(3, 8, ForestSchedule::DataParallel).label(),
+            "data-parallel 1×8"
+        );
+        // Every tree appears exactly once in every layout.
+        for (nt, pr, s) in [
+            (5, 3, ForestSchedule::TreeParallel),
+            (4, 9, ForestSchedule::Auto),
+            (6, 2, ForestSchedule::DataParallel),
+        ] {
+            let mut seen: Vec<usize> = plan(nt, pr, s)
+                .groups
+                .iter()
+                .flat_map(|g| g.trees.clone())
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..nt).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bagging_is_layout_free_and_with_replacement() {
+        let data = quest(200, 7);
+        let bag_seed = mix(42 ^ BAG_SALT, 3);
+        // Concatenated blocks equal the whole bag for any block split.
+        let whole = bag_block(&data, bag_seed, 0, 200);
+        for splits in [vec![0, 200], vec![0, 67, 134, 200], vec![0, 50, 200]] {
+            let mut parts: Vec<Dataset> = Vec::new();
+            for w in splits.windows(2) {
+                parts.push(bag_block(&data, bag_seed, w[0], w[1]));
+            }
+            let labels: Vec<u8> = parts.iter().flat_map(|d| d.labels.clone()).collect();
+            assert_eq!(labels, whole.labels);
+        }
+        // With replacement: some source record repeats with overwhelming
+        // probability at this size.
+        let srcs: Vec<u64> = (0..200u64).map(|i| mix(bag_seed, i) % 200).collect();
+        let mut dedup = srcs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert!(dedup.len() < srcs.len(), "bootstrap drew no duplicates?");
+    }
+
+    #[test]
+    fn feature_subsets_are_sorted_and_sized() {
+        let data = quest(10, 1);
+        let a = data.schema.num_attrs();
+        for t in 0..20u64 {
+            let s = feature_subset(&data.schema, mix(9 ^ FEAT_SALT, t), 0.5);
+            assert_eq!(s.len(), ((a as f64 * 0.5).round() as usize).clamp(1, a));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, unique: {s:?}");
+            assert!(s.iter().all(|&x| x < a));
+        }
+        // frac 1.0 keeps everything.
+        assert_eq!(
+            feature_subset(&data.schema, 5, 1.0),
+            (0..a).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forest_identical_across_schedules() {
+        let data = quest(300, 11);
+        let fcfg = ForestConfig {
+            n_trees: 3,
+            bootstrap: 1.0,
+            feature_frac: 0.7,
+            seed: 5,
+            schedule: ForestSchedule::Serial,
+        };
+        let serial = train_forest(&data, &fcfg, &ParConfig::new(1));
+        for (schedule, procs) in [
+            (ForestSchedule::DataParallel, 4),
+            (ForestSchedule::TreeParallel, 6),
+            (ForestSchedule::TreeParallel, 2), // hybrid: 3 trees on 2 ranks
+            (ForestSchedule::Auto, 3),
+        ] {
+            let cfg = ForestConfig { schedule, ..fcfg };
+            let got = train_forest(&data, &cfg, &ParConfig::new(procs));
+            assert_eq!(got.trees, serial.trees, "{schedule:?} p={procs}");
+        }
+    }
+
+    #[test]
+    fn subset_trees_carry_the_full_schema() {
+        let data = quest(250, 13);
+        let fcfg = ForestConfig {
+            n_trees: 2,
+            feature_frac: 0.4,
+            ..ForestConfig::default()
+        };
+        let result = train_forest(&data, &fcfg, &ParConfig::new(2));
+        for tree in &result.trees {
+            assert_eq!(tree.schema, data.schema);
+            tree.validate();
+        }
+        // Time/bytes accounting present.
+        assert_eq!(result.per_tree.len(), 2);
+        assert!(result.total_bytes_sent() > 0 || result.plan.groups[0].procs == 1);
+    }
+
+    #[test]
+    fn train_time_composes_as_max_over_groups() {
+        let data = quest(200, 17);
+        let fcfg = ForestConfig {
+            n_trees: 4,
+            schedule: ForestSchedule::TreeParallel,
+            ..ForestConfig::default()
+        };
+        let r = train_forest(&data, &fcfg, &crate::ParConfig::measured(4));
+        let per_group: Vec<u64> = (0..r.plan.groups.len())
+            .map(|gi| {
+                r.per_tree
+                    .iter()
+                    .filter(|s| s.group == gi)
+                    .map(|s| s.run.time_ns())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(r.train_time_ns(), *per_group.iter().max().unwrap());
+        assert!(r.train_time_ns() > 0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_single_leaf_trees() {
+        use dtree::{AttrDef, Column, Schema};
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 2);
+        let data = Dataset::new(schema, vec![Column::Continuous(vec![])], vec![]);
+        let fcfg = ForestConfig {
+            n_trees: 2,
+            ..ForestConfig::default()
+        };
+        let r = train_forest(&data, &fcfg, &ParConfig::new(2));
+        assert!(r.trees.iter().all(|t| t.nodes.len() == 1));
+    }
+
+    #[test]
+    fn container_roundtrip_and_corruption_detection() {
+        let data = quest(150, 23);
+        let fcfg = ForestConfig {
+            n_trees: 2,
+            ..ForestConfig::default()
+        };
+        let trees = train_forest(&data, &fcfg, &ParConfig::new(1)).trees;
+        let dir = std::env::temp_dir().join(format!("scalparc-forest-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.scpf");
+        save_forest(&trees, &path).unwrap();
+        assert_eq!(load_forest(&path).unwrap(), trees);
+        // A flipped bit must surface as a CRC error, not a parsed forest.
+        diskio::ckpt::damage_flip_bit(&path).unwrap();
+        assert!(load_forest(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -33,6 +33,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod dist;
+pub mod forest;
 pub mod induce;
 pub mod ooc;
 pub mod phases;
@@ -41,6 +42,7 @@ pub mod analysis;
 
 pub use checkpoint::{CheckpointCtx, RestoreVerdict};
 pub use config::{Algorithm, InduceConfig, ParConfig};
+pub use forest::{train_forest, ForestConfig, ForestPlan, ForestResult, ForestSchedule, TreeStat};
 pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
 pub use ooc::{induce_on_comm_ooc, OocOptions};
 

@@ -61,6 +61,34 @@ pub struct FlatTree {
 }
 
 impl FlatTree {
+    /// The breadth-first renumbering [`FlatTree::compile`] applies:
+    /// `order[i]` is the `DecisionTree` node id of flat node `i`. Exposed so
+    /// consumers that carry per-node side data (e.g. a forest's per-leaf
+    /// class distributions) can align it with the flat ids the prediction
+    /// kernels report. Panics if the arena is not a tree (a shared or
+    /// cyclic child would be visited twice).
+    pub fn bfs_order(tree: &DecisionTree) -> Vec<u32> {
+        let n = tree.nodes.len();
+        // Popping in push order makes each node's children contiguous,
+        // starting at the queue length at the time the parent is visited.
+        let mut order: Vec<u32> = vec![0];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut head = 0usize;
+        while head < order.len() {
+            let node = &tree.nodes[order[head] as usize];
+            head += 1;
+            for &c in &node.children {
+                assert!(
+                    !std::mem::replace(&mut seen[c as usize], true),
+                    "node arena is not a tree: node {c} is reachable twice"
+                );
+                order.push(c);
+            }
+        }
+        order
+    }
+
     /// Compile an induced tree into the flat layout. Panics if the arena is
     /// not a tree (a shared or cyclic child would be visited twice).
     pub fn compile(tree: &DecisionTree) -> FlatTree {
@@ -75,24 +103,14 @@ impl FlatTree {
             leaf_class: Vec::with_capacity(n),
             masks: Vec::new(),
         };
-        // Breadth-first renumbering: `order[i]` is the old id of flat node
-        // `i`. Popping in push order makes each node's children contiguous,
-        // starting at the queue length at the time the parent is visited.
-        let mut order: Vec<u32> = vec![0];
-        let mut seen = vec![false; n];
-        seen[0] = true;
-        let mut head = 0usize;
-        while head < order.len() {
-            let node = &tree.nodes[order[head] as usize];
-            head += 1;
-            let child_base = order.len() as u32;
-            for &c in &node.children {
-                assert!(
-                    !std::mem::replace(&mut seen[c as usize], true),
-                    "node arena is not a tree: node {c} is reachable twice"
-                );
-                order.push(c);
-            }
+        let order = Self::bfs_order(tree);
+        // Children are appended to the BFS queue in visit order, so flat
+        // node `i`'s children start one past all earlier nodes' children.
+        let mut next_child = 1u32;
+        for &old in &order {
+            let node = &tree.nodes[old as usize];
+            let child_base = next_child;
+            next_child += node.children.len() as u32;
             let (kind, attr, threshold, aux) = match node.test {
                 None => (FlatKind::Leaf, 0, 0.0, 0),
                 Some(SplitTest::Continuous { attr, threshold }) => {
@@ -119,6 +137,29 @@ impl FlatTree {
             flat.leaf_class.push(node.majority);
         }
         flat
+    }
+
+    /// Flat id of the leaf that classifies record `rid` (the terminal node
+    /// of the same walk [`FlatTree::predict`] takes).
+    pub fn predict_leaf(&self, data: &Dataset, rid: usize) -> u32 {
+        let mut i = 0usize;
+        loop {
+            let c = match self.kind[i] {
+                FlatKind::Leaf => return i as u32,
+                FlatKind::Continuous => usize::from(
+                    data.continuous_value(self.attr[i] as usize, rid) >= self.threshold[i],
+                ),
+                FlatKind::Categorical => {
+                    data.categorical_value(self.attr[i] as usize, rid) as usize
+                }
+                FlatKind::Subset => {
+                    let mask = self.masks[self.aux[i] as usize];
+                    let v = data.categorical_value(self.attr[i] as usize, rid);
+                    usize::from((mask >> v) & 1 == 0)
+                }
+            };
+            i = self.child_base[i] as usize + c;
+        }
     }
 
     /// The schema the tree was trained under.
@@ -197,11 +238,48 @@ impl FlatTree {
     pub fn predict_range(&self, data: &Dataset, lo: usize, hi: usize, out: &mut [u8]) {
         assert!(lo <= hi && hi <= data.len(), "record range out of bounds");
         assert_eq!(out.len(), hi - lo, "output slice must cover the range");
-        if lo == hi {
-            return;
-        }
         if self.kind[0] == FlatKind::Leaf {
             out.fill(self.leaf_class[0]);
+            return;
+        }
+        self.descend_range(data, lo, hi, |node, run| {
+            let class = self.leaf_class[node];
+            for &r in run {
+                out[r as usize - lo] = class;
+            }
+        });
+    }
+
+    /// Like [`FlatTree::predict_range`], but record the **flat id of the
+    /// terminal leaf** of each record instead of its class (`out[i]` = leaf
+    /// id of record `lo + i`). Consumers that need more than the majority
+    /// class — e.g. a forest averaging per-leaf class distributions — key
+    /// their side tables by these ids (aligned via [`FlatTree::bfs_order`]).
+    pub fn predict_leaves_range(&self, data: &Dataset, lo: usize, hi: usize, out: &mut [u32]) {
+        assert!(lo <= hi && hi <= data.len(), "record range out of bounds");
+        assert_eq!(out.len(), hi - lo, "output slice must cover the range");
+        if self.kind[0] == FlatKind::Leaf {
+            out.fill(0);
+            return;
+        }
+        self.descend_range(data, lo, hi, |node, run| {
+            for &r in run {
+                out[r as usize - lo] = node as u32;
+            }
+        });
+    }
+
+    /// The level-synchronous descent shared by the batched kernels: advance
+    /// records `[lo, hi)` one tree level per pass and hand every run of
+    /// records that reached a leaf to `on_leaf(leaf_id, record_ids)`.
+    fn descend_range(
+        &self,
+        data: &Dataset,
+        lo: usize,
+        hi: usize,
+        mut on_leaf: impl FnMut(usize, &[u32]),
+    ) {
+        if lo == hi {
             return;
         }
         let n = hi - lo;
@@ -227,10 +305,7 @@ impl FlatTree {
                 let run = &recs[i..j];
                 i = j;
                 if self.kind[node] == FlatKind::Leaf {
-                    let class = self.leaf_class[node];
-                    for &r in run {
-                        out[r as usize - lo] = class;
-                    }
+                    on_leaf(node, run);
                     continue;
                 }
                 let base = self.child_base[node];
@@ -446,6 +521,42 @@ mod tests {
             .count() as f64
             / data.len() as f64;
         assert_eq!(flat.accuracy(&data), oracle);
+    }
+
+    #[test]
+    fn leaf_ids_match_single_record_walk() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        let data = dataset(173);
+        let mut leaves = vec![0u32; data.len()];
+        flat.predict_leaves_range(&data, 0, data.len(), &mut leaves);
+        for (rid, &leaf) in leaves.iter().enumerate() {
+            assert_eq!(leaf, flat.predict_leaf(&data, rid), "record {rid}");
+            // The leaf really is a leaf and carries the predicted class.
+            assert_eq!(flat.kind[leaf as usize], FlatKind::Leaf);
+            assert_eq!(flat.leaf_class[leaf as usize], flat.predict(&data, rid));
+        }
+        // Root-leaf fast path.
+        let single = DecisionTree {
+            schema: schema(),
+            nodes: vec![Node::leaf(0, vec![1, 4, 2])],
+        };
+        let flat = FlatTree::compile(&single);
+        let mut leaves = vec![7u32; 5];
+        flat.predict_leaves_range(&data, 2, 7, &mut leaves);
+        assert!(leaves.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn bfs_order_aligns_flat_ids_with_arena_nodes() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        let order = FlatTree::bfs_order(&tree);
+        assert_eq!(order.len(), flat.len());
+        // Flat node i's majority class equals arena node order[i]'s.
+        for (i, &old) in order.iter().enumerate() {
+            assert_eq!(flat.leaf_class[i], tree.nodes[old as usize].majority);
+        }
     }
 
     #[test]

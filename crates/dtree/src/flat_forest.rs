@@ -1,0 +1,365 @@
+//! Compiled forest serving: a vector of [`FlatTree`]s scored as **one
+//! model** behind a single batched entry point, with the per-tree outputs
+//! combined by a vote reduce.
+//!
+//! The aggregation mirrors the forest-of-trees `predict` shape of serving
+//! systems like omikuji: every tree scores the whole batch through its own
+//! level-synchronous kernel (so each tree's node arrays stream exactly as
+//! they do for a single-tree server), and the per-record combine is a tight
+//! second pass over a `batch × classes` accumulator. Two reduces are
+//! supported:
+//!
+//! * [`VoteReduce::Majority`] — one vote per tree (its predicted class);
+//!   ties break to the **lowest class index**, the same rule
+//!   [`crate::tree::majority_class`] applies inside a node, so a 1-tree
+//!   forest is exactly its tree.
+//! * [`VoteReduce::ProbAverage`] — average of the trees' **leaf class
+//!   distributions** (the training-set class mix at the terminal leaf,
+//!   normalized). Trees report leaf *ids* via
+//!   [`FlatTree::predict_leaves_range`] and the distributions live in a
+//!   side table aligned by [`FlatTree::bfs_order`]; ties again break to the
+//!   lowest class index.
+//!
+//! Both reduces are deterministic: the accumulation order is the tree
+//! order, fixed at compile time.
+
+use crate::data::{Dataset, Schema};
+use crate::flat::FlatTree;
+use crate::tree::DecisionTree;
+
+/// How per-tree outputs are combined into the forest's prediction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VoteReduce {
+    /// One vote per tree (its predicted class); ties → lowest class index.
+    #[default]
+    Majority,
+    /// Average of per-leaf class distributions; ties → lowest class index.
+    ProbAverage,
+}
+
+/// A forest compiled for batched inference: one [`FlatTree`] per member
+/// plus per-tree leaf-distribution side tables. Build one with
+/// [`FlatForest::compile`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatForest {
+    schema: Schema,
+    trees: Vec<FlatTree>,
+    /// Per tree: a `nodes × classes` row-major table of normalized class
+    /// distributions, indexed by **flat** node id (only leaf rows are read
+    /// by prediction, but every node has one).
+    dist: Vec<Vec<f32>>,
+    reduce: VoteReduce,
+}
+
+impl FlatForest {
+    /// Compile the member trees. All trees must share one schema (the
+    /// forest scores one dataset shape); panics otherwise, and on an empty
+    /// forest.
+    pub fn compile(trees: &[DecisionTree], reduce: VoteReduce) -> FlatForest {
+        assert!(!trees.is_empty(), "a forest needs at least one tree");
+        let schema = trees[0].schema.clone();
+        let classes = schema.num_classes as usize;
+        let mut flats = Vec::with_capacity(trees.len());
+        let mut dists = Vec::with_capacity(trees.len());
+        for (t, tree) in trees.iter().enumerate() {
+            assert!(
+                tree.schema == schema,
+                "tree {t} was trained under a different schema"
+            );
+            let order = FlatTree::bfs_order(tree);
+            let mut dist = Vec::with_capacity(order.len() * classes);
+            for &old in &order {
+                let node = &tree.nodes[old as usize];
+                let total: u64 = node.hist.iter().sum();
+                if total == 0 {
+                    // Degenerate empty node (e.g. the root of a tree grown
+                    // on no records): fall back to a one-hot on its
+                    // majority so the reduce still votes like Majority.
+                    for c in 0..classes {
+                        dist.push(f32::from(c as u8 == node.majority));
+                    }
+                } else {
+                    for &h in &node.hist {
+                        dist.push(h as f32 / total as f32);
+                    }
+                }
+            }
+            flats.push(FlatTree::compile(tree));
+            dists.push(dist);
+        }
+        FlatForest {
+            schema,
+            trees: flats,
+            dist: dists,
+            reduce,
+        }
+    }
+
+    /// The schema the forest was trained under.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The member trees, in vote order.
+    pub fn trees(&self) -> &[FlatTree] {
+        &self.trees
+    }
+
+    /// The configured vote reduce.
+    pub fn reduce(&self) -> VoteReduce {
+        self.reduce
+    }
+
+    /// Heap bytes of the node arrays, mask tables, and distribution side
+    /// tables (for memory accounting of per-rank replicas).
+    pub fn heap_bytes(&self) -> u64 {
+        let trees: u64 = self.trees.iter().map(|t| t.heap_bytes()).sum();
+        let dists: u64 = self.dist.iter().map(|d| (d.len() * 4) as u64).sum();
+        trees + dists
+    }
+
+    /// Score the contiguous record range `[lo, hi)` of `data`; `out[i]`
+    /// receives the forest prediction of record `lo + i`. Every tree scores
+    /// the range through its batched kernel, then the votes are reduced.
+    pub fn predict_range(&self, data: &Dataset, lo: usize, hi: usize, out: &mut [u8]) {
+        assert!(lo <= hi && hi <= data.len(), "record range out of bounds");
+        assert_eq!(out.len(), hi - lo, "output slice must cover the range");
+        if lo == hi {
+            return;
+        }
+        let n = hi - lo;
+        let classes = self.schema.num_classes as usize;
+        match self.reduce {
+            VoteReduce::Majority => {
+                let mut votes = vec![0u32; n * classes];
+                let mut scratch = vec![0u8; n];
+                for tree in &self.trees {
+                    tree.predict_range(data, lo, hi, &mut scratch);
+                    for (i, &c) in scratch.iter().enumerate() {
+                        votes[i * classes + c as usize] += 1;
+                    }
+                }
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = argmax_lowest(&votes[i * classes..(i + 1) * classes]);
+                }
+            }
+            VoteReduce::ProbAverage => {
+                let mut acc = vec![0.0f32; n * classes];
+                let mut scratch = vec![0u32; n];
+                for (tree, dist) in self.trees.iter().zip(&self.dist) {
+                    tree.predict_leaves_range(data, lo, hi, &mut scratch);
+                    for (i, &leaf) in scratch.iter().enumerate() {
+                        let row = &dist[leaf as usize * classes..(leaf as usize + 1) * classes];
+                        for (a, &p) in acc[i * classes..(i + 1) * classes].iter_mut().zip(row) {
+                            *a += p;
+                        }
+                    }
+                }
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = argmax_lowest(&acc[i * classes..(i + 1) * classes]);
+                }
+            }
+        }
+    }
+
+    /// Score every record of `data` into `out`.
+    pub fn predict_batch(&self, data: &Dataset, out: &mut [u8]) {
+        assert_eq!(out.len(), data.len(), "output slice must cover the batch");
+        self.predict_range(data, 0, data.len(), out);
+    }
+
+    /// Predict one record (the low-latency single-record path: per-tree
+    /// flat descent plus the same reduce as the batched kernel).
+    pub fn predict(&self, data: &Dataset, rid: usize) -> u8 {
+        let classes = self.schema.num_classes as usize;
+        match self.reduce {
+            VoteReduce::Majority => {
+                let mut votes = vec![0u32; classes];
+                for tree in &self.trees {
+                    votes[tree.predict(data, rid) as usize] += 1;
+                }
+                argmax_lowest(&votes)
+            }
+            VoteReduce::ProbAverage => {
+                let mut acc = vec![0.0f32; classes];
+                for (tree, dist) in self.trees.iter().zip(&self.dist) {
+                    let leaf = tree.predict_leaf(data, rid) as usize;
+                    for (a, &p) in acc
+                        .iter_mut()
+                        .zip(&dist[leaf * classes..(leaf + 1) * classes])
+                    {
+                        *a += p;
+                    }
+                }
+                argmax_lowest(&acc)
+            }
+        }
+    }
+
+    /// Fraction of records whose label the forest predicts, through the
+    /// batched kernel.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let mut out = vec![0u8; data.len()];
+        self.predict_batch(data, &mut out);
+        let hits = out.iter().zip(&data.labels).filter(|(p, l)| p == l).count();
+        hits as f64 / data.len() as f64
+    }
+}
+
+/// Index of the largest value; ties break to the lowest index (the same
+/// rule as [`crate::tree::majority_class`]).
+fn argmax_lowest<T: PartialOrd + Copy>(vals: &[T]) -> u8 {
+    let mut best = 0usize;
+    for (i, &v) in vals.iter().enumerate().skip(1) {
+        if v > vals[best] {
+            best = i;
+        }
+    }
+    best as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgen::{self, TestRng};
+
+    fn forest_fixture(seed: u64, k: usize) -> (Vec<DecisionTree>, Dataset) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, k, 5, 80);
+        let data = testgen::random_dataset(&schema, &mut rng, 300);
+        (trees, data)
+    }
+
+    /// Per-record oracle: walk every `DecisionTree`, count votes, break
+    /// ties to the lowest class.
+    fn oracle_majority(trees: &[DecisionTree], data: &Dataset, rid: usize) -> u8 {
+        let classes = trees[0].schema.num_classes as usize;
+        let mut votes = vec![0u32; classes];
+        for tree in trees {
+            votes[tree.predict(data, rid) as usize] += 1;
+        }
+        argmax_lowest(&votes)
+    }
+
+    #[test]
+    fn majority_matches_oracle_walkers() {
+        for seed in [1u64, 2, 3] {
+            let (trees, data) = forest_fixture(seed, 5);
+            let forest = FlatForest::compile(&trees, VoteReduce::Majority);
+            let mut out = vec![0u8; data.len()];
+            forest.predict_batch(&data, &mut out);
+            for (rid, &got) in out.iter().enumerate() {
+                let want = oracle_majority(&trees, &data, rid);
+                assert_eq!(got, want, "seed {seed} record {rid}");
+                assert_eq!(forest.predict(&data, rid), want);
+            }
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_is_its_tree() {
+        let (trees, data) = forest_fixture(7, 1);
+        let flat = FlatTree::compile(&trees[0]);
+        for reduce in [VoteReduce::Majority, VoteReduce::ProbAverage] {
+            let forest = FlatForest::compile(&trees, reduce);
+            let mut out = vec![0u8; data.len()];
+            forest.predict_batch(&data, &mut out);
+            let mut want = vec![0u8; data.len()];
+            flat.predict_batch(&data, &mut want);
+            // ProbAverage of one tree picks each leaf's distribution argmax,
+            // which is the leaf's majority = the tree's prediction.
+            assert_eq!(out, want, "{reduce:?}");
+        }
+    }
+
+    #[test]
+    fn prob_average_batch_matches_single_record_path() {
+        for seed in [11u64, 12] {
+            let (trees, data) = forest_fixture(seed, 4);
+            let forest = FlatForest::compile(&trees, VoteReduce::ProbAverage);
+            let mut out = vec![0u8; data.len()];
+            forest.predict_batch(&data, &mut out);
+            for (rid, &got) in out.iter().enumerate() {
+                assert_eq!(got, forest.predict(&data, rid), "record {rid}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_batch() {
+        let (trees, data) = forest_fixture(21, 3);
+        let forest = FlatForest::compile(&trees, VoteReduce::Majority);
+        let mut full = vec![0u8; data.len()];
+        forest.predict_batch(&data, &mut full);
+        let mut part = vec![0u8; 100];
+        forest.predict_range(&data, 50, 150, &mut part);
+        assert_eq!(&full[50..150], &part[..]);
+        forest.predict_range(&data, 10, 10, &mut []);
+    }
+
+    #[test]
+    fn majority_ties_break_to_lowest_class() {
+        // Two single-leaf trees voting for different classes: 1 vote each,
+        // the lower class index must win.
+        use crate::data::AttrDef;
+        use crate::tree::Node;
+        let schema = Schema::new(vec![AttrDef::continuous("x")], 3);
+        let leaf = |class: u8| {
+            let mut hist = vec![0u64; 3];
+            hist[class as usize] = 5;
+            let mut node = Node::leaf(0, hist);
+            node.majority = class;
+            DecisionTree {
+                schema: schema.clone(),
+                nodes: vec![node],
+            }
+        };
+        let trees = vec![leaf(2), leaf(1)];
+        let mut rng = TestRng::new(0);
+        let data = testgen::random_dataset(&schema, &mut rng, 10);
+        for reduce in [VoteReduce::Majority, VoteReduce::ProbAverage] {
+            let forest = FlatForest::compile(&trees, reduce);
+            let mut out = vec![9u8; data.len()];
+            forest.predict_batch(&data, &mut out);
+            assert!(out.iter().all(|&c| c == 1), "{reduce:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn accuracy_and_heap_bytes() {
+        let (trees, data) = forest_fixture(31, 4);
+        let forest = FlatForest::compile(&trees, VoteReduce::Majority);
+        let acc = forest.accuracy(&data);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(forest.heap_bytes() > trees.len() as u64);
+        assert_eq!(forest.n_trees(), 4);
+        assert_eq!(forest.trees().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schema")]
+    fn rejects_mixed_schemas() {
+        let (mut trees, _) = forest_fixture(41, 2);
+        let mut rng = TestRng::new(99);
+        let other = testgen::random_schema(&mut rng);
+        trees[1] = testgen::random_tree(&other, &mut rng, 3, 20);
+        // The two random schemas differ with overwhelming probability for
+        // this seed; compile must refuse the mix.
+        FlatForest::compile(&trees, VoteReduce::Majority);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_empty_forest() {
+        FlatForest::compile(&[], VoteReduce::Majority);
+    }
+}

@@ -27,6 +27,7 @@ pub mod cart;
 pub mod data;
 pub mod eval;
 pub mod flat;
+pub mod flat_forest;
 pub mod gini;
 pub mod hashutil;
 pub mod list;
@@ -39,6 +40,7 @@ pub mod tree;
 
 pub use data::{AttrDef, AttrKind, Column, Dataset, Schema};
 pub use flat::FlatTree;
+pub use flat_forest::{FlatForest, VoteReduce};
 pub use gini::Criterion;
 pub use split::{CatSplitMode, SplitOptions};
 pub use tree::{BestSplit, DecisionTree, Node, SplitTest, StopRules};

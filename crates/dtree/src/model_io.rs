@@ -269,6 +269,160 @@ pub fn load(path: &Path) -> Result<DecisionTree, String> {
     from_text(&text)
 }
 
+/// Serialize a forest to the text format: a versioned envelope of per-tree
+/// sections, each a complete [`to_text`] document with a declared line
+/// count, closed by an `end` line.
+///
+/// ```text
+/// scalparc-forest v1
+/// trees 2
+/// tree 0 lines 5
+/// scalparc-tree v1
+/// …
+/// tree 1 lines 5
+/// scalparc-tree v1
+/// …
+/// end
+/// ```
+pub fn forest_to_text(trees: &[DecisionTree]) -> String {
+    assert!(!trees.is_empty(), "a forest needs at least one tree");
+    let mut out = String::new();
+    out.push_str("scalparc-forest v1\n");
+    let _ = writeln!(out, "trees {}", trees.len());
+    for (t, tree) in trees.iter().enumerate() {
+        let body = to_text(tree);
+        let _ = writeln!(out, "tree {t} lines {}", body.lines().count());
+        out.push_str(&body);
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Write a forest to a file (plain text; see `scalparc::forest::save_forest`
+/// for the CRC-guarded container).
+pub fn save_forest(trees: &[DecisionTree], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, forest_to_text(trees))
+}
+
+/// Rebase a [`from_text`] error from section-local to whole-document line
+/// numbers: the section's lines start after `base` envelope/section lines.
+fn rebase(e: String, base: usize) -> String {
+    if let Some(rest) = e.strip_prefix("line ") {
+        if let Some((n, msg)) = rest.split_once(':') {
+            if let Ok(n) = n.parse::<usize>() {
+                return format!("line {}:{}", base + n, msg);
+            }
+        }
+    }
+    e
+}
+
+/// Parse a forest from the text format.
+///
+/// # Errors
+/// Every error carries the 1-based number of the offending line: a bad or
+/// missing section header, a section truncated short of its declared line
+/// count, **more** tree sections than declared (they surface where `end`
+/// was expected), trailing content after `end`, a tree whose schema differs
+/// from tree 0's, and every per-tree error [`from_text`] reports (rebased
+/// to whole-document line numbers).
+pub fn forest_from_text(text: &str) -> Result<Vec<DecisionTree>, String> {
+    let mut lines = text.lines();
+    let mut ln = 0usize; // 0-based index of the line about to be read
+    let mut next = |ln: &mut usize| {
+        let l = lines.next();
+        if l.is_some() {
+            *ln += 1;
+        }
+        l
+    };
+
+    let header = next(&mut ln).ok_or_else(|| err(0, "empty input"))?;
+    if header != "scalparc-forest v1" {
+        return Err(err(ln - 1, format!("bad forest header {header:?}")));
+    }
+    let count_line = next(&mut ln).ok_or_else(|| err(1, "missing trees line"))?;
+    let n_trees: usize = count_line
+        .strip_prefix("trees ")
+        .ok_or_else(|| err(ln - 1, "expected `trees <k>`"))?
+        .parse()
+        .map_err(|e| err(ln - 1, format!("bad tree count: {e}")))?;
+    if n_trees == 0 {
+        return Err(err(ln - 1, "forest must have at least one tree"));
+    }
+
+    let mut trees: Vec<DecisionTree> = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        let header = next(&mut ln)
+            .ok_or_else(|| err(ln, format!("forest truncated: missing `tree {t}` section")))?;
+        let header_ln = ln - 1;
+        let rest = header
+            .strip_prefix("tree ")
+            .ok_or_else(|| err(header_ln, format!("expected `tree {t} lines <n>`")))?;
+        let (idx, n_lines) = rest
+            .split_once(" lines ")
+            .ok_or_else(|| err(header_ln, format!("expected `tree {t} lines <n>`")))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|e| err(header_ln, format!("bad tree index: {e}")))?;
+        if idx != t {
+            return Err(err(
+                header_ln,
+                format!("tree sections out of order: expected tree {t}, found tree {idx}"),
+            ));
+        }
+        let n_lines: usize = n_lines
+            .parse()
+            .map_err(|e| err(header_ln, format!("bad section line count: {e}")))?;
+        let mut section = String::new();
+        for got in 0..n_lines {
+            let line = next(&mut ln).ok_or_else(|| {
+                err(
+                    ln,
+                    format!("tree {t} section truncated after {got} of {n_lines} lines"),
+                )
+            })?;
+            section.push_str(line);
+            section.push('\n');
+        }
+        let base = ln - n_lines; // lines before the section body
+        let tree = from_text(&section).map_err(|e| rebase(e, base))?;
+        if let Some(first) = trees.first() {
+            if tree.schema != first.schema {
+                return Err(err(
+                    header_ln,
+                    format!("tree {t} schema differs from tree 0"),
+                ));
+            }
+        }
+        trees.push(tree);
+    }
+
+    match next(&mut ln) {
+        Some("end") => {}
+        Some(line) if line.starts_with("tree ") => {
+            return Err(err(
+                ln - 1,
+                format!("declared {n_trees} trees but found another tree section"),
+            ));
+        }
+        Some(_) => return Err(err(ln - 1, "expected `end`")),
+        None => return Err(err(ln, "forest truncated: missing `end`")),
+    }
+    if let Some(extra) = next(&mut ln) {
+        if !extra.is_empty() {
+            return Err(err(ln - 1, "content after `end`"));
+        }
+    }
+    Ok(trees)
+}
+
+/// Read a forest from a plain-text file.
+pub fn load_forest(path: &Path) -> Result<Vec<DecisionTree>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    forest_from_text(&text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +608,140 @@ mod tests {
     }
 
     #[test]
+    fn forest_roundtrip_is_exact() {
+        let data = mixed_dataset();
+        let t1 = sprint::induce(&data, &SprintConfig::default());
+        let t2 = sprint::induce(
+            &data,
+            &SprintConfig {
+                split: SplitOptions {
+                    cat_mode: CatSplitMode::BinarySubset,
+                    ..SplitOptions::default()
+                },
+                ..SprintConfig::default()
+            },
+        );
+        let trees = vec![t1, t2];
+        let text = forest_to_text(&trees);
+        let back = forest_from_text(&text).unwrap();
+        assert_eq!(back, trees);
+        assert_eq!(forest_to_text(&back), text);
+    }
+
+    #[test]
+    fn forest_file_roundtrip() {
+        let data = mixed_dataset();
+        let trees = vec![sprint::induce(&data, &SprintConfig::default())];
+        let dir = std::env::temp_dir().join("scalparc-forest-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.forest");
+        save_forest(&trees, &path).unwrap();
+        assert_eq!(load_forest(&path).unwrap(), trees);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn two_leaf_forest_text() -> String {
+        // trees of one leaf each: section body is 5 lines
+        // (header, classes, attr, nodes, node).
+        "scalparc-forest v1\ntrees 2\n\
+         tree 0 lines 5\nscalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+         node depth 0 hist 1,1 majority 0 leaf\n\
+         tree 1 lines 5\nscalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+         node depth 0 hist 2,1 majority 0 leaf\n\
+         end\n"
+            .to_string()
+    }
+
+    #[test]
+    fn forest_text_fixture_parses() {
+        let trees = forest_from_text(&two_leaf_forest_text()).unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(forest_to_text(&trees), two_leaf_forest_text());
+    }
+
+    #[test]
+    fn forest_rejects_truncated_section_with_line_number() {
+        // Cut the document mid-way through tree 1's section.
+        let full = two_leaf_forest_text();
+        let cut: String = full.lines().take(11).collect::<Vec<_>>().join("\n") + "\n";
+        let e = forest_from_text(&cut).unwrap_err();
+        assert!(e.starts_with("line 12:"), "{e}");
+        assert!(e.contains("truncated after 2 of 5 lines"), "{e}");
+        // Cut before tree 1's header: the missing section is named.
+        let cut: String = full.lines().take(8).collect::<Vec<_>>().join("\n") + "\n";
+        let e = forest_from_text(&cut).unwrap_err();
+        assert!(e.starts_with("line 9:"), "{e}");
+        assert!(e.contains("missing `tree 1` section"), "{e}");
+        // Cut after the sections but before `end`.
+        let cut: String = full.lines().take(14).collect::<Vec<_>>().join("\n") + "\n";
+        let e = forest_from_text(&cut).unwrap_err();
+        assert!(
+            e.starts_with("line 15:") && e.contains("missing `end`"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn forest_rejects_over_count_sections_with_line_number() {
+        // A third section where `end` belongs: over-count of declared trees.
+        let extra = two_leaf_forest_text().replace(
+            "end\n",
+            "tree 2 lines 5\nscalparc-tree v1\nclasses 2\nattr continuous x\nnodes 1\n\
+             node depth 0 hist 1,1 majority 0 leaf\nend\n",
+        );
+        let e = forest_from_text(&extra).unwrap_err();
+        assert!(e.starts_with("line 15:"), "{e}");
+        assert!(e.contains("declared 2 trees but found another"), "{e}");
+        // Content after `end`.
+        let trailing = two_leaf_forest_text() + "stray\n";
+        let e = forest_from_text(&trailing).unwrap_err();
+        assert!(
+            e.starts_with("line 16:") && e.contains("after `end`"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn forest_rejects_bad_envelope() {
+        assert!(forest_from_text("").unwrap_err().starts_with("line 1:"));
+        let e = forest_from_text("scalparc-tree v1\n").unwrap_err();
+        assert!(e.contains("bad forest header"), "{e}");
+        let e = forest_from_text("scalparc-forest v1\ntrees 0\nend\n").unwrap_err();
+        assert!(
+            e.starts_with("line 2:") && e.contains("at least one tree"),
+            "{e}"
+        );
+        // Section header out of order.
+        let swapped = two_leaf_forest_text().replace("tree 0 lines", "tree 1 lines");
+        let e = forest_from_text(&swapped).unwrap_err();
+        assert!(
+            e.starts_with("line 3:") && e.contains("out of order"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn forest_rebase_points_inner_errors_at_document_lines() {
+        // Corrupt tree 1's node line (document line 14): the per-tree parse
+        // error must carry the whole-document line number.
+        let bad = two_leaf_forest_text().replace("hist 2,1", "hist 2,1,9");
+        let e = forest_from_text(&bad).unwrap_err();
+        assert!(e.starts_with("line 14:"), "{e}");
+        assert!(e.contains("hist length"), "{e}");
+    }
+
+    #[test]
+    fn forest_rejects_mixed_schemas() {
+        let mixed = two_leaf_forest_text().replace(
+            "tree 1 lines 5\nscalparc-tree v1\nclasses 2\nattr continuous x\n",
+            "tree 1 lines 5\nscalparc-tree v1\nclasses 2\nattr continuous y\n",
+        );
+        let e = forest_from_text(&mixed).unwrap_err();
+        assert!(e.starts_with("line 9:"), "{e}");
+        assert!(e.contains("schema differs"), "{e}");
+    }
+
+    #[test]
     fn loaded_model_predicts_identically() {
         let data = mixed_dataset();
         let tree = sprint::induce(&data, &SprintConfig::default());
@@ -488,6 +776,26 @@ mod roundtrip_proptests {
             prop_assert_eq!(&back, &tree);
             prop_assert_eq!(to_text(&back), text);
             prop_assert_eq!(FlatTree::compile(&back), FlatTree::compile(&tree));
+        }
+
+        // The forest envelope inherits the same guarantee: save → load →
+        // save is byte-identical for arbitrary member trees, and the
+        // reloaded forest compiles to the identical FlatForest.
+        #[test]
+        fn forest_save_load_save_is_byte_identical(seed in 0u64..(1u64 << 48)) {
+            use crate::flat_forest::{FlatForest, VoteReduce};
+            let mut rng = TestRng::new(seed);
+            let schema = testgen::random_schema(&mut rng);
+            let k = 1 + (seed % 5) as usize;
+            let trees = testgen::random_forest(&schema, &mut rng, k, 5, 60);
+            let text = forest_to_text(&trees);
+            let back = forest_from_text(&text).unwrap();
+            prop_assert_eq!(&back, &trees);
+            prop_assert_eq!(forest_to_text(&back), text);
+            prop_assert_eq!(
+                FlatForest::compile(&back, VoteReduce::ProbAverage),
+                FlatForest::compile(&trees, VoteReduce::ProbAverage)
+            );
         }
     }
 }

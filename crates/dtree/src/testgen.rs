@@ -117,6 +117,20 @@ pub fn random_tree(
     }
 }
 
+/// A random forest: `k` independent schema-consistent random trees over one
+/// schema, for forest serving-parity and persistence proptests.
+pub fn random_forest(
+    schema: &Schema,
+    rng: &mut TestRng,
+    k: usize,
+    max_depth: u32,
+    max_nodes: usize,
+) -> Vec<DecisionTree> {
+    (0..k)
+        .map(|_| random_tree(schema, rng, max_depth, max_nodes))
+        .collect()
+}
+
 /// A random dataset of `n` records under `schema`: finite continuous values
 /// in `[-120, 120)` (quantized so threshold ties occur), in-domain
 /// categorical values, in-range labels.

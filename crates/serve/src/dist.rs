@@ -16,6 +16,7 @@
 
 use dtree::data::Dataset;
 use dtree::flat::FlatTree;
+use dtree::flat_forest::{FlatForest, VoteReduce};
 use dtree::gini::CountMatrix;
 use dtree::tree::DecisionTree;
 use mpsim::{MachineCfg, RunStats};
@@ -94,6 +95,69 @@ pub fn score_distributed(tree: &DecisionTree, data: &Dataset, cfg: &MachineCfg) 
     }
 }
 
+/// Score `data` against a whole forest on `cfg.procs` ranks: rank `r`
+/// compiles a local [`FlatForest`] replica (every tree — the model is small
+/// and read-only, so the forest is replicated just like a single tree) and
+/// scores its block with the vote reduce; the per-rank confusion matrices
+/// are summed with one all-reduce, exactly as in [`score_distributed`].
+/// Communication is therefore independent of the tree count — only the
+/// per-rank replica memory grows with the forest.
+pub fn score_forest_distributed(
+    trees: &[DecisionTree],
+    reduce: VoteReduce,
+    data: &Dataset,
+    cfg: &MachineCfg,
+) -> DistScore {
+    let classes = data.schema.num_classes as usize;
+    let n = data.len();
+    let result = mpsim::run(cfg, |comm| {
+        let (rank, p) = (comm.rank(), comm.size());
+        let (lo, hi) = (n * rank / p, n * (rank + 1) / p);
+
+        comm.phase_begin("serve_compile", 0);
+        let forest = FlatForest::compile(trees, reduce);
+        comm.tracker().alloc(MEM_REPLICA, forest.heap_bytes());
+        comm.phase_end(); // serve_compile
+
+        comm.phase_begin("serve_predict", 0);
+        let mut predictions = vec![0u8; hi - lo];
+        comm.tracker()
+            .alloc(MEM_PREDICTIONS, predictions.len() as u64);
+        forest.predict_range(data, lo, hi, &mut predictions);
+
+        let mut local = vec![0u64; classes * classes];
+        for (truth, pred) in data.labels[lo..hi].iter().zip(&predictions) {
+            local[*truth as usize * classes + *pred as usize] += 1;
+        }
+        comm.tracker()
+            .free(MEM_PREDICTIONS, predictions.len() as u64);
+        drop(predictions);
+        comm.phase_end(); // serve_predict
+
+        comm.phase_begin("serve_confusion_reduce", 0);
+        let mut global = vec![0u64; classes * classes];
+        let bytes = (classes * classes * std::mem::size_of::<u64>()) as u64;
+        comm.allreduce_with(&local, bytes, |_src, other: &Vec<u64>| {
+            for (g, o) in global.iter_mut().zip(other) {
+                *g += o;
+            }
+        });
+        comm.tracker().free(MEM_REPLICA, forest.heap_bytes());
+        comm.phase_end(); // serve_confusion_reduce
+        global
+    });
+
+    let confusion = CountMatrix::from_slice(classes, classes, &result.outputs[0]);
+    debug_assert!(result.outputs.iter().all(|o| *o == result.outputs[0]));
+    let hits: u64 = (0..classes).map(|c| confusion.get(c, c)).sum();
+    let accuracy = if n == 0 { 1.0 } else { hits as f64 / n as f64 };
+    DistScore {
+        confusion,
+        accuracy,
+        stats: result.stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +197,31 @@ mod tests {
                 .mem_categories
                 .iter()
                 .any(|(cat, _)| *cat == MEM_REPLICA));
+        }
+    }
+
+    #[test]
+    fn forest_matches_serial_confusion_for_every_p() {
+        let mut rng = TestRng::new(9);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, 4, 5, 80);
+        let data = testgen::random_dataset(&schema, &mut rng, 450);
+        for reduce in [VoteReduce::Majority, VoteReduce::ProbAverage] {
+            let forest = FlatForest::compile(&trees, reduce);
+            let mut serial = vec![0u8; data.len()];
+            forest.predict_batch(&data, &mut serial);
+            let classes = data.schema.num_classes as usize;
+            let mut want = vec![0u64; classes * classes];
+            for (t, p) in data.labels.iter().zip(&serial) {
+                want[*t as usize * classes + *p as usize] += 1;
+            }
+            let want = CountMatrix::from_slice(classes, classes, &want);
+            for p in [1, 3, 8] {
+                let d = score_forest_distributed(&trees, reduce, &data, &MachineCfg::new(p));
+                assert_eq!(d.confusion, want, "{reduce:?} p={p}");
+                assert_eq!(d.accuracy, forest.accuracy(&data));
+                assert!(d.stats.total_bytes_sent() > 0 || p == 1);
+            }
         }
     }
 

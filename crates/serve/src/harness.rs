@@ -49,6 +49,48 @@ use std::time::{Duration, Instant};
 
 use dtree::data::Dataset;
 use dtree::flat::FlatTree;
+use dtree::flat_forest::FlatForest;
+
+/// What a [`Server`] scores with: one compiled tree or a whole compiled
+/// forest. Both expose the same batched range kernel, so the worker loop,
+/// queueing, and degradation machinery are model-agnostic.
+#[derive(Clone, Debug)]
+pub enum ServeModel {
+    /// A single compiled decision tree.
+    Tree(FlatTree),
+    /// A compiled forest answering with its vote reduce.
+    Forest(FlatForest),
+}
+
+impl ServeModel {
+    /// Score records `[lo, hi)` of `data` into `out` (one class per record).
+    pub fn predict_range(&self, data: &Dataset, lo: usize, hi: usize, out: &mut [u8]) {
+        match self {
+            ServeModel::Tree(t) => t.predict_range(data, lo, hi, out),
+            ServeModel::Forest(f) => f.predict_range(data, lo, hi, out),
+        }
+    }
+
+    /// Heap bytes of the replica (memory-ledger accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            ServeModel::Tree(t) => t.heap_bytes(),
+            ServeModel::Forest(f) => f.heap_bytes(),
+        }
+    }
+}
+
+impl From<FlatTree> for ServeModel {
+    fn from(tree: FlatTree) -> Self {
+        ServeModel::Tree(tree)
+    }
+}
+
+impl From<FlatForest> for ServeModel {
+    fn from(forest: FlatForest) -> Self {
+        ServeModel::Forest(forest)
+    }
+}
 
 /// Serving-harness configuration.
 #[derive(Clone, Copy, Debug)]
@@ -214,7 +256,7 @@ struct StatsInner {
 }
 
 struct Shared {
-    tree: FlatTree,
+    model: ServeModel,
     state: Mutex<State>,
     job_ready: Condvar,
     stats: Mutex<StatsInner>,
@@ -234,8 +276,19 @@ pub struct Server {
 impl Server {
     /// Start `cfg.workers` scoring threads over one compiled tree.
     pub fn start(tree: FlatTree, cfg: ServeConfig) -> Server {
+        Server::start_model(ServeModel::Tree(tree), cfg)
+    }
+
+    /// Start `cfg.workers` scoring threads over one compiled forest: every
+    /// request is answered with the forest's vote reduce.
+    pub fn start_forest(forest: FlatForest, cfg: ServeConfig) -> Server {
+        Server::start_model(ServeModel::Forest(forest), cfg)
+    }
+
+    /// Start the harness over any [`ServeModel`].
+    pub fn start_model(model: ServeModel, cfg: ServeConfig) -> Server {
         let shared = Arc::new(Shared {
-            tree,
+            model,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutting_down: false,
@@ -427,7 +480,7 @@ fn worker_loop(shared: &Shared) {
 
                 let mut predictions = vec![0u8; req.hi - req.lo];
                 shared
-                    .tree
+                    .model
                     .predict_range(&req.data, req.lo, req.hi, &mut predictions);
                 let latency = enqueued.elapsed();
                 {
@@ -587,6 +640,38 @@ mod tests {
         assert_eq!(report.rejected, 0);
         assert!(report.records_per_sec > 0.0);
         assert!(report.p99 >= report.p50);
+    }
+
+    #[test]
+    fn forest_server_matches_batch_kernel() {
+        use dtree::flat_forest::{FlatForest, VoteReduce};
+        let mut rng = TestRng::new(47);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, 5, 5, 60);
+        let data = Arc::new(testgen::random_dataset(&schema, &mut rng, 600));
+        let forest = FlatForest::compile(&trees, VoteReduce::Majority);
+        let mut expect = vec![0u8; data.len()];
+        forest.predict_batch(&data, &mut expect);
+
+        let server = Server::start_forest(forest, ServeConfig::default());
+        let rxs: Vec<_> = (0..6)
+            .map(|i| {
+                server
+                    .submit(Request {
+                        data: Arc::clone(&data),
+                        lo: i * 100,
+                        hi: (i + 1) * 100,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            let resp = rx.recv().unwrap();
+            assert_eq!(resp.status, ResponseStatus::Ok);
+            assert_eq!(&resp.predictions[..], &expect[resp.lo..resp.hi]);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.records, 600);
     }
 
     #[test]

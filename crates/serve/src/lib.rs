@@ -13,11 +13,12 @@
 //!   (reject-when-full), per-request batching, graceful shutdown that
 //!   drains in-flight work, and a latency/throughput report
 //!   ([`harness::StatsReport`]).
-//! * **Distributed scoring** ([`dist::score_distributed`]): one flat-tree
-//!   replica per `mpsim` rank scores a block partition of the records and
-//!   the per-rank confusion matrices are all-reduced, so scoring carries
-//!   the same communication cost accounting and per-rank memory accounting
-//!   as induction.
+//! * **Distributed scoring** ([`dist::score_distributed`],
+//!   [`dist::score_forest_distributed`]): one model replica per `mpsim`
+//!   rank — a flat tree or a whole [`dtree::FlatForest`] — scores a block
+//!   partition of the records and the per-rank confusion matrices are
+//!   all-reduced, so scoring carries the same communication cost accounting
+//!   and per-rank memory accounting as induction.
 //!
 //! The kernel is pinned record-for-record to the per-record oracle
 //! `DecisionTree::predict` by a workspace proptest over random trees and
@@ -26,8 +27,9 @@
 pub mod dist;
 pub mod harness;
 
-pub use dist::{score_distributed, DistScore};
+pub use dist::{score_distributed, score_forest_distributed, DistScore};
 pub use dtree::flat::FlatTree;
+pub use dtree::flat_forest::{FlatForest, VoteReduce};
 pub use harness::{
-    Request, Response, ResponseStatus, ServeConfig, Server, StatsReport, SubmitError,
+    Request, Response, ResponseStatus, ServeConfig, ServeModel, Server, StatsReport, SubmitError,
 };

@@ -1,0 +1,205 @@
+//! Forest-engine equivalence: the scheduler's determinism contract, the
+//! vote reduce's parity with a per-tree oracle, the CRC'd persistence
+//! round trip, and distributed forest scoring.
+//!
+//! The load-bearing property is **layout identity**: for fixed seeds the
+//! forest is byte-identical (via `model_io::forest_to_text`, which covers
+//! structure, exact thresholds, histograms, and schema) across serial,
+//! data-parallel, tree-parallel, and hybrid round-robin schedules at every
+//! processor count — bagged samples are regenerated per index from
+//! `(seed, tree, i)` and induction is geometry-invariant, so the machine
+//! shape can never leak into the model.
+
+use datagen::{generate, ClassFunc, GenConfig, Profile};
+use dtree::flat_forest::{FlatForest, VoteReduce};
+use dtree::testgen::{self, TestRng};
+use dtree::{model_io, Dataset};
+use mpsim::MachineCfg;
+use proptest::prelude::*;
+use scalparc::forest::{self, train_forest, ForestConfig, ForestSchedule};
+use scalparc::ParConfig;
+use serve::score_forest_distributed;
+
+fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig { cases: n }
+}
+
+fn quest(n: usize, func: ClassFunc, noise: f64, seed: u64) -> Dataset {
+    generate(&GenConfig {
+        n,
+        func,
+        noise,
+        seed,
+        profile: Profile::Paper7,
+    })
+}
+
+/// The grid the ISSUE pins: p × n_trees × seed, every schedule against the
+/// serial reference, compared as serialized bytes.
+#[test]
+fn forest_layout_identity_grid() {
+    for &seed in &[3u64, 17] {
+        for &n_trees in &[1usize, 3, 4] {
+            let data = quest(260, ClassFunc::F2, 0.05, seed);
+            let fcfg = ForestConfig {
+                n_trees,
+                bootstrap: 1.0,
+                feature_frac: 0.7,
+                seed,
+                schedule: ForestSchedule::Serial,
+            };
+            let want =
+                model_io::forest_to_text(&train_forest(&data, &fcfg, &ParConfig::new(1)).trees);
+            for &p in &[1usize, 2, 3, 5, 8] {
+                for schedule in [
+                    ForestSchedule::DataParallel,
+                    ForestSchedule::TreeParallel,
+                    ForestSchedule::Auto,
+                ] {
+                    let cfg = ForestConfig { schedule, ..fcfg };
+                    let got = train_forest(&data, &cfg, &ParConfig::new(p));
+                    assert_eq!(
+                        model_io::forest_to_text(&got.trees),
+                        want,
+                        "seed={seed} n_trees={n_trees} p={p} {schedule:?}"
+                    );
+                    // Every tree appears once, in index order, under the
+                    // full training schema.
+                    assert_eq!(got.trees.len(), n_trees);
+                    for (t, stat) in got.per_tree.iter().enumerate() {
+                        assert_eq!(stat.tree, t);
+                        assert!(stat.nodes >= 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A trained forest survives the CRC'd container round trip exactly, and a
+/// flipped bit is a load error, never a silently-parsed model.
+#[test]
+fn forest_container_roundtrip_and_corruption() {
+    let data = quest(300, ClassFunc::F3, 0.05, 9);
+    let fcfg = ForestConfig {
+        n_trees: 3,
+        feature_frac: 0.8,
+        ..ForestConfig::default()
+    };
+    let trees = train_forest(&data, &fcfg, &ParConfig::new(2)).trees;
+    let dir = std::env::temp_dir().join(format!("scalparc-forest-xtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("forest.scpf");
+    forest::save_forest(&trees, &path).unwrap();
+    let loaded = forest::load_forest(&path).unwrap();
+    assert_eq!(loaded, trees);
+    // Loaded and original forests serve identically.
+    let a = FlatForest::compile(&trees, VoteReduce::Majority);
+    let b = FlatForest::compile(&loaded, VoteReduce::Majority);
+    let mut pa = vec![0u8; data.len()];
+    let mut pb = vec![0u8; data.len()];
+    a.predict_batch(&data, &mut pa);
+    b.predict_batch(&data, &mut pb);
+    assert_eq!(pa, pb);
+
+    diskio::ckpt::damage_flip_bit(&path).unwrap();
+    assert!(
+        forest::load_forest(&path).is_err(),
+        "a corrupt container must not load"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Distributed forest scoring reproduces the serial confusion matrix at
+/// every machine size, for both vote reduces, on held-out data.
+#[test]
+fn distributed_forest_scoring_matches_serial() {
+    let train = quest(400, ClassFunc::F2, 0.08, 31);
+    let test = quest(350, ClassFunc::F2, 0.0, 77);
+    let fcfg = ForestConfig {
+        n_trees: 4,
+        ..ForestConfig::default()
+    };
+    let trees = train_forest(&train, &fcfg, &ParConfig::new(4)).trees;
+    let classes = test.schema.num_classes as usize;
+    for reduce in [VoteReduce::Majority, VoteReduce::ProbAverage] {
+        let flat = FlatForest::compile(&trees, reduce);
+        let mut preds = vec![0u8; test.len()];
+        flat.predict_batch(&test, &mut preds);
+        let mut want = vec![0u64; classes * classes];
+        for (t, p) in test.labels.iter().zip(&preds) {
+            want[*t as usize * classes + *p as usize] += 1;
+        }
+        for p in [1usize, 2, 5, 9] {
+            let d = score_forest_distributed(&trees, reduce, &test, &MachineCfg::new(p));
+            let got: Vec<u64> = (0..classes)
+                .flat_map(|r| (0..classes).map(move |c| (r, c)))
+                .map(|(r, c)| d.confusion.get(r, c))
+                .collect();
+            assert_eq!(got, want, "{reduce:?} p={p}");
+            assert_eq!(d.accuracy, flat.accuracy(&test), "{reduce:?} p={p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    /// The FlatForest majority vote equals a per-record oracle that walks
+    /// every member tree with `DecisionTree::predict` and takes the
+    /// majority (lowest class index on ties) — on arbitrary random
+    /// forests, not just induced ones.
+    #[test]
+    fn flat_forest_vote_equals_per_tree_oracle(
+        seed in 0u64..(1u64 << 48),
+        k in 1usize..7,
+        n in 1usize..300,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, k, 6, 120);
+        let data = testgen::random_dataset(&schema, &mut rng, n);
+        let flat = FlatForest::compile(&trees, VoteReduce::Majority);
+        let mut got = vec![0u8; n];
+        flat.predict_batch(&data, &mut got);
+        for rid in 0..n {
+            let mut votes = vec![0u32; schema.num_classes as usize];
+            for tree in &trees {
+                votes[tree.predict(&data, rid) as usize] += 1;
+            }
+            let oracle = votes
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(c, _)| c as u8)
+                .unwrap();
+            prop_assert_eq!(got[rid], oracle, "record {} of {} trees", rid, k);
+        }
+    }
+
+    /// Induced-forest layout identity as a property: random seed, tree
+    /// count, and machine size — tree-parallel equals serial.
+    #[test]
+    fn induced_forest_is_layout_invariant(
+        seed in 0u64..(1u64 << 32),
+        n_trees in 1usize..5,
+        p in 1usize..7,
+    ) {
+        let data = quest(180, ClassFunc::F1, 0.05, seed);
+        let fcfg = ForestConfig {
+            n_trees,
+            bootstrap: 0.9,
+            feature_frac: 0.75,
+            seed,
+            schedule: ForestSchedule::Serial,
+        };
+        let want = train_forest(&data, &fcfg, &ParConfig::new(1)).trees;
+        let got = train_forest(
+            &data,
+            &ForestConfig { schedule: ForestSchedule::TreeParallel, ..fcfg },
+            &ParConfig::new(p),
+        )
+        .trees;
+        prop_assert_eq!(got, want);
+    }
+}
