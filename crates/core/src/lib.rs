@@ -37,6 +37,7 @@ pub mod forest;
 pub mod induce;
 pub mod ooc;
 pub mod phases;
+pub mod stream;
 
 pub mod analysis;
 
@@ -45,6 +46,9 @@ pub use config::{Algorithm, InduceConfig, ParConfig};
 pub use forest::{train_forest, ForestConfig, ForestPlan, ForestResult, ForestSchedule, TreeStat};
 pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
 pub use ooc::{induce_on_comm_ooc, OocOptions};
+pub use stream::{
+    run_stream, stream_on_comm, BlockSource, StreamConfig, StreamOutcome, StreamReport, Trigger,
+};
 
 use std::path::Path;
 use std::sync::Arc;

@@ -1,0 +1,340 @@
+//! Incremental leaf-statistics accumulators: the per-rank state the
+//! streaming trainer maintains *between* re-evaluations.
+//!
+//! Every structure here is an **order-invariant additive monoid**: updates
+//! commute (fixed-edge bins, plain counters) and `merge` is elementwise
+//! addition, so
+//!
+//! * any arrival order of blocks yields the same accumulator as one batch
+//!   pass over the concatenated window (the stream≡batch oracle, verified
+//!   by a workspace proptest), and
+//! * per-rank accumulators globalize with a single `allreduce`,
+//!   independent of how records were sharded.
+//!
+//! Two layers:
+//!
+//! * [`StreamAccum`] — window-global class histogram plus one fixed-bin
+//!   sketch per attribute ([`SketchSpec`] fixes the continuous bin edges up
+//!   front; categorical attributes bin by value). This is the cheap,
+//!   model-free summary the drift trigger and observability read.
+//! * [`LeafStats`] — per-leaf class histograms under a *specific* compiled
+//!   tree (records routed with [`FlatTree::predict_leaves_range`]): the
+//!   serving model's view of arriving data. Its implied error count is the
+//!   drift score — when arriving labels disagree with leaf majorities, the
+//!   concept has moved.
+
+use dtree::data::{AttrKind, Column, Dataset, Schema};
+use dtree::flat::FlatTree;
+
+/// Fixed binning of one continuous attribute: `bins` equal-width bins over
+/// `[lo, hi]`, plus implicit clamping of outliers into the edge bins. The
+/// edges never move, so updates commute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SketchSpec {
+    /// Low edge of the binned range.
+    pub lo: f32,
+    /// High edge of the binned range (`> lo`).
+    pub hi: f32,
+    /// Number of bins (at least 1).
+    pub bins: u32,
+}
+
+impl SketchSpec {
+    /// The bin `value` falls into (outliers clamp to the edge bins).
+    pub fn bin(&self, value: f32) -> usize {
+        let span = f64::from(self.hi) - f64::from(self.lo);
+        let t = (f64::from(value) - f64::from(self.lo)) / span;
+        let b = (t * f64::from(self.bins)).floor();
+        (b.max(0.0) as usize).min(self.bins as usize - 1)
+    }
+}
+
+/// One attribute's bin counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrBins {
+    /// Count of window records per bin (fixed edges → order-invariant).
+    pub counts: Vec<u64>,
+}
+
+/// Model-free window summary: class histogram + per-attribute sketches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamAccum {
+    specs: Vec<Option<SketchSpec>>,
+    /// Records accumulated.
+    pub records: u64,
+    /// Class histogram (`num_classes` entries).
+    pub class_hist: Vec<u64>,
+    /// One bin-count vector per attribute (continuous: `spec.bins` bins;
+    /// categorical: one bin per category).
+    pub attr_bins: Vec<AttrBins>,
+}
+
+impl StreamAccum {
+    /// Empty accumulator for `schema`. `specs[a]` fixes the binning of
+    /// continuous attribute `a` (must be `Some` exactly for continuous
+    /// attributes).
+    pub fn new(schema: &Schema, specs: &[Option<SketchSpec>]) -> StreamAccum {
+        assert_eq!(
+            specs.len(),
+            schema.num_attrs(),
+            "one spec slot per attribute"
+        );
+        let attr_bins = schema
+            .attrs
+            .iter()
+            .zip(specs)
+            .map(|(attr, spec)| {
+                let bins = match (attr.kind, spec) {
+                    (AttrKind::Continuous, Some(s)) => {
+                        assert!(s.bins >= 1 && s.hi > s.lo, "degenerate sketch spec");
+                        s.bins as usize
+                    }
+                    (AttrKind::Categorical { cardinality }, None) => cardinality as usize,
+                    (AttrKind::Continuous, None) => {
+                        panic!("continuous attribute needs a sketch spec")
+                    }
+                    (AttrKind::Categorical { .. }, Some(_)) => {
+                        panic!("categorical attribute bins by value, not by spec")
+                    }
+                };
+                AttrBins {
+                    counts: vec![0; bins],
+                }
+            })
+            .collect();
+        StreamAccum {
+            specs: specs.to_vec(),
+            records: 0,
+            class_hist: vec![0; schema.num_classes as usize],
+            attr_bins,
+        }
+    }
+
+    /// Fold one arriving block in (any order, any blocking).
+    pub fn update(&mut self, data: &Dataset) {
+        self.records += data.len() as u64;
+        for &label in &data.labels {
+            self.class_hist[label as usize] += 1;
+        }
+        for (a, col) in data.columns.iter().enumerate() {
+            let bins = &mut self.attr_bins[a].counts;
+            match col {
+                Column::Continuous(values) => {
+                    let spec = self.specs[a].expect("continuous attr has a spec");
+                    for &v in values {
+                        bins[spec.bin(v)] += 1;
+                    }
+                }
+                Column::Categorical(values) => {
+                    for &v in values {
+                        bins[v as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Elementwise addition — the `allreduce` operator.
+    pub fn merge(&mut self, other: &StreamAccum) {
+        assert_eq!(self.specs, other.specs, "accumulators must share binning");
+        self.records += other.records;
+        for (x, y) in self.class_hist.iter_mut().zip(&other.class_hist) {
+            *x += *y;
+        }
+        for (mine, theirs) in self.attr_bins.iter_mut().zip(&other.attr_bins) {
+            for (x, y) in mine.counts.iter_mut().zip(&theirs.counts) {
+                *x += *y;
+            }
+        }
+    }
+
+    /// Reset all counts (a new epoch), keeping the binning.
+    pub fn reset(&mut self) {
+        self.records = 0;
+        self.class_hist.iter_mut().for_each(|c| *c = 0);
+        for b in &mut self.attr_bins {
+            b.counts.iter_mut().for_each(|c| *c = 0);
+        }
+    }
+
+    /// Serialized size in bytes (memory-ledger accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        let bins: usize = self.attr_bins.iter().map(|b| b.counts.len()).sum();
+        ((self.class_hist.len() + bins) * 8) as u64
+    }
+}
+
+/// Per-leaf class histograms of arriving records under one compiled tree:
+/// the serving model's running view of the stream, and the source of the
+/// drift score.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafStats {
+    /// `hists[leaf][class]` — arriving records routed to `leaf` with class
+    /// `class`. Indexed by flat-tree node id (internal nodes stay zero).
+    pub hists: Vec<Vec<u64>>,
+    /// Majority class of each flat-tree node (what the model answers).
+    majorities: Vec<u8>,
+    /// Records folded in.
+    pub records: u64,
+    /// Records whose label disagreed with their leaf's majority — the
+    /// model's error count on the stream since the last reset.
+    pub errors: u64,
+}
+
+impl LeafStats {
+    /// Empty statistics for `tree`.
+    pub fn new(tree: &FlatTree) -> LeafStats {
+        LeafStats {
+            hists: vec![vec![0; tree.schema().num_classes as usize]; tree.len()],
+            majorities: (0..tree.len()).map(|n| tree.node_class(n)).collect(),
+            records: 0,
+            errors: 0,
+        }
+    }
+
+    /// Route one arriving block through the tree and fold its labels in.
+    /// `scratch` is the leaf-id buffer, reused across calls.
+    pub fn update(&mut self, tree: &FlatTree, data: &Dataset, scratch: &mut Vec<u32>) {
+        scratch.clear();
+        scratch.resize(data.len(), 0);
+        tree.predict_leaves_range(data, 0, data.len(), scratch);
+        self.records += data.len() as u64;
+        for (i, &leaf) in scratch.iter().enumerate() {
+            let label = data.labels[i];
+            self.hists[leaf as usize][label as usize] += 1;
+            if self.majorities[leaf as usize] != label {
+                self.errors += 1;
+            }
+        }
+    }
+
+    /// Elementwise addition — the `allreduce` operator. Both sides must
+    /// describe the same tree.
+    pub fn merge(&mut self, other: &LeafStats) {
+        assert_eq!(
+            self.majorities, other.majorities,
+            "leaf stats must describe the same tree"
+        );
+        self.records += other.records;
+        self.errors += other.errors;
+        for (mine, theirs) in self.hists.iter_mut().zip(&other.hists) {
+            for (x, y) in mine.iter_mut().zip(theirs) {
+                *x += *y;
+            }
+        }
+    }
+
+    /// Error rate of the model on everything folded in since the last
+    /// reset (0.0 when nothing arrived).
+    pub fn error_rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.records as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{GenConfig, StreamingGen};
+
+    fn specs_for(schema: &Schema, bins: u32) -> Vec<Option<SketchSpec>> {
+        schema
+            .attrs
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Continuous => Some(SketchSpec {
+                    lo: 0.0,
+                    hi: 200_000.0,
+                    bins,
+                }),
+                AttrKind::Categorical { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_bins_clamp_and_cover() {
+        let s = SketchSpec {
+            lo: 0.0,
+            hi: 100.0,
+            bins: 4,
+        };
+        assert_eq!(s.bin(-5.0), 0);
+        assert_eq!(s.bin(0.0), 0);
+        assert_eq!(s.bin(24.9), 0);
+        assert_eq!(s.bin(25.0), 1);
+        assert_eq!(s.bin(99.9), 3);
+        assert_eq!(s.bin(100.0), 3, "high edge clamps into the last bin");
+        assert_eq!(s.bin(1e9), 3);
+        assert_eq!(s.bin(f32::NAN), 0, "NaN clamps low, never panics");
+    }
+
+    #[test]
+    fn any_block_order_equals_batch() {
+        let gen = StreamingGen::new(GenConfig::paper(600, 13));
+        let schema = gen.schema();
+        let specs = specs_for(&schema, 16);
+        let mut batch = StreamAccum::new(&schema, &specs);
+        batch.update(&gen.block(0, 600));
+
+        // Out-of-order odd blocks, folded into two rank accumulators that
+        // are then merged — the full streaming path.
+        let mut r0 = StreamAccum::new(&schema, &specs);
+        let mut r1 = StreamAccum::new(&schema, &specs);
+        r1.update(&gen.block(450, 600));
+        r0.update(&gen.block(0, 37));
+        r1.update(&gen.block(37, 201));
+        r0.update(&gen.block(201, 450));
+        r0.merge(&r1);
+        assert_eq!(r0, batch);
+        assert_eq!(r0.records, 600);
+        assert_eq!(r0.class_hist.iter().sum::<u64>(), 600);
+        for bins in &r0.attr_bins {
+            assert_eq!(bins.counts.iter().sum::<u64>(), 600);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_counts_but_keeps_binning() {
+        let gen = StreamingGen::new(GenConfig::paper(50, 15));
+        let schema = gen.schema();
+        let specs = specs_for(&schema, 8);
+        let mut acc = StreamAccum::new(&schema, &specs);
+        acc.update(&gen.block(0, 50));
+        assert!(acc.records > 0);
+        acc.reset();
+        assert_eq!(acc, StreamAccum::new(&schema, &specs));
+    }
+
+    #[test]
+    fn leaf_stats_error_count_matches_direct_scoring() {
+        use crate::{induce, ParConfig};
+        let gen = StreamingGen::new(GenConfig::paper(400, 17));
+        let train = gen.block(0, 300);
+        let tree = FlatTree::compile(&induce(&train, &ParConfig::new(2)).tree);
+        let fresh = gen.block(300, 400);
+
+        let mut stats = LeafStats::new(&tree);
+        let mut scratch = Vec::new();
+        // Split the fold across two odd blocks plus a merge.
+        let mut other = LeafStats::new(&tree);
+        stats.update(&tree, &fresh.slice(0, 33), &mut scratch);
+        other.update(&tree, &fresh.slice(33, 100), &mut scratch);
+        stats.merge(&other);
+
+        let mut preds = vec![0u8; fresh.len()];
+        tree.predict_batch(&fresh, &mut preds);
+        let direct_errors = preds
+            .iter()
+            .zip(&fresh.labels)
+            .filter(|(p, l)| p != l)
+            .count() as u64;
+        assert_eq!(stats.records, 100);
+        assert_eq!(stats.errors, direct_errors);
+        let total: u64 = stats.hists.iter().flatten().sum();
+        assert_eq!(total, 100, "every record lands in exactly one leaf");
+    }
+}

@@ -1,0 +1,257 @@
+//! Generational model store: the commit/publish path between the streaming
+//! trainer and the serve tier.
+//!
+//! Each committed generation is one self-contained CRC-checked file in the
+//! section format of [`diskio::ckpt`]:
+//!
+//! * `GEN_<g>.bin` — a META section (generation id, window bounds, the
+//!   stream position at commit) plus a MODEL section holding the tree in
+//!   the canonical [`dtree::model_io`] text form. Text, not an ad-hoc
+//!   binary: byte-identity of two committed generations is then exactly
+//!   byte-identity of the induced trees, the property the cross-`p`
+//!   determinism tests assert.
+//!
+//! The write is atomic (temp file + rename inside `ckpt::write_sections`),
+//! so a generation either exists completely or not at all — there is no
+//! manifest to order commits because a single file *is* the commit.
+//! [`latest`] walks generations newest→oldest and returns the first intact
+//! one, tolerating bit rot or torn writes in newer files the same way the
+//! checkpoint restore scan does (one generation lost, not the store).
+//! Keep-last-K retention ([`gc`]) mirrors the checkpoint GC.
+
+use std::path::{Path, PathBuf};
+
+use diskio::ckpt::{self, ByteReader, ByteWriter, CkptError};
+use dtree::model_io;
+use dtree::tree::DecisionTree;
+
+const SEC_META: u32 = 1;
+const SEC_MODEL: u32 = 2;
+
+/// Commit metadata of one generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenMeta {
+    /// Generation id (strictly increasing along one stream).
+    pub generation: u64,
+    /// First global record index of the training window.
+    pub window_lo: u64,
+    /// One past the last global record index of the training window.
+    pub window_hi: u64,
+}
+
+/// Path of generation `g`'s file.
+pub fn gen_file(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("GEN_{generation}.bin"))
+}
+
+/// Atomically commit one generation. Returns the encoded payload size
+/// (the basis of the simulated I/O charge).
+pub fn commit(dir: &Path, meta: GenMeta, tree: &DecisionTree) -> Result<u64, CkptError> {
+    std::fs::create_dir_all(dir).map_err(|e| CkptError {
+        path: dir.to_path_buf(),
+        msg: format!("create store dir: {e}"),
+    })?;
+    let mut w = ByteWriter::new();
+    w.u64(meta.generation);
+    w.u64(meta.window_lo);
+    w.u64(meta.window_hi);
+    let meta_bytes = w.into_bytes();
+    let model_bytes = model_io::to_text(tree).into_bytes();
+    let total = (meta_bytes.len() + model_bytes.len()) as u64;
+    ckpt::write_sections(
+        &gen_file(dir, meta.generation),
+        &[(SEC_META, &meta_bytes), (SEC_MODEL, &model_bytes)],
+    )?;
+    Ok(total)
+}
+
+/// Load one generation. Returns its metadata, the decoded tree, and the
+/// payload size read.
+pub fn load(dir: &Path, generation: u64) -> Result<(GenMeta, DecisionTree, u64), CkptError> {
+    let path = gen_file(dir, generation);
+    let sections = ckpt::read_sections(&path)?;
+    let bytes: u64 = sections.iter().map(|(_, p)| p.len() as u64).sum();
+    let find = |tag: u32| -> Result<&[u8], CkptError> {
+        sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| CkptError {
+                path: path.clone(),
+                msg: format!("missing section tag {tag}"),
+            })
+    };
+    let mut r = ByteReader::new(find(SEC_META)?);
+    let decode = |r: &mut ByteReader| -> Result<GenMeta, String> {
+        Ok(GenMeta {
+            generation: r.u64()?,
+            window_lo: r.u64()?,
+            window_hi: r.u64()?,
+        })
+    };
+    let meta = decode(&mut r).map_err(|msg| CkptError {
+        path: path.clone(),
+        msg,
+    })?;
+    if meta.generation != generation {
+        return Err(CkptError {
+            path,
+            msg: format!(
+                "file claims generation {}, expected {generation}",
+                meta.generation
+            ),
+        });
+    }
+    let text = std::str::from_utf8(find(SEC_MODEL)?).map_err(|e| CkptError {
+        path: path.clone(),
+        msg: format!("model section is not UTF-8: {e}"),
+    })?;
+    let tree = model_io::from_text(text).map_err(|msg| CkptError { path, msg })?;
+    Ok((meta, tree, bytes))
+}
+
+/// Generation ids present in `dir` (by file name, decoded or not), newest
+/// first.
+pub fn list_generations(dir: &Path) -> Vec<u64> {
+    let mut gens: Vec<u64> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_prefix("GEN_")?
+                    .strip_suffix(".bin")?
+                    .parse()
+                    .ok()
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    gens.dedup();
+    gens
+}
+
+/// The newest fully intact generation, walking past damaged newer files
+/// (returns the count walked past too). `None` when nothing intact exists.
+pub fn latest(dir: &Path) -> Option<(GenMeta, DecisionTree, u32)> {
+    let mut skipped = 0u32;
+    for generation in list_generations(dir) {
+        match load(dir, generation) {
+            Ok((meta, tree, _)) => return Some((meta, tree, skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    None
+}
+
+/// Keep-last-K retention after committing generation `newest`: remove
+/// every generation older than `newest + 1 - keep`. Host-side filesystem
+/// work, uncharged.
+pub fn gc(dir: &Path, newest: u64, keep: usize) {
+    let floor = (newest + 1).saturating_sub(keep.max(1) as u64);
+    for generation in list_generations(dir) {
+        if generation < floor {
+            let _ = std::fs::remove_file(gen_file(dir, generation));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{induce, ParConfig};
+    use datagen::{generate, GenConfig};
+
+    fn tree_for(seed: u64) -> DecisionTree {
+        let data = generate(&GenConfig::paper(200, seed));
+        induce(&data, &ParConfig::new(2)).tree
+    }
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scalparc-genstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn commit_load_roundtrip_is_byte_identical() {
+        let dir = store_dir("roundtrip");
+        let tree = tree_for(3);
+        let meta = GenMeta {
+            generation: 1,
+            window_lo: 100,
+            window_hi: 300,
+        };
+        let written = commit(&dir, meta, &tree).unwrap();
+        let (m, back, read) = load(&dir, 1).unwrap();
+        assert_eq!(m, meta);
+        assert_eq!(written, read);
+        assert_eq!(model_io::to_text(&back), model_io::to_text(&tree));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_walks_past_damaged_generations() {
+        let dir = store_dir("latest");
+        for g in 1..=3u64 {
+            commit(
+                &dir,
+                GenMeta {
+                    generation: g,
+                    window_lo: g * 10,
+                    window_hi: g * 10 + 100,
+                },
+                &tree_for(g),
+            )
+            .unwrap();
+        }
+        let (m, _, skipped) = latest(&dir).unwrap();
+        assert_eq!((m.generation, skipped), (3, 0));
+        // Bit-flip the newest: the scan lands on 2.
+        ckpt::damage_flip_bit(&gen_file(&dir, 3)).unwrap();
+        let (m, _, skipped) = latest(&dir).unwrap();
+        assert_eq!((m.generation, skipped), (2, 1));
+        // Tear 2 as well: the scan lands on 1.
+        ckpt::damage_truncate_tail(&gen_file(&dir, 2)).unwrap();
+        let (m, _, skipped) = latest(&dir).unwrap();
+        assert_eq!((m.generation, skipped), (1, 2));
+        // Remove 1: nothing intact remains.
+        ckpt::damage_remove(&gen_file(&dir, 1)).unwrap();
+        assert!(latest(&dir).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_last_k() {
+        let dir = store_dir("gc");
+        for g in 0..5u64 {
+            commit(
+                &dir,
+                GenMeta {
+                    generation: g,
+                    window_lo: 0,
+                    window_hi: 10,
+                },
+                &tree_for(7),
+            )
+            .unwrap();
+            gc(&dir, g, 2);
+        }
+        assert_eq!(list_generations(&dir), vec![4, 3]);
+        gc(&dir, 4, 1);
+        assert_eq!(list_generations(&dir), vec![4]);
+        // Floor underflow is safe.
+        gc(&dir, 0, 3);
+        assert_eq!(list_generations(&dir), vec![4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_empty_store() {
+        let dir = store_dir("empty");
+        assert!(list_generations(&dir).is_empty());
+        assert!(latest(&dir).is_none());
+        assert!(load(&dir, 0).is_err());
+    }
+}

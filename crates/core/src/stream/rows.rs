@@ -1,0 +1,156 @@
+//! Row-run codec for the window re-block exchange.
+//!
+//! During ingest each rank retains the *arrival shard* of every block — a
+//! scatter of contiguous global-index runs. Re-evaluation needs the window
+//! re-cut into `p` contiguous shards (the blocking induction expects), so
+//! ranks exchange rows with one `alltoallv`. This module is the wire
+//! format: a flat `u32` stream of *runs*, each
+//!
+//! ```text
+//! [global_lo: 2×u32 (u64 LE-split)] [count: u32] [count × row]
+//! row = one u32 per attribute (f32 bits for continuous, the value for
+//!       categorical) + one u32 label
+//! ```
+//!
+//! Encoding is schema-driven and bijective: decode(encode(runs)) == runs
+//! exactly (f32 through bit transmutation, never parsing), so the
+//! re-blocked window is bit-identical to the stream the generator produced
+//! — the foundation of the cross-`p` determinism guarantee.
+
+use dtree::data::{Column, Dataset, Schema};
+
+/// Append one run (`global_lo`, `data`) to the flat word stream.
+pub fn encode_run(data: &Dataset, global_lo: u64, out: &mut Vec<u32>) {
+    out.push(global_lo as u32);
+    out.push((global_lo >> 32) as u32);
+    out.push(data.len() as u32);
+    for i in 0..data.len() {
+        for col in &data.columns {
+            match col {
+                Column::Continuous(v) => out.push(v[i].to_bits()),
+                Column::Categorical(v) => out.push(v[i]),
+            }
+        }
+        out.push(u32::from(data.labels[i]));
+    }
+}
+
+/// Words one encoded run of `rows` rows occupies under `schema`.
+pub fn run_words(schema: &Schema, rows: usize) -> usize {
+    3 + rows * (schema.num_attrs() + 1)
+}
+
+/// Decode a flat word stream back into `(global_lo, data)` runs.
+///
+/// # Panics
+///
+/// On a malformed stream (truncated run, trailing words) — the exchange is
+/// in-memory and deterministic, so damage here is a logic error, not an
+/// I/O condition to recover from.
+pub fn decode_runs(schema: &Schema, words: &[u32]) -> Vec<(u64, Dataset)> {
+    let row_words = schema.num_attrs() + 1;
+    let mut runs = Vec::new();
+    let mut at = 0usize;
+    while at < words.len() {
+        assert!(at + 3 <= words.len(), "truncated run header");
+        let global_lo = u64::from(words[at]) | (u64::from(words[at + 1]) << 32);
+        let count = words[at + 2] as usize;
+        at += 3;
+        assert!(at + count * row_words <= words.len(), "truncated run body");
+        let mut columns: Vec<Column> = schema
+            .attrs
+            .iter()
+            .map(|a| match a.kind {
+                dtree::data::AttrKind::Continuous => Column::Continuous(Vec::with_capacity(count)),
+                dtree::data::AttrKind::Categorical { .. } => {
+                    Column::Categorical(Vec::with_capacity(count))
+                }
+            })
+            .collect();
+        let mut labels = Vec::with_capacity(count);
+        for _ in 0..count {
+            for col in columns.iter_mut() {
+                match col {
+                    Column::Continuous(v) => v.push(f32::from_bits(words[at])),
+                    Column::Categorical(v) => v.push(words[at]),
+                }
+                at += 1;
+            }
+            labels.push(words[at] as u8);
+            at += 1;
+        }
+        runs.push((global_lo, Dataset::new(schema.clone(), columns, labels)));
+    }
+    runs
+}
+
+/// Concatenate datasets (all of `schema`) in the given order.
+pub fn concat(schema: &Schema, parts: &[&Dataset]) -> Dataset {
+    let total: usize = parts.iter().map(|d| d.len()).sum();
+    let mut columns: Vec<Column> = schema
+        .attrs
+        .iter()
+        .map(|a| match a.kind {
+            dtree::data::AttrKind::Continuous => Column::Continuous(Vec::with_capacity(total)),
+            dtree::data::AttrKind::Categorical { .. } => {
+                Column::Categorical(Vec::with_capacity(total))
+            }
+        })
+        .collect();
+    let mut labels = Vec::with_capacity(total);
+    for part in parts {
+        for (dst, src) in columns.iter_mut().zip(&part.columns) {
+            match (dst, src) {
+                (Column::Continuous(d), Column::Continuous(s)) => d.extend_from_slice(s),
+                (Column::Categorical(d), Column::Categorical(s)) => d.extend_from_slice(s),
+                _ => panic!("column kind mismatch in concat"),
+            }
+        }
+        labels.extend_from_slice(&part.labels);
+    }
+    Dataset::new(schema.clone(), columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{GenConfig, StreamingGen};
+
+    #[test]
+    fn encode_decode_roundtrips_bit_exactly() {
+        let gen = StreamingGen::new(GenConfig::paper(120, 7));
+        let schema = gen.schema();
+        let a = gen.block(0, 50);
+        let b = gen.block(80, 120);
+        let mut words = Vec::new();
+        encode_run(&a, 0, &mut words);
+        encode_run(&b, 80, &mut words);
+        assert_eq!(words.len(), run_words(&schema, 50) + run_words(&schema, 40));
+        let runs = decode_runs(&schema, &words);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], (0, a));
+        assert_eq!(runs[1], (80, b));
+    }
+
+    #[test]
+    fn empty_runs_and_streams_are_fine() {
+        let gen = StreamingGen::new(GenConfig::paper(10, 9));
+        let schema = gen.schema();
+        assert!(decode_runs(&schema, &[]).is_empty());
+        let mut words = Vec::new();
+        encode_run(&gen.block(5, 5), 5, &mut words);
+        let runs = decode_runs(&schema, &words);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, 5);
+        assert_eq!(runs[0].1.len(), 0);
+    }
+
+    #[test]
+    fn concat_matches_generator_block() {
+        let gen = StreamingGen::new(GenConfig::paper(90, 11));
+        let schema = gen.schema();
+        let parts = [gen.block(0, 30), gen.block(30, 31), gen.block(31, 90)];
+        let refs: Vec<&Dataset> = parts.iter().collect();
+        assert_eq!(concat(&schema, &refs), gen.block(0, 90));
+    }
+}

@@ -1,0 +1,314 @@
+//! Time-varying concept drift over the per-index Quest stream.
+//!
+//! A [`DriftGen`] is the unbounded-stream counterpart of
+//! [`crate::StreamingGen`]: record `i`'s *attributes* are drawn from exactly
+//! the same per-index RNG stream (so a drifting stream differs from the
+//! stable one in labels only), but the *labelling concept* is a function of
+//! the record index — stream time. Three canonical drift shapes from the
+//! stream-learning literature are provided:
+//!
+//! * **Abrupt flip** — the concept switches instantaneously at a boundary;
+//! * **Gradual rotation** — over a transition window, each record is
+//!   labelled by the new concept with probability ramping 0 → 1 (the
+//!   per-record choice is its own deterministic per-index draw, so blocks
+//!   remain boundary-invariant);
+//! * **Recurring** — the concept alternates between two functions with a
+//!   fixed period (seasonality).
+//!
+//! Like `StreamingGen`, generation is per-index: any block `[lo, hi)` can
+//! be produced independently, in any order, and concatenating blocks
+//! reproduces the stream exactly regardless of the boundaries — the
+//! property the streaming-induction pipeline relies on to shard arriving
+//! blocks across ranks and later re-cut the training window.
+
+use dtree::{Dataset, Schema};
+
+use crate::quest::{ClassFunc, QuestRecord};
+use crate::{collect_block, mix, noise_flip, sample_indexed, GenConfig};
+
+/// Salt of the gradual-transition per-record concept draw (its own stream,
+/// so the ramp never disturbs attribute or noise draws).
+const GRADUAL_SALT: u64 = 0x64AD_0A1D_6BAD_0A17;
+
+/// How the labelling concept changes over the stream (record index = time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftKind {
+    /// No drift: the base concept labels every record. A `Stable` drift
+    /// stream is bit-identical to [`crate::StreamingGen`] on the same
+    /// config.
+    Stable,
+    /// Abrupt flip: records `< at` are labelled by the base concept,
+    /// records `>= at` by `to`.
+    Abrupt {
+        /// First record index labelled by the new concept.
+        at: usize,
+        /// The new concept.
+        to: ClassFunc,
+    },
+    /// Gradual rotation: before `start` the base concept; from `end` on,
+    /// `to`; in between record `i` is labelled by `to` with probability
+    /// `(i − start) / (end − start)` (an independent per-index draw).
+    Gradual {
+        /// First index of the transition window.
+        start: usize,
+        /// One past the last index of the transition window (`> start`).
+        end: usize,
+        /// The new concept.
+        to: ClassFunc,
+    },
+    /// Recurring concept: the stream alternates base / `alt` every
+    /// `period` records, starting with the base.
+    Recurring {
+        /// Length of each concept episode (positive).
+        period: usize,
+        /// The alternate concept.
+        alt: ClassFunc,
+    },
+}
+
+/// Index-addressable Quest generator with a drifting labelling concept.
+/// `cfg.func` is the *base* concept; `kind` describes how it moves.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftGen {
+    cfg: GenConfig,
+    kind: DriftKind,
+}
+
+impl DriftGen {
+    /// A drifting stream over the virtual dataset described by `cfg`.
+    pub fn new(cfg: GenConfig, kind: DriftKind) -> Self {
+        if let DriftKind::Gradual { start, end, .. } = kind {
+            assert!(end > start, "gradual window must be non-empty");
+        }
+        if let DriftKind::Recurring { period, .. } = kind {
+            assert!(period > 0, "recurring period must be positive");
+        }
+        DriftGen { cfg, kind }
+    }
+
+    /// Total number of records in the virtual stream.
+    pub fn len(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// True when the virtual stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.n == 0
+    }
+
+    /// The schema of every produced block.
+    pub fn schema(&self) -> Schema {
+        self.cfg.profile.schema()
+    }
+
+    /// The drift shape of this stream.
+    pub fn kind(&self) -> DriftKind {
+        self.kind
+    }
+
+    /// The concept labelling record `i`. For [`DriftKind::Gradual`] this
+    /// resolves the per-record transition draw, so it is the exact concept
+    /// `record(i)` used (before label noise).
+    pub fn concept_at(&self, i: usize) -> ClassFunc {
+        let base = self.cfg.func;
+        match self.kind {
+            DriftKind::Stable => base,
+            DriftKind::Abrupt { at, to } => {
+                if i < at {
+                    base
+                } else {
+                    to
+                }
+            }
+            DriftKind::Gradual { start, end, to } => {
+                if i < start {
+                    base
+                } else if i >= end {
+                    to
+                } else {
+                    // 53-bit uniform in [0, 1) from the per-index draw.
+                    let z = mix(self.cfg.seed ^ GRADUAL_SALT, i as u64);
+                    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                    let frac = (i - start) as f64 / (end - start) as f64;
+                    if u < frac {
+                        to
+                    } else {
+                        base
+                    }
+                }
+            }
+            DriftKind::Recurring { period, alt } => {
+                if (i / period).is_multiple_of(2) {
+                    base
+                } else {
+                    alt
+                }
+            }
+        }
+    }
+
+    /// Sample record `i` and its (possibly noise-flipped) label under the
+    /// concept active at index `i`.
+    pub fn record(&self, i: usize) -> (QuestRecord, u8) {
+        debug_assert!(i < self.cfg.n, "index {i} out of {}", self.cfg.n);
+        let r = sample_indexed(self.cfg.seed, i);
+        let mut class = u8::from(!self.concept_at(i).classify(&r));
+        if noise_flip(&self.cfg, i) {
+            class ^= 1;
+        }
+        (r, class)
+    }
+
+    /// Materialize records `[lo, hi)` as a dataset (clamped to the end).
+    pub fn block(&self, lo: usize, hi: usize) -> Dataset {
+        let lo = lo.min(self.cfg.n);
+        let hi = hi.min(self.cfg.n).max(lo);
+        collect_block(self.cfg.profile, hi - lo, (lo..hi).map(|i| self.record(i)))
+    }
+
+    /// Iterate the stream as consecutive blocks of up to `chunk` records.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = Dataset> + '_ {
+        assert!(chunk > 0, "chunk must be positive");
+        let n = self.cfg.n;
+        (0..n.div_ceil(chunk)).map(move |b| self.block(b * chunk, (b + 1) * chunk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamingGen;
+
+    fn cfg(n: usize, seed: u64) -> GenConfig {
+        GenConfig::paper(n, seed)
+    }
+
+    #[test]
+    fn stable_drift_is_bit_identical_to_streaming_gen() {
+        let c = cfg(500, 31);
+        let stable = DriftGen::new(c, DriftKind::Stable).block(0, 500);
+        let plain = StreamingGen::new(c).block(0, 500);
+        assert_eq!(stable, plain);
+    }
+
+    #[test]
+    fn drift_moves_labels_only() {
+        let c = cfg(800, 33);
+        let plain = StreamingGen::new(c).block(0, 800);
+        for kind in [
+            DriftKind::Abrupt {
+                at: 400,
+                to: ClassFunc::F6,
+            },
+            DriftKind::Gradual {
+                start: 200,
+                end: 600,
+                to: ClassFunc::F6,
+            },
+            DriftKind::Recurring {
+                period: 100,
+                alt: ClassFunc::F6,
+            },
+        ] {
+            let d = DriftGen::new(c, kind).block(0, 800);
+            assert_eq!(d.columns, plain.columns, "{kind:?} shifted attributes");
+        }
+    }
+
+    #[test]
+    fn abrupt_flip_switches_exactly_at_the_boundary() {
+        let c = cfg(600, 35);
+        let gen = DriftGen::new(
+            c,
+            DriftKind::Abrupt {
+                at: 300,
+                to: ClassFunc::F6,
+            },
+        );
+        for i in (0..600).step_by(7) {
+            let (r, class) = gen.record(i);
+            let want = if i < 300 {
+                ClassFunc::F2
+            } else {
+                ClassFunc::F6
+            };
+            assert_eq!(class, u8::from(!want.classify(&r)), "record {i}");
+            assert_eq!(gen.concept_at(i), want);
+        }
+    }
+
+    #[test]
+    fn gradual_rotation_ramps_monotonically() {
+        let c = cfg(9_000, 37);
+        let gen = DriftGen::new(
+            c,
+            DriftKind::Gradual {
+                start: 3_000,
+                end: 6_000,
+                to: ClassFunc::F6,
+            },
+        );
+        let frac_new = |lo: usize, hi: usize| {
+            (lo..hi)
+                .filter(|&i| gen.concept_at(i) == ClassFunc::F6)
+                .count() as f64
+                / (hi - lo) as f64
+        };
+        assert_eq!(frac_new(0, 3_000), 0.0, "before the window: base only");
+        assert_eq!(frac_new(6_000, 9_000), 1.0, "after the window: new only");
+        let early = frac_new(3_000, 4_000);
+        let late = frac_new(5_000, 6_000);
+        assert!(early < 0.35, "early window should be mostly base: {early}");
+        assert!(late > 0.65, "late window should be mostly new: {late}");
+    }
+
+    #[test]
+    fn recurring_concept_alternates_with_period() {
+        let gen = DriftGen::new(
+            cfg(1_000, 39),
+            DriftKind::Recurring {
+                period: 250,
+                alt: ClassFunc::F6,
+            },
+        );
+        assert_eq!(gen.concept_at(0), ClassFunc::F2);
+        assert_eq!(gen.concept_at(249), ClassFunc::F2);
+        assert_eq!(gen.concept_at(250), ClassFunc::F6);
+        assert_eq!(gen.concept_at(499), ClassFunc::F6);
+        assert_eq!(gen.concept_at(500), ClassFunc::F2);
+        assert_eq!(gen.concept_at(750), ClassFunc::F6);
+    }
+
+    #[test]
+    fn drift_blocks_are_boundary_invariant() {
+        let c = cfg(700, 41);
+        let gen = DriftGen::new(
+            c,
+            DriftKind::Gradual {
+                start: 100,
+                end: 500,
+                to: ClassFunc::F6,
+            },
+        );
+        let whole = gen.block(0, 700);
+        // Odd, interleaved, out-of-order requests agree with the whole.
+        for (lo, hi) in [(0, 1), (13, 140), (139, 500), (500, 700), (699, 700)] {
+            let got = gen.block(lo, hi);
+            let want = whole.slice(lo, hi);
+            assert_eq!(got, want, "block [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_seed_sensitive() {
+        let kind = DriftKind::Abrupt {
+            at: 50,
+            to: ClassFunc::F6,
+        };
+        let a = DriftGen::new(cfg(200, 1), kind).block(0, 200);
+        let b = DriftGen::new(cfg(200, 1), kind).block(0, 200);
+        let c = DriftGen::new(cfg(200, 2), kind).block(0, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -16,6 +16,7 @@
 //!   internally so `hvalue`'s distribution is unchanged).
 
 pub mod csv;
+pub mod drift;
 pub mod quest;
 
 use dtree::{AttrDef, Column, Dataset, Schema};
@@ -23,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub use csv::CsvError;
+pub use drift::{DriftGen, DriftKind};
 pub use quest::{ClassFunc, QuestRecord};
 
 /// Which attributes the generated dataset exposes.
@@ -105,11 +107,78 @@ pub struct StreamingGen {
 
 /// SplitMix64 finalizer: decorrelates consecutive indices into
 /// independent-looking per-record seeds.
-fn mix(seed: u64, i: u64) -> u64 {
+pub(crate) fn mix(seed: u64, i: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Salt of the per-record label-noise stream, shared by every generator
+/// family so noisy variants differ from clean ones in labels only.
+pub(crate) const NOISE_SALT: u64 = 0xA5A5_5A5A_DEAD_BEEF;
+
+/// Sample the attribute draw of record `i` of the per-index stream family
+/// (shared by [`StreamingGen`] and [`drift::DriftGen`], so a drifting
+/// stream differs from the stable one in labels only, never attributes).
+pub(crate) fn sample_indexed(seed: u64, i: usize) -> QuestRecord {
+    let mut rng = StdRng::seed_from_u64(mix(seed, i as u64));
+    QuestRecord::sample(&mut rng)
+}
+
+/// Whether record `i`'s label is noise-flipped (per-index stream family).
+pub(crate) fn noise_flip(cfg: &GenConfig, i: usize) -> bool {
+    if cfg.noise > 0.0 {
+        let mut noise_rng = StdRng::seed_from_u64(mix(cfg.seed ^ NOISE_SALT, i as u64));
+        noise_rng.gen_bool(cfg.noise)
+    } else {
+        false
+    }
+}
+
+/// Materialize an iterator of sampled records into a column-oriented
+/// dataset under `profile`'s schema.
+pub(crate) fn collect_block(
+    profile: Profile,
+    cap: usize,
+    rows: impl Iterator<Item = (QuestRecord, u8)>,
+) -> Dataset {
+    let mut salary = Vec::with_capacity(cap);
+    let mut commission = Vec::with_capacity(cap);
+    let mut age = Vec::with_capacity(cap);
+    let mut elevel = Vec::with_capacity(cap);
+    let mut car = Vec::with_capacity(cap);
+    let mut zipcode = Vec::with_capacity(cap);
+    let mut hvalue = Vec::with_capacity(cap);
+    let mut hyears = Vec::with_capacity(cap);
+    let mut loan = Vec::with_capacity(cap);
+    let mut labels = Vec::with_capacity(cap);
+    for (r, class) in rows {
+        salary.push(r.salary);
+        commission.push(r.commission);
+        age.push(r.age);
+        elevel.push(r.elevel);
+        car.push(r.car);
+        zipcode.push(r.zipcode);
+        hvalue.push(r.hvalue);
+        hyears.push(r.hyears);
+        loan.push(r.loan);
+        labels.push(class);
+    }
+    let mut columns = vec![
+        Column::Continuous(salary),
+        Column::Continuous(commission),
+        Column::Continuous(age),
+        Column::Categorical(elevel),
+    ];
+    if profile == Profile::Full9 {
+        columns.push(Column::Categorical(car));
+        columns.push(Column::Categorical(zipcode));
+    }
+    columns.push(Column::Continuous(hvalue));
+    columns.push(Column::Continuous(hyears));
+    columns.push(Column::Continuous(loan));
+    Dataset::new(profile.schema(), columns, labels)
 }
 
 impl StreamingGen {
@@ -136,17 +205,12 @@ impl StreamingGen {
     /// Sample record `i` and its (possibly noise-flipped) label.
     pub fn record(&self, i: usize) -> (QuestRecord, u8) {
         debug_assert!(i < self.cfg.n, "index {i} out of {}", self.cfg.n);
-        let mut rng = StdRng::seed_from_u64(mix(self.cfg.seed, i as u64));
-        let r = QuestRecord::sample(&mut rng);
+        let r = sample_indexed(self.cfg.seed, i);
         let mut class = u8::from(!self.cfg.func.classify(&r));
-        if self.cfg.noise > 0.0 {
-            // Separate per-record stream: noise flips labels only and never
-            // shifts the attribute draws (mirrors `generate`).
-            let mut noise_rng =
-                StdRng::seed_from_u64(mix(self.cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF, i as u64));
-            if noise_rng.gen_bool(self.cfg.noise) {
-                class ^= 1;
-            }
+        // Separate per-record stream: noise flips labels only and never
+        // shifts the attribute draws (mirrors `generate`).
+        if noise_flip(&self.cfg, i) {
+            class ^= 1;
         }
         (r, class)
     }
@@ -155,44 +219,7 @@ impl StreamingGen {
     pub fn block(&self, lo: usize, hi: usize) -> Dataset {
         let lo = lo.min(self.cfg.n);
         let hi = hi.min(self.cfg.n).max(lo);
-        let m = hi - lo;
-        let mut salary = Vec::with_capacity(m);
-        let mut commission = Vec::with_capacity(m);
-        let mut age = Vec::with_capacity(m);
-        let mut elevel = Vec::with_capacity(m);
-        let mut car = Vec::with_capacity(m);
-        let mut zipcode = Vec::with_capacity(m);
-        let mut hvalue = Vec::with_capacity(m);
-        let mut hyears = Vec::with_capacity(m);
-        let mut loan = Vec::with_capacity(m);
-        let mut labels = Vec::with_capacity(m);
-        for i in lo..hi {
-            let (r, class) = self.record(i);
-            salary.push(r.salary);
-            commission.push(r.commission);
-            age.push(r.age);
-            elevel.push(r.elevel);
-            car.push(r.car);
-            zipcode.push(r.zipcode);
-            hvalue.push(r.hvalue);
-            hyears.push(r.hyears);
-            loan.push(r.loan);
-            labels.push(class);
-        }
-        let mut columns = vec![
-            Column::Continuous(salary),
-            Column::Continuous(commission),
-            Column::Continuous(age),
-            Column::Categorical(elevel),
-        ];
-        if self.cfg.profile == Profile::Full9 {
-            columns.push(Column::Categorical(car));
-            columns.push(Column::Categorical(zipcode));
-        }
-        columns.push(Column::Continuous(hvalue));
-        columns.push(Column::Continuous(hyears));
-        columns.push(Column::Continuous(loan));
-        Dataset::new(self.cfg.profile.schema(), columns, labels)
+        collect_block(self.cfg.profile, hi - lo, (lo..hi).map(|i| self.record(i)))
     }
 
     /// Iterate the virtual dataset as consecutive blocks of up to `chunk`
@@ -373,6 +400,35 @@ mod tests {
             gen.block(700, 1000),
         ]);
         assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn streaming_odd_interleaved_blocks_are_boundary_invariant() {
+        // Regression: block materialization must be a pure function of the
+        // requested range — odd sizes, interleaved and out-of-order
+        // requests, and re-requests of overlapping ranges all agree with
+        // the whole stream. (Earlier coverage only exercised even/pow2
+        // splits in increasing order.)
+        let gen = StreamingGen::new(GenConfig::paper(977, 23));
+        let whole = gen.block(0, 977);
+        // Odd-sized cover requested out of order, then reassembled in
+        // stream order.
+        let bounds = [(613usize, 977usize), (0, 1), (1, 8), (131, 613), (8, 131)];
+        let mut parts: Vec<(usize, Dataset)> = bounds
+            .iter()
+            .map(|&(lo, hi)| (lo, gen.block(lo, hi)))
+            .collect();
+        parts.sort_by_key(|(lo, _)| *lo);
+        let reassembled = concat(parts.into_iter().map(|(_, d)| d).collect());
+        assert_eq!(reassembled, whole);
+        // Overlapping re-requests match the corresponding slice of the
+        // whole, independent of any earlier request.
+        for (lo, hi) in [(0, 977), (976, 977), (100, 101), (5, 900), (131, 614)] {
+            assert_eq!(gen.block(lo, hi), whole.slice(lo, hi), "block [{lo}, {hi})");
+        }
+        // Past-the-end requests clamp instead of panicking.
+        assert_eq!(gen.block(970, 2000), whole.slice(970, 977));
+        assert_eq!(gen.block(2000, 3000).len(), 0);
     }
 
     #[test]

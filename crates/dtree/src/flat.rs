@@ -177,6 +177,14 @@ impl FlatTree {
         self.kind.is_empty()
     }
 
+    /// Majority class of node `i` — the prediction answered at `i` when it
+    /// is a leaf. Consumers carrying per-node side data (e.g. streaming
+    /// leaf statistics) read it to compare arriving labels against what
+    /// the model would answer.
+    pub fn node_class(&self, i: usize) -> u8 {
+        self.leaf_class[i]
+    }
+
     /// Heap bytes of the node arrays and mask table (for memory
     /// accounting of per-rank replicas in distributed scoring).
     pub fn heap_bytes(&self) -> u64 {

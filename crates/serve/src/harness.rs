@@ -51,6 +51,8 @@ use dtree::data::Dataset;
 use dtree::flat::FlatTree;
 use dtree::flat_forest::FlatForest;
 
+use crate::slot::{ModelGeneration, ModelSlot};
+
 /// What a [`Server`] scores with: one compiled tree or a whole compiled
 /// forest. Both expose the same batched range kernel, so the worker loop,
 /// queueing, and degradation machinery are model-agnostic.
@@ -168,6 +170,10 @@ pub struct Response {
     pub predictions: Vec<u8>,
     /// Enqueue-to-completion latency of this request.
     pub latency: Duration,
+    /// Model generation that answered (for `Ok`, the generation whose
+    /// model scored every record of the batch; for `TimedOut`/`Failed`,
+    /// the generation current when the request was dispatched).
+    pub generation: u64,
 }
 
 /// Why a submission was not accepted.
@@ -253,10 +259,30 @@ struct StatsInner {
     failed: u64,
     first_enqueue: Option<Instant>,
     last_completion: Option<Instant>,
+    /// Completed-request windows in completion order, one entry per
+    /// maximal run of consecutive completions served by the same model
+    /// generation.
+    gen_windows: Vec<GenerationWindow>,
+}
+
+impl StatsInner {
+    fn note_served(&mut self, generation: u64, records: u64) {
+        match self.gen_windows.last_mut() {
+            Some(w) if w.generation == generation => {
+                w.requests += 1;
+                w.records += records;
+            }
+            _ => self.gen_windows.push(GenerationWindow {
+                generation,
+                requests: 1,
+                records,
+            }),
+        }
+    }
 }
 
 struct Shared {
-    model: ServeModel,
+    slot: Arc<ModelSlot>,
     state: Mutex<State>,
     job_ready: Condvar,
     stats: Mutex<StatsInner>,
@@ -285,10 +311,19 @@ impl Server {
         Server::start_model(ServeModel::Forest(forest), cfg)
     }
 
-    /// Start the harness over any [`ServeModel`].
+    /// Start the harness over any [`ServeModel`], served as generation 0
+    /// of a fresh slot.
     pub fn start_model(model: ServeModel, cfg: ServeConfig) -> Server {
+        Server::start_slot(ModelSlot::new(0, model), cfg)
+    }
+
+    /// Start the harness over an existing [`ModelSlot`] — the hot-swap
+    /// entry point. The caller (typically a streaming trainer) keeps its
+    /// own `Arc` and publishes new generations through it while the
+    /// server runs.
+    pub fn start_slot(slot: Arc<ModelSlot>, cfg: ServeConfig) -> Server {
         let shared = Arc::new(Shared {
-            model,
+            slot,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutting_down: false,
@@ -325,6 +360,17 @@ impl Server {
         };
         self.enqueue(job)?;
         Ok(rx)
+    }
+
+    /// The slot this server scores through; publish new generations here.
+    pub fn slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.shared.slot)
+    }
+
+    /// Hot-swap the served model (see [`ModelSlot::publish`]): in-flight
+    /// batches finish on the old generation, later pickups see the new.
+    pub fn publish(&self, generation: u64, model: ServeModel) {
+        self.shared.slot.publish(generation, model);
     }
 
     /// Make the next `n` scoring attempts fail transiently (chaos/test
@@ -427,6 +473,12 @@ fn worker_loop(shared: &Shared) {
                 enqueued,
                 reply,
             } => {
+                // Pin the model generation for this whole request: the
+                // batch is scored entirely by `pinned.model` even if a new
+                // generation is published mid-batch, and the generation id
+                // in the response names exactly the model that answered.
+                let pinned: Arc<ModelGeneration> = shared.slot.current();
+
                 // A request that already blew its deadline in the queue is
                 // answered without scoring: under overload, stale work is
                 // dropped rather than allowed to delay fresh work.
@@ -439,6 +491,7 @@ fn worker_loop(shared: &Shared) {
                             status: ResponseStatus::TimedOut,
                             predictions: Vec::new(),
                             latency: enqueued.elapsed(),
+                            generation: pinned.generation,
                         });
                         continue;
                     }
@@ -474,12 +527,13 @@ fn worker_loop(shared: &Shared) {
                         status: ResponseStatus::Failed,
                         predictions: Vec::new(),
                         latency: enqueued.elapsed(),
+                        generation: pinned.generation,
                     });
                     continue;
                 }
 
                 let mut predictions = vec![0u8; req.hi - req.lo];
-                shared
+                pinned
                     .model
                     .predict_range(&req.data, req.lo, req.hi, &mut predictions);
                 let latency = enqueued.elapsed();
@@ -488,6 +542,7 @@ fn worker_loop(shared: &Shared) {
                     stats.latencies_ns.push(latency.as_nanos() as u64);
                     stats.records += (req.hi - req.lo) as u64;
                     stats.last_completion = Some(Instant::now());
+                    stats.note_served(pinned.generation, (req.hi - req.lo) as u64);
                 }
                 // A client that dropped its receiver just loses the answer.
                 let _ = reply.send(Response {
@@ -496,6 +551,7 @@ fn worker_loop(shared: &Shared) {
                     status: ResponseStatus::Ok,
                     predictions,
                     latency,
+                    generation: pinned.generation,
                 });
             }
             #[cfg(test)]
@@ -513,6 +569,21 @@ fn take_injected_failure(shared: &Shared) -> bool {
         .fail_budget
         .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
         .is_ok()
+}
+
+/// One maximal run of consecutive completed requests all served by the
+/// same model generation. The sequence of windows is the observable trace
+/// of hot-swaps: a well-behaved run shows monotonically increasing
+/// generation ids, and the sum of window `requests`/`records` equals the
+/// report totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenerationWindow {
+    /// Generation id that served the window.
+    pub generation: u64,
+    /// Completed requests in the window.
+    pub requests: u64,
+    /// Records scored in the window.
+    pub records: u64,
 }
 
 /// Latency/throughput summary of a serving run.
@@ -540,6 +611,10 @@ pub struct StatsReport {
     pub elapsed: Duration,
     /// Records per second over `elapsed`.
     pub records_per_sec: f64,
+    /// Completed requests grouped into per-generation windows, in
+    /// completion order — which model generation served each stretch of
+    /// traffic (empty when nothing completed).
+    pub generations: Vec<GenerationWindow>,
 }
 
 impl StatsReport {
@@ -574,7 +649,17 @@ impl StatsReport {
             p99: pct(0.99),
             elapsed,
             records_per_sec,
+            generations: inner.gen_windows.clone(),
         }
+    }
+
+    /// Distinct model generations that served at least one completed
+    /// request.
+    pub fn generations_served(&self) -> u64 {
+        let mut gens: Vec<u64> = self.generations.iter().map(|w| w.generation).collect();
+        gens.sort_unstable();
+        gens.dedup();
+        gens.len() as u64
     }
 }
 
@@ -593,7 +678,11 @@ impl fmt::Display for StatsReport {
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
             self.records_per_sec,
-        )
+        )?;
+        if !self.generations.is_empty() {
+            write!(f, " | {} model generation(s)", self.generations_served())?;
+        }
+        Ok(())
     }
 }
 
@@ -928,6 +1017,125 @@ mod tests {
         assert_eq!(report.shed, 2);
         assert_eq!(report.rejected, 0, "degraded sheds are counted separately");
         assert_eq!(report.requests, 3);
+    }
+
+    #[test]
+    fn hot_swap_pins_inflight_batch_to_old_generation() {
+        let (old, data) = compiled_fixture(51, 128);
+        let (new, _) = compiled_fixture(53, 1);
+        let mut expect_old = vec![0u8; data.len()];
+        old.predict_batch(&data, &mut expect_old);
+        let mut expect_new = vec![0u8; data.len()];
+        new.predict_batch(&data, &mut expect_new);
+
+        let server = Server::start(
+            old,
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // Park the worker with a request already picked up... not possible
+        // with Block (it pins no generation), so instead: park the worker,
+        // queue a request, publish, then release — the queued request must
+        // be served entirely by the *new* generation (it pins at pickup),
+        // while a request completed before the swap reports the old one.
+        let first = server
+            .score_blocking(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        assert_eq!(first.generation, 0);
+        assert_eq!(&first.predictions[..], &expect_old[..64]);
+
+        let entered = Gate::new();
+        let release = Gate::new();
+        server
+            .enqueue(Job::Block {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            })
+            .unwrap();
+        entered.wait();
+        let rx = server
+            .submit(Request {
+                data: Arc::clone(&data),
+                lo: 64,
+                hi: 128,
+            })
+            .unwrap();
+        server.publish(1, ServeModel::Tree(new));
+        release.open();
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        assert_eq!(resp.generation, 1, "picked up after the swap");
+        assert_eq!(&resp.predictions[..], &expect_new[64..128]);
+
+        let report = server.shutdown();
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.generations_served(), 2);
+        assert_eq!(
+            report.generations,
+            vec![
+                GenerationWindow {
+                    generation: 0,
+                    requests: 1,
+                    records: 64,
+                },
+                GenerationWindow {
+                    generation: 1,
+                    requests: 1,
+                    records: 64,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn swap_under_load_drops_no_requests_and_windows_account_all() {
+        let (old, data) = compiled_fixture(57, 1024);
+        let server = Server::start(
+            old,
+            ServeConfig {
+                workers: 4,
+                queue_depth: 1024,
+                ..ServeConfig::default()
+            },
+        );
+        let mut rxs = Vec::new();
+        for round in 0..8 {
+            for i in 0..16 {
+                rxs.push(
+                    server
+                        .submit(Request {
+                            data: Arc::clone(&data),
+                            lo: i * 64,
+                            hi: (i + 1) * 64,
+                        })
+                        .unwrap(),
+                );
+            }
+            let (next, _) = compiled_fixture(100 + round, 1);
+            server.publish(round + 1, ServeModel::Tree(next));
+        }
+        let mut last_gen = 0;
+        for rx in rxs {
+            let resp = rx.recv().unwrap();
+            assert_eq!(resp.status, ResponseStatus::Ok, "no request dropped");
+            assert!(resp.generation <= 8);
+            last_gen = last_gen.max(resp.generation);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests, 128, "every accepted request completed");
+        assert_eq!(report.records, 128 * 64);
+        // The windows partition the completions exactly.
+        let win_requests: u64 = report.generations.iter().map(|w| w.requests).sum();
+        let win_records: u64 = report.generations.iter().map(|w| w.records).sum();
+        assert_eq!(win_requests, report.requests);
+        assert_eq!(win_records, report.records);
+        assert!(report.generations_served() >= 1);
     }
 
     #[test]

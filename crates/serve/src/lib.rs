@@ -13,6 +13,12 @@
 //!   (reject-when-full), per-request batching, graceful shutdown that
 //!   drains in-flight work, and a latency/throughput report
 //!   ([`harness::StatsReport`]).
+//! * **Generational hot-swap** ([`slot::ModelSlot`]): the server scores
+//!   through a slot that a trainer can atomically repoint at a new model
+//!   generation under load — in-flight batches finish on the generation
+//!   they pinned, no request is dropped, and every [`harness::Response`]
+//!   names the generation that answered it (aggregated per window in
+//!   [`harness::StatsReport::generations`]).
 //! * **Distributed scoring** ([`dist::score_distributed`],
 //!   [`dist::score_forest_distributed`]): one model replica per `mpsim`
 //!   rank — a flat tree or a whole [`dtree::FlatForest`] — scores a block
@@ -26,10 +32,13 @@
 
 pub mod dist;
 pub mod harness;
+pub mod slot;
 
 pub use dist::{score_distributed, score_forest_distributed, DistScore};
 pub use dtree::flat::FlatTree;
 pub use dtree::flat_forest::{FlatForest, VoteReduce};
 pub use harness::{
-    Request, Response, ResponseStatus, ServeConfig, ServeModel, Server, StatsReport, SubmitError,
+    GenerationWindow, Request, Response, ResponseStatus, ServeConfig, ServeModel, Server,
+    StatsReport, SubmitError,
 };
+pub use slot::{ModelGeneration, ModelSlot};

@@ -1,0 +1,478 @@
+//! The live streaming runner: real threads, a backpressured ingest queue,
+//! and generational hot-swap into a running [`serve::Server`].
+//!
+//! Where [`scalparc::stream::run_stream`] executes the whole pipeline
+//! inside one simulated machine (deterministic clock, collective-lockstep
+//! triggers), [`run_live`] runs it as an actual concurrent system:
+//!
+//! * a **feeder** thread materializes stream blocks and pushes them into a
+//!   bounded [`IngestQueue`] (a slow trainer backpressures the feeder);
+//! * the **trainer** (the calling thread) pops blocks, maintains the
+//!   sliding window and the prequential drift statistics, and on each
+//!   trigger re-induces over the window (on a simulated
+//!   `induce_procs`-rank machine), commits the generation to the store,
+//!   and publishes it into the server's [`serve::ModelSlot`] — measuring
+//!   the wall-clock swap;
+//! * a **traffic** thread keeps sustained scoring load on the server the
+//!   whole time, so swaps happen under fire and the per-generation serve
+//!   windows in the final [`StatsReport`] show who answered what.
+//!
+//! **Equivalence guarantee**: the trainer applies the *same* window,
+//! trigger, and induction logic as the in-machine pipeline, so with the
+//! same [`StreamConfig`] (and `reeval_records` a multiple of
+//! `block_records`) the sequence of committed generations — ids, windows,
+//! triggers, and tree bytes — is identical to [`run_stream`]'s, and the
+//! prequential block log matches point for point. The live layer adds
+//! concurrency and wall-clock measurements, never different models.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dtree::data::Dataset;
+use dtree::flat::FlatTree;
+use dtree::model_io;
+use scalparc::stream::accum::LeafStats;
+use scalparc::stream::genstore::{self, GenMeta};
+use scalparc::stream::{BlockPoint, BlockSource, StreamConfig, Trigger};
+use scalparc::{induce, ParConfig};
+use serve::{Request, ResponseStatus, ServeConfig, ServeModel, Server, StatsReport};
+
+use crate::queue::IngestQueue;
+
+/// Configuration of the live runner (the streaming logic itself is the
+/// shared [`StreamConfig`]).
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Ingest-queue capacity in blocks; the feeder backpressures here.
+    pub queue_blocks: usize,
+    /// Simulated rank count of each re-induction.
+    pub induce_procs: usize,
+    /// Serving-harness configuration.
+    pub serve: ServeConfig,
+    /// Records per scoring request issued by the traffic thread.
+    pub score_chunk: usize,
+    /// Generation-store directory (`None` = in-memory only).
+    pub store: Option<PathBuf>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            queue_blocks: 4,
+            induce_procs: 4,
+            serve: ServeConfig::default(),
+            score_chunk: 256,
+            store: None,
+        }
+    }
+}
+
+/// One hot-swap the live trainer performed.
+#[derive(Clone, Debug)]
+pub struct SwapEvent {
+    /// Generation id committed and published.
+    pub generation: u64,
+    /// What fired the re-evaluation (`Count` for the bootstrap).
+    pub trigger: Trigger,
+    /// First global record of the training window.
+    pub window_lo: u64,
+    /// One past the last global record of the training window.
+    pub window_hi: u64,
+    /// The committed tree in canonical `model_io` text form — byte-equal
+    /// to the in-machine pipeline's commit for the same window.
+    pub tree_text: String,
+    /// Wall-clock nanoseconds of the [`serve::ModelSlot`] publish itself —
+    /// the serving-visible swap latency.
+    pub publish_ns: u64,
+    /// Wall-clock nanoseconds from trigger decision to published model
+    /// (induction + commit + publish).
+    pub retrain_ns: u64,
+    /// Committed payload bytes (0 without a store).
+    pub payload_bytes: u64,
+}
+
+/// Everything one [`run_live`] call produced.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Hot-swaps in commit order (the bootstrap generation 0 included).
+    pub swaps: Vec<SwapEvent>,
+    /// Prequential per-block log, identical in content to the in-machine
+    /// pipeline's [`scalparc::stream::StreamReport::points`].
+    pub points: Vec<BlockPoint>,
+    /// The serving harness's final report (per-generation windows
+    /// included).
+    pub serve: StatsReport,
+    /// Scoring responses the traffic thread collected.
+    pub responses: u64,
+    /// Responses that were not `Ok` (must be 0 — hot-swap drops nothing).
+    pub response_failures: u64,
+    /// Distinct generation ids observed in scoring responses, ascending.
+    pub generations_observed: Vec<u64>,
+    /// Largest ingest-queue depth observed (backpressure headroom).
+    pub queue_high_water: usize,
+}
+
+/// One retained window run: a contiguous stretch of global records.
+struct Run {
+    global_lo: u64,
+    data: Dataset,
+}
+
+/// Train one generation over `window`, commit it, and publish it into the
+/// server. Returns the swap event.
+#[allow(clippy::too_many_arguments)]
+fn commit_and_publish(
+    server: &Server,
+    cfg: &LiveConfig,
+    generation: u64,
+    trigger: Trigger,
+    window_lo: u64,
+    window_hi: u64,
+    window: &Dataset,
+    triggered_at: Instant,
+) -> (FlatTree, SwapEvent) {
+    let result = induce(window, &ParConfig::new(cfg.induce_procs.max(1)));
+    let flat = FlatTree::compile(&result.tree);
+    let mut payload_bytes = 0;
+    if let Some(dir) = &cfg.store {
+        let meta = GenMeta {
+            generation,
+            window_lo,
+            window_hi,
+        };
+        payload_bytes = genstore::commit(dir, meta, &result.tree).expect("generation commit");
+    }
+    let publish_start = Instant::now();
+    server.publish(generation, ServeModel::Tree(flat.clone()));
+    let publish_ns = publish_start.elapsed().as_nanos() as u64;
+    let event = SwapEvent {
+        generation,
+        trigger,
+        window_lo,
+        window_hi,
+        tree_text: model_io::to_text(&result.tree),
+        publish_ns,
+        retrain_ns: triggered_at.elapsed().as_nanos() as u64,
+        payload_bytes,
+    };
+    (flat, event)
+}
+
+/// Run the live streaming system over `source` until the stream is
+/// exhausted: bootstrap a first generation, then ingest, retrain, and
+/// hot-swap under sustained scoring traffic. See the module docs for the
+/// thread layout and the equivalence guarantee.
+pub fn run_live(source: &dyn BlockSource, stream: &StreamConfig, cfg: &LiveConfig) -> LiveReport {
+    assert!(stream.block_records >= 1);
+    assert!(
+        stream.reeval_records.is_multiple_of(stream.block_records),
+        "live/in-machine equivalence needs reeval_records aligned to blocks"
+    );
+    let total = source.total();
+    let boot_hi = stream.reeval_records.min(total).max(1);
+
+    // Bootstrap generation 0 — the model the server opens with — trained
+    // on the first `reeval_records` of the stream, exactly the window the
+    // in-machine pipeline's first count trigger uses.
+    let boot_start = Instant::now();
+    let schema = source.schema();
+    let boot_data = source.block(0, boot_hi);
+    let mut swaps = Vec::new();
+    let server = {
+        // A placeholder server start is not possible without a model, so
+        // generation 0 is induced before the harness exists; its publish
+        // is the slot construction itself (publish_ns = 0 by definition).
+        let result = induce(&boot_data, &ParConfig::new(cfg.induce_procs.max(1)));
+        let flat = FlatTree::compile(&result.tree);
+        let mut payload_bytes = 0;
+        if let Some(dir) = &cfg.store {
+            payload_bytes = genstore::commit(
+                dir,
+                GenMeta {
+                    generation: 0,
+                    window_lo: 0,
+                    window_hi: boot_hi as u64,
+                },
+                &result.tree,
+            )
+            .expect("bootstrap commit");
+        }
+        swaps.push(SwapEvent {
+            generation: 0,
+            trigger: Trigger::Count,
+            window_lo: 0,
+            window_hi: boot_hi as u64,
+            tree_text: model_io::to_text(&result.tree),
+            publish_ns: 0,
+            retrain_ns: boot_start.elapsed().as_nanos() as u64,
+            payload_bytes,
+        });
+        Server::start_slot(serve::ModelSlot::new(0, ServeModel::Tree(flat)), cfg.serve)
+    };
+    let mut current = match &server.slot().current().model {
+        ServeModel::Tree(t) => t.clone(),
+        ServeModel::Forest(_) => unreachable!("live runner serves trees"),
+    };
+
+    // Prequential log of the bootstrap range: ingested before any model
+    // existed, so unscored — mirrors the in-machine pipeline's points.
+    let mut points: Vec<BlockPoint> = Vec::new();
+    let mut blo = 0usize;
+    while blo < boot_hi {
+        let bhi = (blo + stream.block_records).min(boot_hi);
+        points.push(BlockPoint {
+            upto: bhi as u64,
+            generation: None,
+            records: 0,
+            errors: 0,
+        });
+        blo = bhi;
+    }
+
+    let queue: IngestQueue<(u64, Dataset)> = IngestQueue::new(cfg.queue_blocks);
+    let done = AtomicBool::new(false);
+    // Fixed scoring set for the traffic thread: the head of the stream,
+    // shared by every request.
+    let score_data = Arc::new(source.block(0, total.min(4 * cfg.score_chunk.max(1))));
+
+    let traffic_out = std::thread::scope(|scope| {
+        // Feeder: materialize the rest of the stream, backpressured.
+        scope.spawn(|| {
+            let mut lo = boot_hi;
+            while lo < total {
+                let hi = (lo + stream.block_records).min(total);
+                if !queue.push((lo as u64, source.block(lo, hi))) {
+                    break;
+                }
+                lo = hi;
+            }
+            queue.close();
+        });
+
+        // Traffic: sustained scoring load until the trainer is done.
+        let traffic = scope.spawn(|| {
+            let mut responses = 0u64;
+            let mut failures = 0u64;
+            let mut gens: Vec<u64> = Vec::new();
+            let chunk = cfg.score_chunk.max(1).min(score_data.len().max(1));
+            let mut at = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let lo = at % score_data.len().max(1);
+                let hi = (lo + chunk).min(score_data.len());
+                at = hi % score_data.len().max(1);
+                match server.score_blocking(Request {
+                    data: Arc::clone(&score_data),
+                    lo,
+                    hi,
+                }) {
+                    Ok(resp) => {
+                        responses += 1;
+                        if resp.status != ResponseStatus::Ok {
+                            failures += 1;
+                        }
+                        if !gens.contains(&resp.generation) {
+                            gens.push(resp.generation);
+                        }
+                    }
+                    Err(_) => {
+                        // Shed by backpressure or shutdown: back off.
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            gens.sort_unstable();
+            (responses, failures, gens)
+        });
+
+        // Trainer: the streaming pipeline itself, on real arrivals.
+        let mut window: std::collections::VecDeque<Run> = std::collections::VecDeque::new();
+        let mut leaf = LeafStats::new(&current);
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut last_commit_upto = boot_hi as u64;
+        let mut epoch_scored = 0u64;
+        let mut epoch_errors = 0u64;
+        let mut next_gen = 1u64;
+        // The bootstrap range seeds the window, like any other arrivals.
+        window.push_back(Run {
+            global_lo: 0,
+            data: boot_data,
+        });
+        while let Some((lo, data)) = queue.pop() {
+            let upto = lo + data.len() as u64;
+            let before = leaf.errors;
+            leaf.update(&current, &data, &mut scratch);
+            let scored = data.len() as u64;
+            let errors = leaf.errors - before;
+            epoch_scored += scored;
+            epoch_errors += errors;
+            points.push(BlockPoint {
+                upto,
+                generation: Some(next_gen - 1),
+                records: scored,
+                errors,
+            });
+            window.push_back(Run {
+                global_lo: lo,
+                data,
+            });
+            let win_lo = upto.saturating_sub(stream.window_records as u64);
+            while let Some(front) = window.front_mut() {
+                let run_hi = front.global_lo + front.data.len() as u64;
+                if run_hi <= win_lo {
+                    window.pop_front();
+                } else if front.global_lo < win_lo {
+                    let cut = (win_lo - front.global_lo) as usize;
+                    front.data = front.data.slice(cut, front.data.len());
+                    front.global_lo = win_lo;
+                    break;
+                } else {
+                    break;
+                }
+            }
+
+            let count_fire = upto - last_commit_upto >= stream.reeval_records as u64;
+            let drift_fire = stream.drift_error.is_some_and(|thr| {
+                epoch_scored >= stream.min_epoch_records.max(1)
+                    && epoch_errors as f64 / epoch_scored as f64 > thr
+            });
+            if !(count_fire || drift_fire) {
+                continue;
+            }
+            let trigger = if drift_fire {
+                Trigger::Drift
+            } else {
+                Trigger::Count
+            };
+            let triggered_at = Instant::now();
+            let parts: Vec<&Dataset> = window.iter().map(|r| &r.data).collect();
+            let window_data = scalparc::stream::rows::concat(&schema, &parts);
+            let (flat, event) = commit_and_publish(
+                &server,
+                cfg,
+                next_gen,
+                trigger,
+                win_lo,
+                upto,
+                &window_data,
+                triggered_at,
+            );
+            if let (Some(dir), Some(keep)) = (&cfg.store, stream.keep_generations) {
+                genstore::gc(dir, next_gen, keep);
+            }
+            swaps.push(event);
+            current = flat;
+            leaf = LeafStats::new(&current);
+            epoch_scored = 0;
+            epoch_errors = 0;
+            last_commit_upto = upto;
+            next_gen += 1;
+        }
+        done.store(true, Ordering::Relaxed);
+        traffic.join().unwrap()
+    });
+    let (responses, response_failures, generations_observed) = traffic_out;
+    let queue_high_water = queue.high_water();
+    LiveReport {
+        swaps,
+        points,
+        serve: server.shutdown(),
+        responses,
+        response_failures,
+        generations_observed,
+        queue_high_water,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{DriftKind, GenConfig};
+    use scalparc::stream::run_stream;
+
+    use crate::source::quest_sketch;
+    use crate::source::DriftSource;
+
+    fn small_cfg(schema: &dtree::data::Schema) -> StreamConfig {
+        StreamConfig {
+            block_records: 100,
+            window_records: 800,
+            reeval_records: 400,
+            drift_error: Some(0.25),
+            min_epoch_records: 100,
+            sketch: quest_sketch(schema, 16),
+            keep_generations: None,
+            induce: Default::default(),
+        }
+    }
+
+    #[test]
+    fn live_run_matches_the_in_machine_pipeline() {
+        let source = DriftSource::new(
+            GenConfig::paper(1_600, 91),
+            DriftKind::Abrupt {
+                at: 800,
+                to: datagen::ClassFunc::F1,
+            },
+        );
+        let stream_cfg = small_cfg(&source.schema());
+        let live = run_live(
+            &source,
+            &stream_cfg,
+            &LiveConfig {
+                induce_procs: 2,
+                ..LiveConfig::default()
+            },
+        );
+        let sim = run_stream(&source, &ParConfig::new(2), &stream_cfg, None).report;
+
+        // Same generation sequence: ids, windows, triggers, tree bytes.
+        assert_eq!(live.swaps.len(), sim.commits.len());
+        for (s, c) in live.swaps.iter().zip(&sim.commits) {
+            assert_eq!(s.generation, c.generation);
+            assert_eq!(s.trigger, c.trigger);
+            assert_eq!((s.window_lo, s.window_hi), (c.window_lo, c.window_hi));
+            assert_eq!(s.tree_text, c.tree_text, "gen {}", s.generation);
+        }
+        // Same prequential log, point for point.
+        assert_eq!(live.points, sim.points);
+        // Zero dropped requests under the swaps.
+        assert_eq!(live.response_failures, 0);
+        assert!(live.responses > 0, "traffic ran");
+        // Every observed generation is a committed one.
+        let committed: Vec<u64> = live.swaps.iter().map(|s| s.generation).collect();
+        assert!(live
+            .generations_observed
+            .iter()
+            .all(|g| committed.contains(g)));
+        // The serve windows account for every completed request.
+        let win_requests: u64 = live.serve.generations.iter().map(|w| w.requests).sum();
+        assert_eq!(win_requests, live.serve.requests);
+    }
+
+    #[test]
+    fn store_receives_every_generation() {
+        let source = DriftSource::new(GenConfig::paper(900, 93), DriftKind::Stable);
+        let stream_cfg = small_cfg(&source.schema());
+        let dir = std::env::temp_dir().join(format!("scalparc-live-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = run_live(
+            &source,
+            &stream_cfg,
+            &LiveConfig {
+                induce_procs: 1,
+                store: Some(dir.clone()),
+                ..LiveConfig::default()
+            },
+        );
+        assert!(live.swaps.iter().all(|s| s.payload_bytes > 0));
+        let gens = genstore::list_generations(&dir);
+        assert_eq!(gens.len(), live.swaps.len());
+        let (meta, tree, _) = genstore::latest(&dir).unwrap();
+        let last = live.swaps.last().unwrap();
+        assert_eq!(meta.generation, last.generation);
+        assert_eq!(model_io::to_text(&tree), last.tree_text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,232 @@
+//! Bounded, backpressured ingest queue between the stream feeder and the
+//! trainer.
+//!
+//! A fixed-capacity MPSC channel built on `Mutex` + two `Condvar`s:
+//! [`IngestQueue::push`] **blocks** when the queue is full (backpressure —
+//! a slow trainer throttles the feeder instead of buffering unboundedly),
+//! and [`IngestQueue::pop`] blocks until an item arrives or the queue is
+//! closed and drained. Closing is one-way and idempotent: producers see
+//! `push` fail, consumers drain whatever is left and then get `None`.
+//! FIFO order is preserved, so blocks leave in arrival order — the
+//! property the sliding-window eviction in the trainer relies on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push did not enqueue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryPushError {
+    /// The queue is at capacity; a blocking [`IngestQueue::push`] would
+    /// wait here.
+    Full,
+    /// The queue is closed; no push will ever succeed again.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    pushed: u64,
+    high_water: usize,
+}
+
+/// The bounded ingest channel; see the module docs.
+pub struct IngestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> IngestQueue<T> {
+    /// An empty queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> IngestQueue<T> {
+        IngestQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                pushed: 0,
+                high_water: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Returns `false`
+    /// (with the item dropped) iff the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return false;
+            }
+            if g.items.len() < self.capacity {
+                g.items.push_back(item);
+                g.pushed += 1;
+                g.high_water = g.high_water.max(g.items.len());
+                drop(g);
+                self.not_empty.notify_one();
+                return true;
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+    }
+
+    /// Enqueue without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(TryPushError::Closed);
+        }
+        if g.items.len() >= self.capacity {
+            return Err(TryPushError::Full);
+        }
+        g.items.push_back(item);
+        g.pushed += 1;
+        g.high_water = g.high_water.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty and
+    /// open. `None` means closed *and* drained — the stream is over.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Close the queue: future pushes fail, pops drain the remainder and
+    /// then return `None`. Idempotent; wakes every waiter.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum items the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items ever pushed successfully.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().unwrap().pushed
+    }
+
+    /// Largest queue length observed — how close the feeder came to the
+    /// backpressure ceiling.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().unwrap().high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let q = IngestQueue::new(8);
+        for i in 0..5 {
+            q.push(i).then_some(()).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pushed(), 5);
+        assert_eq!(q.high_water(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_push_reports_full_then_closed() {
+        let q = IngestQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(TryPushError::Full));
+        q.close();
+        assert_eq!(q.try_push(3), Err(TryPushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn full_queue_blocks_the_producer_until_a_pop() {
+        let q = Arc::new(IngestQueue::new(1));
+        q.push(0u32);
+        let unblocked = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let q = Arc::clone(&q);
+            let unblocked = Arc::clone(&unblocked);
+            std::thread::spawn(move || {
+                assert!(q.push(1)); // blocks: capacity 1, one item queued
+                unblocked.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !unblocked.load(Ordering::SeqCst),
+            "push must backpressure while full"
+        );
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert!(unblocked.load(Ordering::SeqCst));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q: Arc<IngestQueue<u32>> = Arc::new(IngestQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_fails_blocked_producers() {
+        let q = Arc::new(IngestQueue::new(1));
+        q.push(7u32);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(8))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(!producer.join().unwrap(), "push on a closed queue fails");
+        // The already-queued item still drains.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Stream sources: adapters from the `datagen` generators to the
+//! [`BlockSource`] trait the pipelines consume, plus the QUEST sketch
+//! geometry.
+
+use datagen::{DriftGen, DriftKind, GenConfig, StreamingGen};
+use dtree::data::{AttrKind, Dataset, Schema};
+use scalparc::stream::accum::SketchSpec;
+use scalparc::stream::BlockSource;
+
+/// A concept-drift stream as a [`BlockSource`]: deterministic, randomly
+/// addressable, boundary-invariant (any blocking yields the same records).
+/// `DriftKind::Stable` makes it a plain [`StreamingGen`] stream.
+pub struct DriftSource(DriftGen);
+
+impl DriftSource {
+    /// A drift stream over `cfg` with concept schedule `kind`.
+    pub fn new(cfg: GenConfig, kind: DriftKind) -> DriftSource {
+        DriftSource(DriftGen::new(cfg, kind))
+    }
+
+    /// The wrapped generator.
+    pub fn generator(&self) -> &DriftGen {
+        &self.0
+    }
+}
+
+impl From<DriftGen> for DriftSource {
+    fn from(gen: DriftGen) -> Self {
+        DriftSource(gen)
+    }
+}
+
+impl BlockSource for DriftSource {
+    fn total(&self) -> usize {
+        self.0.len()
+    }
+    fn schema(&self) -> Schema {
+        self.0.schema()
+    }
+    fn block(&self, lo: usize, hi: usize) -> Dataset {
+        self.0.block(lo, hi)
+    }
+}
+
+/// A stable (drift-free) stream as a [`BlockSource`].
+pub struct StableSource(StreamingGen);
+
+impl StableSource {
+    /// A boundary-invariant stream over `cfg`.
+    pub fn new(cfg: GenConfig) -> StableSource {
+        StableSource(StreamingGen::new(cfg))
+    }
+}
+
+impl BlockSource for StableSource {
+    fn total(&self) -> usize {
+        self.0.len()
+    }
+    fn schema(&self) -> Schema {
+        self.0.schema()
+    }
+    fn block(&self, lo: usize, hi: usize) -> Dataset {
+        self.0.block(lo, hi)
+    }
+}
+
+/// Sketch specs matched to the QUEST attribute ranges (salary 20k–150k,
+/// commission 0–75k, age 20–80, hvalue 0–1.35M, hyears 1–30, loan 0–500k),
+/// with `bins` equal-width bins per continuous attribute. Unknown
+/// continuous attributes get a generous 0–1M default; categorical
+/// attributes bin by value (`None`).
+pub fn quest_sketch(schema: &Schema, bins: u32) -> Vec<Option<SketchSpec>> {
+    schema
+        .attrs
+        .iter()
+        .map(|a| match a.kind {
+            AttrKind::Categorical { .. } => None,
+            AttrKind::Continuous => {
+                let (lo, hi) = match a.name.as_str() {
+                    "salary" => (20_000.0, 150_000.0),
+                    "commission" => (0.0, 75_000.0),
+                    "age" => (20.0, 80.0),
+                    "hvalue" => (0.0, 1_350_000.0),
+                    "hyears" => (1.0, 30.0),
+                    "loan" => (0.0, 500_000.0),
+                    _ => (0.0, 1_000_000.0),
+                };
+                Some(SketchSpec { lo, hi, bins })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_source_is_boundary_invariant() {
+        let s = DriftSource::new(
+            GenConfig::paper(300, 41),
+            DriftKind::Abrupt {
+                at: 150,
+                to: datagen::ClassFunc::F1,
+            },
+        );
+        let whole = s.block(0, 300);
+        let mut parts = Vec::new();
+        for (lo, hi) in [(0, 37), (37, 150), (150, 151), (151, 300)] {
+            parts.push(s.block(lo, hi));
+        }
+        let refs: Vec<&Dataset> = parts.iter().collect();
+        assert_eq!(
+            scalparc::stream::rows::concat(&s.schema(), &refs),
+            whole,
+            "any blocking yields the same stream"
+        );
+    }
+
+    #[test]
+    fn quest_sketch_covers_every_attribute() {
+        let s = StableSource::new(GenConfig::paper(10, 1));
+        let schema = s.schema();
+        let specs = quest_sketch(&schema, 8);
+        assert_eq!(specs.len(), schema.num_attrs());
+        for (attr, spec) in schema.attrs.iter().zip(&specs) {
+            match attr.kind {
+                AttrKind::Continuous => {
+                    let spec = spec.expect("continuous attrs need specs");
+                    assert!(spec.hi > spec.lo);
+                    assert_eq!(spec.bins, 8);
+                }
+                AttrKind::Categorical { .. } => assert!(spec.is_none()),
+            }
+        }
+        // The geometry is accepted by the accumulator.
+        let _ = scalparc::stream::accum::StreamAccum::new(&schema, &specs);
+    }
+}
