@@ -131,29 +131,100 @@ pub fn list_generations(dir: &Path) -> Vec<u64> {
     gens
 }
 
-/// The newest fully intact generation, walking past damaged newer files
-/// (returns the count walked past too). `None` when nothing intact exists.
-pub fn latest(dir: &Path) -> Option<(GenMeta, DecisionTree, u32)> {
+/// What a tolerant store scan found — the typed verdict a restart path
+/// branches on instead of unwrapping a bare `Option` (mirrors the
+/// checkpoint `RestoreVerdict`).
+#[derive(Debug)]
+pub enum StoreVerdict {
+    /// An intact generation exists; `skipped_corrupt` newer files were
+    /// walked past (bit rot, torn writes, decode failures).
+    Usable {
+        /// Metadata of the newest intact generation.
+        meta: GenMeta,
+        /// Its decoded tree.
+        tree: DecisionTree,
+        /// Damaged newer generations skipped on the way down.
+        skipped_corrupt: u32,
+    },
+    /// The store directory has no generation files at all — a fresh start,
+    /// not a failure.
+    Empty,
+    /// Generation files exist but none decodes; resuming would silently
+    /// lose the committed lineage, so the caller must decide (fresh start
+    /// with the damage surfaced, or refuse).
+    AllCorrupt {
+        /// Generation files present, all damaged.
+        generations: u32,
+    },
+}
+
+/// Tolerant store walk: newest→oldest past damaged files to the first
+/// intact generation, with a typed verdict for the empty and all-corrupt
+/// cases. This is the crash-resume entry point.
+pub fn scan(dir: &Path) -> StoreVerdict {
+    let gens = list_generations(dir);
+    if gens.is_empty() {
+        return StoreVerdict::Empty;
+    }
     let mut skipped = 0u32;
-    for generation in list_generations(dir) {
+    for generation in gens {
         match load(dir, generation) {
-            Ok((meta, tree, _)) => return Some((meta, tree, skipped)),
+            Ok((meta, tree, _)) => {
+                return StoreVerdict::Usable {
+                    meta,
+                    tree,
+                    skipped_corrupt: skipped,
+                }
+            }
             Err(_) => skipped += 1,
         }
     }
-    None
+    StoreVerdict::AllCorrupt {
+        generations: skipped,
+    }
+}
+
+/// The newest fully intact generation, walking past damaged newer files
+/// (returns the count walked past too). `None` when nothing intact exists.
+/// Thin wrapper over [`scan`] for callers that treat empty and all-corrupt
+/// alike; restart paths should branch on the [`StoreVerdict`] instead.
+pub fn latest(dir: &Path) -> Option<(GenMeta, DecisionTree, u32)> {
+    match scan(dir) {
+        StoreVerdict::Usable {
+            meta,
+            tree,
+            skipped_corrupt,
+        } => Some((meta, tree, skipped_corrupt)),
+        StoreVerdict::Empty | StoreVerdict::AllCorrupt { .. } => None,
+    }
+}
+
+/// What one [`gc`] pass did. `skipped` counts files that could not be
+/// removed — surfaced so a watchdog can report retention failures instead
+/// of letting disk usage grow unbounded in silence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Generation files removed.
+    pub removed: u32,
+    /// Removals that failed (I/O error); the files are still on disk.
+    pub skipped: u32,
 }
 
 /// Keep-last-K retention after committing generation `newest`: remove
 /// every generation older than `newest + 1 - keep`. Host-side filesystem
-/// work, uncharged.
-pub fn gc(dir: &Path, newest: u64, keep: usize) {
+/// work, uncharged. I/O failures are counted, not swallowed.
+pub fn gc(dir: &Path, newest: u64, keep: usize) -> GcReport {
     let floor = (newest + 1).saturating_sub(keep.max(1) as u64);
+    let mut report = GcReport::default();
     for generation in list_generations(dir) {
         if generation < floor {
-            let _ = std::fs::remove_file(gen_file(dir, generation));
+            match std::fs::remove_file(gen_file(dir, generation)) {
+                Ok(()) => report.removed += 1,
+                Err(_) => report.skipped += 1,
+            }
         }
     }
+    report
 }
 
 #[cfg(test)]
@@ -223,8 +294,9 @@ mod tests {
     }
 
     #[test]
-    fn gc_keeps_last_k() {
+    fn gc_keeps_last_k_and_counts_removals() {
         let dir = store_dir("gc");
+        let mut removed = 0;
         for g in 0..5u64 {
             commit(
                 &dir,
@@ -236,14 +308,67 @@ mod tests {
                 &tree_for(7),
             )
             .unwrap();
-            gc(&dir, g, 2);
+            let r = gc(&dir, g, 2);
+            assert_eq!(r.skipped, 0);
+            removed += r.removed;
         }
+        assert_eq!(removed, 3, "five commits, keep 2");
         assert_eq!(list_generations(&dir), vec![4, 3]);
-        gc(&dir, 4, 1);
+        assert_eq!(
+            gc(&dir, 4, 1),
+            GcReport {
+                removed: 1,
+                skipped: 0
+            }
+        );
         assert_eq!(list_generations(&dir), vec![4]);
-        // Floor underflow is safe.
-        gc(&dir, 0, 3);
+        // Floor underflow is safe, and a no-op pass reports zeros.
+        assert_eq!(gc(&dir, 0, 3), GcReport::default());
         assert_eq!(list_generations(&dir), vec![4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_verdicts_cover_usable_empty_and_all_corrupt() {
+        let dir = store_dir("scan");
+        assert!(matches!(scan(&dir), StoreVerdict::Empty));
+        for g in 1..=2u64 {
+            commit(
+                &dir,
+                GenMeta {
+                    generation: g,
+                    window_lo: 0,
+                    window_hi: g * 100,
+                },
+                &tree_for(g),
+            )
+            .unwrap();
+        }
+        match scan(&dir) {
+            StoreVerdict::Usable {
+                meta,
+                skipped_corrupt,
+                ..
+            } => assert_eq!((meta.generation, skipped_corrupt), (2, 0)),
+            other => panic!("expected Usable, got {other:?}"),
+        }
+        // Damage the newest: the scan walks down with a skip count.
+        ckpt::damage_flip_bit(&gen_file(&dir, 2)).unwrap();
+        match scan(&dir) {
+            StoreVerdict::Usable {
+                meta,
+                skipped_corrupt,
+                ..
+            } => assert_eq!((meta.generation, skipped_corrupt), (1, 1)),
+            other => panic!("expected Usable, got {other:?}"),
+        }
+        // Damage everything: AllCorrupt names the file count, distinct
+        // from Empty.
+        ckpt::damage_truncate_tail(&gen_file(&dir, 1)).unwrap();
+        match scan(&dir) {
+            StoreVerdict::AllCorrupt { generations } => assert_eq!(generations, 2),
+            other => panic!("expected AllCorrupt, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -38,9 +38,28 @@
 //!   ([`SubmitError::Degraded`]) until the queue drains to
 //!   [`ServeConfig::shed_low`]; the hysteresis gap prevents flapping at
 //!   the boundary.
+//!
+//! # Panic isolation
+//!
+//! A panicking scoring attempt (a poisoned model, an injected chaos
+//! fault) must cost exactly one answer, never the process:
+//!
+//! * each request is scored under `catch_unwind`, so a panic answers that
+//!   one request [`ResponseStatus::Failed`] and the worker keeps draining;
+//! * every shared structure is locked through the poison-recovering
+//!   helpers in [`crate::sync`], so a thread that *does* die while holding
+//!   a lock cannot cascade into every other thread;
+//! * a worker thread that dies outright is counted
+//!   ([`StatsReport::worker_panics`]) and [`Server::shutdown`] still joins
+//!   the survivors, drains the queue (answering `Failed` itself if no
+//!   worker is left), and returns the report — it never panics on a
+//!   panicked worker;
+//! * the resulting [`Health`] (`Healthy` → `Degraded` → `Failed`) is part
+//!   of every [`StatsReport`].
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -52,6 +71,42 @@ use dtree::flat::FlatTree;
 use dtree::flat_forest::FlatForest;
 
 use crate::slot::{ModelGeneration, ModelSlot};
+use crate::sync;
+
+/// Liveness of a supervised component, coarsened to what an operator (or
+/// a supervising runtime) acts on. Shared by the serving harness and the
+/// live stream supervisor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Every thread alive, no panic observed.
+    Healthy,
+    /// Still answering, but something died, stalled, or leaked — `reason`
+    /// says what.
+    Degraded {
+        /// Human-readable cause of the degradation.
+        reason: String,
+    },
+    /// No longer able to make progress (every worker dead, or a restart
+    /// budget exhausted).
+    Failed,
+}
+
+impl Health {
+    /// Whether this state still answers requests.
+    pub fn is_serving(&self) -> bool {
+        !matches!(self, Health::Failed)
+    }
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Health::Healthy => write!(f, "healthy"),
+            Health::Degraded { reason } => write!(f, "degraded ({reason})"),
+            Health::Failed => write!(f, "failed"),
+        }
+    }
+}
 
 /// What a [`Server`] scores with: one compiled tree or a whole compiled
 /// forest. Both expose the same batched range kernel, so the worker loop,
@@ -212,6 +267,11 @@ enum Job {
         entered: Arc<Gate>,
         release: Arc<Gate>,
     },
+    /// Test-only: kill the worker thread outright (the panic escapes the
+    /// per-job isolation), so worker-death accounting and survivor drain
+    /// can be exercised.
+    #[cfg(test)]
+    Die,
 }
 
 #[cfg(test)]
@@ -257,6 +317,11 @@ struct StatsInner {
     retries: u64,
     shed: u64,
     failed: u64,
+    /// Panics observed in workers: per-request scoring panics (isolated,
+    /// answered `Failed`) plus worker threads that died outright.
+    worker_panics: u64,
+    /// Worker threads that exited by panic (the loop itself died).
+    workers_dead: u64,
     first_enqueue: Option<Instant>,
     last_completion: Option<Instant>,
     /// Completed-request windows in completion order, one entry per
@@ -288,9 +353,15 @@ struct Shared {
     stats: Mutex<StatsInner>,
     queue_depth: usize,
     cfg: ServeConfig,
+    /// Worker threads actually spawned (for the all-dead health check).
+    worker_count: usize,
     /// Pending injected transient failures: each scoring attempt that
     /// successfully decrements this fails once (chaos/test hook).
     fail_budget: AtomicU64,
+    /// Pending injected scoring *panics*: each scoring attempt that
+    /// successfully decrements this panics once inside the per-job
+    /// isolation (chaos/test hook for panic containment).
+    panic_budget: AtomicU64,
 }
 
 /// The serving harness; see the module docs for the lifecycle.
@@ -322,6 +393,7 @@ impl Server {
     /// own `Arc` and publishes new generations through it while the
     /// server runs.
     pub fn start_slot(slot: Arc<ModelSlot>, cfg: ServeConfig) -> Server {
+        let worker_count = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             slot,
             state: Mutex::new(State {
@@ -333,12 +405,23 @@ impl Server {
             stats: Mutex::new(StatsInner::default()),
             queue_depth: cfg.queue_depth.max(1),
             cfg,
+            worker_count,
             fail_budget: AtomicU64::new(0),
+            panic_budget: AtomicU64::new(0),
         });
-        let workers = (0..cfg.workers.max(1))
+        let workers = (0..worker_count)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || {
+                    // Last line of defense: a panic that escapes the
+                    // per-job isolation kills only this worker, and the
+                    // death is accounted rather than propagated.
+                    if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_err() {
+                        let mut stats = sync::lock(&shared.stats);
+                        stats.worker_panics += 1;
+                        stats.workers_dead += 1;
+                    }
+                })
             })
             .collect();
         Server { shared, workers }
@@ -381,8 +464,16 @@ impl Server {
         self.shared.fail_budget.fetch_add(n, Ordering::SeqCst);
     }
 
+    /// Make the next `n` scoring attempts *panic* (chaos/test hook for
+    /// panic containment): each panics inside the per-job isolation, so
+    /// it costs one `Failed` answer and one `worker_panics` count — never
+    /// the worker, never the process.
+    pub fn inject_panics(&self, n: u64) {
+        self.shared.panic_budget.fetch_add(n, Ordering::SeqCst);
+    }
+
     fn enqueue(&self, job: Job) -> Result<(), SubmitError> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = sync::lock(&self.shared.state);
         if state.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
@@ -398,18 +489,18 @@ impl Server {
             }
             if state.degraded {
                 drop(state);
-                self.shared.stats.lock().unwrap().shed += 1;
+                sync::lock(&self.shared.stats).shed += 1;
                 return Err(SubmitError::Degraded);
             }
         }
         if state.queue.len() >= self.shared.queue_depth {
             drop(state);
-            self.shared.stats.lock().unwrap().rejected += 1;
+            sync::lock(&self.shared.stats).rejected += 1;
             return Err(SubmitError::QueueFull);
         }
         state.queue.push_back(job);
         drop(state);
-        let mut stats = self.shared.stats.lock().unwrap();
+        let mut stats = sync::lock(&self.shared.stats);
         stats.first_enqueue.get_or_insert_with(Instant::now);
         drop(stats);
         self.shared.job_ready.notify_one();
@@ -417,30 +508,84 @@ impl Server {
     }
 
     /// Submit and wait for the response (convenience for callers without
-    /// their own pipelining).
+    /// their own pipelining). If the worker holding the reply died before
+    /// answering, a synthesized [`ResponseStatus::Failed`] response is
+    /// returned — a dead worker is an error answer, not a hang or a
+    /// panic in the client.
     pub fn score_blocking(&self, req: Request) -> Result<Response, SubmitError> {
+        let (lo, hi) = (req.lo, req.hi);
+        let submitted = Instant::now();
         let rx = self.submit(req)?;
-        Ok(rx.recv().expect("worker dropped a pending reply"))
+        match rx.recv() {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                sync::lock(&self.shared.stats).failed += 1;
+                Ok(Response {
+                    lo,
+                    hi,
+                    status: ResponseStatus::Failed,
+                    predictions: Vec::new(),
+                    latency: submitted.elapsed(),
+                    generation: self.shared.slot.generation(),
+                })
+            }
+        }
     }
 
     /// Snapshot of the statistics so far.
     pub fn stats(&self) -> StatsReport {
-        StatsReport::from_inner(&self.shared.stats.lock().unwrap())
+        StatsReport::from_inner(&sync::lock(&self.shared.stats), self.shared.worker_count)
     }
 
     /// Stop accepting work, drain every queued request, join the workers,
     /// and return the final report. Responses to already-accepted requests
-    /// are all delivered before this returns.
+    /// are all delivered before this returns — by the surviving workers,
+    /// or by this thread itself (as `Failed`) when every worker died. A
+    /// panicked worker is counted in [`StatsReport::worker_panics`], never
+    /// re-thrown.
     pub fn shutdown(mut self) -> StatsReport {
         self.begin_shutdown();
         for w in self.workers.drain(..) {
-            w.join().expect("serve worker panicked");
+            // Worker-loop panics are already caught and counted inside the
+            // thread; a join error would mean the counting itself died, so
+            // count it here too rather than propagate.
+            if w.join().is_err() {
+                let mut stats = sync::lock(&self.shared.stats);
+                stats.worker_panics += 1;
+                stats.workers_dead += 1;
+            }
+        }
+        // With every worker dead, accepted requests may still sit in the
+        // queue; answer them Failed so no client hangs on a reply channel.
+        loop {
+            let job = sync::lock(&self.shared.state).queue.pop_front();
+            let Some(job) = job else { break };
+            match job {
+                Job::Score {
+                    req,
+                    enqueued,
+                    reply,
+                } => {
+                    sync::lock(&self.shared.stats).failed += 1;
+                    let generation = self.shared.slot.generation();
+                    let _ = reply.send(Response {
+                        lo: req.lo,
+                        hi: req.hi,
+                        status: ResponseStatus::Failed,
+                        predictions: Vec::new(),
+                        latency: enqueued.elapsed(),
+                        generation,
+                    });
+                }
+                #[cfg(test)]
+                _ => {}
+            }
         }
         self.stats()
     }
 
     fn begin_shutdown(&self) {
-        self.shared.state.lock().unwrap().shutting_down = true;
+        sync::lock(&self.shared.state).shutting_down = true;
         self.shared.job_ready.notify_all();
     }
 }
@@ -456,7 +601,7 @@ impl Drop for Server {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = sync::lock(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -464,7 +609,7 @@ fn worker_loop(shared: &Shared) {
                 if state.shutting_down {
                     return;
                 }
-                state = shared.job_ready.wait(state).unwrap();
+                state = sync::wait(&shared.job_ready, state);
             }
         };
         match job {
@@ -473,100 +618,141 @@ fn worker_loop(shared: &Shared) {
                 enqueued,
                 reply,
             } => {
-                // Pin the model generation for this whole request: the
-                // batch is scored entirely by `pinned.model` even if a new
-                // generation is published mid-batch, and the generation id
-                // in the response names exactly the model that answered.
-                let pinned: Arc<ModelGeneration> = shared.slot.current();
-
-                // A request that already blew its deadline in the queue is
-                // answered without scoring: under overload, stale work is
-                // dropped rather than allowed to delay fresh work.
-                if let Some(deadline) = shared.cfg.deadline {
-                    if enqueued.elapsed() > deadline {
-                        shared.stats.lock().unwrap().timeouts += 1;
-                        let _ = reply.send(Response {
-                            lo: req.lo,
-                            hi: req.hi,
-                            status: ResponseStatus::TimedOut,
-                            predictions: Vec::new(),
-                            latency: enqueued.elapsed(),
-                            generation: pinned.generation,
-                        });
-                        continue;
-                    }
-                }
-
-                // Transient failures are retried with exponential backoff;
-                // exhausting the budget yields a Failed *response*, never a
-                // hang or a dead worker.
-                let mut attempt: u32 = 0;
-                let failed = loop {
-                    if take_injected_failure(shared) {
-                        if attempt >= shared.cfg.max_retries {
-                            break true;
-                        }
-                        let backoff = shared
-                            .cfg
-                            .retry_backoff
-                            .saturating_mul(1u32 << attempt.min(16));
-                        attempt += 1;
-                        shared.stats.lock().unwrap().retries += 1;
-                        if !backoff.is_zero() {
-                            std::thread::sleep(backoff);
-                        }
-                        continue;
-                    }
-                    break false;
-                };
-                if failed {
-                    shared.stats.lock().unwrap().failed += 1;
+                // Per-job panic isolation: a panic while scoring (a
+                // poisoned model, an injected fault) costs this one
+                // request a Failed answer, never the worker.
+                let generation = shared.slot.generation();
+                if catch_unwind(AssertUnwindSafe(|| {
+                    handle_score(shared, &req, enqueued, &reply)
+                }))
+                .is_err()
+                {
+                    let mut stats = sync::lock(&shared.stats);
+                    stats.worker_panics += 1;
+                    stats.failed += 1;
+                    drop(stats);
                     let _ = reply.send(Response {
                         lo: req.lo,
                         hi: req.hi,
                         status: ResponseStatus::Failed,
                         predictions: Vec::new(),
                         latency: enqueued.elapsed(),
-                        generation: pinned.generation,
+                        generation,
                     });
-                    continue;
                 }
-
-                let mut predictions = vec![0u8; req.hi - req.lo];
-                pinned
-                    .model
-                    .predict_range(&req.data, req.lo, req.hi, &mut predictions);
-                let latency = enqueued.elapsed();
-                {
-                    let mut stats = shared.stats.lock().unwrap();
-                    stats.latencies_ns.push(latency.as_nanos() as u64);
-                    stats.records += (req.hi - req.lo) as u64;
-                    stats.last_completion = Some(Instant::now());
-                    stats.note_served(pinned.generation, (req.hi - req.lo) as u64);
-                }
-                // A client that dropped its receiver just loses the answer.
-                let _ = reply.send(Response {
-                    lo: req.lo,
-                    hi: req.hi,
-                    status: ResponseStatus::Ok,
-                    predictions,
-                    latency,
-                    generation: pinned.generation,
-                });
             }
             #[cfg(test)]
             Job::Block { entered, release } => {
                 entered.open();
                 release.wait();
             }
+            #[cfg(test)]
+            Job::Die => panic!("[injected] worker killed by Job::Die"),
         }
     }
+}
+
+/// Score one request (deadline check, bounded retry, batch kernel, stats).
+/// Runs under the per-job `catch_unwind` in [`worker_loop`].
+fn handle_score(shared: &Shared, req: &Request, enqueued: Instant, reply: &Sender<Response>) {
+    // Pin the model generation for this whole request: the batch is scored
+    // entirely by `pinned.model` even if a new generation is published
+    // mid-batch, and the generation id in the response names exactly the
+    // model that answered.
+    let pinned: Arc<ModelGeneration> = shared.slot.current();
+
+    // A request that already blew its deadline in the queue is answered
+    // without scoring: under overload, stale work is dropped rather than
+    // allowed to delay fresh work.
+    if let Some(deadline) = shared.cfg.deadline {
+        if enqueued.elapsed() > deadline {
+            sync::lock(&shared.stats).timeouts += 1;
+            let _ = reply.send(Response {
+                lo: req.lo,
+                hi: req.hi,
+                status: ResponseStatus::TimedOut,
+                predictions: Vec::new(),
+                latency: enqueued.elapsed(),
+                generation: pinned.generation,
+            });
+            return;
+        }
+    }
+
+    if take_injected_panic(shared) {
+        panic!("[injected] scoring panic");
+    }
+
+    // Transient failures are retried with exponential backoff; exhausting
+    // the budget yields a Failed *response*, never a hang or a dead
+    // worker.
+    let mut attempt: u32 = 0;
+    let failed = loop {
+        if take_injected_failure(shared) {
+            if attempt >= shared.cfg.max_retries {
+                break true;
+            }
+            let backoff = shared
+                .cfg
+                .retry_backoff
+                .saturating_mul(1u32 << attempt.min(16));
+            attempt += 1;
+            sync::lock(&shared.stats).retries += 1;
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            continue;
+        }
+        break false;
+    };
+    if failed {
+        sync::lock(&shared.stats).failed += 1;
+        let _ = reply.send(Response {
+            lo: req.lo,
+            hi: req.hi,
+            status: ResponseStatus::Failed,
+            predictions: Vec::new(),
+            latency: enqueued.elapsed(),
+            generation: pinned.generation,
+        });
+        return;
+    }
+
+    let mut predictions = vec![0u8; req.hi - req.lo];
+    pinned
+        .model
+        .predict_range(&req.data, req.lo, req.hi, &mut predictions);
+    let latency = enqueued.elapsed();
+    {
+        let mut stats = sync::lock(&shared.stats);
+        stats.latencies_ns.push(latency.as_nanos() as u64);
+        stats.records += (req.hi - req.lo) as u64;
+        stats.last_completion = Some(Instant::now());
+        stats.note_served(pinned.generation, (req.hi - req.lo) as u64);
+    }
+    // A client that dropped its receiver just loses the answer.
+    let _ = reply.send(Response {
+        lo: req.lo,
+        hi: req.hi,
+        status: ResponseStatus::Ok,
+        predictions,
+        latency,
+        generation: pinned.generation,
+    });
 }
 
 /// One scoring attempt consumes one unit of the injected-failure budget.
 fn take_injected_failure(shared: &Shared) -> bool {
     shared
         .fail_budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// One scoring attempt consumes one unit of the injected-panic budget.
+fn take_injected_panic(shared: &Shared) -> bool {
+    shared
+        .panic_budget
         .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
         .is_ok()
 }
@@ -611,6 +797,14 @@ pub struct StatsReport {
     pub elapsed: Duration,
     /// Records per second over `elapsed`.
     pub records_per_sec: f64,
+    /// Panics observed in workers: isolated per-request scoring panics
+    /// (each answered `Failed`) plus worker threads that died outright.
+    pub worker_panics: u64,
+    /// Worker threads that exited by panic and are no longer serving.
+    pub workers_dead: u64,
+    /// Liveness verdict: `Failed` only when *every* worker died;
+    /// `Degraded` when any panic was observed; `Healthy` otherwise.
+    pub health: Health,
     /// Completed requests grouped into per-generation windows, in
     /// completion order — which model generation served each stretch of
     /// traffic (empty when nothing completed).
@@ -618,7 +812,20 @@ pub struct StatsReport {
 }
 
 impl StatsReport {
-    fn from_inner(inner: &StatsInner) -> StatsReport {
+    fn from_inner(inner: &StatsInner, worker_count: usize) -> StatsReport {
+        let health = if inner.workers_dead >= worker_count as u64 && worker_count > 0 {
+            Health::Failed
+        } else if inner.workers_dead > 0 {
+            Health::Degraded {
+                reason: format!("{} of {} workers dead", inner.workers_dead, worker_count),
+            }
+        } else if inner.worker_panics > 0 {
+            Health::Degraded {
+                reason: format!("{} scoring panic(s) isolated", inner.worker_panics),
+            }
+        } else {
+            Health::Healthy
+        };
         let mut sorted = inner.latencies_ns.clone();
         sorted.sort_unstable();
         let pct = |q: f64| -> Duration {
@@ -649,6 +856,9 @@ impl StatsReport {
             p99: pct(0.99),
             elapsed,
             records_per_sec,
+            worker_panics: inner.worker_panics,
+            workers_dead: inner.workers_dead,
+            health,
             generations: inner.gen_windows.clone(),
         }
     }
@@ -681,6 +891,9 @@ impl fmt::Display for StatsReport {
         )?;
         if !self.generations.is_empty() {
             write!(f, " | {} model generation(s)", self.generations_served())?;
+        }
+        if self.health != Health::Healthy {
+            write!(f, " | {} ({} panic(s))", self.health, self.worker_panics)?;
         }
         Ok(())
     }
@@ -1148,6 +1361,116 @@ mod tests {
         assert_eq!(report.p99, Duration::ZERO);
         assert_eq!(report.records_per_sec, 0.0);
         assert_eq!(report.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn injected_scoring_panic_is_isolated_to_one_answer() {
+        sync::hush_injected_panics();
+        let (flat, data) = compiled_fixture(61, 64);
+        let mut expect = vec![0u8; data.len()];
+        flat.predict_batch(&data, &mut expect);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        server.inject_panics(1);
+        let req = || Request {
+            data: Arc::clone(&data),
+            lo: 0,
+            hi: 64,
+        };
+        // The panicking request answers Failed; the *same* worker then
+        // answers the next request normally.
+        let resp = server.score_blocking(req()).unwrap();
+        assert_eq!(resp.status, ResponseStatus::Failed);
+        let resp = server.score_blocking(req()).unwrap();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        assert_eq!(&resp.predictions[..], &expect[..64]);
+        let report = server.shutdown();
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.workers_dead, 0, "the worker survived its panic");
+        assert_eq!(
+            report.health,
+            Health::Degraded {
+                reason: "1 scoring panic(s) isolated".into()
+            }
+        );
+        assert!(report.health.is_serving());
+    }
+
+    #[test]
+    fn dead_worker_is_counted_and_survivor_serves() {
+        sync::hush_injected_panics();
+        let (flat, data) = compiled_fixture(67, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        server.enqueue(Job::Die).unwrap();
+        // Wait for the death to be accounted, then keep serving on the
+        // survivor.
+        while server.stats().workers_dead == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let resp = server
+            .score_blocking(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        let report = server.shutdown();
+        assert_eq!(report.workers_dead, 1);
+        assert_eq!(report.worker_panics, 1);
+        assert!(matches!(report.health, Health::Degraded { .. }));
+        assert!(report.health.is_serving());
+    }
+
+    #[test]
+    fn all_workers_dead_still_answers_failed_on_shutdown() {
+        sync::hush_injected_panics();
+        let (flat, data) = compiled_fixture(71, 64);
+        let server = Server::start(
+            flat,
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        server.enqueue(Job::Die).unwrap();
+        while server.stats().workers_dead == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Accepted with no worker left: shutdown itself must answer these
+        // (Failed), not hang the clients or panic the caller.
+        let rx1 = server
+            .submit(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 64,
+            })
+            .unwrap();
+        let rx2 = server
+            .submit(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: 32,
+            })
+            .unwrap();
+        let report = server.shutdown();
+        assert_eq!(rx1.recv().unwrap().status, ResponseStatus::Failed);
+        assert_eq!(rx2.recv().unwrap().status, ResponseStatus::Failed);
+        assert_eq!(report.workers_dead, 1);
+        assert_eq!(report.health, Health::Failed);
+        assert!(!report.health.is_serving());
+        assert_eq!(report.failed, 2, "drained jobs are counted failed");
     }
 
     #[test]

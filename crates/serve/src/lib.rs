@@ -33,12 +33,13 @@
 pub mod dist;
 pub mod harness;
 pub mod slot;
+pub mod sync;
 
 pub use dist::{score_distributed, score_forest_distributed, DistScore};
 pub use dtree::flat::FlatTree;
 pub use dtree::flat_forest::{FlatForest, VoteReduce};
 pub use harness::{
-    GenerationWindow, Request, Response, ResponseStatus, ServeConfig, ServeModel, Server,
+    GenerationWindow, Health, Request, Response, ResponseStatus, ServeConfig, ServeModel, Server,
     StatsReport, SubmitError,
 };
 pub use slot::{ModelGeneration, ModelSlot};

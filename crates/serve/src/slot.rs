@@ -20,10 +20,17 @@
 //!
 //! The old generation is freed when its last in-flight batch drops its
 //! `Arc` — the swap itself never blocks on stragglers.
+//!
+//! The slot is **panic-proof**: a client thread that panics while holding
+//! the lock poisons the `RwLock`, but every access goes through the
+//! poison-recovering helpers in [`crate::sync`], so readers keep pinning
+//! the last successfully published generation and later publishers keep
+//! swapping. A dead trainer degrades freshness, never availability.
 
 use std::sync::{Arc, RwLock};
 
 use crate::harness::ServeModel;
+use crate::sync;
 
 /// One committed model generation: an id (assigned by the trainer's
 /// commit protocol) and the compiled model that serves it.
@@ -53,12 +60,12 @@ impl ModelSlot {
     /// Pin the current generation. The returned `Arc` stays valid (and the
     /// model it holds immutable) across any number of subsequent swaps.
     pub fn current(&self) -> Arc<ModelGeneration> {
-        Arc::clone(&self.current.read().unwrap())
+        Arc::clone(&sync::read(&self.current))
     }
 
     /// Generation id currently being served.
     pub fn generation(&self) -> u64 {
-        self.current.read().unwrap().generation
+        sync::read(&self.current).generation
     }
 
     /// Atomically replace the served model. Requests already holding the
@@ -67,17 +74,29 @@ impl ModelSlot {
     /// # Panics
     ///
     /// If `generation` does not increase — committing an old generation is
-    /// a protocol error, not a race to be silently tolerated.
+    /// a protocol error, not a race to be silently tolerated. The panic
+    /// poisons nothing observable: the slot keeps serving (see the module
+    /// docs).
     pub fn publish(&self, generation: u64, model: ServeModel) {
-        let next = Arc::new(ModelGeneration { generation, model });
-        let mut cur = self.current.write().unwrap();
         assert!(
-            next.generation > cur.generation,
-            "generation must increase: {} -> {}",
-            cur.generation,
-            next.generation,
+            self.publish_if_newer(generation, model),
+            "generation must increase: publishing {generation} over {}",
+            self.generation(),
         );
+    }
+
+    /// Replace the served model iff `generation` is strictly newer than
+    /// the one currently served; returns whether the swap happened. The
+    /// idempotent entry point for crash-resume paths, where republishing
+    /// an already-current generation is a no-op, not a protocol error.
+    pub fn publish_if_newer(&self, generation: u64, model: ServeModel) -> bool {
+        let next = Arc::new(ModelGeneration { generation, model });
+        let mut cur = sync::write(&self.current);
+        if next.generation <= cur.generation {
+            return false;
+        }
         *cur = next;
+        true
     }
 }
 
@@ -110,6 +129,38 @@ mod tests {
     fn stale_publish_is_a_protocol_error() {
         let slot = ModelSlot::new(3, ServeModel::Tree(tree(7)));
         slot.publish(3, ServeModel::Tree(tree(8)));
+    }
+
+    #[test]
+    fn stale_publish_if_newer_is_a_tolerated_no_op() {
+        let slot = ModelSlot::new(3, ServeModel::Tree(tree(7)));
+        assert!(!slot.publish_if_newer(3, ServeModel::Tree(tree(8))));
+        assert!(!slot.publish_if_newer(2, ServeModel::Tree(tree(8))));
+        assert_eq!(slot.generation(), 3, "slot untouched");
+        assert!(slot.publish_if_newer(4, ServeModel::Tree(tree(8))));
+        assert_eq!(slot.generation(), 4);
+    }
+
+    #[test]
+    fn poisoned_slot_still_serves_reads_and_publishes() {
+        crate::sync::hush_injected_panics();
+        let slot = ModelSlot::new(1, ServeModel::Tree(tree(11)));
+        // A client thread dies while holding the write lock: the slot's
+        // lock is poisoned, the served generation untouched.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = slot.current.write().unwrap();
+                panic!("[injected] publisher dies mid-swap");
+            })
+            .join()
+        });
+        assert!(slot.current.is_poisoned());
+        // Readers keep answering on the last published generation...
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.current().generation, 1);
+        // ...and a healthy publisher keeps swapping.
+        slot.publish(2, ServeModel::Tree(tree(12)));
+        assert_eq!(slot.current().generation, 2);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Poison-tolerant lock helpers.
+//!
+//! `std` poisons a `Mutex`/`RwLock` when a thread panics while holding it.
+//! For the serving and streaming stacks that is exactly the wrong cascade:
+//! one panicking worker would turn every subsequent `lock().unwrap()` in
+//! every *other* thread into a second panic, taking the whole process down
+//! with it. The data these locks guard (queues, counters, the model slot)
+//! stays structurally valid across any panic point we have — every
+//! critical section either completes its invariant or leaves it untouched
+//! — so the right recovery is to strip the poison and keep serving.
+//!
+//! Every lock acquisition in `serve` (and the live `stream` runtime built
+//! on it) goes through these helpers instead of bare `unwrap()`.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Lock `m`, recovering (not panicking) if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock `l`, recovering from poison.
+pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock `l`, recovering from poison.
+pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv` with `guard`, recovering the guard from poison on wake.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install (once per process) a panic hook that silences panics whose
+/// message contains `"[injected]"` — the marker every scripted chaos fault
+/// carries. Injected panics are the *point* of a chaos run; their default
+/// stderr reports would drown the output without adding information. All
+/// other panics still report normally.
+pub fn hush_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(String::from)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("[injected]") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn poisoned_mutex_still_locks() {
+        hush_injected_panics();
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("[injected] poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "data survives the poisoned holder");
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn poisoned_rwlock_still_reads_and_writes() {
+        hush_injected_panics();
+        let l = Arc::new(RwLock::new(1u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("[injected] poison the rwlock");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(*read(&l), 1);
+        *write(&l) = 2;
+        assert_eq!(*read(&l), 2);
+    }
+}

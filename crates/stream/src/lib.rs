@@ -24,11 +24,20 @@
 //! generators (with time-varying concept drift) adapted to the
 //! [`BlockSource`] trait. Committed generations live in the single-file
 //! CRC-checked [`scalparc::stream::genstore`].
+//!
+//! The live runner is **supervised**: trainer and feeder run as
+//! panic-isolated attempts under a heartbeat watchdog with a bounded
+//! restart policy ([`supervisor`]), scripted chaos faults can be injected
+//! ([`fault`]), and a killed run crash-resumes from the newest intact
+//! committed generation in the store (see [`live`] module docs).
 
+pub mod fault;
 pub mod live;
 pub mod queue;
 pub mod source;
+pub mod supervisor;
 
+pub use fault::{DamageKind, LiveFault, LiveFaultPlan, StorageDamage};
 pub use live::{run_live, LiveConfig, LiveReport, SwapEvent};
 pub use queue::{IngestQueue, TryPushError};
 pub use scalparc::stream::{
@@ -36,3 +45,7 @@ pub use scalparc::stream::{
     StreamConfig, StreamOutcome, StreamReport, Trigger,
 };
 pub use source::{quest_sketch, DriftSource, StableSource};
+pub use supervisor::{
+    Component, FailureKind, Health, Heartbeat, RestartPolicy, Supervisor, SupervisorReport,
+    Watchdog,
+};

@@ -9,9 +9,16 @@
 //! `push` fail, consumers drain whatever is left and then get `None`.
 //! FIFO order is preserved, so blocks leave in arrival order — the
 //! property the sliding-window eviction in the trainer relies on.
+//!
+//! The queue is **panic-proof**: every acquisition goes through the
+//! poison-recovering helpers in [`serve::sync`], so a feeder or trainer
+//! that dies while holding the lock leaves a queue the surviving (or
+//! restarted) side can still push to, pop from, and close.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use serve::sync;
 
 /// Why a non-blocking push did not enqueue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,7 +64,7 @@ impl<T> IngestQueue<T> {
     /// Enqueue `item`, blocking while the queue is full. Returns `false`
     /// (with the item dropped) iff the queue was closed.
     pub fn push(&self, item: T) -> bool {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = sync::lock(&self.inner);
         loop {
             if g.closed {
                 return false;
@@ -70,13 +77,13 @@ impl<T> IngestQueue<T> {
                 self.not_empty.notify_one();
                 return true;
             }
-            g = self.not_full.wait(g).unwrap();
+            g = sync::wait(&self.not_full, g);
         }
     }
 
     /// Enqueue without blocking.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = sync::lock(&self.inner);
         if g.closed {
             return Err(TryPushError::Closed);
         }
@@ -94,7 +101,7 @@ impl<T> IngestQueue<T> {
     /// Dequeue the oldest item, blocking while the queue is empty and
     /// open. `None` means closed *and* drained — the stream is over.
     pub fn pop(&self) -> Option<T> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = sync::lock(&self.inner);
         loop {
             if let Some(item) = g.items.pop_front() {
                 drop(g);
@@ -104,21 +111,21 @@ impl<T> IngestQueue<T> {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).unwrap();
+            g = sync::wait(&self.not_empty, g);
         }
     }
 
     /// Close the queue: future pushes fail, pops drain the remainder and
     /// then return `None`. Idempotent; wakes every waiter.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        sync::lock(&self.inner).closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        sync::lock(&self.inner).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -133,13 +140,13 @@ impl<T> IngestQueue<T> {
 
     /// Items ever pushed successfully.
     pub fn pushed(&self) -> u64 {
-        self.inner.lock().unwrap().pushed
+        sync::lock(&self.inner).pushed
     }
 
     /// Largest queue length observed — how close the feeder came to the
     /// backpressure ceiling.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().unwrap().high_water
+        sync::lock(&self.inner).high_water
     }
 }
 
@@ -212,6 +219,30 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn poisoned_queue_still_pushes_pops_and_closes() {
+        sync::hush_injected_panics();
+        let q = Arc::new(IngestQueue::new(4));
+        q.push(1u32);
+        // A client dies while holding the queue's lock: the mutex is
+        // poisoned, the queued items untouched.
+        {
+            let q = Arc::clone(&q);
+            let _ = std::thread::spawn(move || {
+                let _g = q.inner.lock().unwrap();
+                panic!("[injected] queue client dies mid-critical-section");
+            })
+            .join();
+        }
+        assert!(q.inner.is_poisoned());
+        assert!(q.push(2), "push survives the poisoned holder");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.len(), 0);
+        q.close();
+        assert_eq!(q.pop(), None, "close still drains and terminates");
     }
 
     #[test]

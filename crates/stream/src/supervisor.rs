@@ -1,0 +1,306 @@
+//! Supervision primitives for the live runtime: heartbeats, stall
+//! detection, and a bounded restart policy feeding a health state machine.
+//!
+//! The live runner ([`crate::live::run_live`]) runs its trainer and feeder
+//! as *supervised attempts*: each attempt's thread body is wrapped in
+//! `catch_unwind`, beats a [`Heartbeat`] as it makes progress, and reports
+//! its outcome to a control loop. The control loop drives a [`Watchdog`]
+//! (a thread that stops beating for longer than the stall threshold is as
+//! dead as one that panicked) and a [`Supervisor`] that decides, per
+//! failure, whether to restart — with exponential backoff, up to
+//! [`RestartPolicy::max_restarts`] — or to give up and declare the runtime
+//! [`Health::Failed`].
+//!
+//! The state machine is deliberately one-way per run: `Healthy` until the
+//! first failure, `Degraded` while restarts hold the system up, `Failed`
+//! when the budget is exhausted. A run that ends `Degraded` kept every
+//! guarantee (serving answered, commits stayed lossless); `Failed` means
+//! the stream was abandoned before exhaustion.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+pub use serve::Health;
+
+/// Which supervised thread a failure belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// The trainer: pops blocks, maintains the window, commits/publishes.
+    Trainer,
+    /// The feeder: materializes stream blocks into the ingest queue.
+    Feeder,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Trainer => write!(f, "trainer"),
+            Component::Feeder => write!(f, "feeder"),
+        }
+    }
+}
+
+/// How a supervised attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The thread body panicked (caught at the attempt boundary).
+    Panic,
+    /// The thread stopped heartbeating past the stall threshold and was
+    /// abandoned by the watchdog.
+    Stall,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Stall => write!(f, "stall"),
+        }
+    }
+}
+
+/// A monotone progress counter a supervised thread bumps as it works.
+/// The watchdog samples it; a counter that stops changing is a stall.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    beats: AtomicU64,
+}
+
+impl Heartbeat {
+    /// A heartbeat that has never beaten.
+    pub fn new() -> Heartbeat {
+        Heartbeat::default()
+    }
+
+    /// Record one unit of progress.
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total beats so far (sampled by the watchdog).
+    pub fn count(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+}
+
+/// Stall detector over one [`Heartbeat`]: remembers when the beat count
+/// last changed and trips once it has been flat for `stall_after`.
+#[derive(Debug)]
+pub struct Watchdog {
+    stall_after: Duration,
+    last_count: u64,
+    last_change: Instant,
+}
+
+impl Watchdog {
+    /// A watchdog considering a heartbeat flat for `stall_after` stalled.
+    /// The clock starts now, so a thread that never beats at all also
+    /// trips after `stall_after`.
+    pub fn new(stall_after: Duration) -> Watchdog {
+        Watchdog {
+            stall_after,
+            last_count: 0,
+            last_change: Instant::now(),
+        }
+    }
+
+    /// Feed the current beat count; returns `true` once the count has not
+    /// advanced for at least the stall threshold.
+    pub fn check(&mut self, count: u64) -> bool {
+        if count != self.last_count {
+            self.last_count = count;
+            self.last_change = Instant::now();
+            return false;
+        }
+        self.last_change.elapsed() >= self.stall_after
+    }
+}
+
+/// Bounded-restart policy: how many failures the supervisor absorbs, and
+/// the backoff before each restart (doubling per consecutive failure).
+#[derive(Clone, Copy, Debug)]
+pub struct RestartPolicy {
+    /// Failures absorbed before the supervisor gives up (`Failed`). A
+    /// policy of 3 allows up to 4 attempts in total.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per subsequent restart.
+    pub backoff: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One supervision decision, kept for the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupervisionEvent {
+    /// Which thread failed.
+    pub component: Component,
+    /// How it failed.
+    pub kind: FailureKind,
+    /// Whether the supervisor restarted (`true`) or gave up (`false`).
+    pub restarted: bool,
+    /// Backoff slept before the restart (zero when `restarted` is false).
+    pub backoff: Duration,
+}
+
+/// What the supervisor did over one run.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorReport {
+    /// Restarts performed (failures absorbed).
+    pub restarts: u32,
+    /// Trainer panics observed.
+    pub trainer_panics: u32,
+    /// Feeder panics observed.
+    pub feeder_panics: u32,
+    /// Stalls detected (and abandoned) by the watchdog.
+    pub stalls: u32,
+    /// Every decision, in order.
+    pub events: Vec<SupervisionEvent>,
+}
+
+impl SupervisorReport {
+    /// Total failures observed (panics plus stalls).
+    pub fn failures(&self) -> u32 {
+        self.trainer_panics + self.feeder_panics + self.stalls
+    }
+}
+
+/// The restart decision-maker; see the module docs for the state machine.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: RestartPolicy,
+    report: SupervisorReport,
+    exhausted: bool,
+}
+
+impl Supervisor {
+    /// A fresh supervisor with `policy`'s budget unspent.
+    pub fn new(policy: RestartPolicy) -> Supervisor {
+        Supervisor {
+            policy,
+            report: SupervisorReport::default(),
+            exhausted: false,
+        }
+    }
+
+    /// Record a failure and decide: `Some(backoff)` means restart after
+    /// sleeping `backoff`; `None` means the budget is exhausted and the
+    /// run must end `Failed`.
+    pub fn on_failure(&mut self, component: Component, kind: FailureKind) -> Option<Duration> {
+        match kind {
+            FailureKind::Panic => match component {
+                Component::Trainer => self.report.trainer_panics += 1,
+                Component::Feeder => self.report.feeder_panics += 1,
+            },
+            FailureKind::Stall => self.report.stalls += 1,
+        }
+        if self.report.restarts >= self.policy.max_restarts {
+            self.exhausted = true;
+            self.report.events.push(SupervisionEvent {
+                component,
+                kind,
+                restarted: false,
+                backoff: Duration::ZERO,
+            });
+            return None;
+        }
+        let backoff = self
+            .policy
+            .backoff
+            .saturating_mul(1u32 << self.report.restarts.min(16));
+        self.report.restarts += 1;
+        self.report.events.push(SupervisionEvent {
+            component,
+            kind,
+            restarted: true,
+            backoff,
+        });
+        Some(backoff)
+    }
+
+    /// Current health: `Healthy` with no failures, `Degraded` while
+    /// restarts absorb them, `Failed` once the budget is exhausted.
+    pub fn health(&self) -> Health {
+        if self.exhausted {
+            Health::Failed
+        } else if self.report.failures() > 0 {
+            Health::Degraded {
+                reason: format!(
+                    "{} failure(s) absorbed by {} restart(s)",
+                    self.report.failures(),
+                    self.report.restarts
+                ),
+            }
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// The decision log so far.
+    pub fn report(&self) -> &SupervisorReport {
+        &self.report
+    }
+
+    /// Consume the supervisor into its final report.
+    pub fn into_report(self) -> SupervisorReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_trips_only_on_a_flat_heartbeat() {
+        let hb = Heartbeat::new();
+        let mut wd = Watchdog::new(Duration::from_millis(30));
+        assert!(!wd.check(hb.count()), "fresh heartbeat is not stalled");
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(15));
+            hb.beat();
+            assert!(!wd.check(hb.count()), "advancing heartbeat never stalls");
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wd.check(hb.count()), "flat past the threshold: stalled");
+    }
+
+    #[test]
+    fn supervisor_backs_off_exponentially_then_exhausts() {
+        let mut sup = Supervisor::new(RestartPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(10),
+        });
+        assert_eq!(sup.health(), Health::Healthy);
+        assert_eq!(
+            sup.on_failure(Component::Trainer, FailureKind::Panic),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(
+            sup.on_failure(Component::Trainer, FailureKind::Stall),
+            Some(Duration::from_millis(20))
+        );
+        assert_eq!(
+            sup.on_failure(Component::Feeder, FailureKind::Panic),
+            Some(Duration::from_millis(40))
+        );
+        assert!(matches!(sup.health(), Health::Degraded { .. }));
+        assert!(sup.health().is_serving());
+        assert_eq!(sup.on_failure(Component::Trainer, FailureKind::Panic), None);
+        assert_eq!(sup.health(), Health::Failed);
+        let report = sup.into_report();
+        assert_eq!(report.restarts, 3);
+        assert_eq!(report.trainer_panics, 2);
+        assert_eq!(report.feeder_panics, 1);
+        assert_eq!(report.stalls, 1);
+        assert_eq!(report.events.len(), 4);
+        assert!(!report.events.last().unwrap().restarted);
+    }
+}

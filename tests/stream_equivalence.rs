@@ -10,6 +10,11 @@
 //!   is answered by *exactly one* committed generation: no drops, no
 //!   torn batches, and the predictions equal that generation's batch
 //!   kernel run offline over the same records.
+//! * **Kill-and-resume suffix identity** — a live run killed mid-stream
+//!   and resumed from its generation store (`LiveConfig::resume`) commits
+//!   exactly the suffix the uninterrupted in-machine pipeline would have:
+//!   the combined two-life commit sequence equals the oracle's, byte for
+//!   byte — including when the newest store file was torn by the crash.
 //! * **Accumulator invariance** (proptest) — folding a stream into the
 //!   incremental accumulators under *any* blocking and *any* block
 //!   arrival order equals the single-shot batch statistics, for both the
@@ -27,7 +32,7 @@ use scalparc::stream::accum::{LeafStats, StreamAccum};
 use scalparc::stream::{run_stream, BlockSource, StreamConfig, StreamReport};
 use scalparc::ParConfig;
 use serve::{ModelSlot, Request, ResponseStatus, ServeConfig, ServeModel, Server};
-use stream::{quest_sketch, DriftSource};
+use stream::{quest_sketch, run_live, DamageKind, DriftSource, Health, LiveConfig, StorageDamage};
 
 fn drift_source(n: usize, seed: u64) -> DriftSource {
     DriftSource::new(
@@ -161,6 +166,108 @@ fn hot_swap_answers_every_request_from_exactly_one_committed_generation() {
     // The per-generation serve windows partition the request count.
     let windowed: u64 = stats.generations.iter().map(|w| w.requests).sum();
     assert_eq!(windowed, stats.requests);
+}
+
+/// Run the kill-and-resume scenario: life A consumes the stream's prefix
+/// (the "process" dies at `cut`), optionally the newest committed store
+/// file is damaged (a torn write at crash time), then life B resumes from
+/// the store over the full stream. Asserts the combined commit sequence —
+/// life A's intact prefix plus life B's suffix — is identical to the
+/// uninterrupted in-machine oracle: ids, triggers, windows, tree bytes.
+fn kill_resume_roundtrip(damage_newest: bool) {
+    let n = 1_600usize;
+    let cut = 1_200usize; // block-aligned kill point
+    let source_full = drift_source(n, 11);
+    let source_cut = DriftSource::new(
+        GenConfig::paper(cut, 11),
+        DriftKind::Abrupt {
+            at: n / 2, // same absolute drift position as the full stream
+            to: ClassFunc::F1,
+        },
+    );
+    let cfg = stream_cfg(&source_full);
+    let oracle = pipeline(&source_full, 4);
+
+    let dir = std::env::temp_dir().join(format!(
+        "scalparc-kill-resume-{}-{damage_newest}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let live_cfg = LiveConfig {
+        store: Some(dir.clone()),
+        ..LiveConfig::default()
+    };
+    let life_a = run_live(&source_cut, &cfg, &live_cfg);
+    assert!(
+        life_a.swaps.len() >= 2,
+        "need at least two committed generations before the kill"
+    );
+    assert_eq!(life_a.health, Health::Healthy);
+
+    let newest = life_a.swaps.last().unwrap().generation;
+    let expect_resume = if damage_newest {
+        assert!(
+            StorageDamage {
+                generation: newest,
+                kind: DamageKind::TruncateTail,
+            }
+            .apply(&dir),
+            "damaging GEN_{newest}"
+        );
+        newest - 1
+    } else {
+        newest
+    };
+
+    let life_b = run_live(
+        &source_full,
+        &cfg,
+        &LiveConfig {
+            resume: true,
+            ..live_cfg
+        },
+    );
+    assert_eq!(life_b.resumed_from, Some(expect_resume));
+    assert_eq!(
+        life_b.store_skipped_corrupt,
+        u32::from(damage_newest),
+        "exactly the torn file (if any) skipped"
+    );
+    assert_eq!(life_b.health, Health::Healthy);
+    assert!(life_b.recovery_ns > 0, "resume stamps its time-to-recover");
+
+    // Zero lost committed generations: the intact prefix plus the resumed
+    // suffix reproduce the oracle exactly. A damaged newest generation is
+    // re-induced deterministically, so it reappears in life B's commits.
+    let combined: Vec<_> = life_a
+        .swaps
+        .iter()
+        .filter(|s| s.generation <= expect_resume)
+        .chain(life_b.swaps.iter())
+        .collect();
+    assert_eq!(combined.len(), oracle.commits.len());
+    for (s, c) in combined.iter().zip(&oracle.commits) {
+        assert_eq!(s.generation, c.generation);
+        assert_eq!(s.trigger, c.trigger, "gen {}", s.generation);
+        assert_eq!(
+            (s.window_lo, s.window_hi),
+            (c.window_lo, c.window_hi),
+            "gen {}",
+            s.generation
+        );
+        assert_eq!(s.tree_text, c.tree_text, "gen {} tree bytes", s.generation);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_resume_commits_the_identical_suffix() {
+    kill_resume_roundtrip(false);
+}
+
+#[test]
+fn resume_skips_a_torn_newest_generation_and_loses_nothing() {
+    kill_resume_roundtrip(true);
 }
 
 /// A deterministic in-test shuffle (proptest drives the seed).
