@@ -29,16 +29,21 @@
 //! across scheduling layouts** for fixed seeds — asserted by the
 //! `forest_equivalence` integration tests and the `forest` bench bin.
 
-use std::path::Path;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use diskio::ckpt::SectionRead;
 use dtree::data::{Dataset, Schema};
 use dtree::testgen::TestRng;
 use dtree::tree::{DecisionTree, SplitTest};
 use dtree::{eval, model_io};
-use mpsim::{MachineCfg, RunStats};
+use mpsim::{Crash, FaultPlan, MachineCfg, RunStats};
 
-use crate::config::ParConfig;
-use crate::induce::induce_on_comm;
+use crate::checkpoint::{self, CheckpointCtx, RestoreVerdict};
+use crate::config::{InduceConfig, ParConfig};
+use crate::induce::{induce_on_comm, induce_on_comm_ckpt, ParStats};
+use crate::{CrashEvent, RecoveryReport};
 
 /// How trees are laid out over the machine's ranks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -165,7 +170,9 @@ pub fn plan(n_trees: usize, procs: usize, schedule: ForestSchedule) -> ForestPla
 pub struct TreeStat {
     /// Tree index in the forest.
     pub tree: usize,
-    /// Index of the group that induced it.
+    /// Index of the group that induced it (under recovery: the group whose
+    /// attempt *completed* the tree, which may differ from the planned
+    /// owner after a reschedule).
     pub group: usize,
     /// Rank count of that group's machine.
     pub procs: usize,
@@ -176,6 +183,14 @@ pub struct TreeStat {
     /// Full machine statistics of the tree's run (simulated time,
     /// communication volume, memory peaks, traces when enabled).
     pub run: RunStats,
+    /// What recovering this tree cost beyond the successful attempt —
+    /// crashes observed, wasted simulated time/bytes, re-executed levels.
+    /// Default (one attempt, nothing wasted) on the fault-free path.
+    pub recovery: RecoveryReport,
+    /// Planned group this tree was moved away from by
+    /// [`ForestRecoveryPolicy::Reschedule`] (`None` = induced where
+    /// planned).
+    pub rescheduled_from: Option<usize>,
 }
 
 /// A trained forest plus schedule-aware accounting.
@@ -372,6 +387,8 @@ pub fn train_forest(data: &Dataset, fcfg: &ForestConfig, par: &ParConfig) -> For
                 nodes: tree.nodes.len(),
                 levels: ps.levels,
                 run: result.stats,
+                recovery: RecoveryReport::default(),
+                rescheduled_from: None,
             });
             trees[t] = Some(tree);
         }
@@ -389,31 +406,660 @@ pub fn train_forest(data: &Dataset, fcfg: &ForestConfig, par: &ParConfig) -> For
     }
 }
 
-/// Section tag of the forest payload inside the CRC'd container.
+/// Section tag of the single-section (v1, whole-forest) container payload.
+/// Still read for backward compatibility; new files are written per tree.
 pub const FOREST_SECTION: u32 = u32::from_le_bytes(*b"FRST");
 
-/// Write a forest to a versioned, CRC-guarded container file (the
-/// `diskio::ckpt` section format around the `model_io` forest text): a
-/// torn or bit-flipped file is detected on load, never silently parsed,
-/// and the write is atomic (tmp + rename).
-pub fn save_forest(trees: &[DecisionTree], path: &Path) -> Result<(), String> {
-    let text = model_io::forest_to_text(trees);
-    diskio::ckpt::write_sections(path, &[(FOREST_SECTION, text.as_bytes())])
-        .map_err(|e| e.to_string())
+/// Section tag of the forest meta payload (tree count) in v2 containers.
+pub const FOREST_META_SECTION: u32 = u32::from_le_bytes(*b"FMET");
+
+/// Base of the per-tree section tag namespace: tree `t` lives in section
+/// `TREE_SECTION_BASE + t`.
+pub const TREE_SECTION_BASE: u32 = u32::from_le_bytes(*b"\0\0RT");
+
+/// What [`load_forest`] found for one planned tree slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeVerdict {
+    /// The tree's section was CRC-clean and parsed.
+    Ok(DecisionTree),
+    /// The section was present but damaged (CRC mismatch, truncation, or a
+    /// parse/schema failure). Carries the reason.
+    Corrupt(String),
+    /// No section for this tree slot survived in the container.
+    Missing,
 }
 
-/// Read a forest back from a [`save_forest`] container, verifying the
-/// envelope CRC before parsing.
-pub fn load_forest(path: &Path) -> Result<Vec<DecisionTree>, String> {
+impl TreeVerdict {
+    /// The tree, when intact.
+    pub fn tree(&self) -> Option<&DecisionTree> {
+        match self {
+            TreeVerdict::Ok(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this slot loaded clean.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TreeVerdict::Ok(_))
+    }
+}
+
+/// Typed per-tree outcome of loading a forest container: damage to one
+/// tree's section never hides the surviving trees.
+#[derive(Clone, Debug)]
+pub struct ForestVerdict {
+    /// Trees the container was written with.
+    pub planned: usize,
+    /// One verdict per planned tree slot, in tree order.
+    pub trees: Vec<TreeVerdict>,
+}
+
+impl ForestVerdict {
+    /// Slots that loaded clean.
+    pub fn n_ok(&self) -> usize {
+        self.trees.iter().filter(|v| v.is_ok()).count()
+    }
+
+    /// Whether every planned tree survived.
+    pub fn is_complete(&self) -> bool {
+        self.n_ok() == self.planned
+    }
+
+    /// Per-slot damage mask (`true` = corrupt or missing) — the shape
+    /// `FlatForest::with_missing` votes around.
+    pub fn missing_mask(&self) -> Vec<bool> {
+        self.trees.iter().map(|v| !v.is_ok()).collect()
+    }
+
+    /// The surviving trees, in tree order (damaged slots skipped).
+    pub fn surviving(&self) -> Vec<DecisionTree> {
+        self.trees
+            .iter()
+            .filter_map(|v| v.tree().cloned())
+            .collect()
+    }
+
+    /// All-or-nothing view: the full forest, or the first slot's failure.
+    pub fn into_strict(self) -> Result<Vec<DecisionTree>, String> {
+        let planned = self.planned;
+        let mut trees = Vec::with_capacity(planned);
+        for (t, v) in self.trees.into_iter().enumerate() {
+            match v {
+                TreeVerdict::Ok(tree) => trees.push(tree),
+                TreeVerdict::Corrupt(msg) => return Err(format!("tree {t}: corrupt: {msg}")),
+                TreeVerdict::Missing => return Err(format!("tree {t}: missing from container")),
+            }
+        }
+        Ok(trees)
+    }
+}
+
+/// Write a forest to a versioned, CRC-guarded container file: a meta
+/// section carrying the tree count plus **one section per tree** (each the
+/// tree's `model_io` text), so storage damage is isolated to the trees it
+/// actually hits. The write is atomic (tmp + rename) and byte-deterministic
+/// for a given forest.
+pub fn save_forest(trees: &[DecisionTree], path: &Path) -> Result<(), String> {
+    let meta = (trees.len() as u32).to_le_bytes();
+    let texts: Vec<String> = trees.iter().map(model_io::to_text).collect();
+    let mut sections: Vec<(u32, &[u8])> = vec![(FOREST_META_SECTION, &meta)];
+    for (t, text) in texts.iter().enumerate() {
+        sections.push((TREE_SECTION_BASE + t as u32, text.as_bytes()));
+    }
+    diskio::ckpt::write_sections(path, &sections).map_err(|e| e.to_string())
+}
+
+/// Parse one tree slot's intact payload, checking UTF-8, the tree grammar,
+/// and schema agreement with the slots already parsed.
+fn parse_tree_payload(payload: &[u8], schema: &mut Option<Schema>) -> TreeVerdict {
+    let text = match std::str::from_utf8(payload) {
+        Ok(s) => s,
+        Err(e) => return TreeVerdict::Corrupt(format!("payload is not UTF-8: {e}")),
+    };
+    match model_io::from_text(text) {
+        Ok(tree) => match schema {
+            Some(s) if *s != tree.schema => {
+                TreeVerdict::Corrupt("schema differs from the container's other trees".into())
+            }
+            _ => {
+                schema.get_or_insert_with(|| tree.schema.clone());
+                TreeVerdict::Ok(tree)
+            }
+        },
+        Err(e) => TreeVerdict::Corrupt(e),
+    }
+}
+
+/// Read a forest container damage-tolerantly: every tree slot gets a typed
+/// [`TreeVerdict`] instead of the whole load failing on the first bad
+/// byte. Only envelope-level damage (unreadable/foreign header, or a
+/// destroyed meta section) fails the load as a whole. Legacy v1
+/// single-section containers load as all-`Ok`-or-error, unchanged.
+pub fn load_forest(path: &Path) -> Result<ForestVerdict, String> {
+    let sections = diskio::ckpt::read_sections_tolerant(path).map_err(|e| e.to_string())?;
+
+    // Legacy v1: one FRST section holding the whole forest text. Intact →
+    // parse it; damaged → the whole forest is lost (that was v1's deal).
+    if let Some(payload) = sections.iter().find_map(|s| match s {
+        SectionRead::Ok { tag, payload } if *tag == FOREST_SECTION => Some(payload),
+        _ => None,
+    }) {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| format!("{}: forest payload is not UTF-8: {e}", path.display()))?;
+        let trees = model_io::forest_from_text(text)?;
+        return Ok(ForestVerdict {
+            planned: trees.len(),
+            trees: trees.into_iter().map(TreeVerdict::Ok).collect(),
+        });
+    }
+
+    let meta = sections.iter().find_map(|s| match s {
+        SectionRead::Ok { tag, payload } if *tag == FOREST_META_SECTION => Some(payload),
+        _ => None,
+    });
+    let Some(meta) = meta else {
+        return Err(format!(
+            "{}: forest meta section missing or corrupt",
+            path.display()
+        ));
+    };
+    if meta.len() != 4 {
+        return Err(format!("{}: malformed forest meta section", path.display()));
+    }
+    let planned = u32::from_le_bytes([meta[0], meta[1], meta[2], meta[3]]) as usize;
+
+    let mut trees = vec![TreeVerdict::Missing; planned];
+    let mut schema: Option<Schema> = None;
+    for s in &sections {
+        match s {
+            SectionRead::Ok { tag, payload } => {
+                let Some(t) = tag.checked_sub(TREE_SECTION_BASE).map(|t| t as usize) else {
+                    continue;
+                };
+                if t < planned {
+                    trees[t] = parse_tree_payload(payload, &mut schema);
+                }
+            }
+            SectionRead::Corrupt {
+                tag: Some(tag),
+                msg,
+            } => {
+                let Some(t) = tag.checked_sub(TREE_SECTION_BASE).map(|t| t as usize) else {
+                    continue;
+                };
+                if t < planned {
+                    trees[t] = TreeVerdict::Corrupt(msg.clone());
+                }
+            }
+            // Sections whose very tag was lost (truncation) cannot be
+            // attributed to a slot; those slots stay `Missing`.
+            SectionRead::Corrupt { tag: None, .. } => {}
+        }
+    }
+    Ok(ForestVerdict { planned, trees })
+}
+
+/// All-or-nothing load: the pre-verdict `load_forest` behaviour.
+pub fn load_forest_strict(path: &Path) -> Result<Vec<DecisionTree>, String> {
+    load_forest(path)?.into_strict()
+}
+
+/// Walk a container's raw section frames, calling `f(tag, start, len)` for
+/// each (with `start` the file offset of the frame's tag field), until `f`
+/// returns `true` or the walk runs off the file.
+fn walk_sections(bytes: &[u8], mut f: impl FnMut(u32, usize, usize) -> bool) {
+    let mut off = 12usize; // [magic][version][count]
+    while off + 12 <= bytes.len() {
+        let tag = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+        if f(tag, off, len) {
+            return;
+        }
+        off += 12 + len + 4;
+    }
+}
+
+/// Deterministic damage: flip one bit in the middle of tree `t`'s section
+/// payload, so the container loads with exactly that slot `Corrupt`.
+pub fn damage_tree_section(path: &Path, t: usize) -> Result<(), String> {
+    let mut bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let want = TREE_SECTION_BASE + t as u32;
+    let mut hit = None;
+    walk_sections(&bytes, |tag, start, len| {
+        if tag == want && len > 0 {
+            hit = Some(start + 12 + len / 2);
+            true
+        } else {
+            false
+        }
+    });
+    let at = hit.ok_or_else(|| format!("{}: no section for tree {t}", path.display()))?;
+    bytes[at] ^= 0x10;
+    std::fs::write(path, &bytes).map_err(|e| e.to_string())
+}
+
+/// Deterministic damage: cut the file mid-payload of tree `t`'s section —
+/// that slot loads `Corrupt` and every later section is lost (`Missing`).
+pub fn truncate_at_tree_section(path: &Path, t: usize) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let want = TREE_SECTION_BASE + t as u32;
+    let mut hit = None;
+    walk_sections(&bytes, |tag, start, len| {
+        if tag == want {
+            hit = Some(start + 12 + len / 2);
+            true
+        } else {
+            false
+        }
+    });
+    let at = hit.ok_or_else(|| format!("{}: no section for tree {t}", path.display()))?;
+    std::fs::write(path, &bytes[..at]).map_err(|e| e.to_string())
+}
+
+/// Deterministic damage: drop tree `t`'s section entirely (rewriting the
+/// container without it), so the slot loads `Missing`.
+pub fn remove_tree_section(path: &Path, t: usize) -> Result<(), String> {
     let sections = diskio::ckpt::read_sections(path).map_err(|e| e.to_string())?;
-    let payload = sections
+    let want = TREE_SECTION_BASE + t as u32;
+    if !sections.iter().any(|(tag, _)| *tag == want) {
+        return Err(format!("{}: no section for tree {t}", path.display()));
+    }
+    let kept: Vec<(u32, &[u8])> = sections
         .iter()
-        .find(|(tag, _)| *tag == FOREST_SECTION)
-        .map(|(_, bytes)| bytes)
-        .ok_or_else(|| format!("{}: no forest section in container", path.display()))?;
-    let text = std::str::from_utf8(payload)
-        .map_err(|e| format!("{}: forest payload is not UTF-8: {e}", path.display()))?;
-    model_io::forest_from_text(text)
+        .filter(|(tag, _)| *tag != want)
+        .map(|(tag, payload)| (*tag, payload.as_slice()))
+        .collect();
+    diskio::ckpt::write_sections(path, &kept).map_err(|e| e.to_string())
+}
+
+/// Per-group fault plans for a forest run. Every group of the resolved
+/// [`ForestPlan`] is its own simulated machine, so crash/straggler/storage
+/// specs address ranks and collective sequence numbers *within that
+/// group's machine* — exactly the [`FaultPlan`] semantics, namespaced per
+/// group.
+#[derive(Clone, Debug, Default)]
+pub struct ForestFaultPlan {
+    groups: Vec<Option<Arc<FaultPlan>>>,
+}
+
+impl ForestFaultPlan {
+    /// A plan injecting nothing anywhere.
+    pub fn new() -> ForestFaultPlan {
+        ForestFaultPlan::default()
+    }
+
+    /// Install `plan` on group `group`'s machine (builder style).
+    pub fn with_group(mut self, group: usize, plan: FaultPlan) -> ForestFaultPlan {
+        if self.groups.len() <= group {
+            self.groups.resize(group + 1, None);
+        }
+        self.groups[group] = Some(Arc::new(plan));
+        self
+    }
+
+    /// The plan installed on group `group`, if any.
+    pub fn group(&self, group: usize) -> Option<Arc<FaultPlan>> {
+        self.groups.get(group).cloned().flatten()
+    }
+
+    /// Whether no group carries any fault.
+    pub fn is_empty(&self) -> bool {
+        self.groups
+            .iter()
+            .all(|g| g.as_ref().is_none_or(|p| p.is_empty()))
+    }
+}
+
+/// Checkpoint namespace of a forest run: tree `t`'s per-level generations
+/// land in `root/run_<run_id>/tree_<t>/`, so concurrent runs and trees
+/// never collide and a rescheduled tree finds its own checkpoints
+/// regardless of which group resumes it.
+#[derive(Clone, Debug)]
+pub struct ForestCheckpointCtx {
+    /// Directory holding the run namespaces.
+    pub root: PathBuf,
+    /// Distinguishes forest runs sharing a root.
+    pub run_id: u64,
+    /// Per-tree generation retention (`None` = keep all), forwarded to
+    /// every tree's [`CheckpointCtx`].
+    pub keep: Option<usize>,
+}
+
+impl ForestCheckpointCtx {
+    /// Checkpoint under `root`, keeping every generation.
+    pub fn new(root: impl Into<PathBuf>, run_id: u64) -> ForestCheckpointCtx {
+        ForestCheckpointCtx {
+            root: root.into(),
+            run_id,
+            keep: None,
+        }
+    }
+
+    /// Keep only the newest `k` generations per tree.
+    pub fn with_keep(mut self, k: usize) -> ForestCheckpointCtx {
+        self.keep = Some(k);
+        self
+    }
+
+    /// Tree `t`'s checkpoint directory.
+    pub fn tree_dir(&self, t: usize) -> PathBuf {
+        self.root
+            .join(format!("run_{}", self.run_id))
+            .join(format!("tree_{t}"))
+    }
+
+    /// Tree `t`'s checkpoint context (retention forwarded).
+    pub fn tree_ctx(&self, t: usize) -> CheckpointCtx {
+        let ctx = CheckpointCtx::new(self.tree_dir(t));
+        match self.keep {
+            Some(k) => ctx.with_keep(k),
+            None => ctx,
+        }
+    }
+}
+
+/// How [`train_forest_with_recovery`] reacts to a group crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForestRecoveryPolicy {
+    /// Retry the tree on the same group (the failed rank is assumed
+    /// replaced), resuming from the tree's newest checkpoint when
+    /// checkpointing is on — the per-group analogue of
+    /// [`crate::RecoveryPolicy::Retry`].
+    #[default]
+    RetryInPlace,
+    /// Declare the crashed group dead and re-plan its trees onto the
+    /// surviving groups: the crashed tree moves to the lowest-indexed
+    /// survivor (resuming its own checkpoints there — restore re-blocks
+    /// them onto the new group's rank count), the rest of the dead group's
+    /// queue is dealt round-robin over the survivors. With no survivor
+    /// left, the group is revived as a replacement and retried in place.
+    Reschedule,
+}
+
+/// One tree moved off a dead group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RescheduleEvent {
+    /// The tree that moved.
+    pub tree: usize,
+    /// The group that died owning it.
+    pub from_group: usize,
+    /// The surviving group that took it over.
+    pub to_group: usize,
+}
+
+/// Forest-level recovery accounting (per-tree detail lives in each
+/// [`TreeStat::recovery`]).
+#[derive(Clone, Debug, Default)]
+pub struct ForestRecoveryReport {
+    /// Machine runs launched across all trees (successful ones included),
+    /// so `n_trees` means no crash fired.
+    pub attempts: u32,
+    /// Crashes observed across all groups.
+    pub crashes: u32,
+    /// Groups declared dead by [`ForestRecoveryPolicy::Reschedule`], in
+    /// death order.
+    pub dead_groups: Vec<usize>,
+    /// Every tree moved off a dead group, in order.
+    pub rescheduled: Vec<RescheduleEvent>,
+    /// Tree levels executed more than once, summed over all trees.
+    pub reexecuted_levels: u32,
+    /// Communication volume of the aborted attempts.
+    pub wasted_bytes: u64,
+    /// Simulated time of the aborted attempts.
+    pub wasted_time_ns: u64,
+    /// Corrupt checkpoint generations walked past, summed over restarts.
+    pub generations_walked: u32,
+}
+
+/// A recovered forest run: the (fault-free-identical) forest plus what the
+/// crashes cost.
+#[derive(Clone, Debug)]
+pub struct ForestRecoveryOutcome {
+    /// The trained forest — byte-identical to a fault-free
+    /// [`train_forest`] of the same config.
+    pub result: ForestResult,
+    /// Recovery accounting across all groups and trees.
+    pub report: ForestRecoveryReport,
+}
+
+/// One machine run of one tree on a `procs`-rank group: the recovery
+/// driver's attempt body. Identical collective sequence to the
+/// [`train_forest`] inner loop when `fault` and `ckpt` are absent.
+#[allow(clippy::too_many_arguments)]
+fn tree_attempt(
+    data: &Dataset,
+    fcfg: &ForestConfig,
+    induce_cfg: &InduceConfig,
+    par: &ParConfig,
+    m: usize,
+    t: usize,
+    procs: usize,
+    fault: Option<Arc<FaultPlan>>,
+    ckpt: Option<&CheckpointCtx>,
+) -> Result<(DecisionTree, ParStats, RunStats), Crash> {
+    let bag_seed = mix(fcfg.seed ^ BAG_SALT, t as u64);
+    let subset = feature_subset(
+        &data.schema,
+        mix(fcfg.seed ^ FEAT_SALT, t as u64),
+        fcfg.feature_frac,
+    );
+    let mcfg = MachineCfg {
+        procs,
+        cost: par.cost,
+        timing: par.timing,
+        compute_tokens: 0,
+        replay: None,
+        trace: par.trace,
+        fault,
+    };
+    let block = m.div_ceil(procs).max(1);
+    let subset_ref = &subset;
+    let result = mpsim::try_run(&mcfg, |comm| {
+        comm.phase_begin("tree", t as u32);
+        let lo = (comm.rank() * block).min(m);
+        let hi = ((comm.rank() + 1) * block).min(m);
+        let local = if data.is_empty() {
+            project(&data.slice(0, 0), subset_ref)
+        } else {
+            project(&bag_block(data, bag_seed, lo, hi), subset_ref)
+        };
+        let out = induce_on_comm_ckpt(comm, local, lo as u32, m as u64, induce_cfg, ckpt);
+        comm.phase_end(); // tree
+        out
+    })?;
+    let mut outputs = result.outputs;
+    let (mut tree, ps) = outputs.swap_remove(0);
+    remap_attrs(&mut tree, &subset, &data.schema);
+    Ok((tree, ps, result.stats))
+}
+
+/// [`train_forest`] under per-group fault injection, per-tree
+/// checkpointing, and a [`ForestRecoveryPolicy`].
+///
+/// Every tree runs in an attempt loop mirroring
+/// [`crate::induce_with_recovery_policy`]: a crash is accounted (wasted
+/// time/bytes, restore scan, re-executed levels), then either the fired
+/// spec is disarmed and the tree retried in place, or — under
+/// [`ForestRecoveryPolicy::Reschedule`] — the group is declared dead and
+/// its trees move to the survivors. Because bagging and feature seeds are
+/// pure in the *tree index* and induction is geometry-invariant, a
+/// rescheduled or resumed tree is byte-identical to its fault-free twin,
+/// whatever group finishes it.
+///
+/// Stale manifests under the run's checkpoint namespace are cleared
+/// first: this drives a fresh forest, not a resume of an earlier one.
+pub fn train_forest_with_recovery(
+    data: &Dataset,
+    fcfg: &ForestConfig,
+    par: &ParConfig,
+    faults: &ForestFaultPlan,
+    ckpt: Option<&ForestCheckpointCtx>,
+    policy: ForestRecoveryPolicy,
+) -> ForestRecoveryOutcome {
+    assert!(fcfg.n_trees >= 1, "a forest needs at least one tree");
+    assert!(fcfg.bootstrap > 0.0, "bootstrap fraction must be positive");
+    assert!(
+        fcfg.feature_frac > 0.0 && fcfg.feature_frac <= 1.0,
+        "feature fraction must be in (0, 1]"
+    );
+    let plan = plan(fcfg.n_trees, par.procs, fcfg.schedule);
+    let m = bag_size(data.len(), fcfg.bootstrap);
+    let induce_cfg = par.induce;
+    if let Some(fc) = ckpt {
+        for t in 0..fcfg.n_trees {
+            checkpoint::clear_manifests(&fc.tree_dir(t));
+        }
+    }
+
+    struct GroupState {
+        queue: VecDeque<usize>,
+        plan: Option<Arc<FaultPlan>>,
+        alive: bool,
+    }
+    let mut groups: Vec<GroupState> = plan
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| GroupState {
+            queue: g.trees.iter().copied().collect(),
+            plan: faults.group(gi),
+            alive: true,
+        })
+        .collect();
+
+    let mut trees: Vec<Option<DecisionTree>> = (0..fcfg.n_trees).map(|_| None).collect();
+    let mut per_tree: Vec<Option<TreeStat>> = (0..fcfg.n_trees).map(|_| None).collect();
+    let mut rescheduled_from: Vec<Option<usize>> = vec![None; fcfg.n_trees];
+    let mut report = ForestRecoveryReport::default();
+
+    // Deterministic schedule: always the lowest-indexed alive group with
+    // work. (Groups are disjoint machines, so execution order never
+    // affects the trees or any group's own clock.)
+    while let Some(gi) = (0..groups.len()).find(|&g| groups[g].alive && !groups[g].queue.is_empty())
+    {
+        let t = groups[gi].queue.pop_front().expect("non-empty queue");
+        let tree_ckpt = ckpt.map(|fc| fc.tree_ctx(t));
+        let mut rec = RecoveryReport::default();
+        let mut cur = gi;
+        loop {
+            report.attempts += 1;
+            rec.attempts += 1;
+            let procs = plan.groups[cur].procs;
+            match tree_attempt(
+                data,
+                fcfg,
+                &induce_cfg,
+                par,
+                m,
+                t,
+                procs,
+                groups[cur].plan.clone(),
+                tree_ckpt.as_ref(),
+            ) {
+                Ok((tree, ps, run)) => {
+                    rec.final_procs = procs as u32;
+                    per_tree[t] = Some(TreeStat {
+                        tree: t,
+                        group: cur,
+                        procs,
+                        nodes: tree.nodes.len(),
+                        levels: ps.levels,
+                        run,
+                        recovery: rec,
+                        rescheduled_from: rescheduled_from[t],
+                    });
+                    trees[t] = Some(tree);
+                    break;
+                }
+                Err(crash) => {
+                    let sig = crash.signal;
+                    report.crashes += 1;
+                    rec.wasted_bytes += crash.stats.total_bytes_sent();
+                    rec.wasted_time_ns += crash.stats.time_ns();
+                    report.wasted_bytes += crash.stats.total_bytes_sent();
+                    report.wasted_time_ns += crash.stats.time_ns();
+                    let restore = match &tree_ckpt {
+                        Some(ctx) => checkpoint::scan_restore(&ctx.dir, m as u64),
+                        None => RestoreVerdict::NoCheckpoint,
+                    };
+                    let resumed_from = restore.resume_level();
+                    rec.generations_walked += restore.generations_walked();
+                    report.generations_walked += restore.generations_walked();
+                    if sig.level != u32::MAX {
+                        let re = sig.level.saturating_sub(resumed_from.unwrap_or(0)) + 1;
+                        rec.reexecuted_levels += re;
+                        report.reexecuted_levels += re;
+                    }
+                    rec.crashes.push(CrashEvent {
+                        rank: sig.rank,
+                        coll_seq: sig.coll_seq,
+                        coll: sig.coll,
+                        level: sig.level,
+                        procs: procs as u32,
+                        resumed_from,
+                        restore,
+                    });
+                    let survivors: Vec<usize> = (0..groups.len())
+                        .filter(|&g| g != cur && groups[g].alive)
+                        .collect();
+                    match policy {
+                        ForestRecoveryPolicy::Reschedule if !survivors.is_empty() => {
+                            groups[cur].alive = false;
+                            report.dead_groups.push(cur);
+                            // The crashed tree moves to the lowest-indexed
+                            // survivor and retries immediately; the dead
+                            // group's remaining queue is dealt round-robin
+                            // over all survivors.
+                            let to = survivors[0];
+                            report.rescheduled.push(RescheduleEvent {
+                                tree: t,
+                                from_group: cur,
+                                to_group: to,
+                            });
+                            rescheduled_from[t].get_or_insert(cur);
+                            let orphans: Vec<usize> = groups[cur].queue.drain(..).collect();
+                            for (i, &ot) in orphans.iter().enumerate() {
+                                let target = survivors[i % survivors.len()];
+                                report.rescheduled.push(RescheduleEvent {
+                                    tree: ot,
+                                    from_group: cur,
+                                    to_group: target,
+                                });
+                                rescheduled_from[ot].get_or_insert(cur);
+                                groups[target].queue.push_back(ot);
+                            }
+                            cur = to;
+                        }
+                        _ => {
+                            // Retry in place: the faulty rank is replaced,
+                            // the fired spec disarmed so the retry can pass
+                            // the crash site (mirrors
+                            // `induce_with_recovery_policy`). Also the
+                            // reschedule fallback when no group survives.
+                            groups[cur].plan = groups[cur]
+                                .plan
+                                .take()
+                                .map(|p| Arc::new(p.without_crash(sig.spec)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ForestRecoveryOutcome {
+        result: ForestResult {
+            trees: trees
+                .into_iter()
+                .map(|t| t.expect("every tree planned"))
+                .collect(),
+            plan,
+            per_tree: per_tree
+                .into_iter()
+                .map(|s| s.expect("every tree planned"))
+                .collect(),
+        },
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -599,22 +1245,235 @@ mod tests {
         assert!(r.trees.iter().all(|t| t.nodes.len() == 1));
     }
 
+    fn io_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scalparc-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
-    fn container_roundtrip_and_corruption_detection() {
+    fn container_roundtrip_and_damage_isolation() {
         let data = quest(150, 23);
+        let fcfg = ForestConfig {
+            n_trees: 3,
+            ..ForestConfig::default()
+        };
+        let trees = train_forest(&data, &fcfg, &ParConfig::new(1)).trees;
+        let dir = io_dir("forest-io");
+        let path = dir.join("model.scpf");
+        save_forest(&trees, &path).unwrap();
+        assert_eq!(load_forest_strict(&path).unwrap(), trees);
+        let v = load_forest(&path).unwrap();
+        assert!(v.is_complete() && v.planned == 3);
+
+        // A flipped bit in tree 1's section corrupts exactly that slot.
+        damage_tree_section(&path, 1).unwrap();
+        let v = load_forest(&path).unwrap();
+        assert_eq!(v.planned, 3);
+        assert!(v.trees[0].is_ok() && v.trees[2].is_ok());
+        assert!(matches!(v.trees[1], TreeVerdict::Corrupt(_)));
+        assert_eq!(v.missing_mask(), vec![false, true, false]);
+        assert_eq!(v.surviving(), vec![trees[0].clone(), trees[2].clone()]);
+        assert!(load_forest_strict(&path).is_err());
+
+        // Dropping a section entirely reads back as Missing.
+        save_forest(&trees, &path).unwrap();
+        remove_tree_section(&path, 0).unwrap();
+        let v = load_forest(&path).unwrap();
+        assert_eq!(v.trees[0], TreeVerdict::Missing);
+        assert_eq!(v.n_ok(), 2);
+
+        // Truncation mid-section: that tree Corrupt, later trees lost.
+        save_forest(&trees, &path).unwrap();
+        truncate_at_tree_section(&path, 1).unwrap();
+        let v = load_forest(&path).unwrap();
+        assert!(v.trees[0].is_ok());
+        assert!(matches!(v.trees[1], TreeVerdict::Corrupt(_)));
+        assert_eq!(v.trees[2], TreeVerdict::Missing);
+
+        // Envelope damage (bad magic) still fails the load as a whole.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_forest(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_container_still_loads() {
+        let data = quest(120, 29);
         let fcfg = ForestConfig {
             n_trees: 2,
             ..ForestConfig::default()
         };
         let trees = train_forest(&data, &fcfg, &ParConfig::new(1)).trees;
-        let dir = std::env::temp_dir().join(format!("scalparc-forest-io-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = io_dir("forest-io-v1");
         let path = dir.join("model.scpf");
-        save_forest(&trees, &path).unwrap();
-        assert_eq!(load_forest(&path).unwrap(), trees);
-        // A flipped bit must surface as a CRC error, not a parsed forest.
+        let text = model_io::forest_to_text(&trees);
+        diskio::ckpt::write_sections(&path, &[(FOREST_SECTION, text.as_bytes())]).unwrap();
+        assert_eq!(load_forest_strict(&path).unwrap(), trees);
+        // v1 is all-or-nothing: any damage loses the whole forest.
         diskio::ckpt::damage_flip_bit(&path).unwrap();
         assert!(load_forest(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_matches_fault_free_without_faults() {
+        let data = quest(200, 31);
+        let fcfg = ForestConfig {
+            n_trees: 3,
+            schedule: ForestSchedule::TreeParallel,
+            ..ForestConfig::default()
+        };
+        let par = ParConfig::new(6);
+        let plain = train_forest(&data, &fcfg, &par);
+        let out = train_forest_with_recovery(
+            &data,
+            &fcfg,
+            &par,
+            &ForestFaultPlan::new(),
+            None,
+            ForestRecoveryPolicy::RetryInPlace,
+        );
+        assert_eq!(out.result.trees, plain.trees);
+        assert_eq!(out.report.crashes, 0);
+        assert_eq!(out.report.attempts, 3);
+        // Cost parity: the driver charges exactly what train_forest does.
+        assert_eq!(out.result.train_time_ns(), plain.train_time_ns());
+        assert_eq!(out.result.total_bytes_sent(), plain.total_bytes_sent());
+        assert!(out
+            .result
+            .per_tree
+            .iter()
+            .all(|s| s.recovery.crashes.is_empty() && s.rescheduled_from.is_none()));
+    }
+
+    #[test]
+    fn crash_retries_in_place_and_recovers_identical_forest() {
+        let data = quest(260, 37);
+        let fcfg = ForestConfig {
+            n_trees: 2,
+            schedule: ForestSchedule::TreeParallel,
+            ..ForestConfig::default()
+        };
+        let par = ParConfig::new(4);
+        let plain = train_forest(&data, &fcfg, &par);
+        let dir = io_dir("forest-rec");
+        let faults = ForestFaultPlan::new().with_group(
+            1,
+            FaultPlan::new().with_crash(1, mpsim::CrashPoint::Level(1)),
+        );
+        let ckpt = ForestCheckpointCtx::new(&dir, 7);
+        let out = train_forest_with_recovery(
+            &data,
+            &fcfg,
+            &par,
+            &faults,
+            Some(&ckpt),
+            ForestRecoveryPolicy::RetryInPlace,
+        );
+        assert_eq!(out.result.trees, plain.trees);
+        assert_eq!(out.report.crashes, 1);
+        assert_eq!(out.report.attempts, 3);
+        let s = &out.result.per_tree[1];
+        assert_eq!(s.recovery.attempts, 2);
+        assert_eq!(s.recovery.crashes.len(), 1);
+        assert!(s.recovery.wasted_time_ns > 0);
+        assert!(out.report.rescheduled.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_group_reschedules_trees_onto_survivors() {
+        let data = quest(260, 41);
+        let fcfg = ForestConfig {
+            n_trees: 4,
+            schedule: ForestSchedule::TreeParallel,
+            seed: 9,
+            ..ForestConfig::default()
+        };
+        // Hybrid: 2 single-rank groups, group 0 owns trees {0, 2}, group 1
+        // {1, 3}.
+        let par = ParConfig::new(2);
+        let plain = train_forest(&data, &fcfg, &par);
+        let dir = io_dir("forest-resched");
+        let faults = ForestFaultPlan::new().with_group(
+            0,
+            FaultPlan::new().with_crash(0, mpsim::CrashPoint::Level(1)),
+        );
+        let ckpt = ForestCheckpointCtx::new(&dir, 11);
+        let out = train_forest_with_recovery(
+            &data,
+            &fcfg,
+            &par,
+            &faults,
+            Some(&ckpt),
+            ForestRecoveryPolicy::Reschedule,
+        );
+        // Byte-identical to the fault-free forest despite the migration.
+        assert_eq!(out.result.trees, plain.trees);
+        assert_eq!(out.report.dead_groups, vec![0]);
+        // Tree 0 crashed on group 0 and moved to group 1; tree 2 was still
+        // queued on the dead group and moved too.
+        assert_eq!(
+            out.report.rescheduled,
+            vec![
+                RescheduleEvent {
+                    tree: 0,
+                    from_group: 0,
+                    to_group: 1
+                },
+                RescheduleEvent {
+                    tree: 2,
+                    from_group: 0,
+                    to_group: 1
+                },
+            ]
+        );
+        for t in [0, 2] {
+            let s = &out.result.per_tree[t];
+            assert_eq!(s.rescheduled_from, Some(0));
+            assert_eq!(s.group, 1, "tree {t} completed on the survivor");
+        }
+        // Everything ran on the lone survivor, so the makespan is its sum.
+        assert_eq!(
+            out.result.train_time_ns(),
+            out.result
+                .per_tree
+                .iter()
+                .map(|s| s.run.time_ns())
+                .sum::<u64>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reschedule_with_no_survivor_falls_back_to_replacement() {
+        let data = quest(180, 43);
+        let fcfg = ForestConfig {
+            n_trees: 2,
+            schedule: ForestSchedule::DataParallel,
+            ..ForestConfig::default()
+        };
+        let par = ParConfig::new(3);
+        let plain = train_forest(&data, &fcfg, &par);
+        let faults = ForestFaultPlan::new().with_group(
+            0,
+            FaultPlan::new().with_crash(2, mpsim::CrashPoint::Level(0)),
+        );
+        let out = train_forest_with_recovery(
+            &data,
+            &fcfg,
+            &par,
+            &faults,
+            None,
+            ForestRecoveryPolicy::Reschedule,
+        );
+        assert_eq!(out.result.trees, plain.trees);
+        assert_eq!(out.report.crashes, 1);
+        assert!(out.report.dead_groups.is_empty());
+        assert_eq!(out.result.per_tree[0].rescheduled_from, None);
     }
 }

@@ -43,7 +43,11 @@ pub mod analysis;
 
 pub use checkpoint::{CheckpointCtx, RestoreVerdict};
 pub use config::{Algorithm, InduceConfig, ParConfig};
-pub use forest::{train_forest, ForestConfig, ForestPlan, ForestResult, ForestSchedule, TreeStat};
+pub use forest::{
+    train_forest, train_forest_with_recovery, ForestCheckpointCtx, ForestConfig, ForestFaultPlan,
+    ForestPlan, ForestRecoveryOutcome, ForestRecoveryPolicy, ForestRecoveryReport, ForestResult,
+    ForestSchedule, ForestVerdict, RescheduleEvent, TreeStat, TreeVerdict,
+};
 pub use induce::{induce_on_comm, induce_on_comm_ckpt, LevelInfo, ParStats};
 pub use ooc::{induce_on_comm_ooc, OocOptions};
 pub use stream::{

@@ -142,6 +142,120 @@ pub fn read_sections(path: &Path) -> Result<Vec<(u32, Vec<u8>)>, CkptError> {
     Ok(sections)
 }
 
+/// One section of a tolerant read: either an intact payload or a typed
+/// damage note. See [`read_sections_tolerant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionRead {
+    /// CRC verified; the payload is intact.
+    Ok {
+        /// The section tag.
+        tag: u32,
+        /// The verified payload bytes.
+        payload: Vec<u8>,
+    },
+    /// The section is damaged — CRC mismatch, or lost to a truncation.
+    Corrupt {
+        /// The declared tag, when the section header was still readable
+        /// (`None` once a truncation has eaten the header itself).
+        tag: Option<u32>,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+/// Read a checkpoint file section by section, **isolating damage**: a
+/// section whose CRC fails is reported as [`SectionRead::Corrupt`] and the
+/// walk continues at the next section (the length field still locates it
+/// when only payload bytes flipped), so one damaged section never hides
+/// its intact neighbours. A truncation mid-file marks the current and
+/// every remaining declared section `Corrupt` — their bytes are gone.
+///
+/// Only header-level failures (unreadable file, bad magic, unsupported
+/// version) are an `Err`: past the header there is always a per-section
+/// verdict. A flipped bit in a *length* field desynchronizes the walk, but
+/// every subsequent pseudo-section then fails its CRC too — damage is
+/// always detected, never silently decoded. Trailing bytes after the last
+/// declared section are ignored.
+pub fn read_sections_tolerant(path: &Path) -> Result<Vec<SectionRead>, CkptError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| err(path, format!("read: {e}")))?;
+    let mut r = ByteReader::new(&bytes);
+    let magic = r.u32().map_err(|e| err(path, e))?;
+    if magic != MAGIC {
+        return Err(err(path, format!("bad magic {magic:#010x}")));
+    }
+    let version = r.u32().map_err(|e| err(path, e))?;
+    if version != VERSION {
+        return Err(err(path, format!("unsupported version {version}")));
+    }
+    let count = r.u32().map_err(|e| err(path, e))? as usize;
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = r.pos;
+        let header = (|| -> Result<(u32, usize), String> {
+            let tag = r.u32()?;
+            let len = r.u64()? as usize;
+            Ok((tag, len))
+        })();
+        let (tag, len) = match header {
+            Ok(h) => h,
+            Err(e) => {
+                // The header itself is truncated: this section and every
+                // later one are gone.
+                for j in i..count {
+                    sections.push(SectionRead::Corrupt {
+                        tag: None,
+                        msg: if j == i {
+                            format!("section {j}: {e}")
+                        } else {
+                            format!("section {j}: lost to earlier truncation")
+                        },
+                    });
+                }
+                return Ok(sections);
+            }
+        };
+        match r.bytes(len).and_then(|_| {
+            let stored = r.u32()?;
+            Ok(stored)
+        }) {
+            Ok(stored) => {
+                let computed = crc32(&bytes[start..start + 4 + 8 + len]);
+                if stored == computed {
+                    sections.push(SectionRead::Ok {
+                        tag,
+                        payload: bytes[start + 12..start + 12 + len].to_vec(),
+                    });
+                } else {
+                    sections.push(SectionRead::Corrupt {
+                        tag: Some(tag),
+                        msg: format!(
+                            "section {i} (tag {tag}): CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                        ),
+                    });
+                }
+            }
+            Err(e) => {
+                // Payload or CRC truncated: nothing after it is locatable.
+                for j in i..count {
+                    sections.push(SectionRead::Corrupt {
+                        tag: if j == i { Some(tag) } else { None },
+                        msg: if j == i {
+                            format!("section {j} (tag {tag}): {e}")
+                        } else {
+                            format!("section {j}: lost to earlier truncation")
+                        },
+                    });
+                }
+                return Ok(sections);
+            }
+        }
+    }
+    Ok(sections)
+}
+
 // ----- deterministic damage (fault injection) ------------------------------
 //
 // Chaos harnesses need to damage checkpoint files the way real storage
@@ -345,6 +459,91 @@ mod tests {
                 "{name}: damage must be detected, never silently decoded"
             );
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_read_isolates_a_flipped_payload_bit() {
+        let dir = tmp_dir("tolerant-flip");
+        let path = dir.join("a.bin");
+        let big = vec![0x5au8; 200];
+        write_sections(&path, &[(1, b"first"), (2, &big), (3, b"third")]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit well inside section 2's payload: header(12) +
+        // section1(4+8+5+4) + section2 header(12) + 50.
+        let off = 12 + 21 + 12 + 50;
+        bytes[off] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_sections(&path).is_err(), "strict read must fail");
+        let back = read_sections_tolerant(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(
+            back[0],
+            SectionRead::Ok {
+                tag: 1,
+                payload: b"first".to_vec()
+            }
+        );
+        match &back[1] {
+            SectionRead::Corrupt { tag: Some(2), msg } => {
+                assert!(msg.contains("CRC mismatch"), "{msg}")
+            }
+            other => panic!("section 2 should be Corrupt: {other:?}"),
+        }
+        assert_eq!(
+            back[2],
+            SectionRead::Ok {
+                tag: 3,
+                payload: b"third".to_vec()
+            },
+            "damage must not hide the intact neighbour"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_read_marks_truncated_tail_sections() {
+        let dir = tmp_dir("tolerant-trunc");
+        let path = dir.join("a.bin");
+        write_sections(&path, &[(7, b"keep-me-around"), (8, b"gone"), (9, b"also")]).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Cut mid-way through section 8's payload.
+        let keep = 12 + (4 + 8 + 14 + 4) + 12 + 2;
+        fs::write(&path, &bytes[..keep]).unwrap();
+        let back = read_sections_tolerant(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(matches!(back[0], SectionRead::Ok { tag: 7, .. }));
+        assert!(
+            matches!(&back[1], SectionRead::Corrupt { tag: Some(8), .. }),
+            "{:?}",
+            back[1]
+        );
+        assert!(
+            matches!(&back[2], SectionRead::Corrupt { tag: None, .. }),
+            "{:?}",
+            back[2]
+        );
+        // Header-level damage is still a hard error.
+        fs::write(&path, b"XXXXYYYYZZZZ").unwrap();
+        assert!(read_sections_tolerant(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_read_matches_strict_on_intact_files() {
+        let dir = tmp_dir("tolerant-clean");
+        let path = dir.join("a.bin");
+        write_sections(&path, &[(1, b"alpha"), (2, b"")]).unwrap();
+        let strict = read_sections(&path).unwrap();
+        let tolerant = read_sections_tolerant(&path).unwrap();
+        let as_ok: Vec<(u32, Vec<u8>)> = tolerant
+            .into_iter()
+            .map(|s| match s {
+                SectionRead::Ok { tag, payload } => (tag, payload),
+                c => panic!("intact file read back corrupt: {c:?}"),
+            })
+            .collect();
+        assert_eq!(as_ok, strict);
         fs::remove_dir_all(&dir).unwrap();
     }
 

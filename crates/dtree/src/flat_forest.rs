@@ -49,6 +49,13 @@ pub struct FlatForest {
     /// by prediction, but every node has one).
     dist: Vec<Vec<f32>>,
     reduce: VoteReduce,
+    /// Trees the forest was *trained* with; `trees.len() < planned` means
+    /// this replica votes over a surviving subset (see [`Self::with_missing`]).
+    planned: usize,
+    /// Fewest member trees this forest should serve with; fewer means the
+    /// server ought to report itself degraded ([`Self::below_quorum`]).
+    /// `0` (the default) disables the floor.
+    quorum_min: usize,
 }
 
 impl FlatForest {
@@ -92,7 +99,82 @@ impl FlatForest {
             trees: flats,
             dist: dists,
             reduce,
+            planned: trees.len(),
+            quorum_min: 0,
         }
+    }
+
+    /// Declare the forest was trained with `planned` trees, of which only
+    /// the compiled members survived (the partial-load path: compile a
+    /// damaged container's survivors, then record the intended size).
+    /// Panics if `planned` is smaller than the member count.
+    pub fn with_planned(mut self, planned: usize) -> FlatForest {
+        assert!(
+            planned >= self.trees.len(),
+            "planned size {planned} smaller than the {} compiled trees",
+            self.trees.len()
+        );
+        self.planned = planned;
+        self
+    }
+
+    /// Set the quorum floor: serving with fewer than `quorum_min` member
+    /// trees marks the forest [`Self::below_quorum`].
+    pub fn with_quorum_min(mut self, quorum_min: usize) -> FlatForest {
+        self.quorum_min = quorum_min;
+        self
+    }
+
+    /// A forest voting over the surviving subset: members whose `mask`
+    /// entry is `true` are dropped (their node arrays and distribution
+    /// tables freed), `planned` and the quorum floor are preserved. The
+    /// vote order of the survivors is unchanged, so the reduce stays
+    /// deterministic. Panics when the mask length differs from the member
+    /// count or no tree survives.
+    pub fn with_missing(&self, mask: &[bool]) -> FlatForest {
+        assert_eq!(
+            mask.len(),
+            self.trees.len(),
+            "mask must cover every member tree"
+        );
+        let keep = |i: &usize| !mask[*i];
+        let trees: Vec<FlatTree> = (0..self.trees.len())
+            .filter(keep)
+            .map(|i| self.trees[i].clone())
+            .collect();
+        assert!(!trees.is_empty(), "a forest needs at least one tree");
+        let dist = (0..self.dist.len())
+            .filter(keep)
+            .map(|i| self.dist[i].clone())
+            .collect();
+        FlatForest {
+            schema: self.schema.clone(),
+            trees,
+            dist,
+            reduce: self.reduce,
+            planned: self.planned,
+            quorum_min: self.quorum_min,
+        }
+    }
+
+    /// Trees the forest was trained with (`>= n_trees()`).
+    pub fn planned(&self) -> usize {
+        self.planned
+    }
+
+    /// Planned trees this replica is serving *without*.
+    pub fn missing(&self) -> usize {
+        self.planned - self.trees.len()
+    }
+
+    /// The configured quorum floor.
+    pub fn quorum_min(&self) -> usize {
+        self.quorum_min
+    }
+
+    /// Whether the surviving member count undercuts the quorum floor.
+    pub fn below_quorum(&self) -> bool {
+        self.trees.len() < self.quorum_min
     }
 
     /// The schema the forest was trained under.
@@ -361,5 +443,55 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn rejects_empty_forest() {
         FlatForest::compile(&[], VoteReduce::Majority);
+    }
+
+    #[test]
+    fn with_missing_votes_like_the_surviving_subset() {
+        let (trees, data) = forest_fixture(51, 5);
+        let mask = [false, true, false, true, false];
+        let survivors: Vec<DecisionTree> = (0..trees.len())
+            .filter(|&i| !mask[i])
+            .map(|i| trees[i].clone())
+            .collect();
+        for reduce in [VoteReduce::Majority, VoteReduce::ProbAverage] {
+            let full = FlatForest::compile(&trees, reduce).with_quorum_min(4);
+            let partial = full.with_missing(&mask);
+            assert_eq!(partial.n_trees(), 3);
+            assert_eq!(partial.planned(), 5);
+            assert_eq!(partial.missing(), 2);
+            assert_eq!(partial.quorum_min(), 4);
+            assert!(partial.below_quorum());
+            assert!(!full.below_quorum());
+            let subset = FlatForest::compile(&survivors, reduce);
+            let mut got = vec![0u8; data.len()];
+            partial.predict_batch(&data, &mut got);
+            let mut want = vec![0u8; data.len()];
+            subset.predict_batch(&data, &mut want);
+            assert_eq!(got, want, "{reduce:?}");
+        }
+    }
+
+    #[test]
+    fn with_planned_records_the_intended_size() {
+        let (trees, _) = forest_fixture(61, 3);
+        let f = FlatForest::compile(&trees[..2], VoteReduce::Majority).with_planned(3);
+        assert_eq!(f.planned(), 3);
+        assert_eq!(f.missing(), 1);
+        assert!(!f.below_quorum());
+        assert!(f.with_quorum_min(3).below_quorum());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn with_missing_rejects_dropping_everything() {
+        let (trees, _) = forest_fixture(71, 2);
+        FlatForest::compile(&trees, VoteReduce::Majority).with_missing(&[true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every member tree")]
+    fn with_missing_rejects_short_masks() {
+        let (trees, _) = forest_fixture(81, 3);
+        FlatForest::compile(&trees, VoteReduce::Majority).with_missing(&[true]);
     }
 }

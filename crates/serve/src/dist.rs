@@ -158,6 +158,84 @@ pub fn score_forest_distributed(
     }
 }
 
+/// [`score_forest_distributed`] tolerating replica ranks that hold only a
+/// **partial** forest: `masks[r]` is rank `r`'s missing mask (`true` =
+/// that rank's replica lost the tree — e.g. its local container section
+/// was damaged), and each rank votes over whatever subset it holds. Ranks
+/// with an empty mask serve the full forest. The confusion all-reduce is
+/// unchanged, so the pass completes with every rank contributing its
+/// block — scored by its own surviving subset — instead of failing on the
+/// first degraded replica.
+///
+/// Panics if a rank's non-empty mask does not cover every tree or drops
+/// them all (a rank with *no* trees cannot answer; that is a dead rank,
+/// which is [`mpsim::FaultPlan`] territory, not a degraded replica).
+pub fn score_forest_distributed_partial(
+    trees: &[DecisionTree],
+    reduce: VoteReduce,
+    data: &Dataset,
+    cfg: &MachineCfg,
+    masks: &[Vec<bool>],
+) -> DistScore {
+    assert!(
+        masks.len() == cfg.procs,
+        "need one missing mask per rank (empty = full forest)"
+    );
+    let classes = data.schema.num_classes as usize;
+    let n = data.len();
+    let result = mpsim::run(cfg, |comm| {
+        let (rank, p) = (comm.rank(), comm.size());
+        let (lo, hi) = (n * rank / p, n * (rank + 1) / p);
+
+        comm.phase_begin("serve_compile", 0);
+        let full = FlatForest::compile(trees, reduce);
+        let forest = if masks[rank].is_empty() {
+            full
+        } else {
+            full.with_missing(&masks[rank])
+        };
+        comm.tracker().alloc(MEM_REPLICA, forest.heap_bytes());
+        comm.phase_end(); // serve_compile
+
+        comm.phase_begin("serve_predict", 0);
+        let mut predictions = vec![0u8; hi - lo];
+        comm.tracker()
+            .alloc(MEM_PREDICTIONS, predictions.len() as u64);
+        forest.predict_range(data, lo, hi, &mut predictions);
+
+        let mut local = vec![0u64; classes * classes];
+        for (truth, pred) in data.labels[lo..hi].iter().zip(&predictions) {
+            local[*truth as usize * classes + *pred as usize] += 1;
+        }
+        comm.tracker()
+            .free(MEM_PREDICTIONS, predictions.len() as u64);
+        drop(predictions);
+        comm.phase_end(); // serve_predict
+
+        comm.phase_begin("serve_confusion_reduce", 0);
+        let mut global = vec![0u64; classes * classes];
+        let bytes = (classes * classes * std::mem::size_of::<u64>()) as u64;
+        comm.allreduce_with(&local, bytes, |_src, other: &Vec<u64>| {
+            for (g, o) in global.iter_mut().zip(other) {
+                *g += o;
+            }
+        });
+        comm.tracker().free(MEM_REPLICA, forest.heap_bytes());
+        comm.phase_end(); // serve_confusion_reduce
+        global
+    });
+
+    let confusion = CountMatrix::from_slice(classes, classes, &result.outputs[0]);
+    debug_assert!(result.outputs.iter().all(|o| *o == result.outputs[0]));
+    let hits: u64 = (0..classes).map(|c| confusion.get(c, c)).sum();
+    let accuracy = if n == 0 { 1.0 } else { hits as f64 / n as f64 };
+    DistScore {
+        confusion,
+        accuracy,
+        stats: result.stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +301,53 @@ mod tests {
                 assert!(d.stats.total_bytes_sent() > 0 || p == 1);
             }
         }
+    }
+
+    #[test]
+    fn partial_replicas_score_with_their_surviving_subsets() {
+        let mut rng = TestRng::new(13);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, 4, 5, 80);
+        let data = testgen::random_dataset(&schema, &mut rng, 300);
+        let reduce = VoteReduce::Majority;
+
+        // All-empty masks are exactly the full distributed pass.
+        let p = 3;
+        let full = score_forest_distributed(&trees, reduce, &data, &MachineCfg::new(p));
+        let noop = score_forest_distributed_partial(
+            &trees,
+            reduce,
+            &data,
+            &MachineCfg::new(p),
+            &vec![Vec::new(); p],
+        );
+        assert_eq!(noop.confusion, full.confusion);
+
+        // Rank 1 lost trees 1 and 3: its block must score like the
+        // surviving pair, the other ranks like the full forest.
+        let mask = vec![false, true, false, true];
+        let masks = vec![Vec::new(), mask.clone(), Vec::new()];
+        let d =
+            score_forest_distributed_partial(&trees, reduce, &data, &MachineCfg::new(p), &masks);
+        let n = data.len();
+        let full_forest = FlatForest::compile(&trees, reduce);
+        let part_forest = full_forest.with_missing(&mask);
+        let classes = data.schema.num_classes as usize;
+        let mut want = vec![0u64; classes * classes];
+        let mut out = vec![0u8; n];
+        full_forest.predict_batch(&data, &mut out);
+        for r in 0..p {
+            let (lo, hi) = (n * r / p, n * (r + 1) / p);
+            let model = if r == 1 { &part_forest } else { &full_forest };
+            model.predict_range(&data, lo, hi, &mut out[lo..hi]);
+            for (t, pr) in data.labels[lo..hi].iter().zip(&out[lo..hi]) {
+                want[*t as usize * classes + *pr as usize] += 1;
+            }
+        }
+        assert_eq!(
+            d.confusion,
+            CountMatrix::from_slice(classes, classes, &want)
+        );
     }
 
     #[test]

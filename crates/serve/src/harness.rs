@@ -135,6 +135,24 @@ impl ServeModel {
             ServeModel::Forest(f) => f.heap_bytes(),
         }
     }
+
+    /// Health contributed by the *model* itself: a forest serving fewer
+    /// member trees than its quorum floor is `Degraded` (it still
+    /// answers, with bounded accuracy loss); everything else is `Healthy`.
+    pub fn health(&self) -> Health {
+        match self {
+            ServeModel::Tree(_) => Health::Healthy,
+            ServeModel::Forest(f) if f.below_quorum() => Health::Degraded {
+                reason: format!(
+                    "forest below quorum: {} of {} trees serving (quorum {})",
+                    f.n_trees(),
+                    f.planned(),
+                    f.quorum_min()
+                ),
+            },
+            ServeModel::Forest(_) => Health::Healthy,
+        }
+    }
 }
 
 impl From<FlatTree> for ServeModel {
@@ -532,9 +550,16 @@ impl Server {
         }
     }
 
-    /// Snapshot of the statistics so far.
+    /// Snapshot of the statistics so far. The health verdict folds in the
+    /// *currently published* model: a below-quorum forest degrades the
+    /// report even when every worker is alive.
     pub fn stats(&self) -> StatsReport {
-        StatsReport::from_inner(&sync::lock(&self.shared.stats), self.shared.worker_count)
+        let model_health = self.shared.slot.current().model.health();
+        StatsReport::from_inner(
+            &sync::lock(&self.shared.stats),
+            self.shared.worker_count,
+            model_health,
+        )
     }
 
     /// Stop accepting work, drain every queued request, join the workers,
@@ -803,7 +828,9 @@ pub struct StatsReport {
     /// Worker threads that exited by panic and are no longer serving.
     pub workers_dead: u64,
     /// Liveness verdict: `Failed` only when *every* worker died;
-    /// `Degraded` when any panic was observed; `Healthy` otherwise.
+    /// `Degraded` when any panic was observed **or** the published model
+    /// is itself degraded (a forest serving below its quorum floor);
+    /// `Healthy` otherwise.
     pub health: Health,
     /// Completed requests grouped into per-generation windows, in
     /// completion order — which model generation served each stretch of
@@ -812,7 +839,7 @@ pub struct StatsReport {
 }
 
 impl StatsReport {
-    fn from_inner(inner: &StatsInner, worker_count: usize) -> StatsReport {
+    fn from_inner(inner: &StatsInner, worker_count: usize, model_health: Health) -> StatsReport {
         let health = if inner.workers_dead >= worker_count as u64 && worker_count > 0 {
             Health::Failed
         } else if inner.workers_dead > 0 {
@@ -824,7 +851,8 @@ impl StatsReport {
                 reason: format!("{} scoring panic(s) isolated", inner.worker_panics),
             }
         } else {
-            Health::Healthy
+            // Workers are fine; the model itself may still be degraded.
+            model_health
         };
         let mut sorted = inner.latencies_ns.clone();
         sorted.sort_unstable();
@@ -974,6 +1002,45 @@ mod tests {
         }
         let report = server.shutdown();
         assert_eq!(report.records, 600);
+    }
+
+    #[test]
+    fn below_quorum_forest_serves_degraded() {
+        use dtree::flat_forest::{FlatForest, VoteReduce};
+        let mut rng = TestRng::new(53);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, 4, 5, 60);
+        let data = Arc::new(testgen::random_dataset(&schema, &mut rng, 200));
+        let full = FlatForest::compile(&trees, VoteReduce::Majority).with_quorum_min(3);
+
+        // At quorum: healthy.
+        let server = Server::start_forest(full.clone(), ServeConfig::default());
+        assert_eq!(server.stats().health, Health::Healthy);
+        server.shutdown();
+
+        // Two of four trees lost: below the quorum floor of 3, so the
+        // server *answers* but reports itself degraded.
+        let partial = full.with_missing(&[false, true, true, false]);
+        let mut expect = vec![0u8; data.len()];
+        partial.predict_batch(&data, &mut expect);
+        let server = Server::start_forest(partial, ServeConfig::default());
+        let rx = server
+            .submit(Request {
+                data: Arc::clone(&data),
+                lo: 0,
+                hi: data.len(),
+            })
+            .unwrap();
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        assert_eq!(resp.predictions, expect);
+        let report = server.shutdown();
+        assert!(
+            matches!(&report.health, Health::Degraded { reason } if reason.contains("quorum")),
+            "health: {:?}",
+            report.health
+        );
+        assert!(report.health.is_serving());
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod harness;
 pub mod slot;
 pub mod sync;
 
-pub use dist::{score_distributed, score_forest_distributed, DistScore};
+pub use dist::{
+    score_distributed, score_forest_distributed, score_forest_distributed_partial, DistScore,
+};
 pub use dtree::flat::FlatTree;
 pub use dtree::flat_forest::{FlatForest, VoteReduce};
 pub use harness::{

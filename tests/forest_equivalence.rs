@@ -14,10 +14,10 @@ use datagen::{generate, ClassFunc, GenConfig, Profile};
 use dtree::flat_forest::{FlatForest, VoteReduce};
 use dtree::testgen::{self, TestRng};
 use dtree::{model_io, Dataset};
-use mpsim::MachineCfg;
+use mpsim::{CrashPoint, FaultPlan, MachineCfg};
 use proptest::prelude::*;
-use scalparc::forest::{self, train_forest, ForestConfig, ForestSchedule};
-use scalparc::ParConfig;
+use scalparc::forest::{self, train_forest, ForestConfig, ForestSchedule, TreeVerdict};
+use scalparc::{train_forest_with_recovery, ForestFaultPlan, ForestRecoveryPolicy, ParConfig};
 use serve::score_forest_distributed;
 
 fn cases(n: u32) -> ProptestConfig {
@@ -76,8 +76,9 @@ fn forest_layout_identity_grid() {
     }
 }
 
-/// A trained forest survives the CRC'd container round trip exactly, and a
-/// flipped bit is a load error, never a silently-parsed model.
+/// A trained forest survives the CRC'd container round trip exactly, and
+/// damage to one tree's section surfaces as a per-slot verdict that never
+/// hides the surviving trees.
 #[test]
 fn forest_container_roundtrip_and_corruption() {
     let data = quest(300, ClassFunc::F3, 0.05, 9);
@@ -91,7 +92,7 @@ fn forest_container_roundtrip_and_corruption() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("forest.scpf");
     forest::save_forest(&trees, &path).unwrap();
-    let loaded = forest::load_forest(&path).unwrap();
+    let loaded = forest::load_forest_strict(&path).unwrap();
     assert_eq!(loaded, trees);
     // Loaded and original forests serve identically.
     let a = FlatForest::compile(&trees, VoteReduce::Majority);
@@ -102,12 +103,143 @@ fn forest_container_roundtrip_and_corruption() {
     b.predict_batch(&data, &mut pb);
     assert_eq!(pa, pb);
 
-    diskio::ckpt::damage_flip_bit(&path).unwrap();
-    assert!(
-        forest::load_forest(&path).is_err(),
-        "a corrupt container must not load"
-    );
+    // A flipped bit in one tree's section: that slot Corrupt, the others
+    // clean, and the degraded replica still serves via `with_missing`.
+    forest::damage_tree_section(&path, 2).unwrap();
+    let v = forest::load_forest(&path).unwrap();
+    assert_eq!(v.planned, 3);
+    assert!(matches!(v.trees[2], TreeVerdict::Corrupt(_)));
+    assert_eq!(v.n_ok(), 2);
+    assert!(forest::load_forest_strict(&path).is_err());
+    let partial = FlatForest::compile(&v.surviving(), VoteReduce::Majority)
+        .with_planned(v.planned)
+        .with_quorum_min(3);
+    assert_eq!(partial.missing(), 1);
+    assert!(partial.below_quorum());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Group crashes recover a forest byte-identical to the fault-free run —
+/// retried in place or rescheduled onto survivors — with wasted work and
+/// re-executed levels accounted per tree.
+#[test]
+fn crashed_groups_recover_byte_identical_forests() {
+    let data = quest(280, ClassFunc::F2, 0.05, 19);
+    let fcfg = ForestConfig {
+        n_trees: 4,
+        feature_frac: 0.8,
+        seed: 19,
+        schedule: ForestSchedule::TreeParallel,
+        ..ForestConfig::default()
+    };
+    let par = ParConfig::new(4);
+    let want = model_io::forest_to_text(&train_forest(&data, &fcfg, &par).trees);
+    let root = std::env::temp_dir().join(format!("scalparc-forest-rec-{}", std::process::id()));
+    let mut run_id = 0u64;
+    for policy in [
+        ForestRecoveryPolicy::RetryInPlace,
+        ForestRecoveryPolicy::Reschedule,
+    ] {
+        for victim in 0..4usize {
+            run_id += 1;
+            let faults = ForestFaultPlan::new()
+                .with_group(victim, FaultPlan::new().with_crash(0, CrashPoint::Level(1)));
+            let ckpt = forest::ForestCheckpointCtx::new(&root, run_id);
+            let out = train_forest_with_recovery(&data, &fcfg, &par, &faults, Some(&ckpt), policy);
+            assert_eq!(
+                model_io::forest_to_text(&out.result.trees),
+                want,
+                "{policy:?} victim group {victim}"
+            );
+            assert_eq!(out.report.crashes, 1, "{policy:?} victim {victim}");
+            let s = &out.result.per_tree[victim];
+            assert!(s.recovery.wasted_time_ns > 0 || s.procs == 1);
+            assert_eq!(s.recovery.crashes.len(), 1);
+            match policy {
+                ForestRecoveryPolicy::RetryInPlace => {
+                    assert!(out.report.rescheduled.is_empty());
+                    assert_eq!(s.group, victim);
+                }
+                ForestRecoveryPolicy::Reschedule => {
+                    assert_eq!(out.report.dead_groups, vec![victim]);
+                    assert_eq!(s.rescheduled_from, Some(victim));
+                    assert_ne!(s.group, victim, "tree moved off the dead group");
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A straggler window inside one group slows exactly that group: the other
+/// groups' per-tree statistics stay byte-identical and the forest makespan
+/// remains the max over per-group sums. An installed-but-idle fault plan
+/// charges nothing at all.
+#[test]
+fn straggler_windows_and_idle_faults_keep_accounting_honest() {
+    let data = quest(320, ClassFunc::F2, 0.05, 23);
+    let fcfg = ForestConfig {
+        n_trees: 2,
+        seed: 23,
+        schedule: ForestSchedule::TreeParallel,
+        ..ForestConfig::default()
+    };
+    let par = ParConfig::new(4); // 2 groups × 2 ranks
+    let plain = train_forest(&data, &fcfg, &par);
+
+    // Idle plan: a crash at a level the induction never reaches and a
+    // straggler window past any collective. Cost parity must be exact.
+    let idle = ForestFaultPlan::new().with_group(
+        0,
+        FaultPlan::new()
+            .with_crash(0, CrashPoint::Level(10_000))
+            .with_straggler(1, u64::MAX - 1, u64::MAX, 5000),
+    );
+    let out = train_forest_with_recovery(
+        &data,
+        &fcfg,
+        &par,
+        &idle,
+        None,
+        ForestRecoveryPolicy::RetryInPlace,
+    );
+    assert_eq!(out.report.crashes, 0);
+    assert_eq!(
+        model_io::forest_to_text(&out.result.trees),
+        model_io::forest_to_text(&plain.trees)
+    );
+    for (a, b) in out.result.per_tree.iter().zip(&plain.per_tree) {
+        assert_eq!(a.run.time_ns(), b.run.time_ns(), "tree {}", a.tree);
+        assert_eq!(a.run.total_bytes_sent(), b.run.total_bytes_sent());
+    }
+    assert_eq!(out.result.train_time_ns(), plain.train_time_ns());
+
+    // A firing straggler in group 1 slows only group 1.
+    let slow =
+        ForestFaultPlan::new().with_group(1, FaultPlan::new().with_straggler(0, 1, u64::MAX, 4000));
+    let out = train_forest_with_recovery(
+        &data,
+        &fcfg,
+        &par,
+        &slow,
+        None,
+        ForestRecoveryPolicy::RetryInPlace,
+    );
+    assert_eq!(
+        model_io::forest_to_text(&out.result.trees),
+        model_io::forest_to_text(&plain.trees),
+        "stragglers cost time, never correctness"
+    );
+    let t0 = &out.result.per_tree[0];
+    let t1 = &out.result.per_tree[1];
+    assert_eq!(t0.run.time_ns(), plain.per_tree[0].run.time_ns());
+    assert!(t1.run.time_ns() > plain.per_tree[1].run.time_ns());
+    // Makespan is still the max over per-group sums — the straggling
+    // group's inflation never leaks into the other group's account.
+    assert_eq!(
+        out.result.train_time_ns(),
+        t0.run.time_ns().max(t1.run.time_ns())
+    );
 }
 
 /// Distributed forest scoring reproduces the serial confusion matrix at
@@ -175,6 +307,64 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(got[rid], oracle, "record {} of {} trees", rid, k);
         }
+    }
+
+    /// Damaged containers load partially: bit-flipping or truncating one
+    /// tree's section marks exactly the reachable damage (the victim slot
+    /// `Corrupt`; on truncation the tail slots are lost too), every slot
+    /// before the victim loads clean, and re-saving the survivors is
+    /// byte-deterministic (save → load → save identity).
+    #[test]
+    fn damaged_container_isolates_the_hit_tree(
+        seed in 0u64..(1u64 << 48),
+        k in 2usize..6,
+        victim_sel in 0usize..16,
+        truncate_sel in 0usize..2,
+    ) {
+        let truncate = truncate_sel == 1;
+        let mut rng = TestRng::new(seed);
+        let schema = testgen::random_schema(&mut rng);
+        let trees = testgen::random_forest(&schema, &mut rng, k, 5, 60);
+        let victim = victim_sel % k;
+        let dir = std::env::temp_dir().join(format!(
+            "scalparc-forest-prop-{}-{seed}-{k}-{victim}-{truncate}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("forest.scpf");
+        forest::save_forest(&trees, &path).unwrap();
+        if truncate {
+            forest::truncate_at_tree_section(&path, victim).unwrap();
+        } else {
+            forest::damage_tree_section(&path, victim).unwrap();
+        }
+        let v = forest::load_forest(&path).unwrap();
+        prop_assert_eq!(v.planned, k);
+        prop_assert!(!v.trees[victim].is_ok(), "victim slot must not load");
+        for (t, tree) in trees.iter().enumerate().take(victim) {
+            prop_assert_eq!(v.trees[t].tree(), Some(tree), "slot {} before the damage", t);
+        }
+        if !truncate {
+            // A single flipped bit is confined to the victim slot.
+            for (t, tree) in trees.iter().enumerate().skip(victim + 1) {
+                prop_assert_eq!(v.trees[t].tree(), Some(tree), "slot {} after the flip", t);
+            }
+            prop_assert_eq!(v.n_ok(), k - 1);
+        }
+        // Survivors re-save deterministically: save → load → save is a
+        // byte-level fixed point.
+        let survivors = v.surviving();
+        prop_assert!(!survivors.is_empty() || victim == 0);
+        if !survivors.is_empty() {
+            let p1 = dir.join("survivors1.scpf");
+            let p2 = dir.join("survivors2.scpf");
+            forest::save_forest(&survivors, &p1).unwrap();
+            let reloaded = forest::load_forest_strict(&p1).unwrap();
+            prop_assert_eq!(&reloaded, &survivors);
+            forest::save_forest(&reloaded, &p2).unwrap();
+            prop_assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Induced-forest layout identity as a property: random seed, tree
